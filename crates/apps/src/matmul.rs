@@ -1,0 +1,296 @@
+//! Tiled dense matrix multiplication (paper §V-B1).
+//!
+//! `C[i][j] += A[i][k] · B[k][j]` over `nb × nb` tiles of `bs × bs`
+//! elements; each tile product is one task. Two application versions:
+//!
+//! * **mm-gpu** — a single CUBLAS (GPU) implementation of the task.
+//! * **mm-hyb** — three implementations: CUBLAS (main), hand-coded CUDA,
+//!   and CBLAS on the SMP, joined via `implements` so only the versioning
+//!   scheduler can exploit them all.
+
+use crate::calib;
+use versa_core::{DeviceKind, SchedulerKind, TemplateId, VersionId};
+use versa_kernels::gemm;
+use versa_mem::DataId;
+use versa_runtime::{NativeConfig, RunReport, Runtime, RuntimeConfig};
+use versa_sim::PlatformConfig;
+
+/// Which task versions the application exposes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MatmulVariant {
+    /// `mm-gpu`: only the CUBLAS version.
+    Gpu,
+    /// `mm-hyb`: CUBLAS + hand-CUDA + CBLAS versions.
+    Hybrid,
+}
+
+impl MatmulVariant {
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            MatmulVariant::Gpu => "mm-gpu",
+            MatmulVariant::Hybrid => "mm-hyb",
+        }
+    }
+}
+
+/// Problem dimensions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatmulConfig {
+    /// Matrix dimension in elements (square).
+    pub n: usize,
+    /// Tile dimension in elements (square); must divide `n`.
+    pub bs: usize,
+}
+
+impl MatmulConfig {
+    /// The paper's dimensions: 16384² f64 elements (2 GB per matrix),
+    /// 1024² tiles (8 MB) — 16³ = 4096 tasks.
+    pub fn paper() -> MatmulConfig {
+        MatmulConfig { n: 16384, bs: 1024 }
+    }
+
+    /// A reduced size with the same tile-count structure for fast tests.
+    pub fn quick() -> MatmulConfig {
+        MatmulConfig { n: 4096, bs: 512 }
+    }
+
+    /// Tiles per matrix dimension.
+    pub fn nb(&self) -> usize {
+        assert!(self.bs > 0 && self.n.is_multiple_of(self.bs), "tile size must divide matrix size");
+        self.n / self.bs
+    }
+
+    /// Bytes of one f64 tile.
+    pub fn tile_bytes(&self) -> u64 {
+        (self.bs * self.bs * 8) as u64
+    }
+
+    /// Useful FLOPs of the whole multiplication (2·n³).
+    pub fn flops(&self) -> f64 {
+        2.0 * (self.n as f64).powi(3)
+    }
+
+    /// Number of gemm tasks (nb³).
+    pub fn task_count(&self) -> usize {
+        self.nb().pow(3)
+    }
+}
+
+/// Template + tile handles of a built matmul instance.
+pub struct MatmulApp {
+    /// The `matmul_tile` task version set.
+    pub template: TemplateId,
+    /// Problem dimensions.
+    pub config: MatmulConfig,
+    /// `A` tiles, row-major `nb × nb`.
+    pub a: Vec<DataId>,
+    /// `B` tiles.
+    pub b: Vec<DataId>,
+    /// `C` tiles.
+    pub c: Vec<DataId>,
+}
+
+/// Register the `matmul_tile` template (versions per variant) and bind
+/// simulation costs. GEMM durations scale as `flops / rate`, with FLOPs
+/// recovered from the task's data set size (3 tiles of `bs²` f64 each).
+pub fn register(rt: &mut Runtime, variant: MatmulVariant) -> TemplateId {
+    let template = match variant {
+        MatmulVariant::Gpu => rt
+            .template("matmul_tile")
+            .main("matmul_tile_cublas", &[DeviceKind::Cuda])
+            .register(),
+        MatmulVariant::Hybrid => rt
+            .template("matmul_tile")
+            .main("matmul_tile_cublas", &[DeviceKind::Cuda])
+            .version("matmul_tile_cuda", &[DeviceKind::Cuda])
+            .version("matmul_tile_cblas", &[DeviceKind::Smp])
+            .register(),
+    };
+
+    let gemm_flops = |data_set_size: u64| {
+        // data_set_size = 3 tiles × bs² × 8 bytes → bs² = size / 24.
+        let bs2 = data_set_size as f64 / 24.0;
+        2.0 * bs2.powf(1.5)
+    };
+    rt.bind_cost(template, VersionId(0), move |s| {
+        calib::duration_at(gemm_flops(s), calib::GPU_DGEMM_CUBLAS)
+    });
+    if variant == MatmulVariant::Hybrid {
+        rt.bind_cost(template, VersionId(1), move |s| {
+            calib::duration_at(gemm_flops(s), calib::GPU_DGEMM_CUDA)
+        });
+        rt.bind_cost(template, VersionId(2), move |s| {
+            calib::duration_at(gemm_flops(s), calib::SMP_DGEMM_CBLAS)
+        });
+    }
+    template
+}
+
+/// Allocate tiles and submit the `nb³` gemm tasks.
+pub fn build(rt: &mut Runtime, config: MatmulConfig, variant: MatmulVariant) -> MatmulApp {
+    let template = register(rt, variant);
+    let nb = config.nb();
+    let bytes = config.tile_bytes();
+    let alloc_tiles = |rt: &mut Runtime| (0..nb * nb).map(|_| rt.alloc_bytes(bytes)).collect();
+    let a: Vec<DataId> = alloc_tiles(rt);
+    let b: Vec<DataId> = alloc_tiles(rt);
+    let c: Vec<DataId> = alloc_tiles(rt);
+    submit_tasks(rt, template, nb, &a, &b, &c);
+    MatmulApp { template, config, a, b, c }
+}
+
+/// Submit the task graph over existing tiles (used by both engines).
+pub fn submit_tasks(
+    rt: &mut Runtime,
+    template: TemplateId,
+    nb: usize,
+    a: &[DataId],
+    b: &[DataId],
+    c: &[DataId],
+) {
+    for i in 0..nb {
+        for j in 0..nb {
+            for k in 0..nb {
+                rt.task(template)
+                    .read(a[i * nb + k])
+                    .read(b[k * nb + j])
+                    .read_write(c[i * nb + j])
+                    .submit();
+            }
+        }
+    }
+}
+
+/// One-call simulated run: build, execute, report.
+pub fn run_sim(
+    config: MatmulConfig,
+    variant: MatmulVariant,
+    scheduler: SchedulerKind,
+    platform: PlatformConfig,
+) -> RunReport {
+    let mut rt = Runtime::simulated(RuntimeConfig::with_scheduler(scheduler), platform);
+    let _app = build(&mut rt, config, variant);
+    rt.run()
+}
+
+/// Native-engine matmul: real f64 tiles, real kernels (parallel-blocked
+/// for the emulated GPU versions, naive for the CBLAS stand-in). Returns
+/// the report and the computed `C` tiles for verification.
+pub fn run_native(
+    config: MatmulConfig,
+    variant: MatmulVariant,
+    scheduler: SchedulerKind,
+    native: NativeConfig,
+    seed: u64,
+) -> (RunReport, NativeMatmulData) {
+    let mut rt = Runtime::native(RuntimeConfig::with_scheduler(scheduler), native);
+    let template = register(&mut rt, variant);
+    let bs = config.bs;
+
+    let cublas = move |ctx: &mut versa_runtime::KernelCtx<'_>| {
+        let a = ctx.f64(0).to_vec();
+        let b = ctx.f64(1).to_vec();
+        let lanes = ctx.lanes();
+        gemm::dgemm_parallel(&a, &b, ctx.f64_mut(2), bs, lanes);
+    };
+    let blocked = move |ctx: &mut versa_runtime::KernelCtx<'_>| {
+        let a = ctx.f64(0).to_vec();
+        let b = ctx.f64(1).to_vec();
+        gemm::dgemm_blocked(&a, &b, ctx.f64_mut(2), bs);
+    };
+    let naive = move |ctx: &mut versa_runtime::KernelCtx<'_>| {
+        let a = ctx.f64(0).to_vec();
+        let b = ctx.f64(1).to_vec();
+        gemm::dgemm_naive(&a, &b, ctx.f64_mut(2), bs);
+    };
+    rt.bind_native(template, VersionId(0), cublas);
+    if variant == MatmulVariant::Hybrid {
+        rt.bind_native(template, VersionId(1), blocked);
+        rt.bind_native(template, VersionId(2), naive);
+    }
+
+    let nb = config.nb();
+    let mut mk_tiles = |seed_off: u64| -> Vec<DataId> {
+        (0..nb * nb)
+            .map(|t| {
+                let tile =
+                    versa_kernels::verify::random_matrix_f64(bs, seed + seed_off + t as u64);
+                rt.alloc_from_f64(&tile)
+            })
+            .collect()
+    };
+    let a = mk_tiles(1000);
+    let b = mk_tiles(2000);
+    let c: Vec<DataId> =
+        (0..nb * nb).map(|_| rt.alloc_from_f64(&vec![0.0; bs * bs])).collect();
+
+    submit_tasks(&mut rt, template, nb, &a, &b, &c);
+    let report = rt.run();
+    let c_tiles = c.iter().map(|&t| rt.read_f64(t)).collect();
+    let a_tiles = a.iter().map(|&t| rt.read_f64(t)).collect();
+    let b_tiles = b.iter().map(|&t| rt.read_f64(t)).collect();
+    (report, NativeMatmulData { nb, bs, a: a_tiles, b: b_tiles, c: c_tiles })
+}
+
+/// Tile data read back from a native run, for verification.
+pub struct NativeMatmulData {
+    /// Tiles per dimension.
+    pub nb: usize,
+    /// Tile dimension.
+    pub bs: usize,
+    /// `A` tile contents.
+    pub a: Vec<Vec<f64>>,
+    /// `B` tile contents.
+    pub b: Vec<Vec<f64>>,
+    /// Computed `C` tile contents.
+    pub c: Vec<Vec<f64>>,
+}
+
+impl NativeMatmulData {
+    /// Recompute `C` serially with the naive kernel and return the
+    /// largest deviation from the runtime's result.
+    pub fn max_error(&self) -> f64 {
+        let (nb, bs) = (self.nb, self.bs);
+        let mut worst = 0.0f64;
+        for i in 0..nb {
+            for j in 0..nb {
+                let mut expect = vec![0.0; bs * bs];
+                for k in 0..nb {
+                    gemm::dgemm_naive(&self.a[i * nb + k], &self.b[k * nb + j], &mut expect, bs);
+                }
+                let got = &self.c[i * nb + j];
+                let err = versa_kernels::verify::max_abs_diff_f64(&expect, got);
+                worst = worst.max(err);
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section_v() {
+        let c = MatmulConfig::paper();
+        assert_eq!(c.nb(), 16);
+        assert_eq!(c.task_count(), 4096);
+        assert_eq!(c.tile_bytes(), 8 * 1024 * 1024, "8 MB tiles");
+        // 2 GB per matrix.
+        assert_eq!(c.tile_bytes() * (c.nb() * c.nb()) as u64, 2 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn variant_labels() {
+        assert_eq!(MatmulVariant::Gpu.label(), "mm-gpu");
+        assert_eq!(MatmulVariant::Hybrid.label(), "mm-hyb");
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn tile_must_divide_matrix() {
+        let _ = MatmulConfig { n: 100, bs: 33 }.nb();
+    }
+}

@@ -1,0 +1,27 @@
+//! Criterion bench behind paper Fig. 12: simulated PBPI per application
+//! variant (reduced generations; the `figures` binary runs the
+//! paper-scale sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use versa_apps::pbpi::{self, PbpiConfig, PbpiVariant};
+use versa_core::SchedulerKind;
+use versa_sim::PlatformConfig;
+
+fn bench_fig12(c: &mut Criterion) {
+    let cfg = PbpiConfig { chunks: 16, sites_per_chunk: 16384, generations: 10 };
+    let mut group = c.benchmark_group("fig12_pbpi");
+    group.sample_size(10);
+    for (label, variant, sched) in [
+        ("pbpi-smp", PbpiVariant::Smp, SchedulerKind::DepAware),
+        ("pbpi-gpu-aff", PbpiVariant::Gpu, SchedulerKind::Affinity),
+        ("pbpi-hyb-ver", PbpiVariant::Hybrid, SchedulerKind::versioning()),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, "2G/4S"), &(), |b, _| {
+            b.iter(|| pbpi::run_sim(cfg, variant, sched.clone(), PlatformConfig::minotauro(4, 2)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench behind paper Fig. 6: end-to-end simulated matmul runs
+//! per scheduler and application variant (reduced problem size; run the
+//! `figures` binary for the paper-scale sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use versa_apps::matmul::{self, MatmulConfig, MatmulVariant};
+use versa_core::SchedulerKind;
+use versa_sim::PlatformConfig;
+
+fn bench_fig6(c: &mut Criterion) {
+    let cfg = MatmulConfig::quick();
+    let mut group = c.benchmark_group("fig6_matmul");
+    group.sample_size(10);
+    for (label, variant, sched) in [
+        ("mm-gpu-dep", MatmulVariant::Gpu, SchedulerKind::DepAware),
+        ("mm-gpu-aff", MatmulVariant::Gpu, SchedulerKind::Affinity),
+        ("mm-hyb-ver", MatmulVariant::Hybrid, SchedulerKind::versioning()),
+    ] {
+        for gpus in [1usize, 2] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{gpus}G/4S")),
+                &gpus,
+                |b, &gpus| {
+                    b.iter(|| {
+                        matmul::run_sim(
+                            cfg,
+                            variant,
+                            sched.clone(),
+                            PlatformConfig::minotauro(4, gpus),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench behind paper Fig. 9: simulated tiled Cholesky per
+//! application variant and scheduler (reduced size; the `figures` binary
+//! runs the paper-scale sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use versa_apps::cholesky::{self, CholeskyConfig, CholeskyVariant};
+use versa_core::SchedulerKind;
+use versa_sim::PlatformConfig;
+
+fn bench_fig9(c: &mut Criterion) {
+    let cfg = CholeskyConfig { n: 8192, bs: 1024 };
+    let mut group = c.benchmark_group("fig9_cholesky");
+    group.sample_size(10);
+    for (label, variant, sched) in [
+        ("potrf-smp-aff", CholeskyVariant::PotrfSmp, SchedulerKind::Affinity),
+        ("potrf-gpu-dep", CholeskyVariant::PotrfGpu, SchedulerKind::DepAware),
+        ("potrf-gpu-aff", CholeskyVariant::PotrfGpu, SchedulerKind::Affinity),
+        ("potrf-hyb-ver", CholeskyVariant::PotrfHybrid, SchedulerKind::versioning()),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, "2G/4S"), &(), |b, _| {
+            b.iter(|| {
+                cholesky::run_sim(cfg, variant, sched.clone(), PlatformConfig::minotauro(4, 2))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Kernel-level benches: the relative speeds of the task-version
+//! implementations on the host (the native engine's ground truth).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use versa_kernels::verify::{random_matrix_f64, spd_matrix_f32, spd_matrix_f64};
+use versa_kernels::{gemm, pbpi, potrf, syrk, trsm};
+
+fn bench_gemm_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_f64");
+    for n in [128usize, 256] {
+        let a = random_matrix_f64(n, 1);
+        let b = random_matrix_f64(n, 2);
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, &n| {
+            let mut cm = vec![0.0; n * n];
+            bch.iter(|| gemm::dgemm_naive(&a, &b, &mut cm, n));
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, &n| {
+            let mut cm = vec![0.0; n * n];
+            bch.iter(|| gemm::dgemm_blocked(&a, &b, &mut cm, n));
+        });
+        group.bench_with_input(BenchmarkId::new("parallel4", n), &n, |bch, &n| {
+            let mut cm = vec![0.0; n * n];
+            bch.iter(|| gemm::dgemm_parallel(&a, &b, &mut cm, n, 4));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cholesky_kernels(c: &mut Criterion) {
+    let n = 192;
+    let mut group = c.benchmark_group("cholesky_kernels_f32");
+    let spd = spd_matrix_f32(n, 3);
+    group.bench_function("spotrf", |b| {
+        b.iter(|| {
+            let mut tile = spd.clone();
+            potrf::spotrf(&mut tile, n).unwrap();
+        })
+    });
+    let mut l64 = spd_matrix_f64(n, 4);
+    potrf::dpotrf(&mut l64, n).unwrap();
+    let l: Vec<f32> = l64.iter().map(|&v| v as f32).collect();
+    group.bench_function("strsm", |b| {
+        b.iter(|| {
+            let mut a = spd.clone();
+            trsm::strsm_right_lower_trans(&l, &mut a, n);
+        })
+    });
+    group.bench_function("ssyrk", |b| {
+        b.iter(|| {
+            let mut cmat = spd.clone();
+            syrk::ssyrk_lower(&l, &mut cmat, n);
+        })
+    });
+    group.bench_function("sgemm_nt_sub", |b| {
+        b.iter(|| {
+            let mut cmat = spd.clone();
+            gemm::sgemm_nt_sub(&l, &l, &mut cmat, n);
+        })
+    });
+    group.finish();
+}
+
+fn bench_pbpi_loops(c: &mut Criterion) {
+    let sites = 16384;
+    let mut group = c.benchmark_group("pbpi_loops");
+    let p = pbpi::jukes_cantor(0.1);
+    let input: Vec<f64> = (0..sites * pbpi::STATES).map(|i| (i % 97) as f64 / 97.0).collect();
+    group.bench_function("loop1_serial", |b| {
+        let mut out = vec![0.0; sites * pbpi::STATES];
+        b.iter(|| pbpi::loop1_propagate(&p, &input, &mut out, sites, 1));
+    });
+    group.bench_function("loop1_4lanes", |b| {
+        let mut out = vec![0.0; sites * pbpi::STATES];
+        b.iter(|| pbpi::loop1_propagate(&p, &input, &mut out, sites, 4));
+    });
+    group.bench_function("loop2", |b| {
+        let mut out = vec![0.0; sites * pbpi::STATES];
+        b.iter(|| pbpi::loop2_combine(&input, &input, &mut out, sites, 1));
+    });
+    group.bench_function("loop3", |b| {
+        b.iter(|| pbpi::loop3_loglik(&input, sites));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm_variants, bench_cholesky_kernels, bench_pbpi_loops);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Runtime-overhead benches: dependence analysis, scheduler decision
+//! cost, and whole-graph drain time with near-zero-cost tasks — the
+//! costs a task runtime adds on top of the kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use versa_core::{DeviceKind, SchedulerKind, VersionId};
+use versa_runtime::{Runtime, RuntimeConfig};
+use versa_sim::PlatformConfig;
+
+/// Submit `tasks` chained inout tasks (worst-case dependence chains) and
+/// run them with 1 µs kernels.
+fn chain_run(sched: SchedulerKind, tasks: usize) {
+    let mut rt =
+        Runtime::simulated(RuntimeConfig::with_scheduler(sched), PlatformConfig::minotauro(4, 2));
+    let tpl = rt
+        .template("t")
+        .main("t_gpu", &[DeviceKind::Cuda])
+        .version("t_smp", &[DeviceKind::Smp])
+        .register();
+    rt.bind_cost(tpl, VersionId(0), |_| Duration::from_micros(1));
+    rt.bind_cost(tpl, VersionId(1), |_| Duration::from_micros(2));
+    let data: Vec<_> = (0..16).map(|_| rt.alloc_bytes(1024)).collect();
+    for i in 0..tasks {
+        rt.task(tpl).read_write(data[i % data.len()]).submit();
+    }
+    let report = rt.run();
+    assert_eq!(report.tasks_executed as usize, tasks);
+}
+
+fn bench_submission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("submission");
+    group.bench_function("independent_10k", |b| {
+        b.iter(|| {
+            let mut rt = Runtime::simulated(
+                RuntimeConfig::with_scheduler(SchedulerKind::DepAware),
+                PlatformConfig::minotauro(1, 1),
+            );
+            let tpl = rt.template("t").main("t_gpu", &[DeviceKind::Cuda]).register();
+            let data: Vec<_> = (0..10_000).map(|_| rt.alloc_bytes(64)).collect();
+            for &d in &data {
+                rt.task(tpl).write(d).submit();
+            }
+        })
+    });
+    group.bench_function("chained_10k", |b| {
+        b.iter(|| {
+            let mut rt = Runtime::simulated(
+                RuntimeConfig::with_scheduler(SchedulerKind::DepAware),
+                PlatformConfig::minotauro(1, 1),
+            );
+            let tpl = rt.template("t").main("t_gpu", &[DeviceKind::Cuda]).register();
+            let d = rt.alloc_bytes(64);
+            for _ in 0..10_000 {
+                rt.task(tpl).read_write(d).submit();
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_scheduler_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("drain_4k_tasks");
+    group.sample_size(10);
+    for sched in
+        [SchedulerKind::DepAware, SchedulerKind::Affinity, SchedulerKind::versioning()]
+    {
+        let label = sched.label();
+        group.bench_with_input(BenchmarkId::new(label, 4096), &sched, |b, sched| {
+            b.iter(|| chain_run(sched.clone(), 4096))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_submission, bench_scheduler_drain);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures [all|table1|fig5|matmul|cholesky|pbpi|ablations] ...
+//! VERSA_SCALE=quick figures all     # reduced problem sizes
+//! ```
+//!
+//! `matmul` prints Figs. 6–8, `cholesky` Figs. 9–11, `pbpi` Figs. 12–15.
+
+use versa_bench::{ablations, figures, Scale};
+
+fn print_matmul(scale: Scale) {
+    let (cfg, points) = figures::matmul_matrix(scale);
+    println!("{}", figures::fig6(&cfg, &points));
+    println!("{}", figures::fig7(&points));
+    println!("{}", figures::fig8(&points));
+}
+
+fn print_cholesky(scale: Scale) {
+    let (cfg, points) = figures::cholesky_matrix(scale);
+    println!("{}", figures::fig9(&cfg, &points));
+    println!("{}", figures::fig10(&points));
+    println!("{}", figures::fig11(&points));
+}
+
+fn print_pbpi(scale: Scale) {
+    let (_cfg, points) = figures::pbpi_matrix(scale);
+    println!("{}", figures::fig12(&points));
+    println!("{}", figures::fig13(&points));
+    println!("{}", figures::fig14(&points));
+    println!("{}", figures::fig15(&points));
+}
+
+fn print_ablations(scale: Scale) {
+    println!("{}", ablations::ablate_lambda(scale));
+    println!("{}", ablations::ablate_bucketing(scale));
+    println!("{}", ablations::ablate_mean_policy(scale));
+    println!("{}", ablations::ablate_prefetch(scale));
+    println!("{}", ablations::ablate_locality(scale));
+    println!("{}", ablations::ablate_gpu_capacity(scale));
+    println!("{}", ablations::ablate_duplex(scale));
+    println!("{}", ablations::ablate_mixed_gpus(scale));
+    println!("{}", ablations::ablate_baselines(scale));
+    println!("{}", ablations::ablate_affinity_steal(scale));
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selectors: Vec<&str> =
+        if args.is_empty() { vec!["all"] } else { args.iter().map(|s| s.as_str()).collect() };
+
+    println!(
+        "versa figure harness — scale: {:?} (set VERSA_SCALE=quick for reduced sizes)\n",
+        scale
+    );
+    for sel in selectors {
+        match sel {
+            "all" => {
+                println!("== table1 — TaskVersionSet store ==");
+                println!("{}", figures::table1(scale));
+                println!("{}", figures::fig5());
+                print_matmul(scale);
+                print_cholesky(scale);
+                print_pbpi(scale);
+                print_ablations(scale);
+            }
+            "table1" => {
+                println!("== table1 — TaskVersionSet store ==");
+                println!("{}", figures::table1(scale));
+            }
+            "fig5" => println!("{}", figures::fig5()),
+            "matmul" | "fig6" | "fig7" | "fig8" => print_matmul(scale),
+            "cholesky" | "fig9" | "fig10" | "fig11" => print_cholesky(scale),
+            "pbpi" | "fig12" | "fig13" | "fig14" | "fig15" => print_pbpi(scale),
+            "ablations" => print_ablations(scale),
+            other => {
+                eprintln!("unknown selector {other:?}; expected all|table1|fig5|matmul|cholesky|pbpi|ablations");
+                std::process::exit(2);
+            }
+        }
+    }
+}

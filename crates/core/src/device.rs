@@ -1,0 +1,70 @@
+//! Device architectures a task version may target.
+
+use std::fmt;
+
+/// The architecture a task implementation is written for — the argument of
+/// the OmpSs `device(...)` clause (paper §III: "e.g., cell, gpu, smp").
+///
+/// A version may target *several* devices ("the same implementation can be
+/// targeted to more than one device, provided that all devices specified
+/// are able to run the code", paper §IV-A), so versions carry a list of
+/// `DeviceKind`s.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DeviceKind {
+    /// A general-purpose CPU core sharing host memory (`device(smp)`).
+    Smp,
+    /// A CUDA-capable GPU with its own memory space (`device(cuda)`).
+    Cuda,
+    /// An OpenCL accelerator with its own memory space (`device(opencl)`).
+    OpenCl,
+    /// A Cell/B.E.-style SPE accelerator (`device(cell)`); kept for
+    /// fidelity with the paper's motivation section.
+    CellSpe,
+}
+
+impl DeviceKind {
+    /// Whether workers of this kind operate directly on host memory.
+    ///
+    /// SMP workers share the host address space; every other kind owns a
+    /// separate memory space and needs explicit transfers.
+    #[inline]
+    pub fn shares_host_memory(self) -> bool {
+        matches!(self, DeviceKind::Smp)
+    }
+
+    /// The `device(...)` clause spelling.
+    pub fn clause_name(self) -> &'static str {
+        match self {
+            DeviceKind::Smp => "smp",
+            DeviceKind::Cuda => "cuda",
+            DeviceKind::OpenCl => "opencl",
+            DeviceKind::CellSpe => "cell",
+        }
+    }
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.clause_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_smp_shares_host_memory() {
+        assert!(DeviceKind::Smp.shares_host_memory());
+        assert!(!DeviceKind::Cuda.shares_host_memory());
+        assert!(!DeviceKind::OpenCl.shares_host_memory());
+        assert!(!DeviceKind::CellSpe.shares_host_memory());
+    }
+
+    #[test]
+    fn clause_names_match_ompss_syntax() {
+        assert_eq!(DeviceKind::Smp.to_string(), "smp");
+        assert_eq!(DeviceKind::Cuda.to_string(), "cuda");
+        assert_eq!(DeviceKind::CellSpe.to_string(), "cell");
+    }
+}

@@ -1,0 +1,72 @@
+//! Newtype identifiers used across the runtime.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident($inner:ty), $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub $inner);
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(self, f)
+            }
+        }
+
+        impl $name {
+            /// The identifier as a plain index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+    };
+}
+
+id_type! {
+    /// Identifies a *task version set* — one annotated task function
+    /// together with all its `implements(...)` versions.
+    TemplateId(u32), "tpl"
+}
+
+id_type! {
+    /// Index of one implementation inside its template's version table.
+    VersionId(u16), "v"
+}
+
+id_type! {
+    /// One dynamic task instance (one call to an annotated function).
+    TaskId(u64), "t"
+}
+
+id_type! {
+    /// One runtime worker thread. Paper §IV-B: "Each OmpSs worker thread
+    /// is currently devoted to only one device".
+    WorkerId(u16), "w"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_formats_use_prefixes() {
+        assert_eq!(format!("{:?}", TemplateId(3)), "tpl3");
+        assert_eq!(format!("{:?}", VersionId(0)), "v0");
+        assert_eq!(format!("{:?}", TaskId(17)), "t17");
+        assert_eq!(format!("{}", WorkerId(5)), "w5");
+    }
+
+    #[test]
+    fn ordering_and_index() {
+        assert!(TaskId(1) < TaskId(2));
+        assert_eq!(WorkerId(4).index(), 4);
+    }
+}

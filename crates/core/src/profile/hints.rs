@@ -1,0 +1,252 @@
+//! External profile hints (paper §VII future work).
+//!
+//! "The scheduler should also offer the possibility to receive external
+//! hints for task versions: for example, read [a] file with additional
+//! information about tasks versions. This file can be written by the
+//! user, but it could also be written by [the] runtime from a previous
+//! application's execution."
+//!
+//! Hints use a line-based text format (one record per line) instead of
+//! the paper's proposed XML, avoiding a serialization dependency:
+//!
+//! ```text
+//! # versa profile hints v1
+//! hint <template_name> <version_index> <bucket_key> <mean_ns> <count>
+//! ```
+//!
+//! Records are keyed by template *name* (stable across runs) and raw
+//! [`BucketKey`] — hints are only meaningful when saved and loaded under
+//! the same [`SizeBucketPolicy`](super::SizeBucketPolicy).
+
+use super::{BucketKey, ProfileStore};
+use crate::{TemplateRegistry, VersionId};
+use std::fmt;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One parsed hint line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HintRecord {
+    /// Template (task version set) name.
+    pub template: String,
+    /// Version index within the template.
+    pub version: u16,
+    /// Size-group key (raw).
+    pub bucket: BucketKey,
+    /// Mean execution time in nanoseconds.
+    pub mean_ns: u64,
+    /// Execution count backing the mean.
+    pub count: u64,
+}
+
+/// Errors produced while parsing a hints file.
+#[derive(Debug, PartialEq, Eq)]
+pub enum HintsError {
+    /// A line did not match the expected record shape.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The field name.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for HintsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HintsError::Malformed { line, content } => {
+                write!(f, "hints line {line}: malformed record {content:?}")
+            }
+            HintsError::BadNumber { line, field } => {
+                write!(f, "hints line {line}: invalid number in field {field}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HintsError {}
+
+/// Serialize every measured statistic of `store` to the hints format.
+pub fn render_hints(store: &ProfileStore, registry: &TemplateRegistry) -> String {
+    let mut out = String::from("# versa profile hints v1\n");
+    for (template, bucket, group) in store.iter() {
+        let name = &registry.get(template).name;
+        for (i, stats) in group.versions().iter().enumerate() {
+            if let Some(mean) = stats.mean() {
+                let _ = writeln!(
+                    out,
+                    "hint {name} {i} {} {} {}",
+                    bucket.0,
+                    mean.as_nanos(),
+                    stats.count()
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Parse a hints file. Blank lines and `#` comments are ignored.
+pub fn parse_hints(text: &str) -> Result<Vec<HintRecord>, HintsError> {
+    let mut records = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_ascii_whitespace();
+        let tag = fields.next();
+        if tag != Some("hint") {
+            return Err(HintsError::Malformed { line, content: trimmed.to_string() });
+        }
+        let mut next = |field: &'static str| {
+            fields.next().ok_or(HintsError::Malformed { line, content: trimmed.to_string() }).map(
+                |s| (field, s.to_string()),
+            )
+        };
+        let (_, template) = next("template")?;
+        let parse_u64 = |field: &'static str, s: &str| {
+            s.parse::<u64>().map_err(|_| HintsError::BadNumber { line, field })
+        };
+        let (f, s) = next("version")?;
+        let version =
+            s.parse::<u16>().map_err(|_| HintsError::BadNumber { line, field: f })?;
+        let (f, s) = next("bucket")?;
+        let bucket = BucketKey(parse_u64(f, &s)?);
+        let (f, s) = next("mean_ns")?;
+        let mean_ns = parse_u64(f, &s)?;
+        let (f, s) = next("count")?;
+        let count = parse_u64(f, &s)?;
+        if fields.next().is_some() {
+            return Err(HintsError::Malformed { line, content: trimmed.to_string() });
+        }
+        records.push(HintRecord { template, version, bucket, mean_ns, count });
+    }
+    Ok(records)
+}
+
+/// Seed `store` with parsed hints. Hints for templates not present in
+/// `registry` (or version indices out of range) are skipped and counted in
+/// the returned `(applied, skipped)` pair.
+pub fn apply_hints(
+    store: &mut ProfileStore,
+    registry: &TemplateRegistry,
+    records: &[HintRecord],
+) -> (usize, usize) {
+    let mut applied = 0;
+    let mut skipped = 0;
+    for rec in records {
+        let Some(template) = registry.by_name(&rec.template) else {
+            skipped += 1;
+            continue;
+        };
+        let n_versions = registry.get(template).version_count();
+        if rec.version as usize >= n_versions {
+            skipped += 1;
+            continue;
+        }
+        store.seed_bucket(
+            template,
+            n_versions,
+            rec.bucket,
+            VersionId(rec.version),
+            Duration::from_nanos(rec.mean_ns),
+            rec.count,
+        );
+        applied += 1;
+    }
+    (applied, skipped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceKind;
+
+    fn registry() -> TemplateRegistry {
+        let mut reg = TemplateRegistry::new();
+        reg.template("matmul_tile")
+            .main("cublas", &[DeviceKind::Cuda])
+            .version("cblas", &[DeviceKind::Smp])
+            .register();
+        reg
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let reg = registry();
+        let tpl = reg.by_name("matmul_tile").unwrap();
+        let mut store = ProfileStore::with_defaults();
+        store.record(tpl, 2, 1000, VersionId(0), Duration::from_millis(7));
+        store.record(tpl, 2, 1000, VersionId(1), Duration::from_millis(420));
+        store.record(tpl, 2, 2000, VersionId(0), Duration::from_millis(14));
+
+        let text = render_hints(&store, &reg);
+        let records = parse_hints(&text).unwrap();
+        assert_eq!(records.len(), 3);
+
+        let mut fresh = ProfileStore::with_defaults();
+        let (applied, skipped) = apply_hints(&mut fresh, &reg, &records);
+        assert_eq!((applied, skipped), (3, 0));
+        assert_eq!(fresh.mean(tpl, 1000, VersionId(0)), Some(Duration::from_millis(7)));
+        assert_eq!(fresh.mean(tpl, 1000, VersionId(1)), Some(Duration::from_millis(420)));
+        assert_eq!(fresh.count(tpl, 2000, VersionId(0)), 1);
+    }
+
+    #[test]
+    fn warm_started_store_skips_learning() {
+        let reg = registry();
+        let tpl = reg.by_name("matmul_tile").unwrap();
+        let text = "hint matmul_tile 0 1000 7000000 10\nhint matmul_tile 1 1000 420000000 10\n";
+        let mut store = ProfileStore::with_defaults();
+        let recs = parse_hints(text).unwrap();
+        apply_hints(&mut store, &reg, &recs);
+        assert!(store.is_reliable(tpl, 1000, &[VersionId(0), VersionId(1)]));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\n   \nhint t 0 5 100 1\n# trailing\n";
+        let recs = parse_hints(text).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].template, "t");
+        assert_eq!(recs[0].bucket, BucketKey(5));
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(matches!(
+            parse_hints("nonsense here").unwrap_err(),
+            HintsError::Malformed { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse_hints("hint t 0 5 100").unwrap_err(),
+            HintsError::Malformed { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse_hints("hint t 0 5 100 1 extra").unwrap_err(),
+            HintsError::Malformed { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse_hints("hint t zero 5 100 1").unwrap_err(),
+            HintsError::BadNumber { line: 1, field: "version" }
+        ));
+    }
+
+    #[test]
+    fn unknown_templates_are_skipped_not_fatal() {
+        let reg = registry();
+        let recs = parse_hints("hint unknown_task 0 5 100 1\nhint matmul_tile 9 5 100 1\n").unwrap();
+        let mut store = ProfileStore::with_defaults();
+        let (applied, skipped) = apply_hints(&mut store, &reg, &recs);
+        assert_eq!((applied, skipped), (0, 2));
+    }
+}

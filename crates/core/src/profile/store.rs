@@ -1,0 +1,554 @@
+//! The `TaskVersionSet` store (paper Table I).
+
+use super::{BucketKey, MeanPolicy, RunningMean, SizeBucketPolicy};
+use crate::{TemplateId, TemplateRegistry, VersionId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Statistics of one task version within one size group.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VersionStats {
+    mean: RunningMean,
+    min: Option<Duration>,
+    max: Option<Duration>,
+}
+
+impl VersionStats {
+    /// Number of recorded executions.
+    pub fn count(&self) -> u64 {
+        self.mean.count()
+    }
+
+    /// Mean execution time, if any execution was recorded.
+    pub fn mean(&self) -> Option<Duration> {
+        self.mean.mean()
+    }
+
+    /// Fastest observed execution.
+    pub fn min(&self) -> Option<Duration> {
+        self.min
+    }
+
+    /// Slowest observed execution.
+    pub fn max(&self) -> Option<Duration> {
+        self.max
+    }
+
+    fn record(&mut self, sample: Duration, policy: MeanPolicy) {
+        self.mean.record(sample, policy);
+        self.min = Some(self.min.map_or(sample, |m| m.min(sample)));
+        self.max = Some(self.max.map_or(sample, |m| m.max(sample)));
+    }
+
+    fn seed(&mut self, mean: Duration, count: u64) {
+        self.mean = RunningMean::seeded(mean, count);
+        self.min.get_or_insert(mean);
+        self.max.get_or_insert(mean);
+    }
+}
+
+/// Per-(task, size-group) profile: one statistics slot per version, plus
+/// the round-robin cursor the learning phase uses.
+#[derive(Clone, Debug)]
+pub struct GroupProfile {
+    versions: Vec<VersionStats>,
+    scheduled: Vec<u64>,
+    rr_cursor: usize,
+}
+
+impl GroupProfile {
+    fn new(n_versions: usize) -> GroupProfile {
+        GroupProfile {
+            versions: vec![VersionStats::default(); n_versions],
+            scheduled: vec![0; n_versions],
+            rr_cursor: 0,
+        }
+    }
+
+    fn ensure(&mut self, n_versions: usize) {
+        if self.versions.len() < n_versions {
+            self.versions.resize(n_versions, VersionStats::default());
+            self.scheduled.resize(n_versions, 0);
+        }
+    }
+
+    /// Times a version has been *assigned* (scheduled) in this group —
+    /// at least its execution count, possibly more while assignments are
+    /// still queued. The learning round-robin counts assignments so that
+    /// a flood of ready tasks cannot over-commit a slow version whose
+    /// first λ instances are still waiting in a queue.
+    pub fn scheduled(&self, v: VersionId) -> u64 {
+        self.scheduled[v.index()]
+    }
+
+    /// Statistics of one version.
+    pub fn version(&self, v: VersionId) -> &VersionStats {
+        &self.versions[v.index()]
+    }
+
+    /// Statistics of every version, in version order.
+    pub fn versions(&self) -> &[VersionStats] {
+        &self.versions
+    }
+
+    /// The fastest version among `candidates` by mean execution time
+    /// (the group's *fastest executor*, paper §IV-B). Versions with no
+    /// recorded executions are skipped.
+    pub fn fastest_version(&self, candidates: &[VersionId]) -> Option<(VersionId, Duration)> {
+        candidates
+            .iter()
+            .filter_map(|&v| self.versions[v.index()].mean().map(|m| (v, m)))
+            .min_by_key(|&(v, m)| (m, v))
+    }
+}
+
+/// Profile information for every task version set, divided into groups of
+/// data set sizes — the scheduler's long-term memory (paper Table I).
+///
+/// ```
+/// use std::time::Duration;
+/// use versa_core::{ProfileStore, TemplateId, VersionId};
+///
+/// let mut store = ProfileStore::with_defaults(); // exact groups, λ = 3
+/// let (task, gpu, smp) = (TemplateId(0), VersionId(0), VersionId(1));
+///
+/// // Three observed executions per version → the 2 MB group becomes
+/// // reliable and the means drive earliest-executor decisions.
+/// for _ in 0..3 {
+///     store.record(task, 2, 2 << 20, gpu, Duration::from_millis(18));
+///     store.record(task, 2, 2 << 20, smp, Duration::from_millis(30));
+/// }
+/// assert!(store.is_reliable(task, 2 << 20, &[gpu, smp]));
+/// assert_eq!(store.mean(task, 2 << 20, gpu), Some(Duration::from_millis(18)));
+/// // A different data-set size is a fresh group (paper §IV-B).
+/// assert!(!store.is_reliable(task, 3 << 20, &[gpu, smp]));
+/// ```
+#[derive(Debug)]
+pub struct ProfileStore {
+    bucket_policy: SizeBucketPolicy,
+    mean_policy: MeanPolicy,
+    lambda: u64,
+    groups: HashMap<(TemplateId, BucketKey), GroupProfile>,
+}
+
+impl ProfileStore {
+    /// Create a store.
+    ///
+    /// `lambda` is the learning threshold: every version of a group must
+    /// run at least `lambda` times before the group's information is
+    /// considered *reliable* (paper §IV-B; "this threshold can be
+    /// configured by the user").
+    pub fn new(bucket_policy: SizeBucketPolicy, mean_policy: MeanPolicy, lambda: u64) -> Self {
+        assert!(lambda > 0, "lambda must be at least 1");
+        ProfileStore { bucket_policy, mean_policy, lambda, groups: HashMap::new() }
+    }
+
+    /// Store with the paper's defaults: exact size groups, arithmetic
+    /// mean, λ = 3.
+    pub fn with_defaults() -> Self {
+        ProfileStore::new(SizeBucketPolicy::Exact, MeanPolicy::Arithmetic, 3)
+    }
+
+    /// The learning threshold λ.
+    pub fn lambda(&self) -> u64 {
+        self.lambda
+    }
+
+    /// The active size-grouping policy.
+    pub fn bucket_policy(&self) -> SizeBucketPolicy {
+        self.bucket_policy
+    }
+
+    /// The active mean-update policy.
+    pub fn mean_policy(&self) -> MeanPolicy {
+        self.mean_policy
+    }
+
+    /// Group key for a data set size.
+    pub fn bucket(&self, data_set_size: u64) -> BucketKey {
+        self.bucket_policy.bucket(data_set_size)
+    }
+
+    fn group_mut(&mut self, template: TemplateId, n_versions: usize, size: u64) -> &mut GroupProfile {
+        let key = (template, self.bucket_policy.bucket(size));
+        let group = self.groups.entry(key).or_insert_with(|| GroupProfile::new(n_versions));
+        group.ensure(n_versions);
+        group
+    }
+
+    /// The group for `(template, size)`, if any execution was recorded or
+    /// seeded for it.
+    pub fn group(&self, template: TemplateId, size: u64) -> Option<&GroupProfile> {
+        self.groups.get(&(template, self.bucket_policy.bucket(size)))
+    }
+
+    /// Record one measured execution.
+    pub fn record(
+        &mut self,
+        template: TemplateId,
+        n_versions: usize,
+        size: u64,
+        version: VersionId,
+        measured: Duration,
+    ) {
+        let policy = self.mean_policy;
+        let group = self.group_mut(template, n_versions, size);
+        group.versions[version.index()].record(measured, policy);
+    }
+
+    /// Seed statistics from external hints (paper §VII: "the scheduler
+    /// should also offer the possibility to receive external hints").
+    pub fn seed(
+        &mut self,
+        template: TemplateId,
+        n_versions: usize,
+        size: u64,
+        version: VersionId,
+        mean: Duration,
+        count: u64,
+    ) {
+        let group = self.group_mut(template, n_versions, size);
+        group.versions[version.index()].seed(mean, count);
+        group.scheduled[version.index()] = group.scheduled[version.index()].max(count);
+    }
+
+    /// Seed statistics addressing a size group by its raw [`BucketKey`]
+    /// (used when loading hint files, whose records carry keys, not
+    /// sizes). Only meaningful when the store uses the same bucket policy
+    /// the hints were saved under.
+    pub fn seed_bucket(
+        &mut self,
+        template: TemplateId,
+        n_versions: usize,
+        key: BucketKey,
+        version: VersionId,
+        mean: Duration,
+        count: u64,
+    ) {
+        let group = self
+            .groups
+            .entry((template, key))
+            .or_insert_with(|| GroupProfile::new(n_versions));
+        group.ensure(n_versions.max(version.index() + 1));
+        group.versions[version.index()].seed(mean, count);
+        // Seeded statistics count as both executed and scheduled.
+        group.scheduled[version.index()] = group.scheduled[version.index()].max(count);
+    }
+
+    /// Mean execution time of one version in the group of `size`.
+    pub fn mean(&self, template: TemplateId, size: u64, version: VersionId) -> Option<Duration> {
+        self.group(template, size).and_then(|g| g.version(version).mean())
+    }
+
+    /// Execution count of one version in the group of `size`.
+    pub fn count(&self, template: TemplateId, size: u64, version: VersionId) -> u64 {
+        self.group(template, size).map_or(0, |g| g.version(version).count())
+    }
+
+    /// Whether the group of `(template, size)` has *reliable information*:
+    /// every candidate version has run at least λ times (paper §IV-B).
+    ///
+    /// `candidates` should contain only versions that some existing worker
+    /// can actually run — a version targeting a device with no workers
+    /// would otherwise keep the group in the learning phase forever.
+    pub fn is_reliable(&self, template: TemplateId, size: u64, candidates: &[VersionId]) -> bool {
+        match self.group(template, size) {
+            None => candidates.is_empty(),
+            Some(g) => candidates.iter().all(|&v| g.version(v).count() >= self.lambda),
+        }
+    }
+
+    /// Whether the learning round-robin still has versions to hand out:
+    /// some candidate has been *scheduled* fewer than λ times. Distinct
+    /// from [`ProfileStore::is_reliable`], which requires λ *completed*
+    /// executions — in between, assignments flow through the
+    /// partial-information path.
+    pub fn needs_training(&self, template: TemplateId, size: u64, candidates: &[VersionId]) -> bool {
+        match self.group(template, size) {
+            None => !candidates.is_empty(),
+            Some(g) => candidates.iter().any(|&v| g.scheduled(v) < self.lambda),
+        }
+    }
+
+    /// Pick (and account) the next version to train during the learning
+    /// phase: versions with fewer than λ *assignments*, visited
+    /// round-robin (paper §IV-B: "picking task versions from ready tasks
+    /// in a Round-Robin fashion"). The pick's scheduled count is
+    /// incremented, so a burst of ready tasks trains each version exactly
+    /// λ times even before any of them completes.
+    ///
+    /// Returns `None` when every candidate has λ assignments (the group
+    /// leaves the learning round-robin).
+    pub fn next_learning_version(
+        &mut self,
+        template: TemplateId,
+        n_versions: usize,
+        size: u64,
+        candidates: &[VersionId],
+    ) -> Option<VersionId> {
+        let lambda = self.lambda;
+        let group = self.group_mut(template, n_versions, size);
+        if candidates.is_empty() {
+            return None;
+        }
+        for step in 0..candidates.len() {
+            let idx = (group.rr_cursor + step) % candidates.len();
+            let v = candidates[idx];
+            if group.scheduled[v.index()] < lambda {
+                group.rr_cursor = idx + 1;
+                group.scheduled[v.index()] += 1;
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Account a non-learning assignment of `version` (keeps scheduled
+    /// counts an upper bound of execution counts).
+    pub fn mark_scheduled(
+        &mut self,
+        template: TemplateId,
+        n_versions: usize,
+        size: u64,
+        version: VersionId,
+    ) {
+        let group = self.group_mut(template, n_versions, size);
+        group.scheduled[version.index()] += 1;
+    }
+
+    /// Iterate over all `(template, bucket, group)` entries, sorted for
+    /// deterministic output.
+    pub fn iter(&self) -> impl Iterator<Item = (TemplateId, BucketKey, &GroupProfile)> {
+        let mut keys: Vec<&(TemplateId, BucketKey)> = self.groups.keys().collect();
+        keys.sort_unstable();
+        keys.into_iter().map(move |k| (k.0, k.1, &self.groups[k]))
+    }
+
+    /// Number of size groups across all templates.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Render the store in the layout of paper Table I.
+    pub fn render_table(&self, registry: &TemplateRegistry) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>12}   {:<26} {:>10} {:>8}",
+            "TaskVersionSet", "DataSetSize", "VersionId", "ExecTime", "#Exec"
+        );
+        for (template, bucket, group) in self.iter() {
+            let tpl = registry.get(template);
+            let mut first_of_group = true;
+            for (i, stats) in group.versions().iter().enumerate() {
+                if stats.count() == 0 {
+                    continue;
+                }
+                let name = format!("{}-{}", tpl.name, tpl.version(VersionId(i as u16)).name);
+                let mean = stats
+                    .mean()
+                    .map(|m| format!("{:.2}ms", m.as_secs_f64() * 1e3))
+                    .unwrap_or_default();
+                let _ = writeln!(
+                    out,
+                    "{:<16} {:>12}   {:<26} {:>10} {:>8}",
+                    if first_of_group { tpl.name.as_str() } else { "" },
+                    if first_of_group { self.bucket_policy.describe(bucket) } else { String::new() },
+                    name,
+                    mean,
+                    stats.count()
+                );
+                first_of_group = false;
+            }
+        }
+        let _ = writeln!(out, "({} size groups, λ = {})", self.group_count(), self.lambda);
+        out
+    }
+
+    /// Total bytes of the group descriptions — convenience for tests.
+    pub fn describe_bucket(&self, key: BucketKey) -> String {
+        self.bucket_policy.describe(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceKind;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn store() -> ProfileStore {
+        ProfileStore::with_defaults()
+    }
+
+    const TPL: TemplateId = TemplateId(0);
+    const V0: VersionId = VersionId(0);
+    const V1: VersionId = VersionId(1);
+    const V2: VersionId = VersionId(2);
+
+    #[test]
+    fn record_and_query_roundtrip() {
+        let mut s = store();
+        s.record(TPL, 3, 2_000_000, V1, ms(18));
+        s.record(TPL, 3, 2_000_000, V1, ms(22));
+        assert_eq!(s.count(TPL, 2_000_000, V1), 2);
+        assert_eq!(s.mean(TPL, 2_000_000, V1).unwrap(), ms(20));
+        assert_eq!(s.count(TPL, 2_000_000, V0), 0);
+        assert_eq!(s.mean(TPL, 2_000_000, V0), None);
+    }
+
+    #[test]
+    fn different_sizes_are_different_groups() {
+        let mut s = store();
+        s.record(TPL, 3, 2_000_000, V0, ms(30));
+        s.record(TPL, 3, 3_000_000, V0, ms(45));
+        assert_eq!(s.mean(TPL, 2_000_000, V0).unwrap(), ms(30));
+        assert_eq!(s.mean(TPL, 3_000_000, V0).unwrap(), ms(45));
+        assert_eq!(s.group_count(), 2);
+    }
+
+    #[test]
+    fn reliability_requires_lambda_runs_of_every_candidate() {
+        let mut s = ProfileStore::new(SizeBucketPolicy::Exact, MeanPolicy::Arithmetic, 2);
+        let candidates = [V0, V1];
+        assert!(!s.is_reliable(TPL, 100, &candidates));
+        s.record(TPL, 2, 100, V0, ms(1));
+        s.record(TPL, 2, 100, V0, ms(1));
+        assert!(!s.is_reliable(TPL, 100, &candidates), "V1 untrained");
+        s.record(TPL, 2, 100, V1, ms(1));
+        assert!(!s.is_reliable(TPL, 100, &candidates), "V1 has 1 < λ runs");
+        s.record(TPL, 2, 100, V1, ms(1));
+        assert!(s.is_reliable(TPL, 100, &candidates));
+        // A new size re-enters the learning phase (paper §IV-B).
+        assert!(!s.is_reliable(TPL, 101, &candidates));
+    }
+
+    #[test]
+    fn learning_round_robin_cycles_versions() {
+        let mut s = ProfileStore::new(SizeBucketPolicy::Exact, MeanPolicy::Arithmetic, 2);
+        let candidates = [V0, V1, V2];
+        let mut picks = Vec::new();
+        for _ in 0..6 {
+            let v = s.next_learning_version(TPL, 3, 100, &candidates).unwrap();
+            picks.push(v);
+            s.record(TPL, 3, 100, v, ms(5));
+        }
+        assert_eq!(picks, vec![V0, V1, V2, V0, V1, V2]);
+        assert!(s.next_learning_version(TPL, 3, 100, &candidates).is_none());
+        assert!(s.is_reliable(TPL, 100, &candidates));
+    }
+
+    #[test]
+    fn learning_skips_fully_scheduled_versions() {
+        let mut s = ProfileStore::new(SizeBucketPolicy::Exact, MeanPolicy::Arithmetic, 1);
+        let candidates = [V0, V1];
+        // V0 gets its λ = 1 assignment...
+        assert_eq!(s.next_learning_version(TPL, 2, 100, &candidates), Some(V0));
+        // ...so the round-robin must move on to V1, even though V0 has
+        // not *completed* yet (scheduled counts gate the hand-out).
+        assert_eq!(s.next_learning_version(TPL, 2, 100, &candidates), Some(V1));
+        assert_eq!(s.next_learning_version(TPL, 2, 100, &candidates), None);
+        assert!(!s.needs_training(TPL, 100, &candidates));
+        // Execution-based reliability still waits for completions.
+        assert!(!s.is_reliable(TPL, 100, &candidates));
+        s.record(TPL, 2, 100, V0, ms(5));
+        s.record(TPL, 2, 100, V1, ms(5));
+        assert!(s.is_reliable(TPL, 100, &candidates));
+    }
+
+    #[test]
+    fn scheduled_counts_track_assignments() {
+        let mut s = ProfileStore::with_defaults();
+        let candidates = [V0, V1];
+        for _ in 0..6 {
+            let v = s.next_learning_version(TPL, 2, 100, &candidates).unwrap();
+            let _ = v;
+        }
+        let g = s.group(TPL, 100).unwrap();
+        assert_eq!(g.scheduled(V0), 3);
+        assert_eq!(g.scheduled(V1), 3);
+        assert!(s.next_learning_version(TPL, 2, 100, &candidates).is_none());
+    }
+
+    #[test]
+    fn no_candidates_means_nothing_to_learn() {
+        let mut s = store();
+        assert_eq!(s.next_learning_version(TPL, 3, 100, &[]), None);
+        assert!(s.is_reliable(TPL, 100, &[]));
+    }
+
+    #[test]
+    fn fastest_version_ignores_unmeasured() {
+        let mut s = store();
+        s.record(TPL, 3, 100, V1, ms(18));
+        s.record(TPL, 3, 100, V0, ms(30));
+        let group = s.group(TPL, 100).unwrap();
+        let (v, m) = group.fastest_version(&[V0, V1, V2]).unwrap();
+        assert_eq!(v, V1);
+        assert_eq!(m, ms(18));
+    }
+
+    #[test]
+    fn min_max_tracked() {
+        let mut s = store();
+        s.record(TPL, 1, 100, V0, ms(30));
+        s.record(TPL, 1, 100, V0, ms(10));
+        s.record(TPL, 1, 100, V0, ms(20));
+        let stats = s.group(TPL, 100).unwrap().version(V0);
+        assert_eq!(stats.min().unwrap(), ms(10));
+        assert_eq!(stats.max().unwrap(), ms(30));
+    }
+
+    #[test]
+    fn seeding_counts_as_training() {
+        let mut s = store();
+        s.seed(TPL, 2, 100, V0, ms(20), 50);
+        s.seed(TPL, 2, 100, V1, ms(5), 50);
+        assert!(s.is_reliable(TPL, 100, &[V0, V1]));
+        assert_eq!(s.mean(TPL, 100, V0).unwrap(), ms(20));
+    }
+
+    #[test]
+    fn range_policy_merges_similar_sizes() {
+        let mut s = ProfileStore::new(
+            SizeBucketPolicy::RelativeRange { tolerance: 0.25 },
+            MeanPolicy::Arithmetic,
+            3,
+        );
+        s.record(TPL, 1, 1_000_000, V0, ms(10));
+        s.record(TPL, 1, 1_000_001, V0, ms(20));
+        assert_eq!(s.group_count(), 1);
+        assert_eq!(s.mean(TPL, 1_000_000, V0).unwrap(), ms(15));
+    }
+
+    #[test]
+    fn render_table_mentions_every_measured_version() {
+        let mut reg = TemplateRegistry::new();
+        let tpl = reg
+            .template("task1")
+            .main("task1-v1", &[DeviceKind::Cuda])
+            .version("task1-v2", &[DeviceKind::Cuda])
+            .version("task1-v3", &[DeviceKind::Smp])
+            .register();
+        let mut s = store();
+        s.record(tpl, 3, 2 << 20, VersionId(0), ms(30));
+        s.record(tpl, 3, 2 << 20, VersionId(1), ms(18));
+        s.record(tpl, 3, 3 << 20, VersionId(2), ms(40));
+        let table = s.render_table(&reg);
+        assert!(table.contains("task1-task1-v1"));
+        assert!(table.contains("task1-task1-v2"));
+        assert!(table.contains("task1-task1-v3"));
+        assert!(table.contains("30.00ms"));
+        assert!(table.contains("2 size groups"));
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn zero_lambda_rejected() {
+        let _ = ProfileStore::new(SizeBucketPolicy::Exact, MeanPolicy::Arithmetic, 0);
+    }
+}

@@ -1,0 +1,588 @@
+//! The versioning scheduler — the paper's contribution (§IV).
+
+use super::{compatible_workers, least_loaded, Assignment, SchedCtx, Scheduler};
+use crate::profile::{MeanPolicy, ProfileStore, SizeBucketPolicy};
+use crate::{TaskId, TaskInstance, VersionId, WorkerId};
+use std::time::Duration;
+
+/// Tunables of the [`VersioningScheduler`]; the analogue of Nanos++
+/// configuration arguments / environment variables.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VersioningConfig {
+    /// Learning threshold λ: minimum executions of every version of a
+    /// size group before the group's information is *reliable* (paper
+    /// §IV-B; user-configurable per footnote 4).
+    pub lambda: u64,
+    /// How data set sizes are grouped (paper default: exact match; §VII
+    /// proposes ranges).
+    pub bucket_policy: SizeBucketPolicy,
+    /// Mean-update policy (paper default: arithmetic; footnote 3 suggests
+    /// a weighted mean).
+    pub mean_policy: MeanPolicy,
+    /// §VII extension: add an estimated transfer time to the
+    /// earliest-executor objective so data locality is taken into
+    /// account.
+    pub locality_aware: bool,
+    /// Link bandwidth assumed when estimating transfer times in
+    /// locality-aware mode (bytes/second).
+    pub assumed_bandwidth: f64,
+}
+
+impl Default for VersioningConfig {
+    fn default() -> Self {
+        VersioningConfig {
+            lambda: 3,
+            bucket_policy: SizeBucketPolicy::Exact,
+            mean_policy: MeanPolicy::Arithmetic,
+            locality_aware: false,
+            // A PCIe 2.0 x16-class link, matching the simulated platform.
+            assumed_bandwidth: 6.0e9,
+        }
+    }
+}
+
+/// Which phase produced a decision (paper §IV-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecisionPhase {
+    /// Initial learning phase: round-robin over under-trained versions.
+    Learning,
+    /// Reliable-information phase: earliest-executor selection.
+    Reliable,
+}
+
+/// One worker's bid during an earliest-executor decision: the version it
+/// would run, its mean execution time, and the resulting finish estimate.
+/// Captured for the paper's Fig. 5-style decision traces.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerBid {
+    /// The bidding worker.
+    pub worker: WorkerId,
+    /// Its current estimated busy time.
+    pub busy: Duration,
+    /// The fastest version it can run.
+    pub version: VersionId,
+    /// That version's mean execution time.
+    pub mean: Duration,
+    /// Estimated transfer time added in locality-aware mode (zero
+    /// otherwise).
+    pub transfer: Duration,
+    /// `busy + mean (+ transfer)`: when the worker would finish the task.
+    pub finish: Duration,
+}
+
+/// A recorded scheduling decision (optional; see
+/// [`VersioningScheduler::set_decision_logging`]).
+#[derive(Clone, Debug)]
+pub struct Decision {
+    /// The task being placed.
+    pub task: TaskId,
+    /// Phase the group was in.
+    pub phase: DecisionPhase,
+    /// All bids considered (empty for learning-phase decisions).
+    pub bids: Vec<WorkerBid>,
+    /// The chosen assignment.
+    pub assignment: Assignment,
+}
+
+/// The paper's self-adaptive scheduler: it "is able to choose the most
+/// appropriate task implementation at runtime each time a task must be
+/// run. As tasks are executed, the scheduler learns and keeps track of
+/// their behavior so that it can make accurate decisions in the immediate
+/// future" (paper §I).
+///
+/// Behaviour per size group:
+/// 1. **Learning phase** — versions picked round-robin until each has run
+///    λ times; tasks go to the least-loaded worker able to run the picked
+///    version.
+/// 2. **Reliable phase** — every worker bids `busy + mean(best version it
+///    can run)`; the minimum bid (the *earliest executor*) wins. This is
+///    exactly the Fig. 5 rule: a slower SMP worker wins when the fast GPU
+///    is backed up.
+///
+/// The scheduler never stops learning: reliable-phase executions update
+/// the means too, and a task instance with an unseen data-set size drops
+/// its group back into the learning phase.
+pub struct VersioningScheduler {
+    config: VersioningConfig,
+    profiles: ProfileStore,
+    decisions: Option<Vec<Decision>>,
+}
+
+impl VersioningScheduler {
+    /// Create a scheduler from a configuration.
+    pub fn new(config: VersioningConfig) -> VersioningScheduler {
+        let profiles =
+            ProfileStore::new(config.bucket_policy, config.mean_policy, config.lambda);
+        VersioningScheduler { config, profiles, decisions: None }
+    }
+
+    /// Scheduler with the paper's default configuration.
+    pub fn with_defaults() -> VersioningScheduler {
+        VersioningScheduler::new(VersioningConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &VersioningConfig {
+        &self.config
+    }
+
+    /// The learned profile store (paper Table I), e.g. for rendering or
+    /// saving hints.
+    pub fn profiles(&self) -> &ProfileStore {
+        &self.profiles
+    }
+
+    /// Mutable access to the profile store — used to seed external hints
+    /// before a run (paper §VII).
+    pub fn profiles_mut(&mut self) -> &mut ProfileStore {
+        &mut self.profiles
+    }
+
+    /// Enable or disable decision logging (Fig. 5-style traces). Logging
+    /// is off by default; enabling it on long runs costs memory.
+    pub fn set_decision_logging(&mut self, enabled: bool) {
+        self.decisions = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// Recorded decisions, if logging is enabled.
+    pub fn decisions(&self) -> &[Decision] {
+        self.decisions.as_deref().unwrap_or(&[])
+    }
+
+    /// Versions of `task`'s template that at least one existing worker
+    /// can run (versions targeting absent devices are excluded so the
+    /// learning phase can terminate).
+    fn trainable_versions(&self, task: &TaskInstance, ctx: &SchedCtx<'_>) -> Vec<VersionId> {
+        let tpl = ctx.templates.get(task.template);
+        (0..tpl.version_count() as u16)
+            .map(VersionId)
+            .filter(|&v| ctx.workers.iter().any(|w| tpl.version(v).runs_on(w.info.device)))
+            .collect()
+    }
+
+    fn transfer_estimate(&self, task: &TaskInstance, ctx: &SchedCtx<'_>, w: &crate::WorkerState) -> Duration {
+        if !self.config.locality_aware {
+            return Duration::ZERO;
+        }
+        let bytes = ctx.directory.bytes_missing_for(&task.accesses, w.info.space);
+        Duration::from_secs_f64(bytes as f64 / self.config.assumed_bandwidth)
+    }
+
+    fn learning_assign(
+        &mut self,
+        task: &TaskInstance,
+        ctx: &SchedCtx<'_>,
+        candidates: &[VersionId],
+    ) -> Assignment {
+        let tpl = ctx.templates.get(task.template);
+        let version = self
+            .profiles
+            .next_learning_version(task.template, tpl.version_count(), task.data_set_size, candidates)
+            .expect("learning phase implies an under-trained version exists");
+        let worker = least_loaded(compatible_workers(ctx, task, version))
+            .expect("trainable version has a compatible worker");
+        let estimate = self
+            .profiles
+            .mean(task.template, task.data_set_size, version)
+            .unwrap_or(Duration::ZERO);
+        let assignment = Assignment { worker: worker.info.id, version, estimate };
+        if let Some(log) = &mut self.decisions {
+            log.push(Decision {
+                task: task.id,
+                phase: DecisionPhase::Learning,
+                bids: Vec::new(),
+                assignment,
+            });
+        }
+        assignment
+    }
+
+    fn reliable_assign(
+        &mut self,
+        task: &TaskInstance,
+        ctx: &SchedCtx<'_>,
+        candidates: &[VersionId],
+    ) -> Assignment {
+        let tpl = ctx.templates.get(task.template);
+        let group = self
+            .profiles
+            .group(task.template, task.data_set_size)
+            .expect("past learning implies a profiled group");
+
+        let mut bids: Vec<WorkerBid> = Vec::with_capacity(ctx.workers.len());
+        for w in ctx.workers {
+            let runnable: Vec<VersionId> = tpl.versions_for(w.info.device).collect();
+            let Some((version, mean)) = group.fastest_version(&runnable) else {
+                continue;
+            };
+            let transfer = self.transfer_estimate(task, ctx, w);
+            let busy = w.estimated_busy();
+            bids.push(WorkerBid {
+                worker: w.info.id,
+                busy,
+                version,
+                mean,
+                transfer,
+                finish: busy + mean + transfer,
+            });
+        }
+        let Some(best) = bids.iter().min_by_key(|b| (b.finish, b.worker)).copied() else {
+            // Every version has λ assignments queued but none has
+            // completed yet — no means to bid with. Fall back to the
+            // least-scheduled version on the least-loaded worker.
+            let version = candidates
+                .iter()
+                .copied()
+                .min_by_key(|&v| (group.scheduled(v), v))
+                .expect("candidates verified non-empty");
+            let worker = least_loaded(compatible_workers(ctx, task, version))
+                .expect("trainable version has a compatible worker");
+            let tpl_versions = tpl.version_count();
+            let assignment =
+                Assignment { worker: worker.info.id, version, estimate: Duration::ZERO };
+            self.profiles.mark_scheduled(task.template, tpl_versions, task.data_set_size, version);
+            if let Some(log) = &mut self.decisions {
+                log.push(Decision {
+                    task: task.id,
+                    phase: DecisionPhase::Learning,
+                    bids: Vec::new(),
+                    assignment,
+                });
+            }
+            return assignment;
+        };
+        let assignment =
+            Assignment { worker: best.worker, version: best.version, estimate: best.mean };
+        self.profiles.mark_scheduled(
+            task.template,
+            tpl.version_count(),
+            task.data_set_size,
+            best.version,
+        );
+        if let Some(log) = &mut self.decisions {
+            log.push(Decision {
+                task: task.id,
+                phase: DecisionPhase::Reliable,
+                bids,
+                assignment,
+            });
+        }
+        assignment
+    }
+}
+
+impl Scheduler for VersioningScheduler {
+    fn name(&self) -> &'static str {
+        if self.config.locality_aware {
+            "locality-versioning"
+        } else {
+            "versioning"
+        }
+    }
+
+    fn assign(&mut self, task: &TaskInstance, ctx: &SchedCtx<'_>) -> Assignment {
+        let candidates = self.trainable_versions(task, ctx);
+        assert!(
+            !candidates.is_empty(),
+            "no worker can run any version of {:?}",
+            ctx.templates.get(task.template).name
+        );
+        if self.profiles.needs_training(task.template, task.data_set_size, &candidates) {
+            self.learning_assign(task, ctx, &candidates)
+        } else {
+            self.reliable_assign(task, ctx, &candidates)
+        }
+    }
+
+    fn task_finished(&mut self, task: &TaskInstance, assignment: Assignment, measured: Duration) {
+        // "Execution information is also recorded exactly in the same way
+        // as the previous phase ... the scheduler is always learning."
+        // The group already exists (created at assign time); the version
+        // count passed here is a lower bound the store grows to if needed.
+        let n_versions = usize::from(assignment.version.0) + 1;
+        self.profiles.record(
+            task.template,
+            n_versions,
+            task.data_set_size,
+            assignment.version,
+            measured,
+        );
+    }
+
+    fn supports_versions(&self) -> bool {
+        true
+    }
+
+    fn eager(&self, task: &TaskInstance, ctx: &SchedCtx<'_>) -> bool {
+        let candidates = self.trainable_versions(task, ctx);
+        self.profiles.is_reliable(task.template, task.data_set_size, &candidates)
+    }
+
+    fn as_versioning(&self) -> Option<&VersioningScheduler> {
+        Some(self)
+    }
+
+    fn as_versioning_mut(&mut self) -> Option<&mut VersioningScheduler> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+    use crate::{DeviceKind, SchedCtx, WorkerState};
+    use versa_mem::DataId;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    struct Fixture {
+        reg: crate::TemplateRegistry,
+        tpl: crate::TemplateId,
+        workers: Vec<WorkerState>,
+        dir: versa_mem::Directory,
+    }
+
+    impl Fixture {
+        fn new() -> Fixture {
+            let (reg, tpl) = hybrid_registry();
+            Fixture {
+                reg,
+                tpl,
+                workers: workers_2smp_2gpu(),
+                dir: directory(DataId(0), DataId(1), 1024),
+            }
+        }
+
+        fn ctx(&self) -> SchedCtx<'_> {
+            SchedCtx {
+                templates: &self.reg,
+                workers: &self.workers,
+                directory: &self.dir,
+                chain_hint: None,
+            }
+        }
+
+        fn task(&self, id: u64) -> crate::TaskInstance {
+            task(id, self.tpl, DataId(0), DataId(1), 1024)
+        }
+
+        /// Assign a task, simulate it finishing after `measured`, and
+        /// feed the measurement back.
+        fn run_once(&mut self, s: &mut VersioningScheduler, id: u64, measured: Duration) -> Assignment {
+            let t = self.task(id);
+            let a = s.assign(&t, &self.ctx());
+            s.task_finished(&t, a, measured);
+            a
+        }
+    }
+
+    /// Duration model used in tests: CUBLAS 7 ms, hand-CUDA 10 ms, CBLAS
+    /// 420 ms — the paper's "SMP task duration is about 60 times the GPU
+    /// task duration" regime.
+    fn measured_for(version: VersionId) -> Duration {
+        match version.0 {
+            0 => ms(7),
+            1 => ms(10),
+            _ => ms(420),
+        }
+    }
+
+    #[test]
+    fn learning_phase_trains_every_version_lambda_times() {
+        let mut fx = Fixture::new();
+        let mut s = VersioningScheduler::with_defaults();
+        let mut counts = [0u64; 3];
+        // 3 versions × λ=3 → exactly 9 learning assignments.
+        for i in 0..9 {
+            let a = fx.run_once(&mut s, i, measured_for(VersionId(0)));
+            counts[a.version.index()] += 1;
+        }
+        assert_eq!(counts, [3, 3, 3]);
+        assert!(s.profiles().is_reliable(
+            fx.tpl,
+            2048,
+            &[VersionId(0), VersionId(1), VersionId(2)]
+        ));
+    }
+
+    #[test]
+    fn reliable_phase_prefers_fastest_executor_when_idle() {
+        let fx = Fixture::new();
+        let mut s = VersioningScheduler::with_defaults();
+        for i in 0..9 {
+            let t = fx.task(i);
+            let a = s.assign(&t, &fx.ctx());
+            s.task_finished(&t, a, measured_for(a.version));
+        }
+        // All workers idle → the GPU running CUBLAS (fastest mean) wins.
+        let a = s.assign(&fx.task(100), &fx.ctx());
+        assert_eq!(a.version, VersionId(0), "CUBLAS is the fastest version");
+        assert_eq!(fx.workers[a.worker.index()].info.device, DeviceKind::Cuda);
+        assert_eq!(a.estimate, ms(7));
+    }
+
+    #[test]
+    fn earliest_executor_beats_fastest_executor_under_load() {
+        // The paper's Fig. 5 scenario: the GPU is the fastest executor
+        // but is busy; an idle SMP worker finishes earlier.
+        let mut fx = Fixture::new();
+        let mut s = VersioningScheduler::with_defaults();
+        for i in 0..9 {
+            let t = fx.task(i);
+            let a = s.assign(&t, &fx.ctx());
+            s.task_finished(&t, a, measured_for(a.version));
+        }
+        // Bury both GPU workers: busy ≈ 500 ms each > SMP mean 420 ms.
+        for g in 2..4 {
+            for q in 0..100 {
+                fx.workers[g].enqueue(crate::TaskId(1000 + q), VersionId(0), ms(5));
+            }
+        }
+        let a = s.assign(&fx.task(200), &fx.ctx());
+        assert_eq!(a.version, VersionId(2), "SMP CBLAS version wins");
+        assert_eq!(fx.workers[a.worker.index()].info.device, DeviceKind::Smp);
+    }
+
+    #[test]
+    fn gpu_still_wins_under_mild_load() {
+        let mut fx = Fixture::new();
+        let mut s = VersioningScheduler::with_defaults();
+        for i in 0..9 {
+            let t = fx.task(i);
+            let a = s.assign(&t, &fx.ctx());
+            s.task_finished(&t, a, measured_for(a.version));
+        }
+        // 10 × 5 ms queued ≪ 420 ms SMP mean → GPU keeps the task.
+        for q in 0..10 {
+            fx.workers[2].enqueue(crate::TaskId(1000 + q), VersionId(0), ms(5));
+        }
+        let a = s.assign(&fx.task(200), &fx.ctx());
+        assert_eq!(fx.workers[a.worker.index()].info.device, DeviceKind::Cuda);
+        // And it picks the idle GPU (w3), not the loaded one.
+        assert_eq!(a.worker, crate::WorkerId(3));
+    }
+
+    #[test]
+    fn unseen_size_reenters_learning_phase() {
+        let fx = Fixture::new();
+        let mut s = VersioningScheduler::with_defaults();
+        for i in 0..9 {
+            let t = fx.task(i);
+            let a = s.assign(&t, &fx.ctx());
+            s.task_finished(&t, a, measured_for(a.version));
+        }
+        // New data-set size → learning again (round-robin incl. SMP).
+        let t = task(300, fx.tpl, DataId(0), DataId(1), 4096);
+        let a = s.assign(&t, &fx.ctx());
+        // Learning decisions have no bids; check via the decision log on
+        // a fresh scheduler instead — here we just check the group is new.
+        assert_eq!(s.profiles().count(fx.tpl, 8192, a.version), 0);
+        assert!(!s.profiles().is_reliable(
+            fx.tpl,
+            8192,
+            &[VersionId(0), VersionId(1), VersionId(2)]
+        ));
+    }
+
+    #[test]
+    fn versions_without_workers_are_not_trained() {
+        // Template with a Cell version but no Cell workers: learning must
+        // still terminate.
+        let mut reg = crate::TemplateRegistry::new();
+        let tpl = reg
+            .template("t")
+            .main("gpu_impl", &[DeviceKind::Cuda])
+            .version("cell_impl", &[DeviceKind::CellSpe])
+            .version("smp_impl", &[DeviceKind::Smp])
+            .register();
+        let workers = workers_2smp_2gpu();
+        let dir = directory(DataId(0), DataId(1), 64);
+        let mut s = VersioningScheduler::with_defaults();
+        for i in 0..6 {
+            let t = task(i, tpl, DataId(0), DataId(1), 64);
+            let ctx = SchedCtx { templates: &reg, workers: &workers, directory: &dir, chain_hint: None };
+            let a = s.assign(&t, &ctx);
+            assert_ne!(a.version, VersionId(1), "cell version must never be picked");
+            s.task_finished(&t, a, ms(5));
+        }
+        // After 3+3 runs of v0 and v2, the group is reliable.
+        let t = task(99, tpl, DataId(0), DataId(1), 64);
+        let ctx = SchedCtx { templates: &reg, workers: &workers, directory: &dir, chain_hint: None };
+        let _ = s.assign(&t, &ctx);
+        assert!(s.profiles().is_reliable(tpl, 128, &[VersionId(0), VersionId(2)]));
+    }
+
+    #[test]
+    fn decision_log_captures_bids() {
+        let fx = Fixture::new();
+        let mut s = VersioningScheduler::with_defaults();
+        s.set_decision_logging(true);
+        for i in 0..9 {
+            let t = fx.task(i);
+            let a = s.assign(&t, &fx.ctx());
+            s.task_finished(&t, a, measured_for(a.version));
+        }
+        let _ = s.assign(&fx.task(100), &fx.ctx());
+        let decisions = s.decisions();
+        assert_eq!(decisions.len(), 10);
+        assert!(decisions[..9].iter().all(|d| d.phase == DecisionPhase::Learning));
+        let last = decisions.last().unwrap();
+        assert_eq!(last.phase, DecisionPhase::Reliable);
+        // 4 workers, all with a runnable trained version → 4 bids.
+        assert_eq!(last.bids.len(), 4);
+        let winner = last.bids.iter().min_by_key(|b| (b.finish, b.worker)).unwrap();
+        assert_eq!(winner.worker, last.assignment.worker);
+    }
+
+    #[test]
+    fn locality_mode_penalizes_remote_data() {
+        // Data resident on GPU 0; both GPUs idle with equal means. The
+        // locality-aware scheduler must pick GPU 0, the plain one picks
+        // the lowest-id bid too — so check the transfer term directly.
+        let (reg, tpl) = hybrid_registry();
+        let workers = workers_2smp_2gpu();
+        let mut dir = directory(DataId(0), DataId(1), 100_000_000);
+        dir.acquire(DataId(0), versa_mem::MemSpace::device(1), versa_mem::AccessMode::In);
+        dir.acquire(DataId(1), versa_mem::MemSpace::device(1), versa_mem::AccessMode::InOut);
+        let mut s = VersioningScheduler::new(VersioningConfig {
+            locality_aware: true,
+            ..Default::default()
+        });
+        s.set_decision_logging(true);
+        // Seed profiles so we skip straight to the reliable phase.
+        for v in [VersionId(0), VersionId(1), VersionId(2)] {
+            s.profiles_mut().seed(tpl, 3, 200_000_000, v, ms(10), 5);
+        }
+        let t = task(0, tpl, DataId(0), DataId(1), 100_000_000);
+        let ctx = SchedCtx { templates: &reg, workers: &workers, directory: &dir, chain_hint: None };
+        let a = s.assign(&t, &ctx);
+        assert_eq!(a.worker, crate::WorkerId(3), "data already on GPU 1 (worker 3)");
+        let d = s.decisions().last().unwrap();
+        let w2 = d.bids.iter().find(|b| b.worker == crate::WorkerId(2)).unwrap();
+        let w3 = d.bids.iter().find(|b| b.worker == crate::WorkerId(3)).unwrap();
+        assert!(w2.transfer > Duration::ZERO);
+        assert_eq!(w3.transfer, Duration::ZERO);
+    }
+
+    #[test]
+    fn task_finished_keeps_updating_means_in_reliable_phase() {
+        let fx = Fixture::new();
+        let mut s = VersioningScheduler::with_defaults();
+        for i in 0..9 {
+            let t = fx.task(i);
+            let a = s.assign(&t, &fx.ctx());
+            s.task_finished(&t, a, measured_for(a.version));
+        }
+        let before = s.profiles().count(fx.tpl, 2048, VersionId(0));
+        for i in 10..20 {
+            let t = fx.task(i);
+            let a = s.assign(&t, &fx.ctx());
+            s.task_finished(&t, a, measured_for(a.version));
+        }
+        let after = s.profiles().count(fx.tpl, 2048, VersionId(0));
+        assert!(after > before, "the scheduler never stops learning");
+    }
+}

@@ -1,0 +1,277 @@
+//! Dense matrix multiplication: `C += A · B` on square row-major tiles.
+//!
+//! Three implementation tiers mirror the paper's three matmul task
+//! versions (§V-B1): a straightforward triple loop (the "CBLAS on one
+//! core" stand-in), a cache-blocked single-core variant (the "hand-coded
+//! CUDA" stand-in), and a multi-lane parallel blocked variant (the
+//! "CUBLAS" stand-in for emulated GPUs).
+
+use crate::chunk_ranges;
+
+macro_rules! gemm_impls {
+    ($t:ty, $naive:ident, $blocked:ident, $parallel:ident, $rect:ident) => {
+        /// Rectangular blocked core: `C[rows×n] += A[rows×n] · B[n×n]`.
+        fn $rect(a: &[$t], b: &[$t], c: &mut [$t], rows: usize, n: usize) {
+            assert!(a.len() >= rows * n && b.len() >= n * n && c.len() >= rows * n);
+            const BS: usize = 64;
+            for ii in (0..rows).step_by(BS) {
+                for kk in (0..n).step_by(BS) {
+                    for jj in (0..n).step_by(BS) {
+                        let (ie, ke, je) =
+                            ((ii + BS).min(rows), (kk + BS).min(n), (jj + BS).min(n));
+                        for i in ii..ie {
+                            for k in kk..ke {
+                                let aik = a[i * n + k];
+                                for j in jj..je {
+                                    c[i * n + j] += aik * b[k * n + j];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        /// `C += A · B`, naive i-k-j triple loop.
+        ///
+        /// # Panics
+        /// Panics if any slice is shorter than `n * n`.
+        pub fn $naive(a: &[$t], b: &[$t], c: &mut [$t], n: usize) {
+            assert!(a.len() >= n * n && b.len() >= n * n && c.len() >= n * n);
+            for i in 0..n {
+                for k in 0..n {
+                    let aik = a[i * n + k];
+                    let (brow, crow) = (&b[k * n..k * n + n], &mut c[i * n..i * n + n]);
+                    for j in 0..n {
+                        crow[j] += aik * brow[j];
+                    }
+                }
+            }
+        }
+
+        /// `C += A · B`, cache-blocked (64×64 blocks).
+        ///
+        /// # Panics
+        /// Panics if any slice is shorter than `n * n`.
+        pub fn $blocked(a: &[$t], b: &[$t], c: &mut [$t], n: usize) {
+            $rect(a, b, c, n, n);
+        }
+
+        /// `C += A · B`, blocked and parallelized over `lanes` scoped
+        /// threads by row bands (this is what an emulated GPU runs).
+        ///
+        /// # Panics
+        /// Panics if any slice is shorter than `n * n`.
+        pub fn $parallel(a: &[$t], b: &[$t], c: &mut [$t], n: usize, lanes: usize) {
+            assert!(a.len() >= n * n && b.len() >= n * n && c.len() >= n * n);
+            if lanes <= 1 || n < 128 {
+                return $blocked(a, b, c, n);
+            }
+            let bands = chunk_ranges(n, lanes);
+            // Split C into disjoint row bands; each lane owns one band.
+            let mut c_rest: &mut [$t] = &mut c[..n * n];
+            std::thread::scope(|scope| {
+                for band in bands {
+                    let rows = band.len();
+                    let (c_band, rest) = c_rest.split_at_mut(rows * n);
+                    c_rest = rest;
+                    let a_band = &a[band.start * n..band.end * n];
+                    scope.spawn(move || $rect(a_band, b, c_band, rows, n));
+                }
+            });
+        }
+    };
+}
+
+gemm_impls!(f64, dgemm_naive, dgemm_blocked, dgemm_parallel, dgemm_rect);
+gemm_impls!(f32, sgemm_naive, sgemm_blocked, sgemm_parallel, sgemm_rect);
+
+macro_rules! gemm_nt_sub_impls {
+    ($t:ty, $serial:ident, $par:ident, $rect:ident) => {
+        /// Rectangular core: `C[rows×n] −= A[rows×n] · Bᵀ` (`B` is `n×n`).
+        fn $rect(a: &[$t], b: &[$t], c: &mut [$t], rows: usize, n: usize) {
+            assert!(a.len() >= rows * n && b.len() >= n * n && c.len() >= rows * n);
+            for i in 0..rows {
+                for j in 0..n {
+                    let mut dot: $t = 0.0;
+                    for k in 0..n {
+                        dot += a[i * n + k] * b[j * n + k];
+                    }
+                    c[i * n + j] -= dot;
+                }
+            }
+        }
+
+        /// `C ← C − A·Bᵀ` — the trailing update of the tiled Cholesky
+        /// (`A[i][j] −= A[i][k]·A[j][k]ᵀ`).
+        ///
+        /// # Panics
+        /// Panics if any slice is shorter than `n * n`.
+        pub fn $serial(a: &[$t], b: &[$t], c: &mut [$t], n: usize) {
+            $rect(a, b, c, n, n);
+        }
+
+        /// Multi-lane variant of the NT update, parallel over row bands.
+        ///
+        /// # Panics
+        /// Panics if any slice is shorter than `n * n`.
+        pub fn $par(a: &[$t], b: &[$t], c: &mut [$t], n: usize, lanes: usize) {
+            assert!(a.len() >= n * n && b.len() >= n * n && c.len() >= n * n);
+            if lanes <= 1 || n < 128 {
+                return $serial(a, b, c, n);
+            }
+            let mut rest: &mut [$t] = &mut c[..n * n];
+            std::thread::scope(|scope| {
+                for band in chunk_ranges(n, lanes) {
+                    let rows = band.len();
+                    let (mine, r) = rest.split_at_mut(rows * n);
+                    rest = r;
+                    let a_band = &a[band.start * n..band.end * n];
+                    scope.spawn(move || $rect(a_band, b, mine, rows, n));
+                }
+            });
+        }
+    };
+}
+
+gemm_nt_sub_impls!(f32, sgemm_nt_sub, sgemm_nt_sub_par, sgemm_nt_rect);
+gemm_nt_sub_impls!(f64, dgemm_nt_sub, dgemm_nt_sub_par, dgemm_nt_rect);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{assert_close_f32, assert_close_f64, random_matrix_f32, random_matrix_f64};
+
+    #[test]
+    fn naive_matches_hand_example() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50], starting from C = I.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = [1.0, 0.0, 0.0, 1.0];
+        dgemm_naive(&a, &b, &mut c, 2);
+        assert_eq!(c, [20.0, 22.0, 43.0, 51.0]);
+    }
+
+    #[test]
+    fn blocked_matches_naive_f64() {
+        for n in [1usize, 7, 63, 64, 65, 130] {
+            let a = random_matrix_f64(n, 1);
+            let b = random_matrix_f64(n, 2);
+            let mut c1 = random_matrix_f64(n, 3);
+            let mut c2 = c1.clone();
+            dgemm_naive(&a, &b, &mut c1, n);
+            dgemm_blocked(&a, &b, &mut c2, n);
+            assert_close_f64(&c1, &c2, 1e-10);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_naive_f64() {
+        for lanes in [1usize, 2, 3, 4, 8] {
+            let n = 150;
+            let a = random_matrix_f64(n, 4);
+            let b = random_matrix_f64(n, 5);
+            let mut c1 = random_matrix_f64(n, 6);
+            let mut c2 = c1.clone();
+            dgemm_naive(&a, &b, &mut c1, n);
+            dgemm_parallel(&a, &b, &mut c2, n, lanes);
+            assert_close_f64(&c1, &c2, 1e-10);
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive_f32() {
+        let n = 90;
+        let a = random_matrix_f32(n, 7);
+        let b = random_matrix_f32(n, 8);
+        let mut c1 = vec![0.0f32; n * n];
+        let mut c2 = vec![0.0f32; n * n];
+        sgemm_naive(&a, &b, &mut c1, n);
+        sgemm_blocked(&a, &b, &mut c2, n);
+        assert_close_f32(&c1, &c2, 1e-3);
+    }
+
+    #[test]
+    fn parallel_matches_naive_f32() {
+        let n = 140;
+        let a = random_matrix_f32(n, 9);
+        let b = random_matrix_f32(n, 10);
+        let mut c1 = vec![0.5f32; n * n];
+        let mut c2 = vec![0.5f32; n * n];
+        sgemm_naive(&a, &b, &mut c1, n);
+        sgemm_parallel(&a, &b, &mut c2, n, 4);
+        assert_close_f32(&c1, &c2, 1e-3);
+    }
+
+    #[test]
+    fn gemm_accumulates_into_c() {
+        let n = 8;
+        let a = random_matrix_f64(n, 11);
+        let b = random_matrix_f64(n, 12);
+        let mut c = vec![0.0; n * n];
+        dgemm_naive(&a, &b, &mut c, n);
+        let after_one = c.clone();
+        dgemm_naive(&a, &b, &mut c, n);
+        for i in 0..n * n {
+            assert!((c[i] - 2.0 * after_one[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_dimension_is_a_noop() {
+        let mut c: [f64; 0] = [];
+        dgemm_naive(&[], &[], &mut c, 0);
+        dgemm_blocked(&[], &[], &mut c, 0);
+        dgemm_parallel(&[], &[], &mut c, 0, 4);
+    }
+
+    #[test]
+    fn nt_sub_matches_manual_transpose() {
+        let n = 40;
+        let a = random_matrix_f64(n, 20);
+        let b = random_matrix_f64(n, 21);
+        let c0 = random_matrix_f64(n, 22);
+        // Reference: C -= A * B^T via naive gemm on transposed B.
+        let mut bt = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                bt[i * n + j] = b[j * n + i];
+            }
+        }
+        let mut expect = c0.clone();
+        let mut prod = vec![0.0; n * n];
+        dgemm_naive(&a, &bt, &mut prod, n);
+        for i in 0..n * n {
+            expect[i] -= prod[i];
+        }
+        let mut got = c0.clone();
+        dgemm_nt_sub(&a, &b, &mut got, n);
+        assert_close_f64(&expect, &got, 1e-10);
+    }
+
+    #[test]
+    fn nt_sub_parallel_matches_serial() {
+        let n = 160;
+        let a = random_matrix_f64(n, 23);
+        let b = random_matrix_f64(n, 24);
+        let mut c1 = random_matrix_f64(n, 25);
+        let mut c2 = c1.clone();
+        dgemm_nt_sub(&a, &b, &mut c1, n);
+        dgemm_nt_sub_par(&a, &b, &mut c2, n, 5);
+        assert_close_f64(&c1, &c2, 1e-12);
+        // f32 variant smoke.
+        let af: Vec<f32> = a.iter().map(|&v| v as f32).collect();
+        let bf: Vec<f32> = b.iter().map(|&v| v as f32).collect();
+        let mut cf1 = vec![0.0f32; n * n];
+        let mut cf2 = vec![0.0f32; n * n];
+        sgemm_nt_sub(&af, &bf, &mut cf1, n);
+        sgemm_nt_sub_par(&af, &bf, &mut cf2, n, 3);
+        crate::verify::assert_close_f32(&cf1, &cf2, 1e-4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn short_slice_panics() {
+        let mut c = vec![0.0f64; 3];
+        dgemm_naive(&[0.0; 4], &[0.0; 4], &mut c, 2);
+    }
+}

@@ -1,0 +1,152 @@
+//! Cholesky factorization of one tile: `A = L·Lᵀ` (lower triangular).
+//!
+//! `potrf` is the Cholesky bottleneck task of the paper's §V-B2: "there
+//! are some points where all the following tasks depend on the potrf
+//! task", which is why the paper gives it both an SMP (CBLAS) and a GPU
+//! (MAGMA) version.
+
+/// Error returned when the input tile is not positive definite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotPositiveDefinite {
+    /// Index of the failing diagonal element.
+    pub at: usize,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is not positive definite (pivot {} <= 0)", self.at)
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+macro_rules! potrf_impl {
+    ($t:ty, $name:ident) => {
+        /// In-place lower Cholesky of a row-major `n × n` tile. On return
+        /// the lower triangle (including diagonal) holds `L`; the strict
+        /// upper triangle is zeroed.
+        ///
+        /// # Errors
+        /// [`NotPositiveDefinite`] if a pivot is non-positive; the tile is
+        /// left partially factored in that case.
+        ///
+        /// # Panics
+        /// Panics if `a.len() < n * n`.
+        pub fn $name(a: &mut [$t], n: usize) -> Result<(), NotPositiveDefinite> {
+            assert!(a.len() >= n * n);
+            for j in 0..n {
+                let mut diag = a[j * n + j];
+                for k in 0..j {
+                    diag -= a[j * n + k] * a[j * n + k];
+                }
+                if diag <= 0.0 {
+                    return Err(NotPositiveDefinite { at: j });
+                }
+                let ljj = diag.sqrt();
+                a[j * n + j] = ljj;
+                for i in (j + 1)..n {
+                    let mut v = a[i * n + j];
+                    for k in 0..j {
+                        v -= a[i * n + k] * a[j * n + k];
+                    }
+                    a[i * n + j] = v / ljj;
+                }
+                for i in 0..j {
+                    a[i * n + j] = 0.0; // zero the strict upper triangle
+                }
+            }
+            Ok(())
+        }
+    };
+}
+
+potrf_impl!(f32, spotrf);
+potrf_impl!(f64, dpotrf);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{assert_close_f32, assert_close_f64, spd_matrix_f32, spd_matrix_f64};
+
+    fn reconstruct_f64(l: &[f64], n: usize) -> Vec<f64> {
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    a[i * n + j] += l[i * n + k] * l[j * n + k];
+                }
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn factorization_reconstructs_the_input_f64() {
+        for n in [1usize, 2, 5, 16, 33] {
+            let a = spd_matrix_f64(n, 42);
+            let mut l = a.clone();
+            dpotrf(&mut l, n).unwrap();
+            assert_close_f64(&reconstruct_f64(&l, n), &a, 1e-8);
+        }
+    }
+
+    #[test]
+    fn factorization_reconstructs_the_input_f32() {
+        let n = 24;
+        let a = spd_matrix_f32(n, 7);
+        let mut l = a.clone();
+        spotrf(&mut l, n).unwrap();
+        let mut recon = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    recon[i * n + j] += l[i * n + k] * l[j * n + k];
+                }
+            }
+        }
+        assert_close_f32(&recon, &a, 1e-2);
+    }
+
+    #[test]
+    fn result_is_lower_triangular() {
+        let n = 10;
+        let mut l = spd_matrix_f64(n, 3);
+        dpotrf(&mut l, n).unwrap();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                assert_eq!(l[i * n + j], 0.0, "upper triangle must be zeroed");
+            }
+            assert!(l[i * n + i] > 0.0, "diagonal must be positive");
+        }
+    }
+
+    #[test]
+    fn identity_factors_to_identity() {
+        let n = 6;
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            a[i * n + i] = 1.0;
+        }
+        dpotrf(&mut a, n).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert_eq!(a[i * n + j], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_is_rejected() {
+        let mut a = vec![1.0, 0.0, 0.0, -1.0]; // eigenvalues 1, -1
+        let err = dpotrf(&mut a, 2).unwrap_err();
+        assert_eq!(err.at, 1);
+        assert!(err.to_string().contains("not positive definite"));
+    }
+
+    #[test]
+    fn zero_matrix_is_rejected_at_first_pivot() {
+        let mut a = vec![0.0f32; 9];
+        assert_eq!(spotrf(&mut a, 3).unwrap_err().at, 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Symmetric rank-k update: `C ← C − A·Aᵀ` (lower triangle) — the
+//! diagonal-tile update of the tiled Cholesky.
+
+use crate::chunk_ranges;
+
+macro_rules! syrk_impl {
+    ($t:ty, $name:ident, $par:ident) => {
+        /// `C ← C − A·Aᵀ`, updating only the lower triangle (the upper
+        /// triangle mirrors it so the tile stays a full symmetric matrix,
+        /// which keeps downstream `potrf`/reference checks simple).
+        ///
+        /// # Panics
+        /// Panics if either slice is shorter than `n * n`.
+        pub fn $name(a: &[$t], c: &mut [$t], n: usize) {
+            assert!(a.len() >= n * n && c.len() >= n * n);
+            for i in 0..n {
+                for j in 0..=i {
+                    let mut dot: $t = 0.0;
+                    for k in 0..n {
+                        dot += a[i * n + k] * a[j * n + k];
+                    }
+                    c[i * n + j] -= dot;
+                    if i != j {
+                        c[j * n + i] = c[i * n + j];
+                    }
+                }
+            }
+        }
+
+        /// Multi-lane variant: rows of the lower triangle are distributed
+        /// over `lanes` scoped threads; the mirror pass runs serially.
+        ///
+        /// # Panics
+        /// Panics if either slice is shorter than `n * n`.
+        pub fn $par(a: &[$t], c: &mut [$t], n: usize, lanes: usize) {
+            assert!(a.len() >= n * n && c.len() >= n * n);
+            if lanes <= 1 || n < 64 {
+                return $name(a, c, n);
+            }
+            let mut rest: &mut [$t] = &mut c[..n * n];
+            let mut offset = 0usize;
+            std::thread::scope(|scope| {
+                for band in chunk_ranges(n, lanes) {
+                    let rows = band.len();
+                    let (mine, r) = rest.split_at_mut(rows * n);
+                    rest = r;
+                    let start = offset;
+                    offset += rows;
+                    scope.spawn(move || {
+                        for (li, i) in (start..start + rows).enumerate() {
+                            for j in 0..=i {
+                                let mut dot: $t = 0.0;
+                                for k in 0..n {
+                                    dot += a[i * n + k] * a[j * n + k];
+                                }
+                                mine[li * n + j] -= dot;
+                            }
+                        }
+                    });
+                }
+            });
+            // Mirror to the upper triangle.
+            for i in 0..n {
+                for j in 0..i {
+                    c[j * n + i] = c[i * n + j];
+                }
+            }
+        }
+    };
+}
+
+syrk_impl!(f32, ssyrk_lower, ssyrk_lower_par);
+syrk_impl!(f64, dsyrk_lower, dsyrk_lower_par);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{assert_close_f64, random_matrix_f64};
+
+    /// Reference: full `C − A·Aᵀ` via gemm with B = Aᵀ.
+    fn reference(a: &[f64], c0: &[f64], n: usize) -> Vec<f64> {
+        let mut out = c0.to_vec();
+        for i in 0..n {
+            for j in 0..n {
+                let mut dot = 0.0;
+                for k in 0..n {
+                    dot += a[i * n + k] * a[j * n + k];
+                }
+                out[i * n + j] -= dot;
+            }
+        }
+        out
+    }
+
+    fn symmetric_matrix(n: usize, seed: u64) -> Vec<f64> {
+        let mut m = random_matrix_f64(n, seed);
+        for i in 0..n {
+            for j in 0..i {
+                m[j * n + i] = m[i * n + j];
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn matches_reference() {
+        for n in [1usize, 4, 17, 50] {
+            let a = random_matrix_f64(n, 1);
+            let c0 = symmetric_matrix(n, 2);
+            let mut c = c0.clone();
+            dsyrk_lower(&a, &mut c, n);
+            assert_close_f64(&c, &reference(&a, &c0, n), 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let n = 100;
+        let a = random_matrix_f64(n, 3);
+        let c0 = symmetric_matrix(n, 4);
+        let mut c1 = c0.clone();
+        let mut c2 = c0.clone();
+        dsyrk_lower(&a, &mut c1, n);
+        dsyrk_lower_par(&a, &mut c2, n, 4);
+        assert_close_f64(&c1, &c2, 1e-12);
+    }
+
+    #[test]
+    fn result_stays_symmetric() {
+        let n = 12;
+        let a = random_matrix_f64(n, 5);
+        let mut c = symmetric_matrix(n, 6);
+        dsyrk_lower(&a, &mut c, n);
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(c[i * n + j], c[j * n + i]);
+            }
+        }
+    }
+
+    #[test]
+    fn f32_smoke() {
+        let a = vec![1.0f32, 0.0, 0.0, 1.0];
+        let mut c = vec![5.0f32, 0.0, 0.0, 5.0];
+        ssyrk_lower(&a, &mut c, 2);
+        assert_eq!(c, vec![4.0, 0.0, 0.0, 4.0]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Triangular solve: `A ← A · L⁻ᵀ` (right side, lower triangular,
+//! transposed) — the panel-update task of the tiled Cholesky.
+//!
+//! After `potrf` factors the diagonal tile `A_kk = L·Lᵀ`, every tile
+//! below it is updated as `A_ik ← A_ik · L⁻ᵀ`, which is exactly BLAS
+//! `trsm(side=R, uplo=L, trans=T, diag=N)`.
+
+use crate::chunk_ranges;
+
+macro_rules! trsm_impl {
+    ($t:ty, $name:ident, $par:ident) => {
+        /// Solve `X · Lᵀ = A` in place (`A ← A · L⁻ᵀ`) for a row-major
+        /// `n × n` tile `A` and lower-triangular `L`.
+        ///
+        /// # Panics
+        /// Panics if either slice is shorter than `n * n` or `L` has a
+        /// zero diagonal element.
+        pub fn $name(l: &[$t], a: &mut [$t], n: usize) {
+            assert!(l.len() >= n * n && a.len() >= n * n);
+            for i in 0..n {
+                let row = &mut a[i * n..i * n + n];
+                trsm_row(l, row, n);
+            }
+        }
+
+        /// Multi-lane variant of the same solve: rows of `A` are
+        /// independent, so they are split over `lanes` scoped threads.
+        ///
+        /// # Panics
+        /// As the serial variant.
+        pub fn $par(l: &[$t], a: &mut [$t], n: usize, lanes: usize) {
+            assert!(l.len() >= n * n && a.len() >= n * n);
+            if lanes <= 1 || n < 64 {
+                return $name(l, a, n);
+            }
+            let mut rest: &mut [$t] = &mut a[..n * n];
+            std::thread::scope(|scope| {
+                for band in chunk_ranges(n, lanes) {
+                    let rows = band.len();
+                    let (mine, r) = rest.split_at_mut(rows * n);
+                    rest = r;
+                    scope.spawn(move || {
+                        for i in 0..rows {
+                            trsm_row(l, &mut mine[i * n..i * n + n], n);
+                        }
+                    });
+                }
+            });
+        }
+    };
+}
+
+/// Solve one row: `x · Lᵀ = a` i.e. forward substitution in j.
+fn trsm_row<T>(l: &[T], row: &mut [T], n: usize)
+where
+    T: Copy
+        + std::ops::Mul<Output = T>
+        + std::ops::Sub<Output = T>
+        + std::ops::Div<Output = T>
+        + PartialEq
+        + Default,
+{
+    for j in 0..n {
+        let mut v = row[j];
+        for k in 0..j {
+            v = v - row[k] * l[j * n + k];
+        }
+        let diag = l[j * n + j];
+        assert!(diag != T::default(), "singular triangular factor");
+        row[j] = v / diag;
+    }
+}
+
+trsm_impl!(f32, strsm_right_lower_trans, strsm_right_lower_trans_par);
+trsm_impl!(f64, dtrsm_right_lower_trans, dtrsm_right_lower_trans_par);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{assert_close_f64, random_matrix_f64, spd_matrix_f64};
+    use crate::potrf::dpotrf;
+
+    /// Check `X · Lᵀ == A` after the solve.
+    fn check_solution(l: &[f64], x: &[f64], a: &[f64], n: usize, tol: f64) {
+        let mut recon = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    recon[i * n + j] += x[i * n + k] * l[j * n + k]; // (Lᵀ)[k][j] = L[j][k]
+                }
+            }
+        }
+        assert_close_f64(&recon, a, tol);
+    }
+
+    fn lower_factor(n: usize, seed: u64) -> Vec<f64> {
+        let mut l = spd_matrix_f64(n, seed);
+        dpotrf(&mut l, n).unwrap();
+        l
+    }
+
+    #[test]
+    fn solves_against_identity() {
+        let n = 8;
+        let mut l = vec![0.0f64; n * n];
+        for i in 0..n {
+            l[i * n + i] = 2.0;
+        }
+        let a: Vec<f64> = (0..n * n).map(|i| i as f64).collect();
+        let mut x = a.clone();
+        dtrsm_right_lower_trans(&l, &mut x, n);
+        for i in 0..n * n {
+            assert!((x[i] - a[i] / 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solution_satisfies_the_equation() {
+        for n in [1usize, 3, 10, 40] {
+            let l = lower_factor(n, 5);
+            let a = random_matrix_f64(n, 6);
+            let mut x = a.clone();
+            dtrsm_right_lower_trans(&l, &mut x, n);
+            check_solution(&l, &x, &a, n, 1e-8);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let n = 96;
+        let l = lower_factor(n, 8);
+        let a = random_matrix_f64(n, 9);
+        let mut x1 = a.clone();
+        let mut x2 = a.clone();
+        dtrsm_right_lower_trans(&l, &mut x1, n);
+        dtrsm_right_lower_trans_par(&l, &mut x2, n, 4);
+        assert_close_f64(&x1, &x2, 1e-12);
+    }
+
+    #[test]
+    fn f32_variant_solves() {
+        let n = 4;
+        let mut l = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                l[i * n + j] = if i == j { 3.0 } else { 1.0 };
+            }
+        }
+        let a = vec![1.0f32; n * n];
+        let mut x = a.clone();
+        strsm_right_lower_trans(&l, &mut x, n);
+        // Verify X · Lᵀ = A.
+        for i in 0..n {
+            for j in 0..n {
+                let mut v = 0.0f32;
+                for k in 0..n {
+                    v += x[i * n + k] * l[j * n + k];
+                }
+                assert!((v - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn zero_diagonal_panics() {
+        let l = vec![0.0f64; 4];
+        let mut a = vec![1.0f64; 4];
+        dtrsm_right_lower_trans(&l, &mut a, 2);
+    }
+}

@@ -1,0 +1,246 @@
+//! Native-mode backing store: real per-space byte buffers.
+//!
+//! In native execution every address space — the host and each emulated
+//! accelerator — owns an [`Arena`]: a map from [`DataId`] to a real byte
+//! buffer. Coherence transfers become `memcpy`s between arenas, and kernels
+//! receive slices into the arena of the space they execute in, so a task
+//! scheduled on an emulated GPU genuinely cannot see host memory.
+
+use crate::{AlignedBuf, DataId, MemSpace, Transfer};
+use parking_lot::{Mutex, MutexGuard};
+use std::collections::HashMap;
+
+/// Per-space buffer pools for native execution.
+///
+/// Buffers are lazily created in device spaces on first transfer. All
+/// buffers for one allocation have the registered size; transfers always
+/// move whole allocations (matching the [`Directory`](crate::Directory)'s
+/// handle-granularity coherence).
+pub struct Arena {
+    spaces: Vec<Mutex<HashMap<DataId, AlignedBuf>>>,
+}
+
+impl Arena {
+    /// An arena covering the host plus `devices` device spaces.
+    pub fn new(devices: usize) -> Arena {
+        Arena {
+            spaces: (0..devices + 1).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Number of spaces (host + devices).
+    pub fn space_count(&self) -> usize {
+        self.spaces.len()
+    }
+
+    fn space(&self, s: MemSpace) -> MutexGuard<'_, HashMap<DataId, AlignedBuf>> {
+        self.spaces
+            .get(s.index())
+            .unwrap_or_else(|| panic!("space {s} not present in arena"))
+            .lock()
+    }
+
+    /// Create the host buffer for `data`, initialized from `init`.
+    ///
+    /// # Panics
+    /// Panics if `data` already has a host buffer.
+    pub fn alloc_host(&self, data: DataId, init: &[u8]) {
+        let mut host = self.space(MemSpace::HOST);
+        let prev = host.insert(data, AlignedBuf::from_bytes(init));
+        assert!(prev.is_none(), "{data:?} allocated twice on host");
+    }
+
+    /// Create a zero-filled host buffer of `len` bytes for `data`.
+    pub fn alloc_host_zeroed(&self, data: DataId, len: usize) {
+        let mut host = self.space(MemSpace::HOST);
+        let prev = host.insert(data, AlignedBuf::zeroed(len));
+        assert!(prev.is_none(), "{data:?} allocated twice on host");
+    }
+
+    /// Drop every buffer of `data` in every space.
+    pub fn free(&self, data: DataId) {
+        for s in &self.spaces {
+            s.lock().remove(&data);
+        }
+    }
+
+    /// Perform a real copy for `t`, creating the destination buffer if
+    /// needed.
+    ///
+    /// # Panics
+    /// Panics if the source buffer does not exist or sizes mismatch.
+    pub fn perform(&self, t: &Transfer) {
+        assert_ne!(t.from, t.to, "degenerate transfer");
+        let src = {
+            let from = self.space(t.from);
+            let buf = from
+                .get(&t.data)
+                .unwrap_or_else(|| panic!("{:?} has no buffer in {}", t.data, t.from));
+            assert_eq!(buf.len() as u64, t.bytes, "transfer size mismatch for {:?}", t.data);
+            buf.clone()
+        };
+        self.space(t.to).insert(t.data, src);
+    }
+
+    /// Read the bytes of `data` in `space` (copies out).
+    ///
+    /// # Panics
+    /// Panics if no buffer exists there.
+    pub fn read(&self, data: DataId, space: MemSpace) -> Vec<u8> {
+        self.space(space)
+            .get(&data)
+            .unwrap_or_else(|| panic!("{data:?} has no buffer in {space}"))
+            .as_bytes()
+            .to_vec()
+    }
+
+    /// Overwrite the bytes of `data` in `space`.
+    ///
+    /// # Panics
+    /// Panics if no buffer exists there or the length differs.
+    pub fn write(&self, data: DataId, space: MemSpace, bytes: &[u8]) {
+        let mut guard = self.space(space);
+        let buf = guard
+            .get_mut(&data)
+            .unwrap_or_else(|| panic!("{data:?} has no buffer in {space}"));
+        assert_eq!(buf.len(), bytes.len(), "write size mismatch for {data:?}");
+        buf.as_bytes_mut().copy_from_slice(bytes);
+    }
+
+    /// Whether `data` has a buffer in `space`.
+    pub fn has(&self, data: DataId, space: MemSpace) -> bool {
+        self.space(space).contains_key(&data)
+    }
+
+    /// Materialize a zero-filled buffer of `len` bytes for `data` in
+    /// `space` if none exists yet. Needed for `output`-only accesses on
+    /// devices: no copy-in happens, but the kernel still needs backing
+    /// memory to write into.
+    pub fn ensure(&self, data: DataId, space: MemSpace, len: usize) {
+        self.space(space).entry(data).or_insert_with(|| AlignedBuf::zeroed(len));
+    }
+
+    /// Run `f` with mutable access to the buffer of `data` in `space`.
+    ///
+    /// This is how kernels touch memory: the native engine resolves each
+    /// task access to the executing worker's space and hands the kernel
+    /// closures over these buffers.
+    ///
+    /// # Panics
+    /// Panics if no buffer exists there.
+    pub fn with_mut<R>(&self, data: DataId, space: MemSpace, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        let mut guard = self.space(space);
+        let buf = guard
+            .get_mut(&data)
+            .unwrap_or_else(|| panic!("{data:?} has no buffer in {space}"));
+        f(buf.as_bytes_mut())
+    }
+
+    /// Take the buffers of several allocations out of `space`, run `f`,
+    /// and put them back. This allows a kernel to borrow multiple buffers
+    /// mutably at once without holding the space lock while computing.
+    ///
+    /// # Panics
+    /// Panics if any buffer is missing or an allocation is listed twice.
+    pub fn with_buffers<R>(
+        &self,
+        space: MemSpace,
+        ids: &[DataId],
+        f: impl FnOnce(&mut [AlignedBuf]) -> R,
+    ) -> R {
+        let mut bufs: Vec<AlignedBuf> = Vec::with_capacity(ids.len());
+        {
+            let mut guard = self.space(space);
+            for id in ids {
+                let buf = guard
+                    .remove(id)
+                    .unwrap_or_else(|| panic!("{id:?} has no buffer in {space} (or listed twice)"));
+                bufs.push(buf);
+            }
+        }
+        let result = f(&mut bufs);
+        {
+            let mut guard = self.space(space);
+            for (id, buf) in ids.iter().zip(bufs) {
+                guard.insert(*id, buf);
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transfer(data: DataId, from: MemSpace, to: MemSpace, bytes: u64) -> Transfer {
+        Transfer { data, from, to, bytes }
+    }
+
+    #[test]
+    fn alloc_and_read_host() {
+        let a = Arena::new(2);
+        a.alloc_host(DataId(0), &[1, 2, 3]);
+        assert_eq!(a.read(DataId(0), MemSpace::HOST), vec![1, 2, 3]);
+        assert!(a.has(DataId(0), MemSpace::HOST));
+        assert!(!a.has(DataId(0), MemSpace::device(0)));
+    }
+
+    #[test]
+    fn transfer_copies_bytes_between_spaces() {
+        let a = Arena::new(1);
+        a.alloc_host(DataId(0), &[9, 8, 7, 6]);
+        a.perform(&transfer(DataId(0), MemSpace::HOST, MemSpace::device(0), 4));
+        assert_eq!(a.read(DataId(0), MemSpace::device(0)), vec![9, 8, 7, 6]);
+        // Mutate on device, copy back.
+        a.with_mut(DataId(0), MemSpace::device(0), |b| b[0] = 42);
+        a.perform(&transfer(DataId(0), MemSpace::device(0), MemSpace::HOST, 4));
+        assert_eq!(a.read(DataId(0), MemSpace::HOST), vec![42, 8, 7, 6]);
+    }
+
+    #[test]
+    fn with_buffers_takes_and_restores() {
+        let a = Arena::new(0);
+        a.alloc_host(DataId(0), &[1, 1]);
+        a.alloc_host(DataId(1), &[2, 2]);
+        a.with_buffers(MemSpace::HOST, &[DataId(0), DataId(1)], |bufs| {
+            assert_eq!(bufs.len(), 2);
+            bufs[0].as_bytes_mut()[0] = 10;
+            bufs[1].as_bytes_mut()[1] = 20;
+        });
+        assert_eq!(a.read(DataId(0), MemSpace::HOST), vec![10, 1]);
+        assert_eq!(a.read(DataId(1), MemSpace::HOST), vec![2, 20]);
+    }
+
+    #[test]
+    fn free_drops_all_copies() {
+        let a = Arena::new(1);
+        a.alloc_host(DataId(0), &[5]);
+        a.perform(&transfer(DataId(0), MemSpace::HOST, MemSpace::device(0), 1));
+        a.free(DataId(0));
+        assert!(!a.has(DataId(0), MemSpace::HOST));
+        assert!(!a.has(DataId(0), MemSpace::device(0)));
+    }
+
+    #[test]
+    fn zeroed_allocation() {
+        let a = Arena::new(0);
+        a.alloc_host_zeroed(DataId(3), 8);
+        assert_eq!(a.read(DataId(3), MemSpace::HOST), vec![0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn transfer_size_mismatch_panics() {
+        let a = Arena::new(1);
+        a.alloc_host(DataId(0), &[1, 2]);
+        a.perform(&transfer(DataId(0), MemSpace::HOST, MemSpace::device(0), 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "no buffer")]
+    fn read_missing_buffer_panics() {
+        let a = Arena::new(0);
+        a.read(DataId(0), MemSpace::HOST);
+    }
+}

@@ -1,0 +1,52 @@
+//! A planned data movement between two address spaces.
+
+use crate::{DataId, MemSpace, TransferKind};
+
+/// One data movement the runtime must perform before (or after) a task
+/// executes: copy allocation `data` (`bytes` bytes) from space `from` to
+/// space `to`.
+///
+/// Transfers are produced by the coherence [`Directory`](crate::Directory)
+/// and consumed by an execution engine: the simulator charges them to a
+/// link and a DMA engine; the native engine performs a real `memcpy`
+/// between arenas. Both record them in a
+/// [`TransferStats`](crate::TransferStats).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Transfer {
+    /// The allocation being moved.
+    pub data: DataId,
+    /// Source space (must hold a valid copy).
+    pub from: MemSpace,
+    /// Destination space.
+    pub to: MemSpace,
+    /// Size of the allocation in bytes.
+    pub bytes: u64,
+}
+
+impl Transfer {
+    /// The §V-A accounting category of this transfer.
+    #[inline]
+    pub fn kind(&self) -> TransferKind {
+        TransferKind::classify(self.from, self.to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_follows_endpoints() {
+        let t = Transfer {
+            data: DataId(0),
+            from: MemSpace::HOST,
+            to: MemSpace::device(1),
+            bytes: 8,
+        };
+        assert_eq!(t.kind(), TransferKind::Input);
+        let t = Transfer { from: MemSpace::device(1), to: MemSpace::HOST, ..t };
+        assert_eq!(t.kind(), TransferKind::Output);
+        let t = Transfer { from: MemSpace::device(0), to: MemSpace::device(1), ..t };
+        assert_eq!(t.kind(), TransferKind::Device);
+    }
+}

@@ -1,0 +1,68 @@
+//! Runtime configuration — the analogue of Nanos++ environment variables.
+
+use versa_core::SchedulerKind;
+
+/// Behavioural switches of the runtime. "We can decide which plug-ins
+/// should be enabled through configuration arguments or environment
+/// variables ... there is no need to recompile neither the OmpSs runtime
+/// nor the application" (paper §III) — likewise, every knob here is a
+/// run-time value, so the same application binary can sweep schedulers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RuntimeConfig {
+    /// Scheduling policy plug-in.
+    pub scheduler: SchedulerKind,
+    /// Start a task's transfers when it is *assigned* rather than when
+    /// its worker picks it up, overlapping transfers with computation and
+    /// prefetching queued tasks' data (paper §V-A2). On by default, and
+    /// — as in the paper — independent of the scheduling policy.
+    pub prefetch: bool,
+    /// Whether the implicit `taskwait` at the end of a run flushes all
+    /// device-resident data back to the host. Disable for the
+    /// `taskwait(noflush)` behaviour of paper §III.
+    pub flush_on_wait: bool,
+    /// Record a structured execution trace (simulated engine only).
+    pub trace: bool,
+    /// Relative half-width of the simulated execution-time noise
+    /// (e.g. `0.05` = ±5%); ignored by the native engine.
+    pub noise_sigma: f64,
+}
+
+impl RuntimeConfig {
+    /// Defaults with a given scheduler.
+    pub fn with_scheduler(scheduler: SchedulerKind) -> RuntimeConfig {
+        RuntimeConfig { scheduler, ..RuntimeConfig::default() }
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            scheduler: SchedulerKind::versioning(),
+            prefetch: true,
+            flush_on_wait: true,
+            trace: false,
+            noise_sigma: 0.05,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = RuntimeConfig::default();
+        assert!(c.prefetch, "paper enables transfer/compute overlap + prefetch");
+        assert!(c.flush_on_wait);
+        assert!(!c.trace);
+        assert_eq!(c.scheduler.label(), "ver");
+    }
+
+    #[test]
+    fn with_scheduler_overrides_policy_only() {
+        let c = RuntimeConfig::with_scheduler(SchedulerKind::Affinity);
+        assert_eq!(c.scheduler, SchedulerKind::Affinity);
+        assert!(c.prefetch);
+    }
+}

@@ -1,0 +1,393 @@
+//! Region-based dependence analysis and task-graph bookkeeping.
+//!
+//! OmpSs integrates the StarSs dependence model (paper §III): `input`,
+//! `output` and `inout` clauses over address ranges order tasks. The
+//! runtime computes, per submitted task, the set of earlier tasks it must
+//! wait for:
+//!
+//! * a **read** depends on every previous writer of an overlapping range
+//!   (flow dependence);
+//! * a **write** additionally depends on every previous reader of an
+//!   overlapping range since that write (anti dependence) and on previous
+//!   writers (output dependence) — this runtime does not rename, so WAR
+//!   and WAW must serialize.
+
+use std::collections::HashMap;
+use versa_core::{Assignment, TaskId, TaskInstance, WorkerId};
+use versa_mem::{DataId, Region};
+
+/// Lifecycle of a task inside the graph.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TaskState {
+    /// Waiting for dependencies.
+    Pending,
+    /// All dependencies satisfied; waiting for (or holding) an assignment.
+    Ready,
+    /// Currently executing on a worker.
+    Running,
+    /// Finished.
+    Done,
+}
+
+/// One node of the task graph.
+#[derive(Debug)]
+pub struct TaskNode {
+    /// The task instance (template, accesses, data set size).
+    pub instance: TaskInstance,
+    /// Current lifecycle state.
+    pub state: TaskState,
+    /// Worker/version assignment, once scheduled.
+    pub assignment: Option<Assignment>,
+    /// Worker that executed the most recently *finished* producer of one
+    /// of this task's inputs (the dependency-chain hint).
+    pub chain_hint: Option<WorkerId>,
+    successors: Vec<TaskId>,
+    remaining_deps: usize,
+}
+
+impl TaskNode {
+    /// Tasks that depend on this one.
+    pub fn successors(&self) -> &[TaskId] {
+        &self.successors
+    }
+
+    /// Unsatisfied dependency count.
+    pub fn remaining_deps(&self) -> usize {
+        self.remaining_deps
+    }
+}
+
+#[derive(Default, Debug)]
+struct RegionLog {
+    /// Live writers of ranges of one allocation.
+    writers: Vec<(Region, TaskId)>,
+    /// Readers since those writes.
+    readers: Vec<(Region, TaskId)>,
+}
+
+/// The dynamic task graph: nodes, dependence edges, and the ready frontier.
+#[derive(Default, Debug)]
+pub struct TaskGraph {
+    nodes: Vec<TaskNode>,
+    logs: HashMap<DataId, RegionLog>,
+    newly_ready: Vec<TaskId>,
+    live: usize,
+}
+
+impl TaskGraph {
+    /// Empty graph.
+    pub fn new() -> TaskGraph {
+        TaskGraph::default()
+    }
+
+    /// Number of tasks ever submitted.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no tasks were submitted.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of submitted-but-unfinished tasks.
+    pub fn live_tasks(&self) -> usize {
+        self.live
+    }
+
+    /// Immutable node access.
+    ///
+    /// # Panics
+    /// Panics on an unknown id.
+    pub fn node(&self, id: TaskId) -> &TaskNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable node access (for engines storing assignments).
+    pub fn node_mut(&mut self, id: TaskId) -> &mut TaskNode {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Submit a task: compute its dependence edges from the access log
+    /// and enqueue it in the ready frontier if it has none.
+    ///
+    /// Returns the new task's id (dense, submission order).
+    pub fn submit(&mut self, instance: TaskInstance) -> TaskId {
+        let id = TaskId(self.nodes.len() as u64);
+        assert_eq!(instance.id, id, "task instance id must match submission order");
+
+        // Gather dependencies (deduplicated, only on unfinished tasks).
+        let mut deps: Vec<TaskId> = Vec::new();
+        for (region, mode) in &instance.accesses {
+            let log = self.logs.entry(region.data).or_default();
+            for (wr, writer) in &log.writers {
+                if wr.overlaps(region) && !deps.contains(writer) {
+                    deps.push(*writer);
+                }
+            }
+            if mode.writes() {
+                for (rr, reader) in &log.readers {
+                    if rr.overlaps(region) && !deps.contains(reader) {
+                        deps.push(*reader);
+                    }
+                }
+            }
+        }
+        deps.retain(|d| self.nodes[d.index()].state != TaskState::Done);
+
+        // Update the access logs.
+        for (region, mode) in &instance.accesses {
+            let log = self.logs.entry(region.data).or_default();
+            if mode.writes() {
+                // This write supersedes fully-covered earlier accesses;
+                // keeping partially-covered ones is conservative but
+                // correct (extra edges only).
+                log.writers.retain(|(r, _)| !region.contains(r));
+                log.readers.retain(|(r, _)| !region.contains(r));
+                log.writers.push((*region, id));
+            } else {
+                log.readers.push((*region, id));
+            }
+        }
+
+        let remaining = deps.len();
+        for d in &deps {
+            self.nodes[d.index()].successors.push(id);
+        }
+        self.nodes.push(TaskNode {
+            instance,
+            state: if remaining == 0 { TaskState::Ready } else { TaskState::Pending },
+            assignment: None,
+            chain_hint: None,
+            successors: Vec::new(),
+            remaining_deps: remaining,
+        });
+        self.live += 1;
+        if remaining == 0 {
+            self.newly_ready.push(id);
+        }
+        id
+    }
+
+    /// Drain tasks that became ready since the last call (submission /
+    /// completion order — deterministic).
+    pub fn take_newly_ready(&mut self) -> Vec<TaskId> {
+        std::mem::take(&mut self.newly_ready)
+    }
+
+    /// Record that a task started executing.
+    ///
+    /// # Panics
+    /// Panics unless the task was `Ready`.
+    pub fn mark_running(&mut self, id: TaskId) {
+        let node = &mut self.nodes[id.index()];
+        assert_eq!(node.state, TaskState::Ready, "{id:?} must be ready to run");
+        node.state = TaskState::Running;
+    }
+
+    /// Record a completed execution: successors lose a dependency and the
+    /// ones reaching zero enter the ready frontier with their chain hint
+    /// set to `worker`.
+    ///
+    /// # Panics
+    /// Panics unless the task was `Running`.
+    pub fn complete(&mut self, id: TaskId, worker: WorkerId) {
+        let node = &mut self.nodes[id.index()];
+        assert_eq!(node.state, TaskState::Running, "{id:?} must be running to complete");
+        node.state = TaskState::Done;
+        self.live -= 1;
+        let successors = std::mem::take(&mut self.nodes[id.index()].successors);
+        for s in &successors {
+            let succ = &mut self.nodes[s.index()];
+            succ.remaining_deps -= 1;
+            succ.chain_hint = Some(worker);
+            if succ.remaining_deps == 0 {
+                succ.state = TaskState::Ready;
+                self.newly_ready.push(*s);
+            }
+        }
+        self.nodes[id.index()].successors = successors;
+    }
+
+    /// Whether every submitted task has finished.
+    pub fn all_done(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Iterate over all nodes (for reports).
+    pub fn nodes(&self) -> impl Iterator<Item = &TaskNode> {
+        self.nodes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use versa_core::TemplateId;
+    use versa_mem::AccessMode;
+
+    fn instance(id: u64, accesses: Vec<(Region, AccessMode)>) -> TaskInstance {
+        let size = TaskInstance::data_set_size_of(&accesses, |_| 64);
+        TaskInstance { id: TaskId(id), template: TemplateId(0), accesses, data_set_size: size }
+    }
+
+    fn whole(d: u32) -> Region {
+        Region::whole(DataId(d), 64)
+    }
+
+    #[test]
+    fn independent_tasks_are_immediately_ready() {
+        let mut g = TaskGraph::new();
+        let a = g.submit(instance(0, vec![(whole(0), AccessMode::Out)]));
+        let b = g.submit(instance(1, vec![(whole(1), AccessMode::Out)]));
+        assert_eq!(g.take_newly_ready(), vec![a, b]);
+        assert_eq!(g.live_tasks(), 2);
+    }
+
+    #[test]
+    fn flow_dependence_read_after_write() {
+        let mut g = TaskGraph::new();
+        let w = g.submit(instance(0, vec![(whole(0), AccessMode::Out)]));
+        let r = g.submit(instance(1, vec![(whole(0), AccessMode::In)]));
+        assert_eq!(g.take_newly_ready(), vec![w]);
+        assert_eq!(g.node(r).remaining_deps(), 1);
+        g.mark_running(w);
+        g.complete(w, WorkerId(3));
+        assert_eq!(g.take_newly_ready(), vec![r]);
+        assert_eq!(g.node(r).chain_hint, Some(WorkerId(3)));
+    }
+
+    #[test]
+    fn concurrent_readers_do_not_depend_on_each_other() {
+        let mut g = TaskGraph::new();
+        let w = g.submit(instance(0, vec![(whole(0), AccessMode::Out)]));
+        let r1 = g.submit(instance(1, vec![(whole(0), AccessMode::In)]));
+        let r2 = g.submit(instance(2, vec![(whole(0), AccessMode::In)]));
+        g.take_newly_ready();
+        g.mark_running(w);
+        g.complete(w, WorkerId(0));
+        // Both readers become ready together.
+        assert_eq!(g.take_newly_ready(), vec![r1, r2]);
+    }
+
+    #[test]
+    fn anti_dependence_write_after_read() {
+        let mut g = TaskGraph::new();
+        let w0 = g.submit(instance(0, vec![(whole(0), AccessMode::Out)]));
+        let r = g.submit(instance(1, vec![(whole(0), AccessMode::In)]));
+        let w1 = g.submit(instance(2, vec![(whole(0), AccessMode::Out)]));
+        // w1 must wait for the reader (and transitively the first writer).
+        assert!(g.node(w1).remaining_deps() >= 1);
+        g.take_newly_ready();
+        g.mark_running(w0);
+        g.complete(w0, WorkerId(0));
+        assert_eq!(g.take_newly_ready(), vec![r]);
+        g.mark_running(r);
+        g.complete(r, WorkerId(1));
+        assert_eq!(g.take_newly_ready(), vec![w1]);
+    }
+
+    #[test]
+    fn output_dependence_write_after_write() {
+        let mut g = TaskGraph::new();
+        let w0 = g.submit(instance(0, vec![(whole(0), AccessMode::Out)]));
+        let w1 = g.submit(instance(1, vec![(whole(0), AccessMode::Out)]));
+        assert_eq!(g.node(w1).remaining_deps(), 1);
+        g.take_newly_ready();
+        g.mark_running(w0);
+        g.complete(w0, WorkerId(0));
+        assert_eq!(g.take_newly_ready(), vec![w1]);
+    }
+
+    #[test]
+    fn inout_chain_serializes() {
+        // The matmul pattern: C updated by a chain of inout tasks.
+        let mut g = TaskGraph::new();
+        let t0 = g.submit(instance(0, vec![(whole(0), AccessMode::InOut)]));
+        let t1 = g.submit(instance(1, vec![(whole(0), AccessMode::InOut)]));
+        let t2 = g.submit(instance(2, vec![(whole(0), AccessMode::InOut)]));
+        assert_eq!(g.take_newly_ready(), vec![t0]);
+        g.mark_running(t0);
+        g.complete(t0, WorkerId(0));
+        assert_eq!(g.take_newly_ready(), vec![t1]);
+        g.mark_running(t1);
+        g.complete(t1, WorkerId(0));
+        assert_eq!(g.take_newly_ready(), vec![t2]);
+    }
+
+    #[test]
+    fn disjoint_ranges_do_not_conflict() {
+        let mut g = TaskGraph::new();
+        let a = g.submit(instance(0, vec![(Region::range(DataId(0), 0, 32), AccessMode::Out)]));
+        let b = g.submit(instance(1, vec![(Region::range(DataId(0), 32, 32), AccessMode::Out)]));
+        assert_eq!(g.take_newly_ready(), vec![a, b]);
+    }
+
+    #[test]
+    fn overlapping_ranges_conflict() {
+        let mut g = TaskGraph::new();
+        let _a = g.submit(instance(0, vec![(Region::range(DataId(0), 0, 48), AccessMode::Out)]));
+        let b = g.submit(instance(1, vec![(Region::range(DataId(0), 32, 32), AccessMode::In)]));
+        assert_eq!(g.node(b).remaining_deps(), 1);
+    }
+
+    #[test]
+    fn duplicate_edges_are_collapsed() {
+        // A task reading two regions produced by the same writer gets one
+        // dependency, not two.
+        let mut g = TaskGraph::new();
+        let w = g.submit(instance(
+            0,
+            vec![(whole(0), AccessMode::Out), (whole(1), AccessMode::Out)],
+        ));
+        let r = g.submit(instance(
+            1,
+            vec![(whole(0), AccessMode::In), (whole(1), AccessMode::In)],
+        ));
+        assert_eq!(g.node(r).remaining_deps(), 1);
+        assert_eq!(g.node(w).successors(), &[r]);
+    }
+
+    #[test]
+    fn dependencies_on_done_tasks_are_skipped() {
+        let mut g = TaskGraph::new();
+        let w = g.submit(instance(0, vec![(whole(0), AccessMode::Out)]));
+        g.take_newly_ready();
+        g.mark_running(w);
+        g.complete(w, WorkerId(0));
+        // Submitted after the writer finished: ready immediately.
+        let r = g.submit(instance(1, vec![(whole(0), AccessMode::In)]));
+        assert_eq!(g.take_newly_ready(), vec![r]);
+    }
+
+    #[test]
+    fn full_overwrite_prunes_the_log() {
+        let mut g = TaskGraph::new();
+        for i in 0..100 {
+            g.submit(instance(i, vec![(whole(0), AccessMode::Out)]));
+        }
+        // The log keeps only the latest whole-region writer.
+        assert_eq!(g.logs[&DataId(0)].writers.len(), 1);
+    }
+
+    #[test]
+    fn all_done_tracks_lifecycle() {
+        let mut g = TaskGraph::new();
+        assert!(g.all_done(), "empty graph is trivially done");
+        let a = g.submit(instance(0, vec![(whole(0), AccessMode::Out)]));
+        assert!(!g.all_done());
+        g.take_newly_ready();
+        g.mark_running(a);
+        g.complete(a, WorkerId(0));
+        assert!(g.all_done());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ready")]
+    fn cannot_run_pending_task() {
+        let mut g = TaskGraph::new();
+        let _w = g.submit(instance(0, vec![(whole(0), AccessMode::Out)]));
+        let r = g.submit(instance(1, vec![(whole(0), AccessMode::In)]));
+        g.mark_running(r);
+    }
+}

@@ -1,0 +1,384 @@
+//! Real execution engine: OS worker threads, real memory copies between
+//! per-device arenas, real Rust kernels.
+//!
+//! SMP workers execute kernels on one core each. An *emulated GPU* is a
+//! worker whose kernels may parallelize over [`NativeConfig::gpu_lanes`]
+//! cores ([`KernelCtx::lanes`]) and whose memory is a separate arena
+//! space — it genuinely cannot read host buffers, so the coherence
+//! machinery is exercised for real. Task durations reported to the
+//! scheduler are wall-clock kernel times, so the versioning scheduler
+//! learns real device speed ratios.
+
+use crate::assign::drain_pool;
+use crate::runtime::{EngineKind, NativeFn};
+use crate::{RunReport, Runtime};
+use std::collections::{HashMap, VecDeque};
+use std::ops::Range;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use versa_core::{TaskId, TemplateId, VersionId, WorkerId};
+use versa_mem::{AccessMode, AlignedBuf, Arena, DataId, Region, TransferStats};
+
+/// Native-engine sizing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NativeConfig {
+    /// Number of single-core SMP workers.
+    pub smp_workers: usize,
+    /// Number of emulated GPU devices (one worker each, own memory space).
+    pub gpus: usize,
+    /// Cores an emulated GPU kernel may parallelize over.
+    pub gpu_lanes: usize,
+}
+
+impl NativeConfig {
+    /// `smp` SMP workers + `gpus` emulated GPUs with the default 4 lanes.
+    pub fn new(smp: usize, gpus: usize) -> NativeConfig {
+        NativeConfig { smp_workers: smp, gpus, gpu_lanes: 4 }
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.smp_workers + self.gpus == 0 {
+            return Err("native config has no workers".into());
+        }
+        if self.gpus > 0 && self.gpu_lanes == 0 {
+            return Err("emulated GPUs need at least one lane".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for NativeConfig {
+    fn default() -> Self {
+        NativeConfig::new(2, 1)
+    }
+}
+
+enum Slot {
+    /// Access into a taken-out buffer: index + byte range. `writable` is
+    /// false for an `input` clause aliasing a buffer the task also
+    /// writes (same memory, read-only view).
+    Owned { buf: usize, range: Range<usize>, writable: bool },
+    /// Read-only access: a private snapshot of the region bytes.
+    Snapshot(AlignedBuf),
+}
+
+/// The view a native kernel gets of its task: one argument per access
+/// clause, in declaration order, plus the device parallelism available.
+pub struct KernelCtx<'a> {
+    bufs: &'a mut [AlignedBuf],
+    slots: Vec<Slot>,
+    lanes: usize,
+}
+
+impl KernelCtx<'_> {
+    /// Cores this kernel may use (1 on SMP workers, `gpu_lanes` on
+    /// emulated GPUs).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of arguments (access clauses).
+    pub fn arg_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Raw bytes of argument `i`.
+    pub fn bytes(&self, i: usize) -> &[u8] {
+        match &self.slots[i] {
+            Slot::Owned { buf, range, .. } => &self.bufs[*buf].as_bytes()[range.clone()],
+            Slot::Snapshot(b) => b.as_bytes(),
+        }
+    }
+
+    /// Mutable raw bytes of argument `i`.
+    ///
+    /// # Panics
+    /// Panics if access `i` is an `input` (read-only) clause.
+    pub fn bytes_mut(&mut self, i: usize) -> &mut [u8] {
+        match &self.slots[i] {
+            Slot::Owned { buf, range, writable: true } => {
+                &mut self.bufs[*buf].as_bytes_mut()[range.clone()]
+            }
+            _ => panic!("argument {i} is read-only (input clause)"),
+        }
+    }
+
+    /// Argument `i` as `f64`s.
+    pub fn f64(&self, i: usize) -> &[f64] {
+        let (pre, mid, post) = unsafe { self.bytes(i).align_to::<f64>() };
+        assert!(pre.is_empty() && post.is_empty(), "argument {i} is not f64-aligned");
+        mid
+    }
+
+    /// Argument `i` as mutable `f64`s (write/inout accesses only).
+    pub fn f64_mut(&mut self, i: usize) -> &mut [f64] {
+        let (pre, mid, post) = unsafe { self.bytes_mut(i).align_to_mut::<f64>() };
+        assert!(pre.is_empty() && post.is_empty(), "argument {i} is not f64-aligned");
+        mid
+    }
+
+    /// Argument `i` as `f32`s.
+    pub fn f32(&self, i: usize) -> &[f32] {
+        let (pre, mid, post) = unsafe { self.bytes(i).align_to::<f32>() };
+        assert!(pre.is_empty() && post.is_empty(), "argument {i} is not f32-aligned");
+        mid
+    }
+
+    /// Argument `i` as mutable `f32`s (write/inout accesses only).
+    pub fn f32_mut(&mut self, i: usize) -> &mut [f32] {
+        let (pre, mid, post) = unsafe { self.bytes_mut(i).align_to_mut::<f32>() };
+        assert!(pre.is_empty() && post.is_empty(), "argument {i} is not f32-aligned");
+        mid
+    }
+}
+
+struct WorkItem {
+    task: TaskId,
+    kernel: NativeFn,
+    accesses: Vec<(Region, AccessMode)>,
+}
+
+enum Msg {
+    Work(WorkItem),
+    Stop,
+}
+
+/// One worker thread: receive tasks, run kernels against this worker's
+/// arena space, report wall-clock kernel durations.
+fn worker_loop(
+    rx: mpsc::Receiver<Msg>,
+    done: mpsc::Sender<(WorkerId, TaskId, Result<Duration, String>)>,
+    arena: Arc<Arena>,
+    space: versa_mem::MemSpace,
+    lanes: usize,
+    wid: WorkerId,
+) {
+    while let Ok(Msg::Work(item)) = rx.recv() {
+        let task = item.task;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_item(item, &arena, space, lanes)
+        }))
+        .map_err(|payload| {
+            payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "kernel panicked".to_string())
+        });
+        done.send((wid, task, outcome)).expect("coordinator hung up");
+    }
+}
+
+/// Run one task's kernel against this worker's arena space, returning the
+/// wall-clock kernel time.
+fn execute_item(item: WorkItem, arena: &Arena, space: versa_mem::MemSpace, lanes: usize) -> Duration {
+    // Buffers this task writes are taken out of the arena for the
+    // kernel's duration; read-only arguments are snapshots, so
+    // concurrent transfers sourcing them stay safe.
+    let mut write_ids: Vec<DataId> = Vec::new();
+    for (region, mode) in &item.accesses {
+        if mode.writes() {
+            assert!(
+                !write_ids.contains(&region.data),
+                "task {:?} writes {:?} through two access clauses",
+                item.task,
+                region.data
+            );
+            write_ids.push(region.data);
+        }
+    }
+    arena.with_buffers(space, &write_ids, |bufs| {
+        let slots: Vec<Slot> = item
+            .accesses
+            .iter()
+            .map(|(region, mode)| {
+                let lo = region.offset as usize;
+                let hi = region.end() as usize;
+                if let Some(buf) = write_ids.iter().position(|d| *d == region.data) {
+                    // Reads aliasing a written buffer view the same
+                    // (taken-out) memory, read-only.
+                    Slot::Owned { buf, range: lo..hi, writable: mode.writes() }
+                } else {
+                    let bytes = arena.read(region.data, space);
+                    Slot::Snapshot(AlignedBuf::from_bytes(&bytes[lo..hi]))
+                }
+            })
+            .collect();
+        let mut ctx = KernelCtx { bufs, slots, lanes };
+        let t0 = Instant::now();
+        (item.kernel)(&mut ctx);
+        t0.elapsed()
+    })
+}
+
+/// Run every submitted task to completion on real threads.
+pub(crate) fn run_native(rt: &mut Runtime) -> RunReport {
+    let EngineKind::Native { cfg, arena } = &rt.engine else {
+        unreachable!("run_native on a non-native runtime")
+    };
+    let cfg = cfg.clone();
+    let arena = Arc::clone(arena);
+    let wall0 = Instant::now();
+
+    let mut stats = TransferStats::default();
+    let mut version_counts: HashMap<(TemplateId, VersionId), u64> = HashMap::new();
+    let mut worker_counts = vec![0u64; rt.workers.len()];
+    let mut tasks_executed = 0u64;
+
+    let (done_tx, done_rx) = mpsc::channel();
+
+    std::thread::scope(|scope| {
+        // The work senders live *inside* the scope: if the coordinator
+        // panics mid-run, unwinding drops them, every worker's `recv`
+        // fails, the workers exit, and the scope join completes — the
+        // panic propagates instead of deadlocking.
+        let mut work_txs: Vec<mpsc::Sender<Msg>> = Vec::with_capacity(rt.workers.len());
+        for w in rt.workers.iter() {
+            let (tx, rx) = mpsc::channel();
+            work_txs.push(tx);
+            let done = done_tx.clone();
+            let arena = Arc::clone(&arena);
+            let info = w.info;
+            let lanes = if info.device.shares_host_memory() { 1 } else { cfg.gpu_lanes };
+            scope.spawn(move || worker_loop(rx, done, arena, info.space, lanes, info.id));
+        }
+        // Workers hold the only senders now: if they all die, recv()
+        // errors instead of hanging the coordinator forever.
+        drop(done_tx);
+
+        let mut pool: VecDeque<TaskId> = VecDeque::new();
+        let mut in_flight = 0usize;
+
+        // Assign + dispatch everything currently assignable. Transfers
+        // are performed synchronously here (coordinator order matches
+        // directory order, so sources are always materialized in time).
+        let dispatch = |rt: &mut Runtime,
+                            pool: &mut VecDeque<TaskId>,
+                            in_flight: &mut usize,
+                            stats: &mut TransferStats| {
+            let newly = rt.graph.take_newly_ready();
+            pool.extend(newly);
+            let assigned = drain_pool(
+                &mut *pool,
+                rt.scheduler.as_mut(),
+                &rt.templates,
+                &mut rt.workers,
+                &rt.directory,
+                &mut rt.graph,
+            );
+            for (tid, a) in assigned {
+                let space = rt.workers[a.worker.index()].info.space;
+                let accesses = rt.graph.node(tid).instance.accesses.clone();
+                for (region, mode) in &accesses {
+                    if let Some(t) = rt.directory.acquire(region.data, space, *mode) {
+                        arena.perform(&t);
+                        stats.record(t.kind(), t.bytes);
+                    }
+                    if mode.writes() {
+                        // Output-only accesses get no copy-in, but the
+                        // kernel still needs backing memory in `space`.
+                        arena.ensure(region.data, space, rt.directory.bytes(region.data) as usize);
+                    }
+                }
+                let template = rt.graph.node(tid).instance.template;
+                let kernel = rt
+                    .kernels
+                    .get(&(template, a.version))
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "no native kernel bound for ({:?}, {:?})",
+                            rt.templates.get(template).name,
+                            a.version
+                        )
+                    })
+                    .clone();
+                rt.graph.mark_running(tid);
+                work_txs[a.worker.index()]
+                    .send(Msg::Work(WorkItem { task: tid, kernel, accesses }))
+                    .expect("worker thread died");
+                *in_flight += 1;
+            }
+        };
+
+        dispatch(rt, &mut pool, &mut in_flight, &mut stats);
+
+        while !rt.graph.all_done() {
+            assert!(
+                in_flight > 0,
+                "native engine stalled with {} live tasks and {} pooled tasks",
+                rt.graph.live_tasks(),
+                pool.len()
+            );
+            let (wid, tid, outcome) = done_rx.recv().expect("all workers died");
+            let measured = match outcome {
+                Ok(d) => d,
+                Err(msg) => panic!("kernel for {tid:?} on {wid:?} panicked: {msg}"),
+            };
+            in_flight -= 1;
+
+            let q = rt.workers[wid.index()]
+                .start_next()
+                .expect("completion from a worker with an empty queue");
+            assert_eq!(q.task, tid, "worker completions must be FIFO");
+            rt.workers[wid.index()].finish(tid);
+            rt.graph.complete(tid, wid);
+
+            let assignment = rt.graph.node(tid).assignment.expect("completed task was assigned");
+            rt.scheduler.task_finished(&rt.graph.node(tid).instance, assignment, measured);
+            *version_counts
+                .entry((rt.graph.node(tid).instance.template, assignment.version))
+                .or_insert(0) += 1;
+            worker_counts[wid.index()] += 1;
+            tasks_executed += 1;
+
+            dispatch(rt, &mut pool, &mut in_flight, &mut stats);
+        }
+
+        for tx in &work_txs {
+            let _ = tx.send(Msg::Stop);
+        }
+    });
+
+    if rt.config.flush_on_wait {
+        for t in rt.directory.flush_all_to_host() {
+            arena.perform(&t);
+            stats.record(t.kind(), t.bytes);
+        }
+    }
+
+    RunReport {
+        scheduler: rt.scheduler.name().to_string(),
+        makespan: wall0.elapsed(),
+        tasks_executed,
+        transfers: stats,
+        version_counts,
+        worker_task_counts: worker_counts,
+        profile_table: rt
+            .scheduler
+            .as_versioning()
+            .map(|v| v.profiles().render_table(&rt.templates)),
+        trace: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_config_validation() {
+        assert!(NativeConfig::new(2, 1).validate().is_ok());
+        assert!(NativeConfig { smp_workers: 0, gpus: 0, gpu_lanes: 4 }.validate().is_err());
+        assert!(NativeConfig { smp_workers: 1, gpus: 1, gpu_lanes: 0 }.validate().is_err());
+        assert!(NativeConfig { smp_workers: 0, gpus: 1, gpu_lanes: 2 }.validate().is_ok());
+    }
+
+    #[test]
+    fn default_config_is_small_but_valid() {
+        let c = NativeConfig::default();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.gpu_lanes, 4);
+    }
+}

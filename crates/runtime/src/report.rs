@@ -1,0 +1,154 @@
+//! Run reports: everything the paper's evaluation section measures.
+
+use std::collections::HashMap;
+use std::time::Duration;
+use versa_core::{TemplateId, TemplateRegistry, VersionId};
+use versa_mem::TransferStats;
+
+/// Measurements of one `run()` (one taskwait region): the quantities
+/// behind every figure of the paper's §V — makespan (→ GFLOP/s or wall
+/// time), bytes transferred per category, and per-version execution
+/// counts.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Scheduler policy name.
+    pub scheduler: String,
+    /// End-to-end completion time of the region (virtual time in the
+    /// simulated engine, wall time in the native engine), including the
+    /// final flush when enabled.
+    pub makespan: Duration,
+    /// Number of tasks executed in this run.
+    pub tasks_executed: u64,
+    /// Transfer accounting (paper Figs. 7, 10, 13).
+    pub transfers: TransferStats,
+    /// Executions per (template, version) (paper Figs. 8, 11, 14, 15).
+    pub version_counts: HashMap<(TemplateId, VersionId), u64>,
+    /// Tasks executed per worker, indexed by worker id.
+    pub worker_task_counts: Vec<u64>,
+    /// Rendered Table I-style profile dump (versioning scheduler only).
+    pub profile_table: Option<String>,
+    /// The structured execution trace, when [`RuntimeConfig::trace`] was
+    /// set (simulated engine only). Analyze with
+    /// [`versa_sim::TraceAnalysis`].
+    ///
+    /// [`RuntimeConfig::trace`]: crate::RuntimeConfig::trace
+    pub trace: Option<versa_sim::Trace>,
+}
+
+impl RunReport {
+    /// Achieved GFLOP/s given the run's useful floating-point work.
+    pub fn gflops(&self, flops: f64) -> f64 {
+        flops / self.makespan.as_secs_f64() / 1e9
+    }
+
+    /// Executions of each version of `template`, in version order
+    /// (missing versions count 0).
+    pub fn version_histogram(&self, template: TemplateId, n_versions: usize) -> Vec<u64> {
+        (0..n_versions)
+            .map(|v| {
+                self.version_counts.get(&(template, VersionId(v as u16))).copied().unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Share (0..=1) of `template` executions that each version took.
+    pub fn version_shares(&self, template: TemplateId, n_versions: usize) -> Vec<f64> {
+        let hist = self.version_histogram(template, n_versions);
+        let total: u64 = hist.iter().sum();
+        if total == 0 {
+            return vec![0.0; n_versions];
+        }
+        hist.into_iter().map(|c| c as f64 / total as f64).collect()
+    }
+
+    /// Human-readable one-run summary.
+    pub fn summary(&self, registry: &TemplateRegistry) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "scheduler={} makespan={:.3}s tasks={}",
+            self.scheduler,
+            self.makespan.as_secs_f64(),
+            self.tasks_executed
+        );
+        let _ = writeln!(
+            out,
+            "transfers: input={:.1}MB output={:.1}MB device={:.1}MB",
+            self.transfers.input_bytes as f64 / 1e6,
+            self.transfers.output_bytes as f64 / 1e6,
+            self.transfers.device_bytes as f64 / 1e6,
+        );
+        for tpl in registry.iter() {
+            let hist = self.version_histogram(tpl.id, tpl.version_count());
+            if hist.iter().sum::<u64>() == 0 {
+                continue;
+            }
+            let _ = write!(out, "{}:", tpl.name);
+            for (i, count) in hist.iter().enumerate() {
+                let _ = write!(out, " {}={}", tpl.version(VersionId(i as u16)).name, count);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use versa_core::DeviceKind;
+
+    fn report() -> RunReport {
+        let mut version_counts = HashMap::new();
+        version_counts.insert((TemplateId(0), VersionId(0)), 90);
+        version_counts.insert((TemplateId(0), VersionId(2)), 10);
+        RunReport {
+            scheduler: "versioning".into(),
+            makespan: Duration::from_secs(2),
+            tasks_executed: 100,
+            transfers: TransferStats::default(),
+            version_counts,
+            worker_task_counts: vec![5, 5, 45, 45],
+            profile_table: None,
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn gflops_normalizes_by_makespan() {
+        let r = report();
+        // 200 GFLOP over 2 s = 100 GFLOP/s.
+        assert!((r.gflops(200e9) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_fills_missing_versions_with_zero() {
+        let r = report();
+        assert_eq!(r.version_histogram(TemplateId(0), 3), vec![90, 0, 10]);
+        assert_eq!(r.version_histogram(TemplateId(9), 2), vec![0, 0]);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let r = report();
+        let shares = r.version_shares(TemplateId(0), 3);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((shares[0] - 0.9).abs() < 1e-12);
+        assert_eq!(r.version_shares(TemplateId(9), 2), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn summary_names_versions() {
+        let mut reg = TemplateRegistry::new();
+        reg.template("matmul_tile")
+            .main("cublas", &[DeviceKind::Cuda])
+            .version("cuda", &[DeviceKind::Cuda])
+            .version("cblas", &[DeviceKind::Smp])
+            .register();
+        let s = report().summary(&reg);
+        assert!(s.contains("cublas=90"));
+        assert!(s.contains("cblas=10"));
+        assert!(s.contains("scheduler=versioning"));
+    }
+}

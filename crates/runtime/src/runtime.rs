@@ -1,0 +1,541 @@
+//! The user-facing runtime: data allocation, task submission, execution.
+
+use crate::graph::TaskGraph;
+use crate::native::{KernelCtx, NativeConfig};
+use crate::{RunReport, RuntimeConfig};
+use std::collections::HashMap;
+use std::sync::Arc;
+use versa_core::{
+    make_scheduler, DeviceKind, Scheduler, TaskId, TaskInstance, TemplateBuilder, TemplateId,
+    TemplateRegistry, VersionId, VersioningScheduler, WorkerId, WorkerInfo, WorkerState,
+};
+use versa_mem::{AccessMode, Arena, DataId, Directory, MemSpace, Region};
+use versa_sim::{CostTable, PlatformConfig};
+
+/// A task implementation body for native execution.
+pub type NativeFn = Arc<dyn Fn(&mut KernelCtx<'_>) + Send + Sync>;
+
+pub(crate) enum EngineKind {
+    /// Virtual-time execution on a simulated heterogeneous node.
+    Sim { platform: PlatformConfig },
+    /// Real execution on OS threads with emulated accelerator devices.
+    Native { cfg: NativeConfig, arena: Arc<Arena> },
+}
+
+/// The versa runtime: an OmpSs-like task runtime with multi-version task
+/// scheduling.
+///
+/// Construct with [`Runtime::simulated`] (virtual time; reproduces the
+/// paper's experiments without GPUs) or [`Runtime::native`] (real threads,
+/// real memory copies, real kernels). Then:
+///
+/// 1. register task templates and their versions ([`Runtime::template`]);
+/// 2. bind execution costs ([`Runtime::bind_cost`], simulated runs) and/or
+///    kernel bodies ([`Runtime::bind_native`], native runs);
+/// 3. allocate data ([`Runtime::alloc_bytes`], [`Runtime::alloc_from_f64`], …);
+/// 4. submit tasks ([`Runtime::task`] / [`Runtime::submit`]);
+/// 5. [`Runtime::run`] — the `taskwait`: executes everything submitted so
+///    far and returns a [`RunReport`].
+///
+/// State (data placement, scheduler profiles) persists across `run()`
+/// calls, so iterative applications keep benefiting from what the
+/// versioning scheduler has learned.
+///
+/// ```
+/// use std::time::Duration;
+/// use versa_core::{DeviceKind, SchedulerKind, VersionId};
+/// use versa_runtime::{Runtime, RuntimeConfig};
+/// use versa_sim::PlatformConfig;
+///
+/// let mut rt = Runtime::simulated(
+///     RuntimeConfig::with_scheduler(SchedulerKind::versioning()),
+///     PlatformConfig::minotauro(2, 1),
+/// );
+/// let task = rt
+///     .template("axpy")
+///     .main("axpy_cuda", &[DeviceKind::Cuda])
+///     .version("axpy_smp", &[DeviceKind::Smp])
+///     .register();
+/// rt.bind_cost(task, VersionId(0), |_| Duration::from_millis(1));
+/// rt.bind_cost(task, VersionId(1), |_| Duration::from_millis(8));
+///
+/// let x = rt.alloc_bytes(1 << 20);
+/// let y = rt.alloc_bytes(1 << 20);
+/// for _ in 0..20 {
+///     rt.task(task).read(x).read_write(y).submit();
+/// }
+/// let report = rt.run();
+/// assert_eq!(report.tasks_executed, 20);
+/// assert!(report.makespan > Duration::ZERO);
+/// ```
+pub struct Runtime {
+    pub(crate) config: RuntimeConfig,
+    pub(crate) templates: TemplateRegistry,
+    pub(crate) directory: Directory,
+    pub(crate) graph: TaskGraph,
+    pub(crate) workers: Vec<WorkerState>,
+    pub(crate) scheduler: Box<dyn Scheduler>,
+    pub(crate) costs: CostTable,
+    pub(crate) kernels: HashMap<(TemplateId, VersionId), NativeFn>,
+    pub(crate) engine: EngineKind,
+    pub(crate) run_count: u64,
+    next_data: u32,
+}
+
+impl Runtime {
+    fn make_workers(smp: usize, gpus: usize) -> Vec<WorkerState> {
+        let mut workers = Vec::with_capacity(smp + gpus);
+        for i in 0..smp {
+            workers.push(WorkerState::new(WorkerInfo {
+                id: WorkerId(i as u16),
+                device: DeviceKind::Smp,
+                space: MemSpace::HOST,
+            }));
+        }
+        for g in 0..gpus {
+            workers.push(WorkerState::new(WorkerInfo {
+                id: WorkerId((smp + g) as u16),
+                device: DeviceKind::Cuda,
+                space: MemSpace::device(g as u16),
+            }));
+        }
+        workers
+    }
+
+    /// Runtime over the simulated heterogeneous node.
+    ///
+    /// # Panics
+    /// Panics if `platform` fails validation.
+    pub fn simulated(config: RuntimeConfig, platform: PlatformConfig) -> Runtime {
+        platform.validate().expect("invalid platform");
+        let workers = Self::make_workers(platform.smp_workers, platform.gpus);
+        let scheduler = make_scheduler(&config.scheduler);
+        Runtime {
+            config,
+            templates: TemplateRegistry::new(),
+            directory: Directory::new(),
+            graph: TaskGraph::new(),
+            workers,
+            scheduler,
+            costs: CostTable::new(),
+            kernels: HashMap::new(),
+            engine: EngineKind::Sim { platform },
+            run_count: 0,
+            next_data: 0,
+        }
+    }
+
+    /// Runtime executing for real on OS threads. SMP workers run kernels
+    /// on one core each; each emulated GPU runs kernels on an internal
+    /// pool of [`NativeConfig::gpu_lanes`] cores, giving it a genuine
+    /// speed advantage for parallel kernels.
+    pub fn native(config: RuntimeConfig, native: NativeConfig) -> Runtime {
+        native.validate().expect("invalid native config");
+        let workers = Self::make_workers(native.smp_workers, native.gpus);
+        let scheduler = make_scheduler(&config.scheduler);
+        let arena = Arc::new(Arena::new(native.gpus));
+        Runtime {
+            config,
+            templates: TemplateRegistry::new(),
+            directory: Directory::new(),
+            graph: TaskGraph::new(),
+            workers,
+            scheduler,
+            costs: CostTable::new(),
+            kernels: HashMap::new(),
+            engine: EngineKind::Native { cfg: native, arena },
+            run_count: 0,
+            next_data: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The registered templates.
+    pub fn templates(&self) -> &TemplateRegistry {
+        &self.templates
+    }
+
+    /// Worker descriptions (SMP workers first, then one per GPU).
+    pub fn workers(&self) -> Vec<WorkerInfo> {
+        self.workers.iter().map(|w| w.info).collect()
+    }
+
+    /// Start declaring a task template (the `#pragma omp task` +
+    /// `implements` annotations of paper Fig. 4).
+    pub fn template(&mut self, name: &str) -> TemplateBuilder<'_> {
+        self.templates.template(name)
+    }
+
+    /// Bind a simulated execution-time model for one version.
+    pub fn bind_cost(
+        &mut self,
+        template: TemplateId,
+        version: VersionId,
+        f: impl Fn(u64) -> std::time::Duration + Send + Sync + 'static,
+    ) {
+        self.costs.set_fn(template, version, f);
+    }
+
+    /// Bind a native kernel body for one version.
+    pub fn bind_native(
+        &mut self,
+        template: TemplateId,
+        version: VersionId,
+        f: impl Fn(&mut KernelCtx<'_>) + Send + Sync + 'static,
+    ) {
+        self.kernels.insert((template, version), Arc::new(f));
+    }
+
+    /// Replace or tweak the scheduling policy in place (e.g. to install
+    /// a baseline with non-default parameters). Only do this before any
+    /// task has been submitted; swapping mid-run discards learned state.
+    pub fn scheduler_mut(&mut self) -> &mut Box<dyn Scheduler> {
+        &mut self.scheduler
+    }
+
+    /// The versioning scheduler, if that is the configured policy — for
+    /// seeding profile hints or reading the learned Table I.
+    pub fn versioning(&self) -> Option<&VersioningScheduler> {
+        self.scheduler.as_versioning()
+    }
+
+    /// Mutable access to the versioning scheduler, if configured.
+    pub fn versioning_mut(&mut self) -> Option<&mut VersioningScheduler> {
+        self.scheduler.as_versioning_mut()
+    }
+
+    // ------------------------------------------------------------------
+    // Data management
+    // ------------------------------------------------------------------
+
+    fn register_data(&mut self, bytes: u64) -> DataId {
+        let id = DataId(self.next_data);
+        self.next_data += 1;
+        self.directory.register(id, bytes, MemSpace::HOST);
+        id
+    }
+
+    /// Allocate `bytes` bytes of runtime-managed data (zero-filled in
+    /// native mode; contentless in simulated mode).
+    pub fn alloc_bytes(&mut self, bytes: u64) -> DataId {
+        let id = self.register_data(bytes);
+        if let EngineKind::Native { arena, .. } = &self.engine {
+            arena.alloc_host_zeroed(id, bytes as usize);
+        }
+        id
+    }
+
+    /// Allocate runtime-managed data initialized from an `f64` slice.
+    pub fn alloc_from_f64(&mut self, init: &[f64]) -> DataId {
+        let bytes: Vec<u8> = init.iter().flat_map(|v| v.to_ne_bytes()).collect();
+        let id = self.register_data(bytes.len() as u64);
+        if let EngineKind::Native { arena, .. } = &self.engine {
+            arena.alloc_host(id, &bytes);
+        }
+        id
+    }
+
+    /// Allocate runtime-managed data initialized from an `f32` slice.
+    pub fn alloc_from_f32(&mut self, init: &[f32]) -> DataId {
+        let bytes: Vec<u8> = init.iter().flat_map(|v| v.to_ne_bytes()).collect();
+        let id = self.register_data(bytes.len() as u64);
+        if let EngineKind::Native { arena, .. } = &self.engine {
+            arena.alloc_host(id, &bytes);
+        }
+        id
+    }
+
+    /// Size of an allocation in bytes.
+    pub fn data_bytes(&self, id: DataId) -> u64 {
+        self.directory.bytes(id)
+    }
+
+    /// Free a runtime-managed allocation: the directory forgets it and
+    /// (in native mode) every copy is dropped.
+    ///
+    /// # Panics
+    /// Panics if tasks touching the allocation are still in flight.
+    pub fn free(&mut self, id: DataId) {
+        assert!(self.graph.all_done(), "free of {id:?} while tasks are in flight; run() first");
+        self.directory.unregister(id);
+        if let EngineKind::Native { arena, .. } = &self.engine {
+            arena.free(id);
+        }
+    }
+
+    /// Serialize the versioning scheduler's learned profile to the hints
+    /// text format (paper §VII: a file "written by OmpSs runtime from a
+    /// previous application's execution"). Returns `None` when another
+    /// policy is active.
+    pub fn save_hints(&self) -> Option<String> {
+        self.scheduler
+            .as_versioning()
+            .map(|v| versa_core::profile::render_hints(v.profiles(), &self.templates))
+    }
+
+    /// Seed the versioning scheduler from hints text produced by
+    /// [`Runtime::save_hints`]. Returns `(applied, skipped)` record
+    /// counts, or an error for malformed text.
+    ///
+    /// # Panics
+    /// Panics if the active policy is not the versioning scheduler.
+    pub fn load_hints(&mut self, text: &str) -> Result<(usize, usize), versa_core::profile::HintsError> {
+        let records = versa_core::profile::parse_hints(text)?;
+        let templates = self.templates.clone();
+        let scheduler = self
+            .scheduler
+            .as_versioning_mut()
+            .expect("load_hints requires the versioning scheduler");
+        Ok(versa_core::profile::apply_hints(scheduler.profiles_mut(), &templates, &records))
+    }
+
+    /// Read data back as `f64`s, flushing the latest copy to the host
+    /// first (the `taskwait on(...)` idiom). Native engine only.
+    ///
+    /// # Panics
+    /// Panics in simulated mode (there are no bytes to read) or if tasks
+    /// touching the datum are still in flight (call [`Runtime::run`]
+    /// first).
+    pub fn read_f64(&mut self, id: DataId) -> Vec<f64> {
+        let bytes = self.read_bytes(id);
+        bytes.chunks_exact(8).map(|c| f64::from_ne_bytes(c.try_into().unwrap())).collect()
+    }
+
+    /// Read data back as `f32`s (see [`Runtime::read_f64`]).
+    pub fn read_f32(&mut self, id: DataId) -> Vec<f32> {
+        let bytes = self.read_bytes(id);
+        bytes.chunks_exact(4).map(|c| f32::from_ne_bytes(c.try_into().unwrap())).collect()
+    }
+
+    fn read_bytes(&mut self, id: DataId) -> Vec<u8> {
+        assert!(self.graph.all_done(), "read of {id:?} while tasks are in flight; run() first");
+        let EngineKind::Native { arena, .. } = &self.engine else {
+            panic!("read_bytes is only available on the native engine");
+        };
+        if let Some(t) = self.directory.flush_to_host(id) {
+            arena.perform(&t);
+        }
+        arena.read(id, MemSpace::HOST)
+    }
+
+    // ------------------------------------------------------------------
+    // Task submission
+    // ------------------------------------------------------------------
+
+    /// Submit a task instance with explicit accesses.
+    pub fn submit(&mut self, template: TemplateId, accesses: Vec<(Region, AccessMode)>) -> TaskId {
+        for (region, _) in &accesses {
+            let bytes = self.directory.bytes(region.data);
+            assert!(
+                region.end() <= bytes,
+                "access {region:?} exceeds allocation size {bytes}"
+            );
+        }
+        let data_set_size =
+            TaskInstance::data_set_size_of(&accesses, |d| self.directory.bytes(d));
+        let id = TaskId(self.graph.len() as u64);
+        self.graph.submit(TaskInstance { id, template, accesses, data_set_size })
+    }
+
+    /// Fluent task submission: `rt.task(tpl).read(a).read(b).read_write(c).submit()`.
+    pub fn task(&mut self, template: TemplateId) -> TaskSubmitter<'_> {
+        TaskSubmitter { rt: self, template, accesses: Vec::new() }
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Execute every submitted-but-unfinished task to completion — the
+    /// implicit `taskwait` — and report what happened. With
+    /// [`RuntimeConfig::flush_on_wait`] set, device-resident data is
+    /// flushed back to host memory at the end (and accounted as Output
+    /// Tx).
+    pub fn run(&mut self) -> RunReport {
+        let report = match &self.engine {
+            EngineKind::Sim { .. } => crate::sim_engine::run_sim(self),
+            EngineKind::Native { .. } => crate::native::run_native(self),
+        };
+        self.run_count += 1;
+        report
+    }
+
+    /// Like [`Runtime::run`], but without the trailing flush — the
+    /// `taskwait(noflush)` of paper §III: tasks synchronize, but data is
+    /// left wherever it lives (typically on the devices), so a following
+    /// batch can reuse it without round-tripping through host memory.
+    pub fn run_noflush(&mut self) -> RunReport {
+        let saved = self.config.flush_on_wait;
+        self.config.flush_on_wait = false;
+        let report = self.run();
+        self.config.flush_on_wait = saved;
+        report
+    }
+}
+
+/// Builder returned by [`Runtime::task`].
+pub struct TaskSubmitter<'a> {
+    rt: &'a mut Runtime,
+    template: TemplateId,
+    accesses: Vec<(Region, AccessMode)>,
+}
+
+impl TaskSubmitter<'_> {
+    /// `input(...)` clause over a whole allocation.
+    pub fn read(mut self, data: DataId) -> Self {
+        let bytes = self.rt.directory.bytes(data);
+        self.accesses.push((Region::whole(data, bytes), AccessMode::In));
+        self
+    }
+
+    /// `output(...)` clause over a whole allocation.
+    pub fn write(mut self, data: DataId) -> Self {
+        let bytes = self.rt.directory.bytes(data);
+        self.accesses.push((Region::whole(data, bytes), AccessMode::Out));
+        self
+    }
+
+    /// `inout(...)` clause over a whole allocation.
+    pub fn read_write(mut self, data: DataId) -> Self {
+        let bytes = self.rt.directory.bytes(data);
+        self.accesses.push((Region::whole(data, bytes), AccessMode::InOut));
+        self
+    }
+
+    /// An explicit sub-range access (array-section dependence).
+    pub fn region(mut self, region: Region, mode: AccessMode) -> Self {
+        self.accesses.push((region, mode));
+        self
+    }
+
+    /// Create the task.
+    pub fn submit(self) -> TaskId {
+        let TaskSubmitter { rt, template, accesses } = self;
+        rt.submit(template, accesses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use versa_core::SchedulerKind;
+
+    fn sim_runtime() -> Runtime {
+        Runtime::simulated(
+            RuntimeConfig::with_scheduler(SchedulerKind::DepAware),
+            PlatformConfig::minotauro(2, 1),
+        )
+    }
+
+    #[test]
+    fn workers_are_smp_then_gpu() {
+        let rt = sim_runtime();
+        let infos = rt.workers();
+        assert_eq!(infos.len(), 3);
+        assert_eq!(infos[0].device, DeviceKind::Smp);
+        assert_eq!(infos[1].device, DeviceKind::Smp);
+        assert_eq!(infos[2].device, DeviceKind::Cuda);
+        assert_eq!(infos[2].space, MemSpace::device(0));
+    }
+
+    #[test]
+    fn alloc_registers_in_directory() {
+        let mut rt = sim_runtime();
+        let a = rt.alloc_bytes(1024);
+        assert_eq!(rt.data_bytes(a), 1024);
+        let b = rt.alloc_from_f64(&[1.0, 2.0, 3.0]);
+        assert_eq!(rt.data_bytes(b), 24);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn task_builder_computes_data_set_size() {
+        let mut rt = sim_runtime();
+        let tpl = rt
+            .template("t")
+            .main("smp", &[DeviceKind::Smp])
+            .register();
+        let a = rt.alloc_bytes(100);
+        let c = rt.alloc_bytes(50);
+        let id = rt.task(tpl).read(a).read_write(c).submit();
+        assert_eq!(rt.graph.node(id).instance.data_set_size, 150);
+        assert_eq!(rt.graph.node(id).instance.accesses.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds allocation size")]
+    fn oversized_region_rejected() {
+        let mut rt = sim_runtime();
+        let tpl = rt.template("t").main("smp", &[DeviceKind::Smp]).register();
+        let a = rt.alloc_bytes(10);
+        let _ = rt
+            .task(tpl)
+            .region(Region::range(a, 0, 20), AccessMode::In)
+            .submit();
+    }
+
+    #[test]
+    fn free_forgets_the_allocation() {
+        let mut rt = sim_runtime();
+        let a = rt.alloc_bytes(10);
+        rt.free(a);
+        // The id can be observed gone via the directory.
+        assert!(rt.directory.state(a).is_none());
+    }
+
+    #[test]
+    fn hints_roundtrip_through_runtime_api() {
+        let mut rt = Runtime::simulated(
+            RuntimeConfig::default(),
+            PlatformConfig::minotauro(1, 1),
+        );
+        let tpl = rt
+            .template("t")
+            .main("t_gpu", &[DeviceKind::Cuda])
+            .version("t_smp", &[DeviceKind::Smp])
+            .register();
+        rt.versioning_mut().unwrap().profiles_mut().seed(
+            tpl,
+            2,
+            1000,
+            versa_core::VersionId(0),
+            std::time::Duration::from_millis(5),
+            10,
+        );
+        let text = rt.save_hints().expect("versioning active");
+        assert!(text.contains("hint t 0"));
+        let mut rt2 = Runtime::simulated(
+            RuntimeConfig::default(),
+            PlatformConfig::minotauro(1, 1),
+        );
+        let _tpl2 = rt2
+            .template("t")
+            .main("t_gpu", &[DeviceKind::Cuda])
+            .version("t_smp", &[DeviceKind::Smp])
+            .register();
+        let (applied, skipped) = rt2.load_hints(&text).unwrap();
+        assert_eq!((applied, skipped), (1, 0));
+        assert!(rt2.load_hints("garbage line").is_err());
+    }
+
+    #[test]
+    fn save_hints_is_none_for_baselines() {
+        let rt = sim_runtime();
+        assert!(rt.save_hints().is_none());
+    }
+
+    #[test]
+    fn versioning_accessor_matches_policy() {
+        let rt = sim_runtime();
+        assert!(rt.versioning().is_none());
+        let rt2 = Runtime::simulated(
+            RuntimeConfig::default(),
+            PlatformConfig::minotauro(1, 1),
+        );
+        assert!(rt2.versioning().is_some());
+    }
+}

@@ -1,0 +1,288 @@
+//! Virtual-time execution engine.
+//!
+//! Drives the task graph and scheduler over the simulated heterogeneous
+//! node of `versa-sim`: per-worker FIFO queues, kernel durations from the
+//! cost table (+ seeded noise), transfers on finite-bandwidth links with
+//! transfer/compute overlap and data prefetch. The scheduler only ever
+//! observes assignments and measured durations, never the cost table.
+
+use crate::assign::drain_pool;
+use crate::runtime::EngineKind;
+use crate::{RunReport, Runtime};
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+use versa_core::{TaskId, TemplateId, VersionId, WorkerId};
+use versa_mem::Transfer;
+use versa_sim::{EventQueue, NoiseModel, SimTime, Trace, TraceEvent, TransferEngine};
+
+struct SimState {
+    xfer: TransferEngine,
+    noise: NoiseModel,
+    events: EventQueue<(WorkerId, TaskId)>,
+    pool: VecDeque<TaskId>,
+    /// Per-GPU LRU residency trackers when device memory is finite.
+    caches: Option<Vec<versa_mem::DeviceCache>>,
+    /// Per-worker kernel-duration multipliers (mixed-generation GPUs).
+    speed: Vec<f64>,
+    /// Completion time of prefetch transfers per task.
+    deadlines: HashMap<TaskId, SimTime>,
+    /// Sampled compute duration of in-flight tasks.
+    durations: HashMap<TaskId, Duration>,
+    trace: Trace,
+    version_counts: HashMap<(TemplateId, VersionId), u64>,
+    worker_counts: Vec<u64>,
+    tasks_executed: u64,
+}
+
+/// Run every submitted task to completion in virtual time.
+pub(crate) fn run_sim(rt: &mut Runtime) -> RunReport {
+    let EngineKind::Sim { platform } = &rt.engine else {
+        unreachable!("run_sim on a non-simulated runtime")
+    };
+    let platform = platform.clone();
+    let mut st = SimState {
+        xfer: TransferEngine::new(&platform),
+        noise: NoiseModel::new(rt.config.noise_sigma, platform.seed.wrapping_add(rt.run_count)),
+        events: EventQueue::new(),
+        pool: VecDeque::new(),
+        caches: platform.gpu_mem_capacity.map(|cap| {
+            (0..platform.gpus).map(|_| versa_mem::DeviceCache::new(cap)).collect()
+        }),
+        speed: rt
+            .workers
+            .iter()
+            .map(|w| match w.info.space.device_index() {
+                Some(d) => platform.gpu_speed_factor(usize::from(d)),
+                None => 1.0,
+            })
+            .collect(),
+        deadlines: HashMap::new(),
+        durations: HashMap::new(),
+        trace: Trace::new(),
+        version_counts: HashMap::new(),
+        worker_counts: vec![0; rt.workers.len()],
+        tasks_executed: 0,
+    };
+    if rt.config.trace {
+        st.trace.enable();
+    }
+
+    let mut now = SimTime::ZERO;
+    pump(rt, &mut st, now);
+    start_idle_workers(rt, &mut st, now);
+
+    while let Some((time, (wid, tid))) = st.events.pop() {
+        now = time;
+        on_completion(rt, &mut st, now, wid, tid);
+        pump(rt, &mut st, now);
+        start_idle_workers(rt, &mut st, now);
+    }
+
+    assert!(
+        rt.graph.all_done() && st.pool.is_empty(),
+        "simulation stalled with {} live tasks and {} pooled tasks — \
+         is some template missing a compatible worker?",
+        rt.graph.live_tasks(),
+        st.pool.len()
+    );
+
+    // The implicit taskwait: flush device-resident data home.
+    let mut end = now;
+    if rt.config.flush_on_wait {
+        for t in rt.directory.flush_all_to_host() {
+            let done = st.xfer.schedule(&t, now);
+            record_transfers(&mut st.trace, &[t], now, done);
+            end = end.max(done);
+        }
+    }
+
+    RunReport {
+        scheduler: rt.scheduler.name().to_string(),
+        makespan: end.as_duration(),
+        tasks_executed: st.tasks_executed,
+        transfers: *st.xfer.stats(),
+        version_counts: st.version_counts,
+        worker_task_counts: st.worker_counts,
+        profile_table: rt
+            .scheduler
+            .as_versioning()
+            .map(|v| v.profiles().render_table(&rt.templates)),
+        trace: if rt.config.trace { Some(st.trace) } else { None },
+    }
+}
+
+/// Handle one task completion at virtual time `now`.
+fn on_completion(rt: &mut Runtime, st: &mut SimState, now: SimTime, wid: WorkerId, tid: TaskId) {
+    rt.workers[wid.index()].finish(tid);
+    rt.graph.complete(tid, wid);
+
+    let space = rt.workers[wid.index()].info.space;
+    let assignment = rt.graph.node(tid).assignment.expect("completed task had an assignment");
+    for (region, mode) in &rt.graph.node(tid).instance.accesses {
+        if mode.writes() {
+            st.xfer.mark_produced(region.data, space, now);
+        }
+    }
+    let measured = st.durations.remove(&tid).expect("in-flight task had a sampled duration");
+    rt.scheduler.task_finished(&rt.graph.node(tid).instance, assignment, measured);
+
+    *st.version_counts
+        .entry((rt.graph.node(tid).instance.template, assignment.version))
+        .or_insert(0) += 1;
+    st.worker_counts[wid.index()] += 1;
+    st.tasks_executed += 1;
+    st.trace.record(TraceEvent::TaskEnd { time: now, task: tid, worker: wid });
+}
+
+/// Assign newly-ready and pooled tasks; prefetch their data if enabled.
+fn pump(rt: &mut Runtime, st: &mut SimState, now: SimTime) {
+    let newly = rt.graph.take_newly_ready();
+    st.pool.extend(newly);
+    let assigned = drain_pool(
+        &mut st.pool,
+        rt.scheduler.as_mut(),
+        &rt.templates,
+        &mut rt.workers,
+        &rt.directory,
+        &mut rt.graph,
+    );
+    if !rt.config.prefetch {
+        return;
+    }
+    for (tid, a) in assigned {
+        let deadline = stage_task_data(rt, st, tid, a.worker, now);
+        st.deadlines.insert(tid, deadline);
+    }
+}
+
+/// Resolve a task's accesses in its worker's space: evict from a full
+/// device memory (writing back sole copies), then schedule the required
+/// copy-ins. Returns the time by which the task's data is in place.
+fn stage_task_data(
+    rt: &mut Runtime,
+    st: &mut SimState,
+    tid: TaskId,
+    worker: WorkerId,
+    now: SimTime,
+) -> SimTime {
+    let space = rt.workers[worker.index()].info.space;
+    let accesses = rt.graph.node(tid).instance.accesses.clone();
+    let mut deadline = now;
+
+    // Capacity management (finite GPU memories only): make room for the
+    // task's working set before the copy-ins are planned.
+    if let (Some(caches), Some(dev)) = (&mut st.caches, space.device_index()) {
+        let cache = &mut caches[usize::from(dev)];
+        // Pin this task's working set plus the running task's (its
+        // kernel is touching that memory right now). Prefetched data of
+        // merely *queued* tasks may be evicted — those tasks re-stage
+        // when they start (see `start_idle_workers`), exactly like a
+        // bounded prefetch window on real hardware.
+        let mut pinned = Vec::with_capacity(accesses.len());
+        for (region, _) in &accesses {
+            cache.insert(region.data, rt.directory.bytes(region.data));
+            if !pinned.contains(&region.data) {
+                pinned.push(region.data);
+            }
+        }
+        if let Some(running) = rt.workers[worker.index()].running() {
+            if running.task != tid {
+                for (region, _) in &rt.graph.node(running.task).instance.accesses {
+                    if !pinned.contains(&region.data) {
+                        pinned.push(region.data);
+                    }
+                }
+            }
+        }
+        for victim in cache.evict_to_capacity(&pinned) {
+            if rt.directory.is_sole_copy(victim, space) {
+                let wb = rt
+                    .directory
+                    .flush_to_host(victim)
+                    .expect("sole device copy needs a write-back");
+                let end = st.xfer.schedule(&wb, now);
+                record_transfers(&mut st.trace, &[wb], now, end);
+                deadline = deadline.max(end);
+            }
+            rt.directory.invalidate(victim, space);
+        }
+    }
+
+    let mut transfers = Vec::new();
+    for (region, mode) in &accesses {
+        if let Some(t) = rt.directory.acquire(region.data, space, *mode) {
+            transfers.push(t);
+        }
+    }
+    let end = st.xfer.schedule_all(&transfers, now);
+    record_transfers(&mut st.trace, &transfers, now, end);
+    deadline.max(end)
+}
+
+fn record_transfers(trace: &mut Trace, transfers: &[Transfer], start: SimTime, end: SimTime) {
+    if !trace.is_enabled() {
+        return;
+    }
+    for t in transfers {
+        trace.record(TraceEvent::Transfer {
+            start,
+            end,
+            data: t.data,
+            from: t.from,
+            to: t.to,
+            bytes: t.bytes,
+        });
+    }
+}
+
+/// Let every idle worker begin its next queued task.
+fn start_idle_workers(rt: &mut Runtime, st: &mut SimState, now: SimTime) {
+    for wi in 0..rt.workers.len() {
+        if rt.workers[wi].running().is_some() {
+            continue;
+        }
+        let Some(q) = rt.workers[wi].start_next() else { continue };
+        let tid = q.task;
+        rt.graph.mark_running(tid);
+        let wid = rt.workers[wi].info.id;
+        let space = rt.workers[wi].info.space;
+
+        // Data readiness: prefetch deadline (or acquire now), plus any
+        // in-flight copies of read data headed to this space.
+        let mut ready = now;
+        if rt.config.prefetch {
+            if let Some(d) = st.deadlines.remove(&tid) {
+                ready = ready.max(d);
+            }
+            if st.caches.is_some() {
+                // Finite device memory: prefetched tiles may have been
+                // evicted while this task sat in the queue — re-stage
+                // whatever is missing (no-op when everything is still
+                // resident).
+                ready = ready.max(stage_task_data(rt, st, tid, wid, now));
+            }
+        } else {
+            ready = ready.max(stage_task_data(rt, st, tid, wid, now));
+        }
+        for (region, mode) in &rt.graph.node(tid).instance.accesses {
+            if mode.reads() {
+                ready = ready.max(st.xfer.ready_at(region.data, space));
+            }
+        }
+
+        let inst = &rt.graph.node(tid).instance;
+        let base = rt.costs.duration(inst.template, q.version, inst.data_set_size);
+        let scaled = base.mul_f64(st.speed[wi]);
+        let duration = st.noise.sample(scaled);
+        let start = ready.max(now);
+        let end = start + duration;
+        st.durations.insert(tid, duration);
+        st.events.push(end, (wid, tid));
+        st.trace.record(TraceEvent::TaskStart {
+            time: start,
+            task: tid,
+            worker: wid,
+            version: q.version,
+        });
+    }
+}

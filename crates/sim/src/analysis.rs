@@ -1,0 +1,262 @@
+//! Trace analysis: utilization, link occupancy, and timeline export.
+//!
+//! Turns a recorded [`Trace`] into the aggregate views a performance
+//! engineer would pull from Paraver on the real Nanos++ runtime:
+//! per-worker busy time / utilization, per-category transfer occupancy,
+//! and a CSV timeline for external plotting.
+
+use crate::{SimTime, Trace, TraceEvent};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+use versa_core::WorkerId;
+use versa_mem::TransferKind;
+
+/// One executed interval on a worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskInterval {
+    /// The worker that executed.
+    pub worker: WorkerId,
+    /// Task start.
+    pub start: SimTime,
+    /// Task end.
+    pub end: SimTime,
+}
+
+/// Aggregated view of one trace.
+#[derive(Clone, Debug)]
+pub struct TraceAnalysis {
+    /// End of the last event in the trace.
+    pub span: SimTime,
+    /// Busy (compute) time per worker id.
+    pub busy: HashMap<WorkerId, Duration>,
+    /// Executed intervals per worker, in start order.
+    pub intervals: Vec<TaskInterval>,
+    /// Total link-busy time per transfer category.
+    pub transfer_time: HashMap<TransferKind, Duration>,
+    /// Number of tasks that executed.
+    pub task_count: usize,
+    /// Number of transfers that occurred.
+    pub transfer_count: usize,
+}
+
+impl TraceAnalysis {
+    /// Analyze a trace. Start/end events are matched per task; a
+    /// `TaskStart` without its `TaskEnd` (truncated trace) is ignored.
+    pub fn new(trace: &Trace) -> TraceAnalysis {
+        let mut starts: HashMap<u64, (WorkerId, SimTime)> = HashMap::new();
+        let mut busy: HashMap<WorkerId, Duration> = HashMap::new();
+        let mut intervals = Vec::new();
+        let mut transfer_time: HashMap<TransferKind, Duration> = HashMap::new();
+        let mut span = SimTime::ZERO;
+        let mut transfer_count = 0;
+        for ev in trace.events() {
+            match *ev {
+                TraceEvent::TaskStart { time, task, worker, .. } => {
+                    starts.insert(task.0, (worker, time));
+                }
+                TraceEvent::TaskEnd { time, task, worker } => {
+                    span = span.max(time);
+                    if let Some((w, start)) = starts.remove(&task.0) {
+                        debug_assert_eq!(w, worker, "task moved workers mid-flight");
+                        *busy.entry(worker).or_default() += time - start;
+                        intervals.push(TaskInterval { worker, start, end: time });
+                    }
+                }
+                TraceEvent::Transfer { start, end, from, to, .. } => {
+                    span = span.max(end);
+                    let kind = TransferKind::classify(from, to);
+                    *transfer_time.entry(kind).or_default() += end - start;
+                    transfer_count += 1;
+                }
+            }
+        }
+        intervals.sort_by_key(|i| (i.start, i.worker));
+        let task_count = intervals.len();
+        TraceAnalysis { span, busy, intervals, transfer_time, task_count, transfer_count }
+    }
+
+    /// Fraction of the trace span a worker spent computing (0..=1).
+    pub fn utilization(&self, worker: WorkerId) -> f64 {
+        if self.span == SimTime::ZERO {
+            return 0.0;
+        }
+        self.busy.get(&worker).copied().unwrap_or(Duration::ZERO).as_secs_f64()
+            / self.span.as_duration().as_secs_f64()
+    }
+
+    /// Check that no worker ever ran two tasks at once; returns the
+    /// first violating pair if any (a simulator-correctness invariant
+    /// used by the test suite).
+    pub fn find_overlap(&self) -> Option<(TaskInterval, TaskInterval)> {
+        let mut last_end: HashMap<WorkerId, TaskInterval> = HashMap::new();
+        for &iv in &self.intervals {
+            if let Some(&prev) = last_end.get(&iv.worker) {
+                if iv.start < prev.end {
+                    return Some((prev, iv));
+                }
+            }
+            let slot = last_end.entry(iv.worker).or_insert(iv);
+            if iv.end > slot.end {
+                *slot = iv;
+            }
+        }
+        None
+    }
+
+    /// Render a per-worker utilization summary.
+    pub fn utilization_table(&self) -> String {
+        let mut workers: Vec<WorkerId> = self.busy.keys().copied().collect();
+        workers.sort_unstable();
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<8} {:>10} {:>8}", "worker", "busy (ms)", "util %");
+        for w in workers {
+            let busy = self.busy[&w];
+            let _ = writeln!(
+                out,
+                "{:<8} {:>10.1} {:>8.1}",
+                w.to_string(),
+                busy.as_secs_f64() * 1e3,
+                100.0 * self.utilization(w)
+            );
+        }
+        out
+    }
+}
+
+/// Export a trace as CSV (`kind,start_ns,end_ns,who,what`) for external
+/// timeline tools.
+pub fn to_csv(trace: &Trace) -> String {
+    let mut out = String::from("kind,start_ns,end_ns,who,what\n");
+    let mut open: HashMap<u64, (WorkerId, SimTime, u16)> = HashMap::new();
+    for ev in trace.events() {
+        match *ev {
+            TraceEvent::TaskStart { time, task, worker, version } => {
+                open.insert(task.0, (worker, time, version.0));
+            }
+            TraceEvent::TaskEnd { time, task, .. } => {
+                if let Some((worker, start, version)) = open.remove(&task.0) {
+                    let _ = writeln!(
+                        out,
+                        "task,{},{},w{},t{}v{version}",
+                        start.0, time.0, worker.0, task.0
+                    );
+                }
+            }
+            TraceEvent::Transfer { start, end, data, from, to, bytes } => {
+                let _ = writeln!(
+                    out,
+                    "transfer,{},{},{from}->{to},{data:?}:{bytes}B",
+                    start.0, end.0
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use versa_core::{TaskId, VersionId};
+    use versa_mem::{DataId, MemSpace};
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.enable();
+        let start = |time, task, worker| TraceEvent::TaskStart {
+            time: SimTime(time),
+            task: TaskId(task),
+            worker: WorkerId(worker),
+            version: VersionId(0),
+        };
+        let end = |time, task, worker| TraceEvent::TaskEnd {
+            time: SimTime(time),
+            task: TaskId(task),
+            worker: WorkerId(worker),
+        };
+        t.record(start(0, 1, 0));
+        t.record(end(100, 1, 0));
+        t.record(start(100, 2, 0));
+        t.record(end(250, 2, 0));
+        t.record(start(50, 3, 1));
+        t.record(end(150, 3, 1));
+        t.record(TraceEvent::Transfer {
+            start: SimTime(0),
+            end: SimTime(40),
+            data: DataId(0),
+            from: MemSpace::HOST,
+            to: MemSpace::device(0),
+            bytes: 64,
+        });
+        t
+    }
+
+    #[test]
+    fn busy_time_sums_intervals() {
+        let a = TraceAnalysis::new(&sample_trace());
+        assert_eq!(a.busy[&WorkerId(0)], Duration::from_nanos(250));
+        assert_eq!(a.busy[&WorkerId(1)], Duration::from_nanos(100));
+        assert_eq!(a.task_count, 3);
+        assert_eq!(a.transfer_count, 1);
+        assert_eq!(a.span, SimTime(250));
+    }
+
+    #[test]
+    fn utilization_is_busy_over_span() {
+        let a = TraceAnalysis::new(&sample_trace());
+        assert!((a.utilization(WorkerId(0)) - 1.0).abs() < 1e-12);
+        assert!((a.utilization(WorkerId(1)) - 0.4).abs() < 1e-12);
+        assert_eq!(a.utilization(WorkerId(9)), 0.0);
+    }
+
+    #[test]
+    fn transfer_occupancy_by_category() {
+        let a = TraceAnalysis::new(&sample_trace());
+        assert_eq!(a.transfer_time[&TransferKind::Input], Duration::from_nanos(40));
+        assert!(!a.transfer_time.contains_key(&TransferKind::Device));
+    }
+
+    #[test]
+    fn no_overlap_in_well_formed_trace() {
+        let a = TraceAnalysis::new(&sample_trace());
+        assert_eq!(a.find_overlap(), None);
+    }
+
+    #[test]
+    fn overlap_is_detected() {
+        let mut t = sample_trace();
+        t.record(TraceEvent::TaskStart {
+            time: SimTime(200),
+            task: TaskId(9),
+            worker: WorkerId(0),
+            version: VersionId(0),
+        });
+        t.record(TraceEvent::TaskEnd {
+            time: SimTime(300),
+            task: TaskId(9),
+            worker: WorkerId(0),
+        });
+        // Task 9 on w0 starts at 200, but task 2 runs until 250.
+        let a = TraceAnalysis::new(&t);
+        assert!(a.find_overlap().is_some());
+    }
+
+    #[test]
+    fn csv_lists_tasks_and_transfers() {
+        let csv = to_csv(&sample_trace());
+        assert!(csv.starts_with("kind,start_ns,end_ns"));
+        assert!(csv.contains("task,0,100,w0,t1v0"));
+        assert!(csv.contains("transfer,0,40,host->dev0,d0:64B"));
+        assert_eq!(csv.lines().count(), 1 + 3 + 1);
+    }
+
+    #[test]
+    fn utilization_table_renders() {
+        let a = TraceAnalysis::new(&sample_trace());
+        let table = a.utilization_table();
+        assert!(table.contains("w0"));
+        assert!(table.contains("100.0"));
+        assert!(table.contains("40.0"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # versa-sim — deterministic heterogeneous-node simulation substrate
+//!
+//! The paper evaluates on a MinoTauro node (2× Intel Xeon E5649 6-core +
+//! 2× NVIDIA M2090, 24 GB host / 6 GB per GPU). This crate provides the
+//! building blocks to *simulate* such a node deterministically, so the
+//! scheduler experiments reproduce without the hardware:
+//!
+//! * [`SimTime`] — a virtual clock (nanosecond resolution).
+//! * [`EventQueue`] — a deterministic discrete-event queue (FIFO among
+//!   simultaneous events).
+//! * [`PlatformConfig`] — node description: SMP worker count, GPU count,
+//!   per-GPU PCIe link bandwidth/latency, peer-to-peer capability, and
+//!   per-device peak GFLOP/s (for report normalization).
+//! * [`CostTable`] + [`NoiseModel`] — per-(template, version) execution
+//!   time models with seeded multiplicative noise. The *scheduler never
+//!   sees this table*; it only observes completed-task durations, exactly
+//!   as on real hardware.
+//! * [`TransferEngine`] — virtual-time DMA: transfers occupy links,
+//!   respect data production times, may overlap with compute (prefetch),
+//!   and are accounted in the paper's Input/Output/Device Tx categories.
+//! * [`Trace`] — optional structured event traces for tests and debugging.
+//!
+//! The actual task-execution event loop lives in `versa-runtime`
+//! (`SimEngine`), which combines these pieces with the task graph and a
+//! scheduler.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod cost;
+mod event;
+mod platform;
+mod time;
+mod trace;
+mod transfer;
+
+pub use analysis::{TaskInterval, TraceAnalysis};
+pub use cost::{CostTable, NoiseModel};
+pub use event::EventQueue;
+pub use platform::{LinkConfig, PlatformConfig};
+pub use time::SimTime;
+pub use trace::{Trace, TraceEvent};
+pub use transfer::TransferEngine;

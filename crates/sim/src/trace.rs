@@ -1,0 +1,161 @@
+//! Structured execution traces (for tests, debugging and Fig. 5-style
+//! narratives).
+
+use crate::SimTime;
+use versa_core::{TaskId, VersionId, WorkerId};
+use versa_mem::{DataId, MemSpace};
+
+/// One traced simulation event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A task began executing on a worker.
+    TaskStart {
+        /// When.
+        time: SimTime,
+        /// Which task.
+        task: TaskId,
+        /// On which worker.
+        worker: WorkerId,
+        /// As which implementation.
+        version: VersionId,
+    },
+    /// A task finished executing.
+    TaskEnd {
+        /// When.
+        time: SimTime,
+        /// Which task.
+        task: TaskId,
+        /// On which worker.
+        worker: WorkerId,
+    },
+    /// A data transfer occupied a link from `start` to `end`.
+    Transfer {
+        /// Transfer start (after source/link availability).
+        start: SimTime,
+        /// Transfer completion.
+        end: SimTime,
+        /// The allocation moved.
+        data: DataId,
+        /// Source space.
+        from: MemSpace,
+        /// Destination space.
+        to: MemSpace,
+        /// Bytes moved.
+        bytes: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's (primary) timestamp, for ordering checks.
+    pub fn time(&self) -> SimTime {
+        match self {
+            TraceEvent::TaskStart { time, .. } | TraceEvent::TaskEnd { time, .. } => *time,
+            TraceEvent::Transfer { start, .. } => *start,
+        }
+    }
+}
+
+/// An append-only event trace. Disabled by default: recording is a no-op
+/// until [`Trace::enable`] is called, so hot paths can trace
+/// unconditionally.
+#[derive(Default, Debug, Clone)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A disabled trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Start recording.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled).
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// All recorded events in record order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events concerning one task.
+    pub fn task_events(&self, task: TaskId) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| match e {
+            TraceEvent::TaskStart { task: t, .. } | TraceEvent::TaskEnd { task: t, .. } => {
+                *t == task
+            }
+            TraceEvent::Transfer { .. } => false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(t: u64, task: u64, w: u16) -> TraceEvent {
+        TraceEvent::TaskStart {
+            time: SimTime(t),
+            task: TaskId(task),
+            worker: WorkerId(w),
+            version: VersionId(0),
+        }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut tr = Trace::new();
+        assert!(!tr.is_enabled());
+        tr.record(start(0, 1, 0));
+        assert!(tr.is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_accumulates() {
+        let mut tr = Trace::new();
+        tr.enable();
+        tr.record(start(0, 1, 0));
+        tr.record(TraceEvent::TaskEnd { time: SimTime(10), task: TaskId(1), worker: WorkerId(0) });
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.task_events(TaskId(1)).count(), 2);
+        assert_eq!(tr.task_events(TaskId(2)).count(), 0);
+    }
+
+    #[test]
+    fn event_time_accessor() {
+        let e = TraceEvent::Transfer {
+            start: SimTime(5),
+            end: SimTime(9),
+            data: DataId(0),
+            from: MemSpace::HOST,
+            to: MemSpace::device(0),
+            bytes: 64,
+        };
+        assert_eq!(e.time(), SimTime(5));
+        assert_eq!(start(3, 0, 0).time(), SimTime(3));
+    }
+}

@@ -1,0 +1,63 @@
+//! The paper's motivating application (§II, §V-B1): tiled matrix
+//! multiplication with three task versions — CUBLAS (main), hand-coded
+//! CUDA, and CBLAS on the SMP. Compares mm-gpu against mm-hyb under the
+//! versioning scheduler on the simulated 2-GPU node.
+//!
+//! ```text
+//! cargo run --release --example matmul_hybrid
+//! ```
+
+use versa::apps::matmul::{self, MatmulConfig, MatmulVariant};
+use versa::prelude::*;
+
+fn main() {
+    let cfg = MatmulConfig::paper();
+    println!(
+        "matmul: {}x{} f64, {}x{} tiles -> {} gemm tasks\n",
+        cfg.n,
+        cfg.n,
+        cfg.bs,
+        cfg.bs,
+        cfg.task_count()
+    );
+    println!("{:<22} {:>10} {:>12} {:>12}", "configuration", "GFLOP/s", "input MB", "SMP tasks");
+
+    for gpus in [1usize, 2] {
+        for smp in [1usize, 8] {
+            let platform = PlatformConfig::minotauro(smp, gpus);
+            let gpu_only = matmul::run_sim(
+                cfg,
+                MatmulVariant::Gpu,
+                SchedulerKind::Affinity,
+                platform.clone(),
+            );
+            println!(
+                "{:<22} {:>10.0} {:>12.0} {:>12}",
+                format!("mm-gpu  {gpus}G/{smp}S aff"),
+                gpu_only.gflops(cfg.flops()),
+                gpu_only.transfers.input_bytes as f64 / 1e6,
+                "-"
+            );
+
+            let mut rt = Runtime::simulated(
+                RuntimeConfig::with_scheduler(SchedulerKind::versioning()),
+                platform,
+            );
+            let app = matmul::build(&mut rt, cfg, MatmulVariant::Hybrid);
+            let hybrid = rt.run();
+            let hist = hybrid.version_histogram(app.template, 3);
+            println!(
+                "{:<22} {:>10.0} {:>12.0} {:>12}",
+                format!("mm-hyb  {gpus}G/{smp}S ver"),
+                hybrid.gflops(cfg.flops()),
+                hybrid.transfers.input_bytes as f64 / 1e6,
+                hist[2]
+            );
+        }
+    }
+    println!(
+        "\nAdding the pure-SMP CBLAS version to the source (one extra annotated \
+         function) lets idle cores absorb ~10% of the tiles — without touching \
+         the original GPU code path."
+    );
+}

@@ -1,0 +1,51 @@
+//! Native-engine demonstration: the same multi-version matmul, executed
+//! for real — OS worker threads, real copies between per-device memory
+//! arenas, real Rust GEMM kernels — with the result verified against a
+//! serial reference.
+//!
+//! ```text
+//! cargo run --release --example native_matmul
+//! ```
+
+use versa::apps::matmul::{self, MatmulConfig, MatmulVariant};
+use versa::prelude::*;
+use versa::runtime::NativeConfig;
+
+fn main() {
+    let cfg = MatmulConfig { n: 768, bs: 192 }; // 4×4 tiles, 64 real gemm tasks
+    println!(
+        "native matmul: {}x{} f64, {} tasks, 2 SMP workers + 2 emulated GPUs (4 lanes each)\n",
+        cfg.n,
+        cfg.n,
+        cfg.task_count()
+    );
+
+    for sched in [SchedulerKind::Affinity, SchedulerKind::versioning()] {
+        let label = sched.label();
+        let variant = if matches!(sched, SchedulerKind::Versioning(_)) {
+            MatmulVariant::Hybrid
+        } else {
+            MatmulVariant::Gpu
+        };
+        let t0 = std::time::Instant::now();
+        let (report, data) = matmul::run_native(
+            cfg,
+            variant,
+            sched,
+            NativeConfig { smp_workers: 2, gpus: 2, gpu_lanes: 4 },
+            42,
+        );
+        let err = data.max_error();
+        println!(
+            "{:<8} wall {:>6.0} ms  tasks {:>3}  transfers {:>5.1} MB  max |err| {:.2e}",
+            label,
+            t0.elapsed().as_secs_f64() * 1e3,
+            report.tasks_executed,
+            report.transfers.total_bytes() as f64 / 1e6,
+            err
+        );
+        assert!(err < 1e-9, "numerical verification failed");
+    }
+    println!("\nboth schedulers produce bit-identical-quality results; the versioning");
+    println!("scheduler additionally learned real wall-clock kernel times per device.");
+}

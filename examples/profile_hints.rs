@@ -1,0 +1,73 @@
+//! External profile hints (paper §VII future work): save a learned
+//! profile after one run and warm-start a fresh runtime with it, skipping
+//! the learning phase entirely.
+//!
+//! ```text
+//! cargo run --example profile_hints
+//! ```
+
+use std::time::Duration;
+use versa::core::profile::{apply_hints, parse_hints, render_hints};
+use versa::prelude::*;
+
+fn build_runtime() -> (Runtime, versa::core::TemplateId, Vec<DataId>) {
+    let mut rt = Runtime::simulated(
+        RuntimeConfig::with_scheduler(SchedulerKind::versioning()),
+        PlatformConfig::minotauro(2, 1),
+    );
+    let tpl = rt
+        .template("filter")
+        .main("filter_cuda", &[DeviceKind::Cuda])
+        .version("filter_smp", &[DeviceKind::Smp])
+        .register();
+    rt.bind_cost(tpl, VersionId(0), |_| Duration::from_millis(4));
+    rt.bind_cost(tpl, VersionId(1), |_| Duration::from_millis(400));
+    let tiles: Vec<DataId> = (0..60).map(|_| rt.alloc_bytes(1 << 18)).collect();
+    (rt, tpl, tiles)
+}
+
+fn main() {
+    // ---- Run 1: cold start; the scheduler must learn. -----------------
+    let (mut rt, tpl, tiles) = build_runtime();
+    for &t in &tiles {
+        rt.task(tpl).read_write(t).submit();
+    }
+    let cold = rt.run();
+    let slow_runs_cold = cold.version_histogram(tpl, 2)[1];
+    println!(
+        "cold run : makespan {:.1} ms, slow SMP version ran {} times (learning)",
+        cold.makespan.as_secs_f64() * 1e3,
+        slow_runs_cold
+    );
+
+    // Save what was learned — the paper suggests a file "written by
+    // OmpSs runtime from a previous application's execution".
+    let hints_text =
+        render_hints(rt.versioning().unwrap().profiles(), rt.templates());
+    let path = std::env::temp_dir().join("versa_filter.hints");
+    std::fs::write(&path, &hints_text).expect("write hints file");
+    println!("saved learned profile to {}:\n{hints_text}", path.display());
+
+    // ---- Run 2: warm start from the hints file. -----------------------
+    let (mut rt2, tpl2, tiles2) = build_runtime();
+    let text = std::fs::read_to_string(&path).expect("read hints file");
+    let records = parse_hints(&text).expect("well-formed hints");
+    let templates = rt2.templates().clone();
+    let (applied, skipped) =
+        apply_hints(rt2.versioning_mut().unwrap().profiles_mut(), &templates, &records);
+    println!("warm start: applied {applied} hint records ({skipped} skipped)");
+
+    for &t in &tiles2 {
+        rt2.task(tpl2).read_write(t).submit();
+    }
+    let warm = rt2.run();
+    let slow_runs_warm = warm.version_histogram(tpl2, 2)[1];
+    println!(
+        "warm run : makespan {:.1} ms, slow SMP version ran {} times",
+        warm.makespan.as_secs_f64() * 1e3,
+        slow_runs_warm
+    );
+    assert!(slow_runs_cold >= 3, "cold run must pay the λ learning executions");
+    assert_eq!(slow_runs_warm, 0, "hints should skip the learning phase entirely");
+    println!("\nthe warm-started scheduler goes straight to the earliest-executor phase.");
+}

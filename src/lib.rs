@@ -1,0 +1,37 @@
+//! # versa — self-adaptive task versioning for heterogeneous environments
+//!
+//! A production-quality Rust reproduction of *Self-Adaptive OmpSs Tasks in
+//! Heterogeneous Environments* (Planas, Badia, Ayguadé, Labarta — IPDPS
+//! 2013): an OmpSs-like task runtime in which a task may carry several
+//! *implementations* (SMP, GPU, …) and a **versioning scheduler** learns
+//! their per-size execution times at run time and assigns every task
+//! instance to its *earliest executor*.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — task/version model, execution profiles, schedulers.
+//! * [`mem`] — memory spaces, coherence directory, transfer accounting.
+//! * [`sim`] — deterministic discrete-event simulator of an SMP+GPU node.
+//! * [`runtime`] — the task runtime (dependence analysis + engines).
+//! * [`kernels`] — pure-Rust BLAS-like and PBPI computational kernels.
+//! * [`apps`] — the paper's applications (matmul, Cholesky, PBPI).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use versa_apps as apps;
+pub use versa_core as core;
+pub use versa_kernels as kernels;
+pub use versa_mem as mem;
+pub use versa_runtime as runtime;
+pub use versa_sim as sim;
+
+/// Convenient glob import: `use versa::prelude::*;`.
+pub mod prelude {
+    pub use versa_core::{
+        Assignment, DeviceKind, Scheduler, SchedulerKind, TaskInstance, TemplateId, VersionId,
+        WorkerId,
+    };
+    pub use versa_mem::{AccessMode, DataId, MemSpace, Region, TransferStats};
+    pub use versa_runtime::{Runtime, RuntimeConfig, RunReport};
+    pub use versa_sim::{PlatformConfig, SimTime};
+}

@@ -1,0 +1,87 @@
+//! Finite GPU memory: the runtime manages each device memory as an LRU
+//! cache, evicting tiles (with write-back for sole copies) when the
+//! working set exceeds capacity — and re-uploading them on reuse.
+
+use std::time::Duration;
+use versa::prelude::*;
+
+/// A GPU-only workload whose full data set exceeds a small device memory
+/// but whose per-task working set fits.
+fn run_with_capacity(capacity: Option<u64>, rounds: usize) -> RunReport {
+    let mut platform = PlatformConfig::minotauro(1, 1);
+    platform.gpu_mem_capacity = capacity;
+    let mut rt =
+        Runtime::simulated(RuntimeConfig::with_scheduler(SchedulerKind::DepAware), platform);
+    let tpl = rt.template("t").main("t_gpu", &[DeviceKind::Cuda]).register();
+    rt.bind_cost(tpl, VersionId(0), |_| Duration::from_micros(100));
+    // 8 tiles of 1 MB; device memory (when finite) holds only 3.
+    let tiles: Vec<DataId> = (0..8).map(|_| rt.alloc_bytes(1_000_000)).collect();
+    for _ in 0..rounds {
+        for &t in &tiles {
+            rt.task(tpl).read_write(t).submit();
+        }
+    }
+    rt.run()
+}
+
+#[test]
+fn unlimited_memory_uploads_each_tile_once() {
+    let report = run_with_capacity(None, 3);
+    // 8 uploads, tiles stay resident across rounds, 8 flushes at the end.
+    assert_eq!(report.transfers.input_bytes, 8_000_000);
+    assert_eq!(report.transfers.output_bytes, 8_000_000);
+}
+
+#[test]
+fn finite_memory_causes_reuploads_and_writebacks() {
+    let small = run_with_capacity(Some(3_000_000), 3);
+    let unlimited = run_with_capacity(None, 3);
+    // Touching 8 tiles per round with room for 3 thrashes the cache:
+    // every round re-uploads, and every eviction of these inout tiles
+    // (sole copies live on the GPU) writes back first.
+    assert!(
+        small.transfers.input_bytes > unlimited.transfers.input_bytes,
+        "evictions must force re-uploads: {:?} vs {:?}",
+        small.transfers,
+        unlimited.transfers
+    );
+    assert!(
+        small.transfers.output_bytes > unlimited.transfers.output_bytes,
+        "sole-copy evictions must write back: {:?}",
+        small.transfers
+    );
+    // Same computation still happens.
+    assert_eq!(small.tasks_executed, unlimited.tasks_executed);
+    // And it costs time: the makespan grows.
+    assert!(small.makespan > unlimited.makespan);
+}
+
+#[test]
+fn capacity_larger_than_working_set_changes_nothing() {
+    let big = run_with_capacity(Some(100_000_000), 2);
+    let unlimited = run_with_capacity(None, 2);
+    assert_eq!(big.transfers, unlimited.transfers);
+    assert_eq!(big.makespan, unlimited.makespan);
+}
+
+#[test]
+fn results_remain_deterministic_with_eviction() {
+    let a = run_with_capacity(Some(3_000_000), 3);
+    let b = run_with_capacity(Some(3_000_000), 3);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.transfers, b.transfers);
+}
+
+#[test]
+#[should_panic(expected = "exceeds device memory capacity")]
+fn allocation_bigger_than_device_memory_panics() {
+    let mut platform = PlatformConfig::minotauro(1, 1);
+    platform.gpu_mem_capacity = Some(1_000);
+    let mut rt =
+        Runtime::simulated(RuntimeConfig::with_scheduler(SchedulerKind::DepAware), platform);
+    let tpl = rt.template("t").main("t_gpu", &[DeviceKind::Cuda]).register();
+    rt.bind_cost(tpl, VersionId(0), |_| Duration::from_micros(1));
+    let big = rt.alloc_bytes(10_000);
+    rt.task(tpl).read_write(big).submit();
+    let _ = rt.run();
+}

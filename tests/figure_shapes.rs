@@ -1,0 +1,230 @@
+//! Shape tests: the qualitative claims of the paper's evaluation section
+//! must hold in the reproduction. Each test mirrors a sentence of §V-B
+//! and asserts it against the regenerated figure data.
+//!
+//! Matmul/PBPI shapes are checked at paper scale (they are cheap enough);
+//! Cholesky sweeps run at selected paper-scale points.
+
+use versa_apps::cholesky::{self, CholeskyConfig, CholeskyVariant};
+use versa_apps::matmul::{self, MatmulConfig, MatmulVariant};
+use versa_apps::pbpi::{self, PbpiConfig, PbpiVariant};
+use versa_core::SchedulerKind;
+use versa_runtime::{Runtime, RuntimeConfig};
+use versa_sim::PlatformConfig;
+
+fn mm(variant: MatmulVariant, sched: SchedulerKind, smp: usize, gpus: usize) -> versa_runtime::RunReport {
+    matmul::run_sim(MatmulConfig::paper(), variant, sched, PlatformConfig::minotauro(smp, gpus))
+}
+
+#[test]
+fn fig6_mm_gpu_ignores_schedulers_and_smp_count() {
+    // "for the mm-gpu version there is no difference between using the
+    // affinity scheduler or the dependency-aware scheduler" and "no
+    // difference between using one, two, four or eight SMP threads".
+    let f = MatmulConfig::paper().flops();
+    let dep1 = mm(MatmulVariant::Gpu, SchedulerKind::DepAware, 1, 1).gflops(f);
+    let aff1 = mm(MatmulVariant::Gpu, SchedulerKind::Affinity, 1, 1).gflops(f);
+    let dep8 = mm(MatmulVariant::Gpu, SchedulerKind::DepAware, 8, 1).gflops(f);
+    assert!((dep1 - aff1).abs() / dep1 < 0.05, "dep {dep1} vs aff {aff1}");
+    assert!((dep1 - dep8).abs() / dep1 < 0.05, "1 SMP {dep1} vs 8 SMP {dep8}");
+}
+
+#[test]
+fn fig6_mm_gpu_scales_linearly_with_gpus() {
+    // "the application shows the lineal scalability when using one or
+    // two GPUs".
+    let f = MatmulConfig::paper().flops();
+    let one = mm(MatmulVariant::Gpu, SchedulerKind::DepAware, 1, 1).gflops(f);
+    let two = mm(MatmulVariant::Gpu, SchedulerKind::DepAware, 1, 2).gflops(f);
+    let speedup = two / one;
+    assert!((1.85..2.1).contains(&speedup), "2-GPU speedup {speedup}");
+}
+
+#[test]
+fn fig6_hybrid_overtakes_gpu_only_with_enough_smp_workers() {
+    // "the more SMP worker threads collaborate in the application
+    // execution, the more benefit versioning scheduler takes".
+    let f = MatmulConfig::paper().flops();
+    let gpu_only = mm(MatmulVariant::Gpu, SchedulerKind::Affinity, 8, 1).gflops(f);
+    let hyb_1 = mm(MatmulVariant::Hybrid, SchedulerKind::versioning(), 1, 1).gflops(f);
+    let hyb_8 = mm(MatmulVariant::Hybrid, SchedulerKind::versioning(), 8, 1).gflops(f);
+    assert!(hyb_8 > hyb_1, "more SMP workers must help: {hyb_1} -> {hyb_8}");
+    assert!(hyb_8 > gpu_only, "hybrid must beat gpu-only at 8 SMP: {hyb_8} vs {gpu_only}");
+    // "we cannot expect a huge speed-up": the gain is modest.
+    assert!(hyb_8 / gpu_only < 1.35, "gain should be modest, got {}", hyb_8 / gpu_only);
+}
+
+#[test]
+fn fig7_hybrid_transfers_more_than_gpu_only() {
+    // "Because part of the computation is done on SMP devices ... the
+    // amount of data transfers for the mm-hyb-ver increases."
+    let gpu = mm(MatmulVariant::Gpu, SchedulerKind::Affinity, 8, 2);
+    let hyb = mm(MatmulVariant::Hybrid, SchedulerKind::versioning(), 8, 2);
+    assert!(hyb.transfers.total_bytes() > gpu.transfers.total_bytes());
+    // "also transferring data between GPU devices due to a lack of data
+    // locality".
+    assert!(hyb.transfers.device_bytes > 0, "expected device-device traffic");
+    assert_eq!(gpu.transfers.device_bytes, 0, "gpu-only affinity keeps tiles put");
+}
+
+#[test]
+fn fig8_version_mix_matches_paper() {
+    let cfg = MatmulConfig::paper();
+    let mut rt = Runtime::simulated(
+        RuntimeConfig::with_scheduler(SchedulerKind::versioning()),
+        PlatformConfig::minotauro(8, 1),
+    );
+    let app = matmul::build(&mut rt, cfg, MatmulVariant::Hybrid);
+    let report = rt.run();
+    let hist = report.version_histogram(app.template, 3);
+    let total: u64 = hist.iter().sum();
+    assert_eq!(total as usize, cfg.task_count());
+    // "The fastest implementation (the CUBLAS version) is picked most of
+    // the times".
+    assert!(hist[0] as f64 / total as f64 > 0.75, "cublas share too low: {hist:?}");
+    // "the CUDA version is called only a few times at the beginning".
+    assert!(hist[1] <= 16, "hand-cuda should only run during learning: {hist:?}");
+    // "[SMP workers] still take about 10% of the work on average".
+    let smp_share = hist[2] as f64 / total as f64;
+    assert!((0.05..0.25).contains(&smp_share), "smp share {smp_share}");
+
+    // "they do more work when there is only one GPU".
+    let mut rt2 = Runtime::simulated(
+        RuntimeConfig::with_scheduler(SchedulerKind::versioning()),
+        PlatformConfig::minotauro(8, 2),
+    );
+    let app2 = matmul::build(&mut rt2, cfg, MatmulVariant::Hybrid);
+    let hist2 = rt2.run().version_histogram(app2.template, 3);
+    assert!(hist2[2] < hist[2], "SMP does less with 2 GPUs: {hist2:?} vs {hist:?}");
+}
+
+fn chol(variant: CholeskyVariant, sched: SchedulerKind, smp: usize, gpus: usize) -> versa_runtime::RunReport {
+    cholesky::run_sim(CholeskyConfig::paper(), variant, sched, PlatformConfig::minotauro(smp, gpus))
+}
+
+#[test]
+fn fig9_potrf_smp_is_the_worst_version() {
+    // "the potrf-smp is the version that gets less performance in all
+    // cases".
+    let f = CholeskyConfig::paper().flops();
+    for gpus in [1, 2] {
+        let smp_v = chol(CholeskyVariant::PotrfSmp, SchedulerKind::Affinity, 4, gpus).gflops(f);
+        let gpu_v = chol(CholeskyVariant::PotrfGpu, SchedulerKind::Affinity, 4, gpus).gflops(f);
+        let hyb_v = chol(CholeskyVariant::PotrfHybrid, SchedulerKind::versioning(), 4, gpus).gflops(f);
+        assert!(smp_v < gpu_v, "{gpus} GPUs: smp {smp_v} !< gpu {gpu_v}");
+        assert!(smp_v < hyb_v, "{gpus} GPUs: smp {smp_v} !< hyb {hyb_v}");
+    }
+}
+
+#[test]
+fn fig9_hybrid_is_close_to_gpu_but_pays_learning() {
+    // "there is a small number of task instances, so the initial
+    // learning phase of the versioning scheduler impacts on application's
+    // performance" — hybrid lands within 15% of the best gpu-only run.
+    let f = CholeskyConfig::paper().flops();
+    let gpu_v = chol(CholeskyVariant::PotrfGpu, SchedulerKind::Affinity, 8, 2).gflops(f);
+    let hyb_v = chol(CholeskyVariant::PotrfHybrid, SchedulerKind::versioning(), 8, 2).gflops(f);
+    assert!(hyb_v > 0.8 * gpu_v, "hybrid {hyb_v} too far below gpu {gpu_v}");
+}
+
+#[test]
+fn fig11_versioning_sends_potrf_to_the_gpus() {
+    // "the scheduler decides to assign all the work to the GPUs because
+    // they become the earliest executors" (SMP only gets the forced
+    // learning runs).
+    let cfg = CholeskyConfig::paper();
+    let mut rt = Runtime::simulated(
+        RuntimeConfig::with_scheduler(SchedulerKind::versioning()),
+        PlatformConfig::minotauro(8, 2),
+    );
+    let app = cholesky::build(&mut rt, cfg, CholeskyVariant::PotrfHybrid);
+    let report = rt.run();
+    let hist = report.version_histogram(app.potrf, 2);
+    assert_eq!(hist.iter().sum::<u64>() as usize, cfg.nb());
+    assert!(hist[1] <= 3, "SMP potrf beyond the λ learning runs: {hist:?}");
+    assert!(hist[0] >= 13, "GPU must take the rest: {hist:?}");
+}
+
+fn pb(variant: PbpiVariant, sched: SchedulerKind, smp: usize, gpus: usize) -> versa_runtime::RunReport {
+    pbpi::run_sim(PbpiConfig::paper(), variant, sched, PlatformConfig::minotauro(smp, gpus))
+}
+
+#[test]
+fn fig12_smp_beats_gpu_and_hybrid_beats_both() {
+    // "pbpi-smp versions run faster than the pbpi-gpu versions" and "the
+    // versioning scheduler is able to find the appropriate balance ...
+    // and decrease the execution time".
+    let smp = pb(PbpiVariant::Smp, SchedulerKind::DepAware, 8, 2).makespan;
+    let gpu = pb(PbpiVariant::Gpu, SchedulerKind::Affinity, 8, 2).makespan;
+    let hyb = pb(PbpiVariant::Hybrid, SchedulerKind::versioning(), 8, 2).makespan;
+    assert!(smp < gpu, "pbpi-smp {smp:?} !< pbpi-gpu {gpu:?}");
+    assert!(hyb < smp, "pbpi-hyb {hyb:?} !< pbpi-smp {smp:?}");
+}
+
+#[test]
+fn fig13_smp_version_transfers_nothing() {
+    // "data always stay in the host memory and no data transfers will be
+    // needed".
+    let smp = pb(PbpiVariant::Smp, SchedulerKind::DepAware, 4, 2);
+    assert_eq!(smp.transfers.total_bytes(), 0);
+    // The hybrid transfers plenty.
+    let hyb = pb(PbpiVariant::Hybrid, SchedulerKind::versioning(), 4, 2);
+    assert!(hyb.transfers.total_bytes() > 0);
+}
+
+#[test]
+fn fig14_fig15_loop1_is_more_gpu_biased_than_loop2() {
+    // "For the first loop, the versioning scheduler decides to send it
+    // most of the times to the GPU, but the execution of tasks of the
+    // second loop is shared between GPU and SMP" with "thousands" of SMP
+    // loop-2 runs.
+    let cfg = PbpiConfig::paper();
+    let mut rt = Runtime::simulated(
+        RuntimeConfig::with_scheduler(SchedulerKind::versioning()),
+        PlatformConfig::minotauro(4, 2),
+    );
+    let app = pbpi::build(&mut rt, cfg, PbpiVariant::Hybrid);
+    let report = rt.run();
+    let l1 = report.version_shares(app.loop1, 2);
+    let l2 = report.version_shares(app.loop2, 2);
+    assert!(l1[0] > 0.6, "loop1 mostly GPU, got {l1:?}");
+    assert!(l1[0] > l2[0], "loop1 more GPU-biased than loop2: {l1:?} vs {l2:?}");
+    let l2_smp_runs = report.version_histogram(app.loop2, 2)[1];
+    assert!(l2_smp_runs >= 1000, "loop2 SMP runs in the thousands, got {l2_smp_runs}");
+}
+
+#[test]
+fn versioning_wins_or_ties_overall() {
+    // §VII: "in most of the cases, the versioning scheduler outperforms
+    // the other existent schedulers" — check the flagship configuration
+    // of each application.
+    let f = MatmulConfig::paper().flops();
+    let mm_best_baseline = mm(MatmulVariant::Gpu, SchedulerKind::Affinity, 8, 2).gflops(f);
+    let mm_ver = mm(MatmulVariant::Hybrid, SchedulerKind::versioning(), 8, 2).gflops(f);
+    assert!(mm_ver > mm_best_baseline * 0.98);
+
+    let pb_best_baseline = pb(PbpiVariant::Smp, SchedulerKind::DepAware, 8, 2).makespan;
+    let pb_ver = pb(PbpiVariant::Hybrid, SchedulerKind::versioning(), 8, 2).makespan;
+    assert!(pb_ver < pb_best_baseline);
+}
+
+#[test]
+fn hand_cuda_version_is_abandoned_after_learning() {
+    // The versioning scheduler's defining trace: a strictly-worse version
+    // on the same device runs its forced λ learning executions (plus at
+    // most a handful of partial-information assignments while the first
+    // measurements are still in flight) and is then never picked again
+    // out of 4096 tasks.
+    let cfg = MatmulConfig::paper();
+    for (smp, gpus) in [(2, 1), (8, 2)] {
+        let mut rt = Runtime::simulated(
+            RuntimeConfig::with_scheduler(SchedulerKind::versioning()),
+            PlatformConfig::minotauro(smp, gpus),
+        );
+        let app = matmul::build(&mut rt, cfg, MatmulVariant::Hybrid);
+        let report = rt.run();
+        let cuda_runs = report.version_histogram(app.template, 3)[1];
+        assert!(cuda_runs >= 3, "λ learning runs required ({smp} SMP, {gpus} GPU): {cuda_runs}");
+        assert!(cuda_runs <= 10, "hand-cuda must be abandoned ({smp} SMP, {gpus} GPU): {cuda_runs}");
+    }
+}

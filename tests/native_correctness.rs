@@ -1,0 +1,130 @@
+//! End-to-end numerical correctness: the paper's applications executed
+//! by the native engine (real threads, real transfers between per-device
+//! arenas, real kernels) must produce the same results as serial
+//! reference computations — under every scheduler, since scheduling must
+//! never change semantics.
+
+use versa_apps::cholesky::{self, CholeskyConfig, CholeskyVariant};
+use versa_apps::matmul::{self, MatmulConfig, MatmulVariant};
+use versa_apps::pbpi::{self, PbpiConfig, PbpiVariant};
+use versa_core::SchedulerKind;
+use versa_runtime::NativeConfig;
+
+const MM_SMALL: MatmulConfig = MatmulConfig { n: 192, bs: 48 }; // 4×4 tiles, 64 tasks
+const CHOL_SMALL: CholeskyConfig = CholeskyConfig { n: 192, bs: 48 };
+
+#[test]
+fn native_matmul_hybrid_versioning_is_correct() {
+    let (report, data) = matmul::run_native(
+        MM_SMALL,
+        MatmulVariant::Hybrid,
+        SchedulerKind::versioning(),
+        NativeConfig::new(2, 1),
+        7,
+    );
+    assert_eq!(report.tasks_executed as usize, MM_SMALL.task_count());
+    assert!(data.max_error() < 1e-9, "max error {}", data.max_error());
+}
+
+#[test]
+fn native_matmul_correct_under_every_scheduler() {
+    for sched in [
+        SchedulerKind::DepAware,
+        SchedulerKind::Affinity,
+        SchedulerKind::versioning(),
+        SchedulerKind::locality_versioning(),
+    ] {
+        let label = sched.label();
+        let variant = if matches!(sched, SchedulerKind::Versioning(_)) {
+            MatmulVariant::Hybrid
+        } else {
+            MatmulVariant::Gpu
+        };
+        let (_report, data) =
+            matmul::run_native(MM_SMALL, variant, sched, NativeConfig::new(2, 2), 11);
+        assert!(data.max_error() < 1e-9, "scheduler {label}: max error {}", data.max_error());
+    }
+}
+
+#[test]
+fn native_cholesky_hybrid_versioning_is_correct() {
+    let (report, data) = cholesky::run_native(
+        CHOL_SMALL,
+        CholeskyVariant::PotrfHybrid,
+        SchedulerKind::versioning(),
+        NativeConfig::new(2, 1),
+        3,
+    );
+    let nb = CHOL_SMALL.nb();
+    let expected = nb + nb * (nb - 1) + nb * (nb - 1) * (nb - 2) / 6;
+    assert_eq!(report.tasks_executed as usize, expected);
+    // f32 SPD of size 192: reconstruction error stays small.
+    assert!(data.max_error() < 0.5, "L·Lᵀ deviates by {}", data.max_error());
+}
+
+#[test]
+fn native_cholesky_gpu_variant_matches_smp_variant() {
+    let (_r1, d1) = cholesky::run_native(
+        CHOL_SMALL,
+        CholeskyVariant::PotrfGpu,
+        SchedulerKind::Affinity,
+        NativeConfig::new(1, 2),
+        3,
+    );
+    let (_r2, d2) = cholesky::run_native(
+        CHOL_SMALL,
+        CholeskyVariant::PotrfSmp,
+        SchedulerKind::DepAware,
+        NativeConfig::new(2, 1),
+        3,
+    );
+    // Same input (same seed) → same factor, regardless of which device
+    // computed each tile.
+    for (t1, t2) in d1.factor.iter().zip(&d2.factor) {
+        for (a, b) in t1.iter().zip(t2) {
+            assert!((a - b).abs() < 1e-2, "factor tiles diverge: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn native_pbpi_loglik_matches_serial_reference() {
+    let cfg = PbpiConfig { chunks: 3, sites_per_chunk: 512, generations: 4 };
+    for variant in [PbpiVariant::Smp, PbpiVariant::Gpu, PbpiVariant::Hybrid] {
+        let sched = match variant {
+            PbpiVariant::Hybrid => SchedulerKind::versioning(),
+            _ => SchedulerKind::Affinity,
+        };
+        let (report, ll) = pbpi::run_native(cfg, variant, sched, NativeConfig::new(2, 1));
+        assert_eq!(report.tasks_executed as usize, cfg.tasks_per_generation() * cfg.generations);
+        let expect = pbpi::native_reference_ll(cfg);
+        assert!(
+            (ll - expect).abs() < 1e-6 * expect.abs(),
+            "{}: ll {ll} != reference {expect}",
+            variant.label()
+        );
+    }
+}
+
+#[test]
+fn native_matmul_gpu_lanes_accelerate_the_emulated_gpu() {
+    // Sanity on the GPU emulation: with 4 lanes, the emulated device
+    // really computes the parallel kernel; results stay identical.
+    let (_, d1) = matmul::run_native(
+        MM_SMALL,
+        MatmulVariant::Gpu,
+        SchedulerKind::DepAware,
+        NativeConfig { smp_workers: 0, gpus: 1, gpu_lanes: 4 },
+        21,
+    );
+    let (_, d2) = matmul::run_native(
+        MM_SMALL,
+        MatmulVariant::Gpu,
+        SchedulerKind::DepAware,
+        NativeConfig { smp_workers: 0, gpus: 1, gpu_lanes: 1 },
+        21,
+    );
+    for (t1, t2) in d1.c.iter().zip(&d2.c) {
+        assert_eq!(t1, t2, "lane count must not change results");
+    }
+}

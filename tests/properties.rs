@@ -1,0 +1,329 @@
+//! Property-based tests on the runtime's core invariants.
+
+use proptest::prelude::*;
+use versa::core::{DeviceKind, SchedulerKind, TaskId, VersionId, WorkerId};
+use versa::mem::{AccessMode, DataId, Directory, MemSpace, Region};
+use versa::runtime::{NativeConfig, Runtime, RuntimeConfig, TaskGraph};
+use versa::sim::{EventQueue, SimTime};
+
+// ---------------------------------------------------------------------
+// Serializability: any parallel schedule produces the serial result
+// ---------------------------------------------------------------------
+
+/// A randomly generated task: which buffers it reads, which it updates,
+/// and a small integer seasoning its arithmetic.
+#[derive(Clone, Debug)]
+struct GenTask {
+    reads: Vec<usize>,
+    writes: Vec<usize>,
+    salt: u64,
+}
+
+fn gen_task(buffers: usize) -> impl Strategy<Value = GenTask> {
+    let idx = 0..buffers;
+    (
+        proptest::collection::vec(idx.clone(), 0..3),
+        proptest::collection::vec(idx, 1..3),
+        0u64..100,
+    )
+        .prop_map(|(reads, mut writes, salt)| {
+            writes.sort_unstable();
+            writes.dedup();
+            GenTask { reads, writes, salt }
+        })
+}
+
+/// Deterministic task semantics used both by the runtime kernels and the
+/// serial reference: every written buffer is updated from its own
+/// contents, the sum of the read buffers' first elements, and the salt.
+fn apply(task: &GenTask, buffers: &mut [Vec<f64>]) {
+    let read_sum: f64 = task.reads.iter().map(|&r| buffers[r][0]).sum();
+    for &w in &task.writes {
+        let buf = &mut buffers[w];
+        for (i, v) in buf.iter_mut().enumerate() {
+            *v = *v * 0.5 + read_sum + task.salt as f64 + i as f64;
+        }
+    }
+}
+
+fn run_parallel(tasks: &[GenTask], buffers: usize, len: usize, sched: SchedulerKind) -> Vec<Vec<f64>> {
+    let mut rt = Runtime::native(RuntimeConfig::with_scheduler(sched), NativeConfig::new(2, 2));
+    let tpl = rt
+        .template("gen")
+        .main("gen_any", &[DeviceKind::Smp, DeviceKind::Cuda])
+        .register();
+    let handles: Vec<DataId> = (0..buffers)
+        .map(|b| rt.alloc_from_f64(&vec![b as f64 + 1.0; len]))
+        .collect();
+    // One kernel serves every instance. Each task passes its index into
+    // the shared descriptor table through a dedicated 1-element read-only
+    // buffer (argument 0) — the runtime's way of carrying immediate
+    // arguments. Arguments then follow in clause order: reads, writes.
+    let task_table = std::sync::Arc::new(tasks.to_vec());
+    let table = std::sync::Arc::clone(&task_table);
+    rt.bind_native(tpl, VersionId(0), move |ctx| {
+        let idx = ctx.f64(0)[0] as usize;
+        let task = &table[idx];
+        let read_sum: f64 = (0..task.reads.len()).map(|i| ctx.f64(1 + i)[0]).sum();
+        let first_write = 1 + task.reads.len();
+        for (wi, _) in task.writes.iter().enumerate() {
+            let buf = ctx.f64_mut(first_write + wi);
+            for (i, v) in buf.iter_mut().enumerate() {
+                *v = *v * 0.5 + read_sum + task.salt as f64 + i as f64;
+            }
+        }
+    });
+    // Descriptor cells: one tiny read-only buffer per task carrying its
+    // index (how a real runtime passes immediate arguments).
+    for (idx, task) in task_table.iter().enumerate() {
+        let desc = rt.alloc_from_f64(&[idx as f64]);
+        let mut builder = rt.task(tpl).read(desc);
+        for &r in &task.reads {
+            builder = builder.read(handles[r]);
+        }
+        for &w in &task.writes {
+            builder = builder.read_write(handles[w]);
+        }
+        builder.submit();
+    }
+    rt.run();
+    handles.iter().map(|&h| rt.read_f64(h)).collect()
+}
+
+fn run_serial(tasks: &[GenTask], buffers: usize, len: usize) -> Vec<Vec<f64>> {
+    let mut bufs: Vec<Vec<f64>> = (0..buffers).map(|b| vec![b as f64 + 1.0; len]).collect();
+    for t in tasks {
+        apply(t, &mut bufs);
+    }
+    bufs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parallel_execution_equals_serial_elaboration(
+        tasks in proptest::collection::vec(gen_task(4), 1..14),
+        sched_pick in 0usize..4,
+    ) {
+        let sched = match sched_pick {
+            0 => SchedulerKind::DepAware,
+            1 => SchedulerKind::Affinity,
+            2 => SchedulerKind::BreadthFirst,
+            _ => SchedulerKind::versioning(),
+        };
+        let expect = run_serial(&tasks, 4, 6);
+        let got = run_parallel(&tasks, 4, 6, sched);
+        for (e, g) in expect.iter().zip(&got) {
+            for (a, b) in e.iter().zip(g) {
+                prop_assert!((a - b).abs() < 1e-9, "serializability violated: {a} vs {b}");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coherence directory invariants
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum DirOp {
+    Acquire { space: u16, mode: u8 },
+    Flush,
+}
+
+fn dir_op() -> impl Strategy<Value = DirOp> {
+    prop_oneof![
+        (0u16..4, 0u8..3).prop_map(|(space, mode)| DirOp::Acquire { space, mode }),
+        Just(DirOp::Flush),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn directory_never_loses_the_only_valid_copy(ops in proptest::collection::vec(dir_op(), 1..60)) {
+        let data = DataId(0);
+        let mut dir = Directory::new();
+        dir.register(data, 128, MemSpace::HOST);
+        // Model: the set of spaces holding the latest value.
+        let mut model: Vec<MemSpace> = vec![MemSpace::HOST];
+        for op in ops {
+            match op {
+                DirOp::Acquire { space, mode } => {
+                    let space = if space == 0 { MemSpace::HOST } else { MemSpace::device(space - 1) };
+                    let mode = match mode { 0 => AccessMode::In, 1 => AccessMode::Out, _ => AccessMode::InOut };
+                    let transfer = dir.acquire(data, space, mode);
+                    // Any copy-in must source a space that held the value.
+                    if let Some(t) = transfer {
+                        prop_assert!(model.contains(&t.from), "source {:?} was stale", t.from);
+                        prop_assert_eq!(t.to, space);
+                        prop_assert_eq!(t.bytes, 128);
+                    }
+                    if mode.writes() {
+                        model = vec![space];
+                    } else if !model.contains(&space) {
+                        model.push(space);
+                    }
+                }
+                DirOp::Flush => {
+                    let transfer = dir.flush_to_host(data);
+                    if let Some(t) = transfer {
+                        prop_assert!(model.contains(&t.from));
+                        prop_assert_eq!(t.to, MemSpace::HOST);
+                    }
+                    if !model.contains(&MemSpace::HOST) {
+                        model.push(MemSpace::HOST);
+                    }
+                }
+            }
+            // Directory and model agree on validity everywhere.
+            let spaces = [MemSpace::HOST, MemSpace::device(0), MemSpace::device(1), MemSpace::device(2)];
+            for s in spaces {
+                prop_assert_eq!(dir.valid_in(data, s), model.contains(&s), "space {:?} mismatch", s);
+            }
+            prop_assert!(!model.is_empty(), "value vanished");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Region algebra
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn region_overlap_matches_bytewise_definition(
+        a_off in 0u64..64, a_len in 0u64..32,
+        b_off in 0u64..64, b_len in 0u64..32,
+    ) {
+        let a = Region::range(DataId(0), a_off, a_len);
+        let b = Region::range(DataId(0), b_off, b_len);
+        let brute = (a_off..a_off + a_len).any(|byte| (b_off..b_off + b_len).contains(&byte));
+        prop_assert_eq!(a.overlaps(&b), brute);
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a), "overlap must be symmetric");
+    }
+
+    #[test]
+    fn containment_implies_overlap_for_nonempty(
+        a_off in 0u64..64, a_len in 1u64..32,
+        b_off in 0u64..64, b_len in 1u64..32,
+    ) {
+        let a = Region::range(DataId(0), a_off, a_len);
+        let b = Region::range(DataId(0), b_off, b_len);
+        if a.contains(&b) {
+            prop_assert!(a.overlaps(&b));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Profile means
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn arithmetic_mean_matches_batch_recomputation(samples in proptest::collection::vec(1u64..1_000_000, 1..50)) {
+        use versa::core::{MeanPolicy, ProfileStore, SizeBucketPolicy, TemplateId};
+        let mut store = ProfileStore::new(SizeBucketPolicy::Exact, MeanPolicy::Arithmetic, 3);
+        for &s in &samples {
+            store.record(TemplateId(0), 1, 99, VersionId(0), std::time::Duration::from_nanos(s));
+        }
+        let mean = store.mean(TemplateId(0), 99, VersionId(0)).unwrap().as_nanos() as f64;
+        let expect = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        prop_assert!((mean - expect).abs() <= expect * 1e-9 + 2.0, "mean {mean} vs {expect}");
+        prop_assert_eq!(store.count(TemplateId(0), 99, VersionId(0)), samples.len() as u64);
+    }
+
+    #[test]
+    fn bucket_keys_are_monotone_in_size(
+        sizes in proptest::collection::vec(0u64..1_000_000_000, 2..40),
+        tol in 0.01f64..2.0,
+    ) {
+        use versa::core::SizeBucketPolicy;
+        let policy = SizeBucketPolicy::RelativeRange { tolerance: tol };
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        let keys: Vec<_> = sorted.iter().map(|&s| policy.bucket(s)).collect();
+        for w in keys.windows(2) {
+            prop_assert!(w[0] <= w[1], "bucket keys must be monotone");
+        }
+        // Exact policy is injective.
+        let exact = SizeBucketPolicy::Exact;
+        for w in sorted.windows(2) {
+            if w[0] != w[1] {
+                prop_assert!(exact.bucket(w[0]) != exact.bucket(w[1]));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event queue ordering
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn event_queue_pops_sorted_fifo(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, seq)) = q.pop() {
+            if let Some((lt, lseq)) = last {
+                prop_assert!(t >= lt, "times must be non-decreasing");
+                if t == lt {
+                    prop_assert!(seq > lseq, "ties must pop FIFO");
+                }
+            }
+            last = Some((t, seq));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Task graph: any completion order of ready tasks drains the graph
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn task_graph_always_drains(
+        tasks in proptest::collection::vec(gen_task(5), 1..40),
+        pick_seed in 0u64..1000,
+    ) {
+        use versa::core::TaskInstance;
+        let mut graph = TaskGraph::new();
+        for (i, t) in tasks.iter().enumerate() {
+            let mut accesses = Vec::new();
+            for &r in &t.reads {
+                accesses.push((Region::whole(DataId(r as u32), 64), AccessMode::In));
+            }
+            for &w in &t.writes {
+                accesses.push((Region::whole(DataId(w as u32), 64), AccessMode::InOut));
+            }
+            graph.submit(TaskInstance {
+                id: TaskId(i as u64),
+                template: versa::core::TemplateId(0),
+                accesses,
+                data_set_size: 64,
+            });
+        }
+        // Drain with a pseudo-random ready-task choice.
+        let mut state = pick_seed.wrapping_add(1);
+        let mut ready: Vec<TaskId> = graph.take_newly_ready();
+        let mut done = 0usize;
+        while !ready.is_empty() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pick = (state >> 33) as usize % ready.len();
+            let task = ready.swap_remove(pick);
+            graph.mark_running(task);
+            graph.complete(task, WorkerId(0));
+            done += 1;
+            ready.extend(graph.take_newly_ready());
+        }
+        prop_assert_eq!(done, tasks.len(), "graph stalled");
+        prop_assert!(graph.all_done());
+    }
+}

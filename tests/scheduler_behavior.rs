@@ -1,0 +1,198 @@
+//! End-to-end behavioural tests of the scheduling policies on the
+//! simulated platform: the situations the paper's prose describes, plus
+//! the §VII extensions, exercised through the full runtime.
+
+use std::time::Duration;
+use versa::core::{MeanPolicy, SizeBucketPolicy, VersioningConfig};
+use versa::prelude::*;
+
+fn hybrid_runtime(kind: SchedulerKind, smp: usize, gpus: usize) -> (Runtime, TemplateId) {
+    let mut rt =
+        Runtime::simulated(RuntimeConfig::with_scheduler(kind), PlatformConfig::minotauro(smp, gpus));
+    let tpl = rt
+        .template("work")
+        .main("work_gpu", &[DeviceKind::Cuda])
+        .version("work_smp", &[DeviceKind::Smp])
+        .register();
+    (rt, tpl)
+}
+
+#[test]
+fn locality_versioning_reduces_device_traffic_on_chains() {
+    // Chains of inout tasks ping-pong between GPUs under plain
+    // versioning (earliest executor ignores placement); the §VII
+    // locality extension keeps each chain on the device that holds its
+    // tile.
+    // Transfer cost must exceed one queue slot (the busy-time quantum),
+    // or the earliest-executor tie-breaks dominate: 32 MB tiles cost
+    // ~5.6 ms on the link vs 2 ms of compute.
+    let run = |kind: SchedulerKind| {
+        let (mut rt, tpl) = hybrid_runtime(kind, 1, 2);
+        rt.bind_cost(tpl, VersionId(0), |_| Duration::from_millis(2));
+        rt.bind_cost(tpl, VersionId(1), |_| Duration::from_millis(500));
+        let tiles: Vec<DataId> = (0..8).map(|_| rt.alloc_bytes(32 << 20)).collect();
+        for _ in 0..30 {
+            for &t in &tiles {
+                rt.task(tpl).read_write(t).submit();
+            }
+        }
+        rt.run()
+    };
+    let plain = run(SchedulerKind::versioning());
+    let local = run(SchedulerKind::locality_versioning());
+    assert!(
+        local.transfers.device_bytes < plain.transfers.device_bytes / 2,
+        "locality-aware bidding should slash GPU↔GPU traffic: {} vs {}",
+        local.transfers.device_bytes,
+        plain.transfers.device_bytes
+    );
+    assert!(local.makespan <= plain.makespan + plain.makespan / 10);
+}
+
+#[test]
+fn ewma_retargets_after_a_device_slowdown() {
+    // The GPU degrades 50× mid-run. The EWMA-configured scheduler walks
+    // away from it quickly; the arithmetic mean clings to stale history.
+    let run = |policy: MeanPolicy| {
+        let kind = SchedulerKind::Versioning(VersioningConfig {
+            mean_policy: policy,
+            ..Default::default()
+        });
+        let (mut rt, tpl) = hybrid_runtime(kind, 4, 1);
+        let calls = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let c = std::sync::Arc::clone(&calls);
+        rt.bind_cost(tpl, VersionId(0), move |_| {
+            let n = c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if n < 100 {
+                Duration::from_millis(2)
+            } else {
+                Duration::from_millis(100) // thermal throttling
+            }
+        });
+        rt.bind_cost(tpl, VersionId(1), |_| Duration::from_millis(10));
+        let tiles: Vec<DataId> = (0..16).map(|_| rt.alloc_bytes(1 << 16)).collect();
+        for _ in 0..50 {
+            for &t in &tiles {
+                rt.task(tpl).read_write(t).submit();
+            }
+        }
+        let report = rt.run();
+        let smp_share = report.version_shares(tpl, 2)[1];
+        (report.makespan, smp_share)
+    };
+    let (arith_time, arith_smp) = run(MeanPolicy::Arithmetic);
+    let (ewma_time, ewma_smp) = run(MeanPolicy::Ewma { alpha: 0.3 });
+    assert!(
+        ewma_smp > arith_smp,
+        "EWMA must shift more work to the SMP after the slowdown: {ewma_smp} vs {arith_smp}"
+    );
+    assert!(
+        ewma_time < arith_time,
+        "faster adaptation should shorten the run: {ewma_time:?} vs {arith_time:?}"
+    );
+}
+
+#[test]
+fn range_bucketing_skips_relearning_for_similar_sizes() {
+    // Two batches whose data-set sizes differ by <1%: exact grouping
+    // relearns (slow SMP version runs λ more times), range grouping
+    // reuses the first batch's profile.
+    let run = |policy: SizeBucketPolicy| {
+        let kind = SchedulerKind::Versioning(VersioningConfig {
+            bucket_policy: policy,
+            ..Default::default()
+        });
+        let (mut rt, tpl) = hybrid_runtime(kind, 2, 1);
+        rt.bind_cost(tpl, VersionId(0), |_| Duration::from_millis(1));
+        rt.bind_cost(tpl, VersionId(1), |_| Duration::from_millis(200));
+        for bytes in [1_000_000u64, 1_004_096] {
+            let tiles: Vec<DataId> = (0..40).map(|_| rt.alloc_bytes(bytes)).collect();
+            for &t in &tiles {
+                rt.task(tpl).read_write(t).submit();
+            }
+        }
+        let report = rt.run();
+        report.version_histogram(tpl, 2)[1]
+    };
+    let exact_smp_runs = run(SizeBucketPolicy::Exact);
+    let range_smp_runs = run(SizeBucketPolicy::RelativeRange { tolerance: 0.25 });
+    assert!(
+        exact_smp_runs >= 2 * range_smp_runs,
+        "exact grouping must pay learning twice: {exact_smp_runs} vs {range_smp_runs}"
+    );
+}
+
+#[test]
+fn two_templates_learn_independently() {
+    // Two version sets with opposite best devices: the scheduler must
+    // route each to its own winner (profiles are per-TaskVersionSet).
+    let mut rt = Runtime::simulated(
+        RuntimeConfig::with_scheduler(SchedulerKind::versioning()),
+        PlatformConfig::minotauro(4, 1),
+    );
+    let gpu_friendly = rt
+        .template("gpu_friendly")
+        .main("gf_gpu", &[DeviceKind::Cuda])
+        .version("gf_smp", &[DeviceKind::Smp])
+        .register();
+    let smp_friendly = rt
+        .template("smp_friendly")
+        .main("sf_gpu", &[DeviceKind::Cuda])
+        .version("sf_smp", &[DeviceKind::Smp])
+        .register();
+    rt.bind_cost(gpu_friendly, VersionId(0), |_| Duration::from_millis(1));
+    rt.bind_cost(gpu_friendly, VersionId(1), |_| Duration::from_millis(60));
+    // Irregular/branchy task: terrible on the accelerator.
+    rt.bind_cost(smp_friendly, VersionId(0), |_| Duration::from_millis(60));
+    rt.bind_cost(smp_friendly, VersionId(1), |_| Duration::from_millis(2));
+
+    let tiles: Vec<DataId> = (0..200).map(|_| rt.alloc_bytes(4096)).collect();
+    for (i, &t) in tiles.iter().enumerate() {
+        let tpl = if i % 2 == 0 { gpu_friendly } else { smp_friendly };
+        rt.task(tpl).read_write(t).submit();
+    }
+    let report = rt.run();
+    let gf = report.version_histogram(gpu_friendly, 2);
+    let sf = report.version_histogram(smp_friendly, 2);
+    assert!(gf[0] > 80, "gpu-friendly work belongs on the GPU: {gf:?}");
+    assert!(sf[1] > 80, "smp-friendly work belongs on the SMP: {sf:?}");
+}
+
+#[test]
+fn breadth_first_matches_report_plumbing() {
+    let (mut rt, tpl) = hybrid_runtime(SchedulerKind::BreadthFirst, 2, 2);
+    rt.bind_cost(tpl, VersionId(0), |_| Duration::from_millis(3));
+    // bf only ever runs the main (GPU) version.
+    let tiles: Vec<DataId> = (0..20).map(|_| rt.alloc_bytes(1024)).collect();
+    for &t in &tiles {
+        rt.task(tpl).read_write(t).submit();
+    }
+    let report = rt.run();
+    assert_eq!(report.scheduler, "breadth-first");
+    assert_eq!(report.version_counts[&(tpl, VersionId(0))], 20);
+    assert!(!report.version_counts.contains_key(&(tpl, VersionId(1))));
+    // Both GPU workers shared the load.
+    let gpu_counts: Vec<u64> = report.worker_task_counts[2..].to_vec();
+    assert_eq!(gpu_counts.iter().sum::<u64>(), 20);
+    assert!(gpu_counts.iter().all(|&c| c >= 8), "bf should balance: {gpu_counts:?}");
+}
+
+#[test]
+fn lambda_one_minimizes_learning_cost() {
+    let run = |lambda: u64| {
+        let kind =
+            SchedulerKind::Versioning(VersioningConfig { lambda, ..Default::default() });
+        let (mut rt, tpl) = hybrid_runtime(kind, 2, 1);
+        rt.bind_cost(tpl, VersionId(0), |_| Duration::from_millis(1));
+        rt.bind_cost(tpl, VersionId(1), |_| Duration::from_millis(300));
+        let tiles: Vec<DataId> = (0..60).map(|_| rt.alloc_bytes(1 << 12)).collect();
+        for &t in &tiles {
+            rt.task(tpl).read_write(t).submit();
+        }
+        rt.run()
+    };
+    let fast = run(1);
+    let slow = run(10);
+    assert!(fast.makespan < slow.makespan);
+    assert!(fast.version_histogram(TemplateId(0), 2)[1] < slow.version_histogram(TemplateId(0), 2)[1]);
+}

@@ -1,0 +1,112 @@
+//! Simulator-correctness invariants checked on recorded traces:
+//! no worker ever overlaps two tasks, dependent tasks never overlap,
+//! and the analysis/CSV utilities agree with the run report.
+
+use std::time::Duration;
+use versa::apps::matmul::{self, MatmulConfig, MatmulVariant};
+use versa::prelude::*;
+use versa::sim::{analysis, TraceAnalysis, TraceEvent};
+
+fn traced_matmul() -> (RunReport, usize) {
+    let cfg = MatmulConfig::quick();
+    let mut rc = RuntimeConfig::with_scheduler(SchedulerKind::versioning());
+    rc.trace = true;
+    let mut rt = Runtime::simulated(rc, PlatformConfig::minotauro(4, 2));
+    let _app = matmul::build(&mut rt, cfg, MatmulVariant::Hybrid);
+    (rt.run(), cfg.task_count())
+}
+
+#[test]
+fn workers_never_run_two_tasks_at_once() {
+    let (report, tasks) = traced_matmul();
+    let trace = report.trace.as_ref().expect("trace requested");
+    let a = TraceAnalysis::new(trace);
+    assert_eq!(a.task_count, tasks);
+    assert_eq!(a.find_overlap(), None, "a worker executed two tasks simultaneously");
+}
+
+#[test]
+fn trace_agrees_with_the_report() {
+    let (report, _) = traced_matmul();
+    let trace = report.trace.as_ref().unwrap();
+    let a = TraceAnalysis::new(trace);
+    assert_eq!(a.task_count as u64, report.tasks_executed);
+    assert_eq!(a.transfer_count as u64, report.transfers.total_count());
+    // The last traced event cannot exceed the makespan (flush may extend
+    // the makespan beyond the last compute event).
+    assert!(a.span.as_duration() <= report.makespan);
+    // Utilizations are sane and someone actually worked.
+    let total_util: f64 =
+        a.busy.keys().map(|&w| a.utilization(w)).sum();
+    assert!(total_util > 0.5, "net utilization implausibly low");
+    for &w in a.busy.keys() {
+        let u = a.utilization(w);
+        assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u} out of range");
+    }
+}
+
+#[test]
+fn dependent_tasks_do_not_overlap() {
+    // A pure chain: task i+1 reads/writes what task i wrote, so traced
+    // intervals must be totally ordered.
+    let mut rc = RuntimeConfig::with_scheduler(SchedulerKind::versioning());
+    rc.trace = true;
+    let mut rt = Runtime::simulated(rc, PlatformConfig::minotauro(2, 1));
+    let tpl = rt
+        .template("step")
+        .main("step_gpu", &[DeviceKind::Cuda])
+        .version("step_smp", &[DeviceKind::Smp])
+        .register();
+    rt.bind_cost(tpl, VersionId(0), |_| Duration::from_millis(2));
+    rt.bind_cost(tpl, VersionId(1), |_| Duration::from_millis(5));
+    let d = rt.alloc_bytes(1 << 16);
+    let ids: Vec<_> = (0..40).map(|_| rt.task(tpl).read_write(d).submit()).collect();
+    let report = rt.run();
+    let trace = report.trace.as_ref().unwrap();
+
+    let mut ends = std::collections::HashMap::new();
+    let mut starts = std::collections::HashMap::new();
+    for ev in trace.events() {
+        match *ev {
+            TraceEvent::TaskStart { time, task, .. } => {
+                starts.insert(task, time);
+            }
+            TraceEvent::TaskEnd { time, task, .. } => {
+                ends.insert(task, time);
+            }
+            TraceEvent::Transfer { .. } => {}
+        }
+    }
+    for pair in ids.windows(2) {
+        let end_prev = ends[&pair[0]];
+        let start_next = starts[&pair[1]];
+        assert!(
+            start_next >= end_prev,
+            "{:?} started at {start_next:?} before {:?} ended at {end_prev:?}",
+            pair[1],
+            pair[0]
+        );
+    }
+}
+
+#[test]
+fn csv_export_covers_every_task() {
+    let (report, tasks) = traced_matmul();
+    let csv = analysis::to_csv(report.trace.as_ref().unwrap());
+    let task_lines = csv.lines().filter(|l| l.starts_with("task,")).count();
+    assert_eq!(task_lines, tasks);
+    let transfer_lines = csv.lines().filter(|l| l.starts_with("transfer,")).count();
+    assert_eq!(transfer_lines as u64, report.transfers.total_count());
+}
+
+#[test]
+fn trace_is_absent_unless_requested() {
+    let cfg = MatmulConfig::quick();
+    let report = matmul::run_sim(
+        cfg,
+        MatmulVariant::Gpu,
+        SchedulerKind::DepAware,
+        PlatformConfig::minotauro(1, 1),
+    );
+    assert!(report.trace.is_none());
+}
