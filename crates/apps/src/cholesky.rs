@@ -231,25 +231,25 @@ pub fn run_native(
     let n = config.n;
     let nb = config.nb();
 
-    // Kernels. `ctx.lanes()` > 1 on emulated GPUs.
+    // Kernels. `ctx.exec()` carries the emulated GPU's persistent lane
+    // pool; read arguments are borrowed in place (no copies).
     let potrf_kernel = move |ctx: &mut versa_runtime::KernelCtx<'_>| {
         potrf::spotrf(ctx.f32_mut(0), bs).expect("tile not positive definite");
     };
     let trsm_kernel = move |ctx: &mut versa_runtime::KernelCtx<'_>| {
-        let l = ctx.f32(0).to_vec();
-        let lanes = ctx.lanes();
-        trsm::strsm_right_lower_trans_par(&l, ctx.f32_mut(1), bs, lanes);
+        let exec = ctx.exec();
+        let (reads, a) = ctx.f32_reads_and_mut(&[0], 1);
+        trsm::strsm_right_lower_trans_par_on(exec, reads[0], a, bs);
     };
     let syrk_kernel = move |ctx: &mut versa_runtime::KernelCtx<'_>| {
-        let a = ctx.f32(0).to_vec();
-        let lanes = ctx.lanes();
-        syrk::ssyrk_lower_par(&a, ctx.f32_mut(1), bs, lanes);
+        let exec = ctx.exec();
+        let (reads, c) = ctx.f32_reads_and_mut(&[0], 1);
+        syrk::ssyrk_lower_par_on(exec, reads[0], c, bs);
     };
     let gemm_kernel = move |ctx: &mut versa_runtime::KernelCtx<'_>| {
-        let a = ctx.f32(0).to_vec();
-        let b = ctx.f32(1).to_vec();
-        let lanes = ctx.lanes();
-        gemm::sgemm_nt_sub_par(&a, &b, ctx.f32_mut(2), bs, lanes);
+        let exec = ctx.exec();
+        let (reads, c) = ctx.f32_reads_and_mut(&[0, 1], 2);
+        gemm::sgemm_nt_sub_par_on(exec, reads[0], reads[1], c, bs);
     };
     rt.bind_native(potrf_t, VersionId(0), potrf_kernel);
     if variant == CholeskyVariant::PotrfHybrid {

@@ -189,20 +189,17 @@ pub fn run_native(
     let bs = config.bs;
 
     let cublas = move |ctx: &mut versa_runtime::KernelCtx<'_>| {
-        let a = ctx.f64(0).to_vec();
-        let b = ctx.f64(1).to_vec();
-        let lanes = ctx.lanes();
-        gemm::dgemm_parallel(&a, &b, ctx.f64_mut(2), bs, lanes);
+        let exec = ctx.exec();
+        let (reads, c) = ctx.f64_reads_and_mut(&[0, 1], 2);
+        gemm::dgemm_parallel_on(exec, reads[0], reads[1], c, bs);
     };
     let blocked = move |ctx: &mut versa_runtime::KernelCtx<'_>| {
-        let a = ctx.f64(0).to_vec();
-        let b = ctx.f64(1).to_vec();
-        gemm::dgemm_blocked(&a, &b, ctx.f64_mut(2), bs);
+        let (reads, c) = ctx.f64_reads_and_mut(&[0, 1], 2);
+        gemm::dgemm_blocked(reads[0], reads[1], c, bs);
     };
     let naive = move |ctx: &mut versa_runtime::KernelCtx<'_>| {
-        let a = ctx.f64(0).to_vec();
-        let b = ctx.f64(1).to_vec();
-        gemm::dgemm_naive(&a, &b, ctx.f64_mut(2), bs);
+        let (reads, c) = ctx.f64_reads_and_mut(&[0, 1], 2);
+        gemm::dgemm_naive(reads[0], reads[1], c, bs);
     };
     rt.bind_native(template, VersionId(0), cublas);
     if variant == MatmulVariant::Hybrid {

@@ -253,21 +253,19 @@ pub fn run_native(
     // Loop 1: arg0 = tip [read], arg1 = partial [write].
     let loop1_kernel = move |ctx: &mut versa_runtime::KernelCtx<'_>| {
         let p = kern::jukes_cantor(0.1);
-        let input = ctx.f64(0).to_vec();
-        let lanes = ctx.lanes();
-        kern::loop1_propagate(&p, &input, ctx.f64_mut(1), sites, lanes);
+        let exec = ctx.exec();
+        let (reads, out) = ctx.f64_reads_and_mut(&[0], 1);
+        kern::loop1_propagate_on(exec, &p, reads[0], out, sites);
     };
     // Loop 2: arg0/arg1 = partials [read], arg2 = combined [write].
     let loop2_kernel = move |ctx: &mut versa_runtime::KernelCtx<'_>| {
-        let l = ctx.f64(0).to_vec();
-        let r = ctx.f64(1).to_vec();
-        let lanes = ctx.lanes();
-        kern::loop2_combine(&l, &r, ctx.f64_mut(2), sites, lanes);
+        let exec = ctx.exec();
+        let (reads, out) = ctx.f64_reads_and_mut(&[0, 1], 2);
+        kern::loop2_combine_on(exec, reads[0], reads[1], out, sites);
     };
     // Loop 3: arg0 = combined [read], arg1 = ll cell [write].
     let loop3_kernel = move |ctx: &mut versa_runtime::KernelCtx<'_>| {
-        let comb = ctx.f64(0).to_vec();
-        let ll = kern::loop3_loglik(&comb, sites);
+        let ll = kern::loop3_loglik(ctx.f64(0), sites);
         ctx.f64_mut(1)[0] = ll;
     };
     // Reduce: args 0..chunks = ll cells [read], last = total [write].

@@ -1,0 +1,179 @@
+//! Kernel-tier and native-engine performance baseline.
+//!
+//! Measures the three GEMM tiers (naive / seed 64×64-blocked / packed
+//! register-blocked, plus the multi-lane packed tier) in GFLOP/s, and the
+//! native engine end-to-end on small matmul and Cholesky instances in
+//! tasks/sec, then writes the numbers as JSON.
+//!
+//! Usage:
+//! ```text
+//! perf_baseline [--quick] [--out PATH]
+//! ```
+//! `--quick` shrinks the GEMM size and rep count for CI smoke runs;
+//! the default writes `BENCH_kernels.json` in the working directory.
+//! Regenerate the committed baseline with:
+//! `cargo run --release -p versa-bench --bin perf_baseline`.
+
+use std::time::Instant;
+use versa_apps::cholesky::{self, CholeskyConfig, CholeskyVariant};
+use versa_apps::matmul::{self, MatmulConfig, MatmulVariant};
+use versa_core::SchedulerKind;
+use versa_kernels::gemm::{dgemm_blocked64, dgemm_naive, dgemm_packed, dgemm_parallel};
+use versa_kernels::verify::random_matrix_f64;
+use versa_runtime::NativeConfig;
+
+struct TierResult {
+    name: &'static str,
+    n: usize,
+    seconds: f64,
+    gflops: f64,
+}
+
+/// Best-of-`reps` wall time for one GEMM tier.
+fn time_tier(
+    name: &'static str,
+    n: usize,
+    reps: usize,
+    f: impl Fn(&[f64], &[f64], &mut [f64], usize),
+) -> TierResult {
+    let a = random_matrix_f64(n, 1);
+    let b = random_matrix_f64(n, 2);
+    let mut c = vec![0.0; n * n];
+    f(&a, &b, &mut c, n); // warm-up (faults pages, primes caches)
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f(&a, &b, &mut c, n);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    let gflops = 2.0 * (n as f64).powi(3) / best / 1e9;
+    eprintln!("  {name:<16} n={n:<5} {best:8.4}s  {gflops:7.2} GFLOP/s");
+    TierResult { name, n, seconds: best, gflops }
+}
+
+struct NativeResult {
+    app: &'static str,
+    tasks: u64,
+    seconds: f64,
+    tasks_per_sec: f64,
+}
+
+fn native_matmul(quick: bool) -> NativeResult {
+    let cfg = if quick {
+        MatmulConfig { n: 128, bs: 32 }
+    } else {
+        MatmulConfig { n: 256, bs: 64 }
+    };
+    let (report, _data) = matmul::run_native(
+        cfg,
+        MatmulVariant::Hybrid,
+        SchedulerKind::versioning(),
+        NativeConfig::new(2, 1),
+        5,
+    );
+    let seconds = report.makespan.as_secs_f64();
+    let result = NativeResult {
+        app: "matmul",
+        tasks: report.tasks_executed,
+        seconds,
+        tasks_per_sec: report.tasks_executed as f64 / seconds,
+    };
+    eprintln!(
+        "  native {:<9} {:4} tasks {:8.4}s  {:8.1} tasks/s",
+        result.app, result.tasks, result.seconds, result.tasks_per_sec
+    );
+    result
+}
+
+fn native_cholesky(quick: bool) -> NativeResult {
+    let cfg = if quick {
+        CholeskyConfig { n: 128, bs: 32 }
+    } else {
+        CholeskyConfig { n: 256, bs: 64 }
+    };
+    let (report, _data) = cholesky::run_native(
+        cfg,
+        CholeskyVariant::PotrfHybrid,
+        SchedulerKind::versioning(),
+        NativeConfig::new(2, 1),
+        5,
+    );
+    let seconds = report.makespan.as_secs_f64();
+    let result = NativeResult {
+        app: "cholesky",
+        tasks: report.tasks_executed,
+        seconds,
+        tasks_per_sec: report.tasks_executed as f64 / seconds,
+    };
+    eprintln!(
+        "  native {:<9} {:4} tasks {:8.4}s  {:8.1} tasks/s",
+        result.app, result.tasks, result.seconds, result.tasks_per_sec
+    );
+    result
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+
+    let (n, reps): (usize, usize) = if quick { (256, 1) } else { (1024, 3) };
+    eprintln!("GEMM tiers (f64, n={n}):");
+    let tiers = vec![
+        time_tier("naive", n, reps.saturating_sub(2).max(1), dgemm_naive),
+        time_tier("blocked64", n, reps, dgemm_blocked64),
+        time_tier("packed", n, reps, dgemm_packed),
+        time_tier("packed_4lanes", n, reps, |a, b, c, n| dgemm_parallel(a, b, c, n, 4)),
+    ];
+    let blocked = tiers.iter().find(|t| t.name == "blocked64").unwrap().gflops;
+    let packed = tiers.iter().find(|t| t.name == "packed").unwrap().gflops;
+    let speedup = packed / blocked;
+    eprintln!("packed vs blocked64 speedup: {speedup:.2}x");
+
+    eprintln!("native engine end-to-end:");
+    let native = vec![native_matmul(quick), native_cholesky(quick)];
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"generated_by\": \"perf_baseline\",\n");
+    json.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
+    json.push_str(&format!("  \"gemm_n\": {n},\n"));
+    json.push_str("  \"kernel_tiers\": [\n");
+    for (i, t) in tiers.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"seconds\": {:.6}, \"gflops\": {:.3}}}{}\n",
+            json_escape(t.name),
+            t.n,
+            t.seconds,
+            t.gflops,
+            if i + 1 < tiers.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"packed_vs_blocked64_speedup\": {speedup:.3},\n"));
+    json.push_str("  \"native\": [\n");
+    for (i, r) in native.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"app\": \"{}\", \"tasks\": {}, \"seconds\": {:.6}, \"tasks_per_sec\": {:.2}}}{}\n",
+            json_escape(r.app),
+            r.tasks,
+            r.seconds,
+            r.tasks_per_sec,
+            if i + 1 < native.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

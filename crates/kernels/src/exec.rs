@@ -1,0 +1,150 @@
+//! Lane executors: how multi-lane kernels obtain their parallelism.
+//!
+//! Kernels never spawn OS threads themselves. Each parallel kernel splits
+//! its work into independent closures ("jobs", typically one per row
+//! band) and hands them to a [`LaneExec`]. The trait has three
+//! implementations:
+//!
+//! * [`SerialExec`] — runs jobs inline; what SMP workers use.
+//! * [`ScopedExec`] — a `std::thread::scope` per batch; keeps the legacy
+//!   `(…, lanes)` kernel signatures working for callers without a pool.
+//! * `LanePool` (in `versa-runtime`) — persistent parked lane threads
+//!   owned by an emulated-GPU worker; batches reuse the same threads, so
+//!   a kernel call costs a wake-up instead of a `thread::spawn`.
+
+/// An executor that runs a batch of independent jobs across lanes.
+///
+/// # Contract
+/// `run_batch` must not return until every job has either run to
+/// completion or been dropped — implementations may not let a job outlive
+/// the call. This is what makes it sound for callers to pass closures
+/// borrowing local state (the `'scope` lifetime below).
+pub trait LaneExec: Sync {
+    /// Number of lanes jobs may be spread over (≥ 1).
+    fn lanes(&self) -> usize;
+
+    /// Run all jobs, returning once every one has finished. If a job
+    /// panics, the panic is propagated to the caller (after the batch
+    /// has drained, so borrowed state is never left aliased).
+    fn run_batch<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>);
+}
+
+/// Runs every job inline on the calling thread.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SerialExec;
+
+impl LaneExec for SerialExec {
+    fn lanes(&self) -> usize {
+        1
+    }
+
+    fn run_batch<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        for job in jobs {
+            job();
+        }
+    }
+}
+
+/// Spawns a fresh `std::thread::scope` per batch.
+///
+/// This is the pre-pool behavior, kept for the legacy `(…, lanes)` kernel
+/// entry points and for callers outside the native engine. The first job
+/// runs on the calling thread; the rest get scoped threads.
+#[derive(Clone, Copy, Debug)]
+pub struct ScopedExec {
+    lanes: usize,
+}
+
+impl ScopedExec {
+    /// Executor claiming `lanes` lanes (clamped to ≥ 1).
+    pub fn new(lanes: usize) -> ScopedExec {
+        ScopedExec { lanes: lanes.max(1) }
+    }
+}
+
+impl LaneExec for ScopedExec {
+    fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    fn run_batch<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        if jobs.len() <= 1 {
+            for job in jobs {
+                job();
+            }
+            return;
+        }
+        std::thread::scope(|scope| {
+            let mut jobs = jobs.into_iter();
+            let first = jobs.next().expect("len checked above");
+            for job in jobs {
+                scope.spawn(job);
+            }
+            first();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn sum_with(exec: &dyn LaneExec, jobs: usize) -> usize {
+        let hits = AtomicUsize::new(0);
+        let batch: Vec<Box<dyn FnOnce() + Send + '_>> = (0..jobs)
+            .map(|i| {
+                let hits = &hits;
+                Box::new(move || {
+                    hits.fetch_add(i + 1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        exec.run_batch(batch);
+        hits.load(Ordering::Relaxed)
+    }
+
+    #[test]
+    fn serial_runs_everything() {
+        assert_eq!(sum_with(&SerialExec, 5), 15);
+        assert_eq!(SerialExec.lanes(), 1);
+    }
+
+    #[test]
+    fn scoped_runs_everything() {
+        let exec = ScopedExec::new(4);
+        assert_eq!(exec.lanes(), 4);
+        assert_eq!(sum_with(&exec, 7), 28);
+        assert_eq!(sum_with(&exec, 1), 1);
+        assert_eq!(sum_with(&exec, 0), 0);
+    }
+
+    #[test]
+    fn zero_lanes_clamps_to_one() {
+        assert_eq!(ScopedExec::new(0).lanes(), 1);
+    }
+
+    #[test]
+    fn jobs_may_borrow_mutable_disjoint_state() {
+        let mut data = vec![0u64; 8];
+        let exec = ScopedExec::new(2);
+        let (lo, hi) = data.split_at_mut(4);
+        exec.run_batch(vec![
+            Box::new(move || lo.iter_mut().for_each(|v| *v = 1)),
+            Box::new(move || hi.iter_mut().for_each(|v| *v = 2)),
+        ]);
+        assert_eq!(data, [1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane job failed")]
+    fn scoped_propagates_panics() {
+        let exec = ScopedExec::new(2);
+        // The first job runs inline on the caller, so its panic payload
+        // unwinds through `run_batch` unchanged.
+        exec.run_batch(vec![
+            Box::new(|| panic!("lane job failed")),
+            Box::new(|| {}),
+        ]);
+    }
+}

@@ -1,16 +1,37 @@
 //! Dense matrix multiplication: `C += A · B` on square row-major tiles.
 //!
 //! Three implementation tiers mirror the paper's three matmul task
-//! versions (§V-B1): a straightforward triple loop (the "CBLAS on one
-//! core" stand-in), a cache-blocked single-core variant (the "hand-coded
-//! CUDA" stand-in), and a multi-lane parallel blocked variant (the
-//! "CUBLAS" stand-in for emulated GPUs).
+//! versions (§V-B1):
+//!
+//! 1. **naive** (`dgemm_naive`) — a straightforward triple loop; the
+//!    "CBLAS on one core" stand-in.
+//! 2. **packed single-core** (`dgemm_blocked`) — the register-blocked,
+//!    panel-packed core from [`crate::microkernel`]; the "hand-coded
+//!    CUDA" stand-in.
+//! 3. **packed multi-lane** (`dgemm_parallel` / `dgemm_parallel_on`) —
+//!    the same core banded over a [`LaneExec`]'s lanes with `B` packed
+//!    once and shared; the "CUBLAS" stand-in for emulated GPUs.
+//!
+//! The seed's 64×64 cache-blocked loop survives as `*gemm_blocked64`: it
+//! is the dispatch target for tiny tiles and the fixed baseline that
+//! `perf_baseline` measures the packed core against.
 
 use crate::chunk_ranges;
+use crate::exec::{LaneExec, ScopedExec};
+use crate::microkernel::{drive_f32, drive_f64, NR_F32, NR_F64};
+use crate::pack::PackedB;
+
+/// Below this dimension the packed core's packing overhead outweighs its
+/// register blocking and the 64×64 blocked loop wins.
+const PACK_MIN_N: usize = 64;
+
+/// Below this dimension banding across lanes costs more than it saves.
+const PAR_MIN_N: usize = 128;
 
 macro_rules! gemm_impls {
-    ($t:ty, $naive:ident, $blocked:ident, $parallel:ident, $rect:ident) => {
-        /// Rectangular blocked core: `C[rows×n] += A[rows×n] · B[n×n]`.
+    ($t:ty, $naive:ident, $blocked:ident, $blocked64:ident, $packed:ident, $parallel:ident,
+     $parallel_on:ident, $rect:ident, $drive:ident, $nr:expr) => {
+        /// Rectangular 64×64-blocked core: `C[rows×n] += A[rows×n] · B[n×n]`.
         fn $rect(a: &[$t], b: &[$t], c: &mut [$t], rows: usize, n: usize) {
             assert!(a.len() >= rows * n && b.len() >= n * n && c.len() >= rows * n);
             const BS: usize = 64;
@@ -31,6 +52,7 @@ macro_rules! gemm_impls {
                 }
             }
         }
+
         /// `C += A · B`, naive i-k-j triple loop.
         ///
         /// # Panics
@@ -48,46 +70,107 @@ macro_rules! gemm_impls {
             }
         }
 
-        /// `C += A · B`, cache-blocked (64×64 blocks).
+        /// `C += A · B`, the seed's 64×64 cache-blocked loop. Kept as the
+        /// small-tile tier and as the fixed perf baseline the packed core
+        /// is measured against.
+        ///
+        /// # Panics
+        /// Panics if any slice is shorter than `n * n`.
+        pub fn $blocked64(a: &[$t], b: &[$t], c: &mut [$t], n: usize) {
+            $rect(a, b, c, n, n);
+        }
+
+        /// `C += A · B` through the packed register-blocked core,
+        /// regardless of size.
+        ///
+        /// # Panics
+        /// Panics if any slice is shorter than `n * n`.
+        pub fn $packed(a: &[$t], b: &[$t], c: &mut [$t], n: usize) {
+            assert!(a.len() >= n * n && b.len() >= n * n && c.len() >= n * n);
+            let pb = PackedB::pack(b, n, false, n, n, $nr);
+            $drive(a, n, c, n, n, n, &pb, false);
+        }
+
+        /// `C += A · B`, single-core blocked tier: the packed
+        /// register-blocked core, falling back to the 64×64 blocked loop
+        /// for tiles too small to amortize packing.
         ///
         /// # Panics
         /// Panics if any slice is shorter than `n * n`.
         pub fn $blocked(a: &[$t], b: &[$t], c: &mut [$t], n: usize) {
-            $rect(a, b, c, n, n);
+            if n < PACK_MIN_N {
+                $blocked64(a, b, c, n)
+            } else {
+                $packed(a, b, c, n)
+            }
         }
 
-        /// `C += A · B`, blocked and parallelized over `lanes` scoped
-        /// threads by row bands (this is what an emulated GPU runs).
+        /// `C += A · B` banded over `exec`'s lanes (this is what an
+        /// emulated GPU runs). `B` is packed once and shared by every
+        /// lane; each lane drives the packed core over its own row band,
+        /// so the result is bitwise identical to the serial packed tier.
+        ///
+        /// # Panics
+        /// Panics if any slice is shorter than `n * n`.
+        pub fn $parallel_on(exec: &dyn LaneExec, a: &[$t], b: &[$t], c: &mut [$t], n: usize) {
+            assert!(a.len() >= n * n && b.len() >= n * n && c.len() >= n * n);
+            if exec.lanes() <= 1 || n < PAR_MIN_N {
+                return $blocked(a, b, c, n);
+            }
+            let pb = PackedB::pack(b, n, false, n, n, $nr);
+            let pb = &pb;
+            let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+            let mut rest: &mut [$t] = &mut c[..n * n];
+            for band in chunk_ranges(n, exec.lanes()) {
+                let rows = band.len();
+                let (mine, r) = rest.split_at_mut(rows * n);
+                rest = r;
+                let a_band = &a[band.start * n..band.end * n];
+                jobs.push(Box::new(move || $drive(a_band, n, mine, n, rows, n, pb, false)));
+            }
+            exec.run_batch(jobs);
+        }
+
+        /// `C += A · B` over `lanes` ad-hoc scoped threads — the legacy
+        /// entry point for callers without a persistent lane pool.
         ///
         /// # Panics
         /// Panics if any slice is shorter than `n * n`.
         pub fn $parallel(a: &[$t], b: &[$t], c: &mut [$t], n: usize, lanes: usize) {
-            assert!(a.len() >= n * n && b.len() >= n * n && c.len() >= n * n);
-            if lanes <= 1 || n < 128 {
-                return $blocked(a, b, c, n);
-            }
-            let bands = chunk_ranges(n, lanes);
-            // Split C into disjoint row bands; each lane owns one band.
-            let mut c_rest: &mut [$t] = &mut c[..n * n];
-            std::thread::scope(|scope| {
-                for band in bands {
-                    let rows = band.len();
-                    let (c_band, rest) = c_rest.split_at_mut(rows * n);
-                    c_rest = rest;
-                    let a_band = &a[band.start * n..band.end * n];
-                    scope.spawn(move || $rect(a_band, b, c_band, rows, n));
-                }
-            });
+            $parallel_on(&ScopedExec::new(lanes), a, b, c, n)
         }
     };
 }
 
-gemm_impls!(f64, dgemm_naive, dgemm_blocked, dgemm_parallel, dgemm_rect);
-gemm_impls!(f32, sgemm_naive, sgemm_blocked, sgemm_parallel, sgemm_rect);
+gemm_impls!(
+    f64,
+    dgemm_naive,
+    dgemm_blocked,
+    dgemm_blocked64,
+    dgemm_packed,
+    dgemm_parallel,
+    dgemm_parallel_on,
+    dgemm_rect,
+    drive_f64,
+    NR_F64
+);
+gemm_impls!(
+    f32,
+    sgemm_naive,
+    sgemm_blocked,
+    sgemm_blocked64,
+    sgemm_packed,
+    sgemm_parallel,
+    sgemm_parallel_on,
+    sgemm_rect,
+    drive_f32,
+    NR_F32
+);
 
 macro_rules! gemm_nt_sub_impls {
-    ($t:ty, $serial:ident, $par:ident, $rect:ident) => {
-        /// Rectangular core: `C[rows×n] −= A[rows×n] · Bᵀ` (`B` is `n×n`).
+    ($t:ty, $serial:ident, $packed:ident, $par:ident, $par_on:ident, $rect:ident, $drive:ident,
+     $nr:expr) => {
+        /// Rectangular dot-product core: `C[rows×n] −= A[rows×n] · Bᵀ`.
         fn $rect(a: &[$t], b: &[$t], c: &mut [$t], rows: usize, n: usize) {
             assert!(a.len() >= rows * n && b.len() >= n * n && c.len() >= rows * n);
             for i in 0..rows {
@@ -101,40 +184,85 @@ macro_rules! gemm_nt_sub_impls {
             }
         }
 
+        /// `C ← C − A·Bᵀ` through the packed core (`B` packed
+        /// transposed), regardless of size.
+        ///
+        /// # Panics
+        /// Panics if any slice is shorter than `n * n`.
+        pub fn $packed(a: &[$t], b: &[$t], c: &mut [$t], n: usize) {
+            assert!(a.len() >= n * n && b.len() >= n * n && c.len() >= n * n);
+            let pb = PackedB::pack(b, n, true, n, n, $nr);
+            $drive(a, n, c, n, n, n, &pb, true);
+        }
+
         /// `C ← C − A·Bᵀ` — the trailing update of the tiled Cholesky
-        /// (`A[i][j] −= A[i][k]·A[j][k]ᵀ`).
+        /// (`A[i][j] −= A[i][k]·A[j][k]ᵀ`). Dispatches to the packed core
+        /// above the small-tile threshold.
         ///
         /// # Panics
         /// Panics if any slice is shorter than `n * n`.
         pub fn $serial(a: &[$t], b: &[$t], c: &mut [$t], n: usize) {
-            $rect(a, b, c, n, n);
+            if n < PACK_MIN_N {
+                $rect(a, b, c, n, n)
+            } else {
+                $packed(a, b, c, n)
+            }
         }
 
-        /// Multi-lane variant of the NT update, parallel over row bands.
+        /// Multi-lane NT update banded over `exec`'s lanes; `B` is packed
+        /// once and shared.
+        ///
+        /// # Panics
+        /// Panics if any slice is shorter than `n * n`.
+        pub fn $par_on(exec: &dyn LaneExec, a: &[$t], b: &[$t], c: &mut [$t], n: usize) {
+            assert!(a.len() >= n * n && b.len() >= n * n && c.len() >= n * n);
+            if exec.lanes() <= 1 || n < PAR_MIN_N {
+                return $serial(a, b, c, n);
+            }
+            let pb = PackedB::pack(b, n, true, n, n, $nr);
+            let pb = &pb;
+            let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+            let mut rest: &mut [$t] = &mut c[..n * n];
+            for band in chunk_ranges(n, exec.lanes()) {
+                let rows = band.len();
+                let (mine, r) = rest.split_at_mut(rows * n);
+                rest = r;
+                let a_band = &a[band.start * n..band.end * n];
+                jobs.push(Box::new(move || $drive(a_band, n, mine, n, rows, n, pb, true)));
+            }
+            exec.run_batch(jobs);
+        }
+
+        /// Multi-lane NT update over `lanes` ad-hoc scoped threads.
         ///
         /// # Panics
         /// Panics if any slice is shorter than `n * n`.
         pub fn $par(a: &[$t], b: &[$t], c: &mut [$t], n: usize, lanes: usize) {
-            assert!(a.len() >= n * n && b.len() >= n * n && c.len() >= n * n);
-            if lanes <= 1 || n < 128 {
-                return $serial(a, b, c, n);
-            }
-            let mut rest: &mut [$t] = &mut c[..n * n];
-            std::thread::scope(|scope| {
-                for band in chunk_ranges(n, lanes) {
-                    let rows = band.len();
-                    let (mine, r) = rest.split_at_mut(rows * n);
-                    rest = r;
-                    let a_band = &a[band.start * n..band.end * n];
-                    scope.spawn(move || $rect(a_band, b, mine, rows, n));
-                }
-            });
+            $par_on(&ScopedExec::new(lanes), a, b, c, n)
         }
     };
 }
 
-gemm_nt_sub_impls!(f32, sgemm_nt_sub, sgemm_nt_sub_par, sgemm_nt_rect);
-gemm_nt_sub_impls!(f64, dgemm_nt_sub, dgemm_nt_sub_par, dgemm_nt_rect);
+gemm_nt_sub_impls!(
+    f32,
+    sgemm_nt_sub,
+    sgemm_nt_sub_packed,
+    sgemm_nt_sub_par,
+    sgemm_nt_sub_par_on,
+    sgemm_nt_rect,
+    drive_f32,
+    NR_F32
+);
+gemm_nt_sub_impls!(
+    f64,
+    dgemm_nt_sub,
+    dgemm_nt_sub_packed,
+    dgemm_nt_sub_par,
+    dgemm_nt_sub_par_on,
+    dgemm_nt_rect,
+    drive_f64,
+    NR_F64
+);
 
 #[cfg(test)]
 mod tests {
@@ -165,6 +293,19 @@ mod tests {
     }
 
     #[test]
+    fn blocked64_matches_naive_f64() {
+        for n in [7usize, 64, 130] {
+            let a = random_matrix_f64(n, 31);
+            let b = random_matrix_f64(n, 32);
+            let mut c1 = random_matrix_f64(n, 33);
+            let mut c2 = c1.clone();
+            dgemm_naive(&a, &b, &mut c1, n);
+            dgemm_blocked64(&a, &b, &mut c2, n);
+            assert_close_f64(&c1, &c2, 1e-10);
+        }
+    }
+
+    #[test]
     fn parallel_matches_naive_f64() {
         for lanes in [1usize, 2, 3, 4, 8] {
             let n = 150;
@@ -176,6 +317,20 @@ mod tests {
             dgemm_parallel(&a, &b, &mut c2, n, lanes);
             assert_close_f64(&c1, &c2, 1e-10);
         }
+    }
+
+    #[test]
+    fn parallel_is_bitwise_equal_to_packed() {
+        // Same microkernel, same k-order per element — banding must not
+        // change a single bit.
+        let n = 200;
+        let a = random_matrix_f64(n, 40);
+        let b = random_matrix_f64(n, 41);
+        let mut c1 = random_matrix_f64(n, 42);
+        let mut c2 = c1.clone();
+        dgemm_packed(&a, &b, &mut c1, n);
+        dgemm_parallel(&a, &b, &mut c2, n, 3);
+        assert_eq!(c1, c2);
     }
 
     #[test]
@@ -221,6 +376,7 @@ mod tests {
         let mut c: [f64; 0] = [];
         dgemm_naive(&[], &[], &mut c, 0);
         dgemm_blocked(&[], &[], &mut c, 0);
+        dgemm_packed(&[], &[], &mut c, 0);
         dgemm_parallel(&[], &[], &mut c, 0, 4);
     }
 
@@ -243,9 +399,11 @@ mod tests {
         for i in 0..n * n {
             expect[i] -= prod[i];
         }
-        let mut got = c0.clone();
-        dgemm_nt_sub(&a, &b, &mut got, n);
-        assert_close_f64(&expect, &got, 1e-10);
+        for f in [dgemm_nt_sub, dgemm_nt_sub_packed] {
+            let mut got = c0.clone();
+            f(&a, &b, &mut got, n);
+            assert_close_f64(&expect, &got, 1e-10);
+        }
     }
 
     #[test]

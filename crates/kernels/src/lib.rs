@@ -20,17 +20,21 @@
 
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod gemm;
+pub(crate) mod microkernel;
+pub(crate) mod pack;
 pub mod pbpi;
 pub mod potrf;
 pub mod syrk;
 pub mod trsm;
 pub mod verify;
 
-/// Split `0..n` into at most `lanes` contiguous chunks for scoped-thread
-/// parallel kernels. Every element is covered exactly once and empty
-/// chunks are skipped.
-pub(crate) fn chunk_ranges(n: usize, lanes: usize) -> Vec<std::ops::Range<usize>> {
+/// Split `0..n` into at most `lanes` contiguous chunks, one per lane of a
+/// parallel kernel. Every element is covered exactly once, empty chunks
+/// are skipped, and `lanes == 0` is treated as 1, so the result is never
+/// empty for `n > 0` and chunk sizes differ by at most one.
+pub fn chunk_ranges(n: usize, lanes: usize) -> Vec<std::ops::Range<usize>> {
     let lanes = lanes.max(1).min(n.max(1));
     let base = n / lanes;
     let extra = n % lanes;
@@ -75,5 +79,23 @@ mod tests {
         let ranges = chunk_ranges(10, 3);
         let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
         assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn more_lanes_than_elements_yields_singletons() {
+        let ranges = chunk_ranges(3, 8);
+        assert_eq!(ranges, vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn zero_lanes_behaves_like_one() {
+        assert_eq!(chunk_ranges(5, 0), vec![0..5]);
+        assert_eq!(chunk_ranges(0, 0), Vec::<std::ops::Range<usize>>::new());
+    }
+
+    #[test]
+    fn exact_partition_when_lanes_divide_n() {
+        let ranges = chunk_ranges(12, 4);
+        assert_eq!(ranges, vec![0..3, 3..6, 6..9, 9..12]);
     }
 }

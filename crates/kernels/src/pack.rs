@@ -1,0 +1,187 @@
+//! Panel packing for the register-blocked GEMM core.
+//!
+//! The packed GEMM (see [`crate::microkernel`]) follows the classic
+//! BLIS/GotoBLAS decomposition: the `k` dimension is cut into `KC`-deep
+//! panels, rows of `A` into `MC`-tall blocks, and within a block/panel
+//! pair the data is rearranged once into the exact streaming order the
+//! micro-kernel consumes:
+//!
+//! * An **A micro-panel** holds `MR` rows k-major: element `(r, p)` lives
+//!   at `p·MR + r`, so each step of the micro-kernel's `k` loop reads one
+//!   contiguous `MR`-vector.
+//! * A **B micro-panel** holds `NR` columns k-major: element `(p, c)`
+//!   lives at `p·NR + c`.
+//!
+//! Ragged edges are zero-padded to the full `MR`/`NR` width, so the
+//! micro-kernel never branches on tile shape; the driver simply writes
+//! back only the `rows × cols` corner that exists.
+
+/// Depth (`k` extent) of one packed panel. Sized so an A block
+/// (`MC × KC` f64) and the B panel rows stay cache-resident.
+pub(crate) const KC: usize = 256;
+
+/// Row-block height of packed `A`. A multiple of both micro-tile heights.
+pub(crate) const MC: usize = 128;
+
+/// Pack the `mc × kc` block of `a` starting at `(i0, p0)` into `MR`-row
+/// k-major micro-panels, zero-padding the last panel to `mr` rows.
+/// `a` is row-major with row stride `lda`; `out` must hold at least
+/// `mc.next_multiple_of(mr) * kc` elements.
+pub(crate) fn pack_a<T: Copy + Default>(
+    a: &[T],
+    lda: usize,
+    i0: usize,
+    mc: usize,
+    p0: usize,
+    kc: usize,
+    mr: usize,
+    out: &mut [T],
+) {
+    let mut w = 0;
+    let mut ir = 0;
+    while ir < mc {
+        let rows = mr.min(mc - ir);
+        for p in 0..kc {
+            for r in 0..mr {
+                out[w] = if r < rows { a[(i0 + ir + r) * lda + p0 + p] } else { T::default() };
+                w += 1;
+            }
+        }
+        ir += mr;
+    }
+}
+
+/// Pack the `kc × nc` block of the *logical* matrix `B` starting at
+/// `(p0, j0)` into `NR`-column k-major micro-panels, zero-padded to `nr`
+/// columns. When `trans` is false the logical `B[p][j]` is
+/// `b[p * ldb + j]`; when true it is `b[j * ldb + p]` (i.e. the packed
+/// operand is `bᵀ`, which is how the `C −= A·Bᵀ` Cholesky update and
+/// `syrk` reuse the same core).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pack_b<T: Copy + Default>(
+    b: &[T],
+    ldb: usize,
+    trans: bool,
+    p0: usize,
+    kc: usize,
+    j0: usize,
+    nc: usize,
+    nr: usize,
+    out: &mut [T],
+) {
+    let mut w = 0;
+    let mut jr = 0;
+    while jr < nc {
+        let cols = nr.min(nc - jr);
+        for p in 0..kc {
+            for c in 0..nr {
+                out[w] = if c < cols {
+                    let (row, col) =
+                        if trans { (j0 + jr + c, p0 + p) } else { (p0 + p, j0 + jr + c) };
+                    b[row * ldb + col]
+                } else {
+                    T::default()
+                };
+                w += 1;
+            }
+        }
+        jr += nr;
+    }
+}
+
+/// A whole `k × n` operand packed once up front: consecutive `KC`-deep
+/// panels, each `kc × n_round` (`n` rounded up to a multiple of `nr`).
+/// Sharable across row-band workers, so a parallel GEMM packs `B`
+/// exactly once.
+pub(crate) struct PackedB<T> {
+    data: Vec<T>,
+    /// Total `k` extent.
+    pub k: usize,
+    /// Micro-panel width the data was packed with.
+    pub nr: usize,
+    /// `n` rounded up to a multiple of `nr`.
+    pub n_round: usize,
+}
+
+impl<T: Copy + Default> PackedB<T> {
+    /// Pack all of logical `B` (`k × n`, see [`pack_b`] for `trans`).
+    pub fn pack(b: &[T], ldb: usize, trans: bool, k: usize, n: usize, nr: usize) -> PackedB<T> {
+        let n_round = n.div_ceil(nr) * nr;
+        let mut data = vec![T::default(); k * n_round];
+        let mut p0 = 0;
+        while p0 < k {
+            let kc = KC.min(k - p0);
+            pack_b(b, ldb, trans, p0, kc, 0, n, nr, &mut data[p0 * n_round..(p0 + kc) * n_round]);
+            p0 += KC;
+        }
+        PackedB { data, k, nr, n_round }
+    }
+
+    /// The packed panel covering depth `p0..p0 + kc` (`p0` a multiple of
+    /// `KC`). Within it, the micro-panel for columns `jr..jr + nr` starts
+    /// at `(jr / nr) * (kc * nr)`.
+    pub fn panel(&self, p0: usize, kc: usize) -> &[T] {
+        debug_assert!(p0 % KC == 0 && kc <= KC);
+        &self.data[p0 * self.n_round..(p0 + kc) * self.n_round]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_a_is_k_major_with_zero_padding() {
+        // 3×2 block of a 4×4 matrix, MR = 2: two micro-panels, the
+        // second padded with a zero row.
+        let a: Vec<f64> = (0..16).map(|v| v as f64).collect();
+        let mut out = vec![-1.0; 4 * 2];
+        pack_a(&a, 4, 1, 3, 2, 2, 2, &mut out);
+        // Micro-panel 0: rows 1,2 of cols 2,3 → (p=0: a[1][2], a[2][2]), (p=1: a[1][3], a[2][3]).
+        // Micro-panel 1: row 3 + pad     → (p=0: a[3][2], 0), (p=1: a[3][3], 0).
+        assert_eq!(out, vec![6.0, 10.0, 7.0, 11.0, 14.0, 0.0, 15.0, 0.0]);
+    }
+
+    #[test]
+    fn pack_b_normal_and_transposed() {
+        // 2×3 logical block of a 4×4 matrix, NR = 2.
+        let b: Vec<f64> = (0..16).map(|v| v as f64).collect();
+        let mut out = vec![-1.0; 2 * 4];
+        pack_b(&b, 4, false, 1, 2, 0, 3, 2, &mut out);
+        // Cols {0,1} k-major, then col {2} zero-padded.
+        assert_eq!(out, vec![4.0, 5.0, 8.0, 9.0, 6.0, 0.0, 10.0, 0.0]);
+
+        let mut out_t = vec![-1.0; 2 * 4];
+        pack_b(&b, 4, true, 1, 2, 0, 3, 2, &mut out_t);
+        // Logical B[p][j] = b[j][p]: col j at depth p is b[j*4+p].
+        assert_eq!(out_t, vec![1.0, 5.0, 2.0, 6.0, 9.0, 0.0, 10.0, 0.0]);
+    }
+
+    #[test]
+    fn packed_b_panels_tile_the_depth() {
+        let k = KC + 7;
+        let n = 5;
+        let b: Vec<f32> = (0..k * n).map(|v| (v % 97) as f32).collect();
+        let pb = PackedB::pack(&b, n, false, k, n, 4);
+        assert_eq!(pb.n_round, 8);
+        let head = pb.panel(0, KC);
+        let tail = pb.panel(KC, 7);
+        assert_eq!(head.len(), KC * 8);
+        assert_eq!(tail.len(), 7 * 8);
+        // Spot-check: element (p, j) of the first micro-panel (<= NR cols)
+        // sits at p*nr + j.
+        assert_eq!(head[3 * 4 + 2], b[3 * n + 2]);
+        assert_eq!(tail[2 * 4 + 1], b[(KC + 2) * n + 1]);
+        // Padding columns are zero.
+        let second_micro = &head[KC * 4..];
+        assert_eq!(second_micro[0], b[4]); // (p=0, j=4)
+        assert_eq!(second_micro[1], 0.0); // (p=0, j=5) — padded
+    }
+
+    #[test]
+    fn empty_operand_packs_to_nothing() {
+        let pb = PackedB::<f64>::pack(&[], 1, false, 0, 0, 4);
+        assert_eq!(pb.k, 0);
+        assert_eq!(pb.n_round, 0);
+    }
+}

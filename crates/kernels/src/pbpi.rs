@@ -20,6 +20,7 @@
 //!    SMP-only loop): `Σ log(Σ_s π_s · partial[site][s])`.
 
 use crate::chunk_ranges;
+use crate::exec::{LaneExec, ScopedExec};
 
 /// Number of nucleotide states.
 pub const STATES: usize = 4;
@@ -42,16 +43,17 @@ pub fn jukes_cantor(t: f64) -> TransitionMatrix {
 }
 
 /// Loop 1: propagate conditional likelihoods along a branch.
-/// `out[site][s] = Σ_z p[s][z] · input[site][z]`, parallel over `lanes`.
+/// `out[site][s] = Σ_z p[s][z] · input[site][z]`, banded over `exec`'s
+/// lanes.
 ///
 /// # Panics
 /// Panics if slices are shorter than `sites * STATES`.
-pub fn loop1_propagate(
+pub fn loop1_propagate_on(
+    exec: &dyn LaneExec,
     p: &TransitionMatrix,
     input: &[f64],
     out: &mut [f64],
     sites: usize,
-    lanes: usize,
 ) {
     assert!(input.len() >= sites * STATES && out.len() >= sites * STATES);
     let body = |input: &[f64], out: &mut [f64], range: std::ops::Range<usize>| {
@@ -64,51 +66,82 @@ pub fn loop1_propagate(
             }
         }
     };
-    if lanes <= 1 || sites < 1024 {
-        body(input, out, 0..sites);
-        return;
+    if exec.lanes() <= 1 || sites < 1024 {
+        return body(input, out, 0..sites);
     }
+    let body = &body;
+    let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
     let mut rest: &mut [f64] = &mut out[..sites * STATES];
-    std::thread::scope(|scope| {
-        for band in chunk_ranges(sites, lanes) {
-            let rows = band.len();
-            let (mine, r) = rest.split_at_mut(rows * STATES);
-            rest = r;
-            let inp = &input[band.start * STATES..band.end * STATES];
-            scope.spawn(move || body(inp, mine, 0..rows));
-        }
-    });
+    for band in chunk_ranges(sites, exec.lanes()) {
+        let rows = band.len();
+        let (mine, r) = rest.split_at_mut(rows * STATES);
+        rest = r;
+        let inp = &input[band.start * STATES..band.end * STATES];
+        jobs.push(Box::new(move || body(inp, mine, 0..rows)));
+    }
+    exec.run_batch(jobs);
 }
 
-/// Loop 2: combine two children's partials into the parent:
-/// `out[site][s] = left[site][s] · right[site][s]`, parallel over `lanes`.
+/// Loop 1 over `lanes` ad-hoc scoped threads — the legacy entry point for
+/// callers without a persistent lane pool.
 ///
 /// # Panics
 /// Panics if slices are shorter than `sites * STATES`.
-pub fn loop2_combine(left: &[f64], right: &[f64], out: &mut [f64], sites: usize, lanes: usize) {
+pub fn loop1_propagate(
+    p: &TransitionMatrix,
+    input: &[f64],
+    out: &mut [f64],
+    sites: usize,
+    lanes: usize,
+) {
+    loop1_propagate_on(&ScopedExec::new(lanes), p, input, out, sites)
+}
+
+/// Loop 2: combine two children's partials into the parent:
+/// `out[site][s] = left[site][s] · right[site][s]`, banded over `exec`'s
+/// lanes.
+///
+/// # Panics
+/// Panics if slices are shorter than `sites * STATES`.
+pub fn loop2_combine_on(
+    exec: &dyn LaneExec,
+    left: &[f64],
+    right: &[f64],
+    out: &mut [f64],
+    sites: usize,
+) {
     let n = sites * STATES;
     assert!(left.len() >= n && right.len() >= n && out.len() >= n);
-    if lanes <= 1 || sites < 1024 {
+    if exec.lanes() <= 1 || sites < 1024 {
         for i in 0..n {
             out[i] = left[i] * right[i];
         }
         return;
     }
+    let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
     let mut rest: &mut [f64] = &mut out[..n];
-    std::thread::scope(|scope| {
-        for band in chunk_ranges(sites, lanes) {
-            let lo = band.start * STATES;
-            let hi = band.end * STATES;
-            let (mine, r) = rest.split_at_mut(hi - lo);
-            rest = r;
-            let (l, rgt) = (&left[lo..hi], &right[lo..hi]);
-            scope.spawn(move || {
-                for i in 0..mine.len() {
-                    mine[i] = l[i] * rgt[i];
-                }
-            });
-        }
-    });
+    for band in chunk_ranges(sites, exec.lanes()) {
+        let lo = band.start * STATES;
+        let hi = band.end * STATES;
+        let (mine, r) = rest.split_at_mut(hi - lo);
+        rest = r;
+        let (l, rgt) = (&left[lo..hi], &right[lo..hi]);
+        jobs.push(Box::new(move || {
+            for i in 0..mine.len() {
+                mine[i] = l[i] * rgt[i];
+            }
+        }));
+    }
+    exec.run_batch(jobs);
+}
+
+/// Loop 2 over `lanes` ad-hoc scoped threads — the legacy entry point for
+/// callers without a persistent lane pool.
+///
+/// # Panics
+/// Panics if slices are shorter than `sites * STATES`.
+pub fn loop2_combine(left: &[f64], right: &[f64], out: &mut [f64], sites: usize, lanes: usize) {
+    loop2_combine_on(&ScopedExec::new(lanes), left, right, out, sites)
 }
 
 /// Loop 3: log-likelihood reduction over sites with uniform stationary

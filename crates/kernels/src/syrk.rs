@@ -1,18 +1,25 @@
 //! Symmetric rank-k update: `C ← C − A·Aᵀ` (lower triangle) — the
 //! diagonal-tile update of the tiled Cholesky.
+//!
+//! Above the small-tile threshold the update runs through the packed
+//! register-blocked core: `A` is packed once *transposed* (so the core
+//! computes `A·Aᵀ`), then driven over row bands — at least `MC`-granular —
+//! with the column count clipped to each band's trailing edge. The
+//! computed region is the lower trapezoid rounded up to band boundaries,
+//! and a final mirror pass restores the full-symmetric-tile contract.
 
 use crate::chunk_ranges;
+use crate::exec::{LaneExec, ScopedExec, SerialExec};
+use crate::microkernel::{drive_f32, drive_f64, NR_F32, NR_F64};
+use crate::pack::{PackedB, MC};
+
+/// Below this dimension the dot-product loop beats packing.
+const PACK_MIN_N: usize = 64;
 
 macro_rules! syrk_impl {
-    ($t:ty, $name:ident, $par:ident) => {
-        /// `C ← C − A·Aᵀ`, updating only the lower triangle (the upper
-        /// triangle mirrors it so the tile stays a full symmetric matrix,
-        /// which keeps downstream `potrf`/reference checks simple).
-        ///
-        /// # Panics
-        /// Panics if either slice is shorter than `n * n`.
-        pub fn $name(a: &[$t], c: &mut [$t], n: usize) {
-            assert!(a.len() >= n * n && c.len() >= n * n);
+    ($t:ty, $name:ident, $par:ident, $par_on:ident, $legacy:ident, $drive:ident, $nr:expr) => {
+        /// Dot-product rank-k update of the lower triangle (small tiles).
+        fn $legacy(a: &[$t], c: &mut [$t], n: usize) {
             for i in 0..n {
                 for j in 0..=i {
                     let mut dot: $t = 0.0;
@@ -20,57 +27,80 @@ macro_rules! syrk_impl {
                         dot += a[i * n + k] * a[j * n + k];
                     }
                     c[i * n + j] -= dot;
-                    if i != j {
-                        c[j * n + i] = c[i * n + j];
-                    }
                 }
             }
         }
 
-        /// Multi-lane variant: rows of the lower triangle are distributed
-        /// over `lanes` scoped threads; the mirror pass runs serially.
+        /// `C ← C − A·Aᵀ`, updating only the lower triangle (the upper
+        /// triangle mirrors it so the tile stays a full symmetric matrix,
+        /// which keeps downstream `potrf`/reference checks simple).
+        /// Dispatches to the packed register-blocked core above the
+        /// small-tile threshold.
         ///
         /// # Panics
         /// Panics if either slice is shorter than `n * n`.
-        pub fn $par(a: &[$t], c: &mut [$t], n: usize, lanes: usize) {
+        pub fn $name(a: &[$t], c: &mut [$t], n: usize) {
+            $par_on(&SerialExec, a, c, n)
+        }
+
+        /// Rank-k update banded over `exec`'s lanes: each lane owns a row
+        /// band of the lower trapezoid (columns clipped to the band's
+        /// trailing edge), sharing one transposed packing of `A`; the
+        /// mirror pass runs serially afterwards. Per-element accumulation
+        /// order never depends on the banding, so any lane count produces
+        /// bitwise-identical tiles.
+        ///
+        /// # Panics
+        /// Panics if either slice is shorter than `n * n`.
+        pub fn $par_on(exec: &dyn LaneExec, a: &[$t], c: &mut [$t], n: usize) {
             assert!(a.len() >= n * n && c.len() >= n * n);
-            if lanes <= 1 || n < 64 {
-                return $name(a, c, n);
-            }
-            let mut rest: &mut [$t] = &mut c[..n * n];
-            let mut offset = 0usize;
-            std::thread::scope(|scope| {
-                for band in chunk_ranges(n, lanes) {
+            if n < PACK_MIN_N {
+                // Dot-product tier; banding it isn't worth a wake-up.
+                $legacy(a, c, n);
+            } else {
+                let pa = PackedB::pack(a, n, true, n, n, $nr);
+                let pa = &pa;
+                let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+                let mut rest: &mut [$t] = &mut c[..n * n];
+                let mut consumed = 0usize;
+                // At least MC-granular bands so the column clip skips the
+                // upper triangle's work even on a single lane.
+                let bands = exec.lanes().max(n.div_ceil(MC));
+                for band in chunk_ranges(n, bands) {
                     let rows = band.len();
                     let (mine, r) = rest.split_at_mut(rows * n);
                     rest = r;
-                    let start = offset;
-                    offset += rows;
-                    scope.spawn(move || {
-                        for (li, i) in (start..start + rows).enumerate() {
-                            for j in 0..=i {
-                                let mut dot: $t = 0.0;
-                                for k in 0..n {
-                                    dot += a[i * n + k] * a[j * n + k];
-                                }
-                                mine[li * n + j] -= dot;
-                            }
-                        }
-                    });
+                    let a_band = &a[band.start * n..];
+                    let ncols = band.end;
+                    jobs.push(Box::new(move || {
+                        $drive(a_band, n, mine, n, rows, ncols, pa, true)
+                    }));
+                    consumed += rows;
                 }
-            });
-            // Mirror to the upper triangle.
+                debug_assert_eq!(consumed, n);
+                exec.run_batch(jobs);
+            }
+            // Mirror the lower triangle to the upper.
             for i in 0..n {
                 for j in 0..i {
                     c[j * n + i] = c[i * n + j];
                 }
             }
         }
+
+        /// Multi-lane variant over `lanes` ad-hoc scoped threads — the
+        /// legacy entry point for callers without a persistent lane pool.
+        ///
+        /// # Panics
+        /// Panics if either slice is shorter than `n * n`.
+        pub fn $par(a: &[$t], c: &mut [$t], n: usize, lanes: usize) {
+            $par_on(&ScopedExec::new(lanes), a, c, n)
+        }
     };
 }
 
-syrk_impl!(f32, ssyrk_lower, ssyrk_lower_par);
-syrk_impl!(f64, dsyrk_lower, dsyrk_lower_par);
+syrk_impl!(f32, ssyrk_lower, ssyrk_lower_par, ssyrk_lower_par_on, ssyrk_rows, drive_f32, NR_F32);
+syrk_impl!(f64, dsyrk_lower, dsyrk_lower_par, dsyrk_lower_par_on, dsyrk_rows, drive_f64, NR_F64);
 
 #[cfg(test)]
 mod tests {
@@ -104,7 +134,8 @@ mod tests {
 
     #[test]
     fn matches_reference() {
-        for n in [1usize, 4, 17, 50] {
+        // 1..50 take the dot-product tier, 64..130 the packed tier.
+        for n in [1usize, 4, 17, 50, 64, 80, 130] {
             let a = random_matrix_f64(n, 1);
             let c0 = symmetric_matrix(n, 2);
             let mut c = c0.clone();
@@ -123,17 +154,20 @@ mod tests {
         dsyrk_lower(&a, &mut c1, n);
         dsyrk_lower_par(&a, &mut c2, n, 4);
         assert_close_f64(&c1, &c2, 1e-12);
+        // Banding must not change per-element accumulation order.
+        assert_eq!(c1, c2);
     }
 
     #[test]
     fn result_stays_symmetric() {
-        let n = 12;
-        let a = random_matrix_f64(n, 5);
-        let mut c = symmetric_matrix(n, 6);
-        dsyrk_lower(&a, &mut c, n);
-        for i in 0..n {
-            for j in 0..n {
-                assert_eq!(c[i * n + j], c[j * n + i]);
+        for n in [12usize, 96] {
+            let a = random_matrix_f64(n, 5);
+            let mut c = symmetric_matrix(n, 6);
+            dsyrk_lower(&a, &mut c, n);
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(c[i * n + j], c[j * n + i]);
+                }
             }
         }
     }
@@ -144,5 +178,25 @@ mod tests {
         let mut c = vec![5.0f32, 0.0, 0.0, 5.0];
         ssyrk_lower(&a, &mut c, 2);
         assert_eq!(c, vec![4.0, 0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn f32_packed_matches_dot_tier() {
+        let n = 72;
+        let a: Vec<f32> = random_matrix_f64(n, 7).iter().map(|&v| v as f32).collect();
+        let c0: Vec<f32> = symmetric_matrix(n, 8).iter().map(|&v| v as f32).collect();
+        let mut got = c0.clone();
+        ssyrk_lower(&a, &mut got, n);
+        let expect64 = reference(
+            &a.iter().map(|&v| v as f64).collect::<Vec<_>>(),
+            &c0.iter().map(|&v| v as f64).collect::<Vec<_>>(),
+            n,
+        );
+        for i in 0..n {
+            for j in 0..=i {
+                let e = expect64[i * n + j] as f32;
+                assert!((got[i * n + j] - e).abs() <= 1e-2 * e.abs().max(1.0));
+            }
+        }
     }
 }

@@ -6,9 +6,10 @@
 //! `trsm(side=R, uplo=L, trans=T, diag=N)`.
 
 use crate::chunk_ranges;
+use crate::exec::{LaneExec, ScopedExec};
 
 macro_rules! trsm_impl {
-    ($t:ty, $name:ident, $par:ident) => {
+    ($t:ty, $name:ident, $par:ident, $par_on:ident) => {
         /// Solve `X · Lᵀ = A` in place (`A ← A · L⁻ᵀ`) for a row-major
         /// `n × n` tile `A` and lower-triangular `L`.
         ///
@@ -24,28 +25,37 @@ macro_rules! trsm_impl {
         }
 
         /// Multi-lane variant of the same solve: rows of `A` are
-        /// independent, so they are split over `lanes` scoped threads.
+        /// independent, so they are banded over `exec`'s lanes.
+        ///
+        /// # Panics
+        /// As the serial variant.
+        pub fn $par_on(exec: &dyn LaneExec, l: &[$t], a: &mut [$t], n: usize) {
+            assert!(l.len() >= n * n && a.len() >= n * n);
+            if exec.lanes() <= 1 || n < 64 {
+                return $name(l, a, n);
+            }
+            let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+            let mut rest: &mut [$t] = &mut a[..n * n];
+            for band in chunk_ranges(n, exec.lanes()) {
+                let rows = band.len();
+                let (mine, r) = rest.split_at_mut(rows * n);
+                rest = r;
+                jobs.push(Box::new(move || {
+                    for i in 0..rows {
+                        trsm_row(l, &mut mine[i * n..i * n + n], n);
+                    }
+                }));
+            }
+            exec.run_batch(jobs);
+        }
+
+        /// Multi-lane solve over `lanes` ad-hoc scoped threads — the
+        /// legacy entry point for callers without a persistent lane pool.
         ///
         /// # Panics
         /// As the serial variant.
         pub fn $par(l: &[$t], a: &mut [$t], n: usize, lanes: usize) {
-            assert!(l.len() >= n * n && a.len() >= n * n);
-            if lanes <= 1 || n < 64 {
-                return $name(l, a, n);
-            }
-            let mut rest: &mut [$t] = &mut a[..n * n];
-            std::thread::scope(|scope| {
-                for band in chunk_ranges(n, lanes) {
-                    let rows = band.len();
-                    let (mine, r) = rest.split_at_mut(rows * n);
-                    rest = r;
-                    scope.spawn(move || {
-                        for i in 0..rows {
-                            trsm_row(l, &mut mine[i * n..i * n + n], n);
-                        }
-                    });
-                }
-            });
+            $par_on(&ScopedExec::new(lanes), l, a, n)
         }
     };
 }
@@ -71,8 +81,8 @@ where
     }
 }
 
-trsm_impl!(f32, strsm_right_lower_trans, strsm_right_lower_trans_par);
-trsm_impl!(f64, dtrsm_right_lower_trans, dtrsm_right_lower_trans_par);
+trsm_impl!(f32, strsm_right_lower_trans, strsm_right_lower_trans_par, strsm_right_lower_trans_par_on);
+trsm_impl!(f64, dtrsm_right_lower_trans, dtrsm_right_lower_trans_par, dtrsm_right_lower_trans_par_on);
 
 #[cfg(test)]
 mod tests {

@@ -1,20 +1,36 @@
 //! Reference helpers for the kernel test suites: deterministic matrix
 //! generators and tolerance-based comparisons.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+/// Deterministic splitmix64 stream: full 2⁶⁴ period from any seed, no
+/// external dependency. Only used to synthesize reproducible test data.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[-1, 1)`.
+    fn next_signed_unit(&mut self) -> f64 {
+        2.0 * ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) - 1.0
+    }
+}
 
 /// Deterministic random row-major `n × n` matrix with entries in
 /// `[-1, 1)`.
 pub fn random_matrix_f64(n: usize, seed: u64) -> Vec<f64> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n * n).map(|_| rng.random_range(-1.0..1.0)).collect()
+    let mut rng = SplitMix(seed);
+    (0..n * n).map(|_| rng.next_signed_unit()).collect()
 }
 
 /// `f32` variant of [`random_matrix_f64`].
 pub fn random_matrix_f32(n: usize, seed: u64) -> Vec<f32> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n * n).map(|_| rng.random_range(-1.0f32..1.0)).collect()
+    let mut rng = SplitMix(seed);
+    (0..n * n).map(|_| rng.next_signed_unit() as f32).collect()
 }
 
 /// Deterministic symmetric positive-definite matrix: `M·Mᵀ + n·I`.

@@ -5,10 +5,18 @@
 //! buffer. Coherence transfers become `memcpy`s between arenas, and kernels
 //! receive slices into the arena of the space they execute in, so a task
 //! scheduled on an emulated GPU genuinely cannot see host memory.
+//!
+//! Buffers are reference-counted (`Arc<AlignedBuf>`): read-only kernel
+//! arguments clone the `Arc` ([`Arena::read_arc`]) and view the bytes in
+//! place with zero copies, while writers take the buffer out of the map
+//! ([`Arena::with_buffers`]) and unwrap it to unique ownership. The task
+//! graph's dependence tracking guarantees no reader/writer overlap on the
+//! same allocation in the same space, so unwrap contention is limited to
+//! the instants a transfer briefly holds a second reference.
 
 use crate::{AlignedBuf, DataId, MemSpace, Transfer};
-use parking_lot::{Mutex, MutexGuard};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Per-space buffer pools for native execution.
 ///
@@ -17,7 +25,7 @@ use std::collections::HashMap;
 /// move whole allocations (matching the [`Directory`](crate::Directory)'s
 /// handle-granularity coherence).
 pub struct Arena {
-    spaces: Vec<Mutex<HashMap<DataId, AlignedBuf>>>,
+    spaces: Vec<Mutex<HashMap<DataId, Arc<AlignedBuf>>>>,
 }
 
 impl Arena {
@@ -33,11 +41,12 @@ impl Arena {
         self.spaces.len()
     }
 
-    fn space(&self, s: MemSpace) -> MutexGuard<'_, HashMap<DataId, AlignedBuf>> {
+    fn space(&self, s: MemSpace) -> MutexGuard<'_, HashMap<DataId, Arc<AlignedBuf>>> {
         self.spaces
             .get(s.index())
             .unwrap_or_else(|| panic!("space {s} not present in arena"))
             .lock()
+            .expect("arena lock poisoned")
     }
 
     /// Create the host buffer for `data`, initialized from `init`.
@@ -46,21 +55,21 @@ impl Arena {
     /// Panics if `data` already has a host buffer.
     pub fn alloc_host(&self, data: DataId, init: &[u8]) {
         let mut host = self.space(MemSpace::HOST);
-        let prev = host.insert(data, AlignedBuf::from_bytes(init));
+        let prev = host.insert(data, Arc::new(AlignedBuf::from_bytes(init)));
         assert!(prev.is_none(), "{data:?} allocated twice on host");
     }
 
     /// Create a zero-filled host buffer of `len` bytes for `data`.
     pub fn alloc_host_zeroed(&self, data: DataId, len: usize) {
         let mut host = self.space(MemSpace::HOST);
-        let prev = host.insert(data, AlignedBuf::zeroed(len));
+        let prev = host.insert(data, Arc::new(AlignedBuf::zeroed(len)));
         assert!(prev.is_none(), "{data:?} allocated twice on host");
     }
 
     /// Drop every buffer of `data` in every space.
     pub fn free(&self, data: DataId) {
         for s in &self.spaces {
-            s.lock().remove(&data);
+            s.lock().expect("arena lock poisoned").remove(&data);
         }
     }
 
@@ -77,9 +86,11 @@ impl Arena {
                 .get(&t.data)
                 .unwrap_or_else(|| panic!("{:?} has no buffer in {}", t.data, t.from));
             assert_eq!(buf.len() as u64, t.bytes, "transfer size mismatch for {:?}", t.data);
-            buf.clone()
+            Arc::clone(buf)
         };
-        self.space(t.to).insert(t.data, src);
+        // Deep copy outside the source lock: each space owns its bytes.
+        let copy = Arc::new(AlignedBuf::clone(&src));
+        self.space(t.to).insert(t.data, copy);
     }
 
     /// Read the bytes of `data` in `space` (copies out).
@@ -87,11 +98,19 @@ impl Arena {
     /// # Panics
     /// Panics if no buffer exists there.
     pub fn read(&self, data: DataId, space: MemSpace) -> Vec<u8> {
+        self.read_arc(data, space).as_bytes().to_vec()
+    }
+
+    /// Shared handle to the buffer of `data` in `space` — the zero-copy
+    /// path for read-only kernel arguments.
+    ///
+    /// # Panics
+    /// Panics if no buffer exists there.
+    pub fn read_arc(&self, data: DataId, space: MemSpace) -> Arc<AlignedBuf> {
         self.space(space)
             .get(&data)
+            .map(Arc::clone)
             .unwrap_or_else(|| panic!("{data:?} has no buffer in {space}"))
-            .as_bytes()
-            .to_vec()
     }
 
     /// Overwrite the bytes of `data` in `space`.
@@ -100,11 +119,12 @@ impl Arena {
     /// Panics if no buffer exists there or the length differs.
     pub fn write(&self, data: DataId, space: MemSpace, bytes: &[u8]) {
         let mut guard = self.space(space);
-        let buf = guard
+        let arc = guard
             .get_mut(&data)
             .unwrap_or_else(|| panic!("{data:?} has no buffer in {space}"));
-        assert_eq!(buf.len(), bytes.len(), "write size mismatch for {data:?}");
-        buf.as_bytes_mut().copy_from_slice(bytes);
+        assert_eq!(arc.len(), bytes.len(), "write size mismatch for {data:?}");
+        // Clones only if a reader still holds the old version.
+        Arc::make_mut(arc).as_bytes_mut().copy_from_slice(bytes);
     }
 
     /// Whether `data` has a buffer in `space`.
@@ -117,28 +137,28 @@ impl Arena {
     /// devices: no copy-in happens, but the kernel still needs backing
     /// memory to write into.
     pub fn ensure(&self, data: DataId, space: MemSpace, len: usize) {
-        self.space(space).entry(data).or_insert_with(|| AlignedBuf::zeroed(len));
+        self.space(space).entry(data).or_insert_with(|| Arc::new(AlignedBuf::zeroed(len)));
     }
 
     /// Run `f` with mutable access to the buffer of `data` in `space`.
-    ///
-    /// This is how kernels touch memory: the native engine resolves each
-    /// task access to the executing worker's space and hands the kernel
-    /// closures over these buffers.
     ///
     /// # Panics
     /// Panics if no buffer exists there.
     pub fn with_mut<R>(&self, data: DataId, space: MemSpace, f: impl FnOnce(&mut [u8]) -> R) -> R {
         let mut guard = self.space(space);
-        let buf = guard
+        let arc = guard
             .get_mut(&data)
             .unwrap_or_else(|| panic!("{data:?} has no buffer in {space}"));
-        f(buf.as_bytes_mut())
+        f(Arc::make_mut(arc).as_bytes_mut())
     }
 
     /// Take the buffers of several allocations out of `space`, run `f`,
     /// and put them back. This allows a kernel to borrow multiple buffers
     /// mutably at once without holding the space lock while computing.
+    ///
+    /// If a transfer is mid-copy from one of the buffers, the take-out
+    /// spins until the transient reference drops; the task graph's
+    /// dependences rule out longer-lived readers.
     ///
     /// # Panics
     /// Panics if any buffer is missing or an allocation is listed twice.
@@ -148,21 +168,33 @@ impl Arena {
         ids: &[DataId],
         f: impl FnOnce(&mut [AlignedBuf]) -> R,
     ) -> R {
-        let mut bufs: Vec<AlignedBuf> = Vec::with_capacity(ids.len());
+        let mut arcs: Vec<Arc<AlignedBuf>> = Vec::with_capacity(ids.len());
         {
             let mut guard = self.space(space);
             for id in ids {
-                let buf = guard
+                let arc = guard
                     .remove(id)
                     .unwrap_or_else(|| panic!("{id:?} has no buffer in {space} (or listed twice)"));
-                bufs.push(buf);
+                arcs.push(arc);
             }
         }
+        let mut bufs: Vec<AlignedBuf> = arcs
+            .into_iter()
+            .map(|mut arc| loop {
+                match Arc::try_unwrap(arc) {
+                    Ok(buf) => break buf,
+                    Err(shared) => {
+                        arc = shared;
+                        std::thread::yield_now();
+                    }
+                }
+            })
+            .collect();
         let result = f(&mut bufs);
         {
             let mut guard = self.space(space);
             for (id, buf) in ids.iter().zip(bufs) {
-                guard.insert(*id, buf);
+                guard.insert(*id, Arc::new(buf));
             }
         }
         result
@@ -199,6 +231,28 @@ mod tests {
     }
 
     #[test]
+    fn transfers_deep_copy_not_alias() {
+        let a = Arena::new(1);
+        a.alloc_host(DataId(0), &[1, 2]);
+        a.perform(&transfer(DataId(0), MemSpace::HOST, MemSpace::device(0), 2));
+        a.with_mut(DataId(0), MemSpace::device(0), |b| b[0] = 99);
+        // Host copy is unaffected: spaces own their bytes.
+        assert_eq!(a.read(DataId(0), MemSpace::HOST), vec![1, 2]);
+    }
+
+    #[test]
+    fn read_arc_shares_until_write() {
+        let a = Arena::new(0);
+        a.alloc_host(DataId(0), &[5, 6]);
+        let shared = a.read_arc(DataId(0), MemSpace::HOST);
+        // A write while a reader holds the Arc must not mutate the
+        // reader's view (copy-on-write via make_mut).
+        a.write(DataId(0), MemSpace::HOST, &[7, 8]);
+        assert_eq!(shared.as_bytes(), &[5, 6]);
+        assert_eq!(a.read(DataId(0), MemSpace::HOST), vec![7, 8]);
+    }
+
+    #[test]
     fn with_buffers_takes_and_restores() {
         let a = Arena::new(0);
         a.alloc_host(DataId(0), &[1, 1]);
@@ -210,6 +264,24 @@ mod tests {
         });
         assert_eq!(a.read(DataId(0), MemSpace::HOST), vec![10, 1]);
         assert_eq!(a.read(DataId(1), MemSpace::HOST), vec![2, 20]);
+    }
+
+    #[test]
+    fn with_buffers_waits_out_transient_readers() {
+        let a = Arc::new(Arena::new(0));
+        a.alloc_host(DataId(0), &[0; 8]);
+        let reader = a.read_arc(DataId(0), MemSpace::HOST);
+        let a2 = Arc::clone(&a);
+        let t = std::thread::spawn(move || {
+            a2.with_buffers(MemSpace::HOST, &[DataId(0)], |bufs| {
+                bufs[0].as_bytes_mut()[0] = 1;
+            });
+        });
+        // The writer spins until this reference drops.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(reader);
+        t.join().unwrap();
+        assert_eq!(a.read(DataId(0), MemSpace::HOST)[0], 1);
     }
 
     #[test]

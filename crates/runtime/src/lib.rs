@@ -23,6 +23,7 @@
 mod assign;
 mod config;
 pub mod graph;
+pub mod lanepool;
 mod native;
 mod report;
 mod runtime;
@@ -30,6 +31,7 @@ mod sim_engine;
 
 pub use config::RuntimeConfig;
 pub use graph::{TaskGraph, TaskNode, TaskState};
+pub use lanepool::LanePool;
 pub use native::{KernelCtx, NativeConfig};
 pub use report::RunReport;
 pub use runtime::{NativeFn, Runtime, TaskSubmitter};

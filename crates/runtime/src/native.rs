@@ -3,13 +3,18 @@
 //!
 //! SMP workers execute kernels on one core each. An *emulated GPU* is a
 //! worker whose kernels may parallelize over [`NativeConfig::gpu_lanes`]
-//! cores ([`KernelCtx::lanes`]) and whose memory is a separate arena
-//! space — it genuinely cannot read host buffers, so the coherence
-//! machinery is exercised for real. Task durations reported to the
+//! cores and whose memory is a separate arena space — it genuinely cannot
+//! read host buffers, so the coherence machinery is exercised for real.
+//! Each emulated-GPU worker owns a persistent [`LanePool`]: its lane
+//! threads are spawned once when the worker starts and parked between
+//! kernels, so running a multi-lane kernel never spawns an OS thread.
+//! Kernels reach the pool through [`KernelCtx::exec`] (or the
+//! [`KernelCtx::par_bands`] convenience). Task durations reported to the
 //! scheduler are wall-clock kernel times, so the versioning scheduler
 //! learns real device speed ratios.
 
 use crate::assign::drain_pool;
+use crate::lanepool::LanePool;
 use crate::runtime::{EngineKind, NativeFn};
 use crate::{RunReport, Runtime};
 use std::collections::{HashMap, VecDeque};
@@ -18,6 +23,8 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use versa_core::{TaskId, TemplateId, VersionId, WorkerId};
+use versa_kernels::chunk_ranges;
+use versa_kernels::exec::{LaneExec, SerialExec};
 use versa_mem::{AccessMode, AlignedBuf, Arena, DataId, Region, TransferStats};
 
 /// Native-engine sizing.
@@ -37,7 +44,10 @@ impl NativeConfig {
         NativeConfig { smp_workers: smp, gpus, gpu_lanes: 4 }
     }
 
-    /// Validate the configuration.
+    /// Validate the configuration. Shape problems (no workers, zero-lane
+    /// GPUs) are errors; oversubscription is only a [`warning`].
+    ///
+    /// [`warning`]: NativeConfig::warnings
     pub fn validate(&self) -> Result<(), String> {
         if self.smp_workers + self.gpus == 0 {
             return Err("native config has no workers".into());
@@ -47,8 +57,28 @@ impl NativeConfig {
         }
         Ok(())
     }
+
+    /// Non-fatal configuration diagnostics. Asking one emulated GPU for
+    /// more lanes than the machine has hardware threads still runs
+    /// correctly (lanes are ordinary OS threads) — it just can't speed
+    /// anything up, so it is reported here rather than rejected by
+    /// [`validate`](NativeConfig::validate).
+    pub fn warnings(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let avail = std::thread::available_parallelism().map_or(1, |p| p.get());
+        if self.gpus > 0 && self.gpu_lanes > avail {
+            out.push(format!(
+                "gpu_lanes = {} exceeds available parallelism ({avail}); \
+                 lanes will time-share cores",
+                self.gpu_lanes
+            ));
+        }
+        out
+    }
 }
 
+/// Two SMP workers and one emulated GPU with the default 4 lanes —
+/// the smallest heterogeneous setup (`NativeConfig::new(2, 1)`).
 impl Default for NativeConfig {
     fn default() -> Self {
         NativeConfig::new(2, 1)
@@ -60,23 +90,45 @@ enum Slot {
     /// false for an `input` clause aliasing a buffer the task also
     /// writes (same memory, read-only view).
     Owned { buf: usize, range: Range<usize>, writable: bool },
-    /// Read-only access: a private snapshot of the region bytes.
-    Snapshot(AlignedBuf),
+    /// Read-only access that does not alias any written buffer: a shared
+    /// handle to the arena's own buffer (zero-copy — the arena keeps
+    /// writers out until the last reader drops its handle).
+    Shared(Arc<AlignedBuf>, Range<usize>),
 }
 
 /// The view a native kernel gets of its task: one argument per access
-/// clause, in declaration order, plus the device parallelism available.
+/// clause, in declaration order, plus the executor carrying the device's
+/// parallelism.
 pub struct KernelCtx<'a> {
     bufs: &'a mut [AlignedBuf],
     slots: Vec<Slot>,
-    lanes: usize,
+    exec: &'a dyn LaneExec,
 }
 
-impl KernelCtx<'_> {
+impl<'a> KernelCtx<'a> {
     /// Cores this kernel may use (1 on SMP workers, `gpu_lanes` on
     /// emulated GPUs).
     pub fn lanes(&self) -> usize {
-        self.lanes
+        self.exec.lanes()
+    }
+
+    /// The executor carrying this worker's parallelism: a persistent
+    /// lane pool on emulated GPUs, serial on SMP workers. Hand it to the
+    /// `_on` kernel entry points.
+    pub fn exec(&self) -> &'a dyn LaneExec {
+        self.exec
+    }
+
+    /// Run `f` once per contiguous band of `0..n`, one band per lane,
+    /// in parallel on this worker's lanes. A convenience for ad-hoc
+    /// kernels that don't take a [`LaneExec`] themselves.
+    pub fn par_bands(&self, n: usize, f: impl Fn(Range<usize>) + Sync) {
+        let f = &f;
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunk_ranges(n, self.exec.lanes())
+            .into_iter()
+            .map(|band| Box::new(move || f(band)) as Box<dyn FnOnce() + Send + '_>)
+            .collect();
+        self.exec.run_batch(jobs);
     }
 
     /// Number of arguments (access clauses).
@@ -88,7 +140,7 @@ impl KernelCtx<'_> {
     pub fn bytes(&self, i: usize) -> &[u8] {
         match &self.slots[i] {
             Slot::Owned { buf, range, .. } => &self.bufs[*buf].as_bytes()[range.clone()],
-            Slot::Snapshot(b) => b.as_bytes(),
+            Slot::Shared(b, range) => &b.as_bytes()[range.clone()],
         }
     }
 
@@ -132,6 +184,53 @@ impl KernelCtx<'_> {
         assert!(pre.is_empty() && post.is_empty(), "argument {i} is not f32-aligned");
         mid
     }
+
+    /// Panic unless read argument `r` is backed by memory disjoint from
+    /// written argument `w` (shared slots never alias taken-out buffers;
+    /// owned slots alias iff they view the same buffer).
+    fn assert_disjoint(&self, r: usize, w: usize) {
+        if let (Slot::Owned { buf: rb, .. }, Slot::Owned { buf: wb, .. }) =
+            (&self.slots[r], &self.slots[w])
+        {
+            assert!(
+                rb != wb,
+                "argument {r} aliases written argument {w}; borrow them separately"
+            );
+        }
+    }
+
+    /// Borrow several read arguments and one written argument at once as
+    /// `f64` slices — the shape every matmul/Cholesky kernel needs
+    /// (`C ← f(A, B, …, C)`) and one the plain accessors can't express
+    /// because `f64_mut` borrows the whole context mutably.
+    ///
+    /// # Panics
+    /// Panics if `rw` is not a write/inout clause, if any read argument
+    /// aliases `rw`, or on misalignment.
+    pub fn f64_reads_and_mut(&mut self, reads: &[usize], rw: usize) -> (Vec<&[f64]>, &mut [f64]) {
+        for &r in reads {
+            self.assert_disjoint(r, rw);
+        }
+        // Safety: the written slice comes from the taken-out buffer of
+        // `rw`; every read slice was just checked to be backed by
+        // different memory, so the borrows are disjoint.
+        let out: *mut [f64] = self.f64_mut(rw);
+        let reads = reads.iter().map(|&r| unsafe { &*(self.f64(r) as *const [f64]) }).collect();
+        (reads, unsafe { &mut *out })
+    }
+
+    /// `f32` twin of [`KernelCtx::f64_reads_and_mut`].
+    ///
+    /// # Panics
+    /// As [`KernelCtx::f64_reads_and_mut`].
+    pub fn f32_reads_and_mut(&mut self, reads: &[usize], rw: usize) -> (Vec<&[f32]>, &mut [f32]) {
+        for &r in reads {
+            self.assert_disjoint(r, rw);
+        }
+        let out: *mut [f32] = self.f32_mut(rw);
+        let reads = reads.iter().map(|&r| unsafe { &*(self.f32(r) as *const [f32]) }).collect();
+        (reads, unsafe { &mut *out })
+    }
 }
 
 struct WorkItem {
@@ -146,7 +245,8 @@ enum Msg {
 }
 
 /// One worker thread: receive tasks, run kernels against this worker's
-/// arena space, report wall-clock kernel durations.
+/// arena space, report wall-clock kernel durations. Multi-lane workers
+/// build their lane pool here, once, before the first task arrives.
 fn worker_loop(
     rx: mpsc::Receiver<Msg>,
     done: mpsc::Sender<(WorkerId, TaskId, Result<Duration, String>)>,
@@ -155,10 +255,15 @@ fn worker_loop(
     lanes: usize,
     wid: WorkerId,
 ) {
+    let pool = (lanes > 1).then(|| LanePool::new(lanes));
+    let exec: &dyn LaneExec = match &pool {
+        Some(pool) => pool,
+        None => &SerialExec,
+    };
     while let Ok(Msg::Work(item)) = rx.recv() {
         let task = item.task;
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute_item(item, &arena, space, lanes)
+            execute_item(item, &arena, space, exec)
         }))
         .map_err(|payload| {
             payload
@@ -173,10 +278,17 @@ fn worker_loop(
 
 /// Run one task's kernel against this worker's arena space, returning the
 /// wall-clock kernel time.
-fn execute_item(item: WorkItem, arena: &Arena, space: versa_mem::MemSpace, lanes: usize) -> Duration {
+fn execute_item(
+    item: WorkItem,
+    arena: &Arena,
+    space: versa_mem::MemSpace,
+    exec: &dyn LaneExec,
+) -> Duration {
     // Buffers this task writes are taken out of the arena for the
-    // kernel's duration; read-only arguments are snapshots, so
-    // concurrent transfers sourcing them stay safe.
+    // kernel's duration; read-only arguments that don't alias them keep a
+    // shared handle to the arena's buffer — no copy. Concurrent transfers
+    // sourcing those buffers stay safe because the arena copies-on-write
+    // around live handles.
     let mut write_ids: Vec<DataId> = Vec::new();
     for (region, mode) in &item.accesses {
         if mode.writes() {
@@ -201,12 +313,11 @@ fn execute_item(item: WorkItem, arena: &Arena, space: versa_mem::MemSpace, lanes
                     // (taken-out) memory, read-only.
                     Slot::Owned { buf, range: lo..hi, writable: mode.writes() }
                 } else {
-                    let bytes = arena.read(region.data, space);
-                    Slot::Snapshot(AlignedBuf::from_bytes(&bytes[lo..hi]))
+                    Slot::Shared(arena.read_arc(region.data, space), lo..hi)
                 }
             })
             .collect();
-        let mut ctx = KernelCtx { bufs, slots, lanes };
+        let mut ctx = KernelCtx { bufs, slots, exec };
         let t0 = Instant::now();
         (item.kernel)(&mut ctx);
         t0.elapsed()
@@ -380,5 +491,50 @@ mod tests {
         let c = NativeConfig::default();
         assert!(c.validate().is_ok());
         assert_eq!(c.gpu_lanes, 4);
+    }
+
+    #[test]
+    fn oversubscription_warns_but_validates() {
+        let c = NativeConfig { smp_workers: 1, gpus: 1, gpu_lanes: 100_000 };
+        assert!(c.validate().is_ok());
+        assert!(!c.warnings().is_empty());
+        // No GPUs → lane count is irrelevant, no warning either.
+        let smp_only = NativeConfig { smp_workers: 2, gpus: 0, gpu_lanes: 100_000 };
+        assert!(smp_only.warnings().is_empty());
+    }
+
+    #[test]
+    fn ctx_split_borrow_and_par_bands() {
+        let mut bufs = vec![AlignedBuf::zeroed(4 * 8)];
+        let shared = Arc::new(AlignedBuf::from_bytes(&7.0f64.to_ne_bytes()));
+        let slots = vec![
+            Slot::Owned { buf: 0, range: 0..32, writable: true },
+            Slot::Shared(shared, 0..8),
+        ];
+        let mut ctx = KernelCtx { bufs: &mut bufs, slots, exec: &SerialExec };
+        assert_eq!(ctx.lanes(), 1);
+        assert_eq!(ctx.arg_count(), 2);
+        let (reads, out) = ctx.f64_reads_and_mut(&[1], 0);
+        assert_eq!(reads[0], &[7.0]);
+        out.fill(3.0);
+        assert_eq!(ctx.f64(0), &[3.0; 4]);
+
+        let sum = std::sync::Mutex::new(0usize);
+        ctx.par_bands(10, |band| {
+            *sum.lock().unwrap() += band.len();
+        });
+        assert_eq!(*sum.lock().unwrap(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "aliases written argument")]
+    fn split_borrow_rejects_aliasing() {
+        let mut bufs = vec![AlignedBuf::zeroed(16)];
+        let slots = vec![
+            Slot::Owned { buf: 0, range: 0..16, writable: true },
+            Slot::Owned { buf: 0, range: 0..8, writable: false },
+        ];
+        let mut ctx = KernelCtx { bufs: &mut bufs, slots, exec: &SerialExec };
+        let _ = ctx.f64_reads_and_mut(&[1], 0);
     }
 }

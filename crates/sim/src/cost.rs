@@ -7,8 +7,6 @@
 //! [`NoiseModel`] adds run-to-run variation so the scheduler's running
 //! means actually have something to average.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -87,7 +85,7 @@ impl std::fmt::Debug for CostTable {
 #[derive(Debug)]
 pub struct NoiseModel {
     sigma: f64,
-    rng: SmallRng,
+    state: u64,
 }
 
 impl NoiseModel {
@@ -97,7 +95,7 @@ impl NoiseModel {
     /// Panics unless `0 ≤ sigma < 1`.
     pub fn new(sigma: f64, seed: u64) -> NoiseModel {
         assert!((0.0..1.0).contains(&sigma), "sigma must be in [0, 1)");
-        NoiseModel { sigma, rng: SmallRng::seed_from_u64(seed) }
+        NoiseModel { sigma, state: seed }
     }
 
     /// Noise-free model (useful for exact-value tests).
@@ -110,7 +108,14 @@ impl NoiseModel {
         if self.sigma == 0.0 {
             return base;
         }
-        let factor = self.rng.random_range(1.0 - self.sigma..1.0 + self.sigma);
+        // splitmix64 step: deterministic per seed, dependency-free.
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+        let factor = 1.0 - self.sigma + unit * 2.0 * self.sigma;
         Duration::from_secs_f64(base.as_secs_f64() * factor)
     }
 }

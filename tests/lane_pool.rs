@@ -1,0 +1,53 @@
+//! The emulated GPU's lane pool must be persistent: every multi-lane
+//! kernel batch across every task of a run has to execute on the same
+//! small, fixed set of OS threads (the worker plus its pooled lanes) —
+//! never on per-task spawned threads.
+
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
+use versa_core::{DeviceKind, SchedulerKind, VersionId};
+use versa_runtime::{NativeConfig, Runtime, RuntimeConfig};
+
+#[test]
+fn gpu_kernels_reuse_a_fixed_thread_set_across_tasks() {
+    const TASKS: usize = 40;
+    const LANES: usize = 4;
+
+    let mut rt = Runtime::native(
+        RuntimeConfig::with_scheduler(SchedulerKind::DepAware),
+        NativeConfig { smp_workers: 0, gpus: 1, gpu_lanes: LANES },
+    );
+    let template = rt.template("lane_probe").main("lane_probe_gpu", &[DeviceKind::Cuda]).register();
+
+    // Record which OS thread executes each parallel band of each task.
+    let ids: Arc<Mutex<HashSet<ThreadId>>> = Arc::new(Mutex::new(HashSet::new()));
+    let sink = Arc::clone(&ids);
+    rt.bind_native(template, VersionId(0), move |ctx| {
+        let sink = &sink;
+        ctx.par_bands(64, |band| {
+            assert!(!band.is_empty());
+            sink.lock().unwrap().insert(std::thread::current().id());
+        });
+        ctx.f64_mut(0)[0] += 1.0;
+    });
+
+    let cells: Vec<_> = (0..TASKS).map(|_| rt.alloc_from_f64(&[0.0])).collect();
+    for &cell in &cells {
+        rt.task(template).read_write(cell).submit();
+    }
+    let report = rt.run();
+    assert_eq!(report.tasks_executed as usize, TASKS);
+    for &cell in &cells {
+        assert_eq!(rt.read_f64(cell)[0], 1.0);
+    }
+
+    // 40 tasks × bands each, but only the worker thread + its LANES − 1
+    // persistent pool threads may ever run a band. Per-task spawning
+    // (the old behavior) would show up as ~TASKS × (LANES − 1) ids.
+    let distinct = ids.lock().unwrap().len();
+    assert!(
+        distinct <= LANES,
+        "parallel bands ran on {distinct} distinct threads; the lane pool must cap this at {LANES}"
+    );
+}
