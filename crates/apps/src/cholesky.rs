@@ -212,7 +212,7 @@ pub fn run_sim(
 ) -> RunReport {
     let mut rt = Runtime::simulated(RuntimeConfig::with_scheduler(scheduler), platform);
     let _app = build(&mut rt, config, variant);
-    rt.run()
+    rt.run().expect("run failed")
 }
 
 /// Native-engine Cholesky on a real SPD matrix. Returns the report, the
@@ -277,7 +277,7 @@ pub fn run_native(
         .collect();
 
     submit_tasks(&mut rt, templates, nb, &tiles);
-    let report = rt.run();
+    let report = rt.run().expect("run failed");
     let factor: Vec<Vec<f32>> = tiles.iter().map(|&t| rt.read_f32(t)).collect();
     (report, NativeCholeskyData { n, bs, nb, input: full, factor })
 }
@@ -354,7 +354,7 @@ mod tests {
         let app = build(&mut rt, cfg, CholeskyVariant::PotrfGpu);
         let expected = nb + nb * (nb - 1) + nb * (nb - 1) * (nb - 2) / 6;
         // Count submitted tasks via the report after running.
-        let report = rt.run();
+        let report = rt.run().expect("run failed");
         assert_eq!(report.tasks_executed as usize, expected);
         assert_eq!(report.version_counts[&(app.potrf, VersionId(0))] as usize, nb);
     }

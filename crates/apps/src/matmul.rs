@@ -171,7 +171,7 @@ pub fn run_sim(
 ) -> RunReport {
     let mut rt = Runtime::simulated(RuntimeConfig::with_scheduler(scheduler), platform);
     let _app = build(&mut rt, config, variant);
-    rt.run()
+    rt.run().expect("run failed")
 }
 
 /// Native-engine matmul: real f64 tiles, real kernels (parallel-blocked
@@ -223,7 +223,7 @@ pub fn run_native(
         (0..nb * nb).map(|_| rt.alloc_from_f64(&vec![0.0; bs * bs])).collect();
 
     submit_tasks(&mut rt, template, nb, &a, &b, &c);
-    let report = rt.run();
+    let report = rt.run().expect("run failed");
     let c_tiles = c.iter().map(|&t| rt.read_f64(t)).collect();
     let a_tiles = a.iter().map(|&t| rt.read_f64(t)).collect();
     let b_tiles = b.iter().map(|&t| rt.read_f64(t)).collect();

@@ -225,7 +225,7 @@ pub fn run_sim(
 ) -> RunReport {
     let mut rt = Runtime::simulated(RuntimeConfig::with_scheduler(scheduler), platform);
     let _app = build(&mut rt, config, variant);
-    rt.run()
+    rt.run().expect("run failed")
 }
 
 /// Native PBPI: real likelihood kernels over real arrays. Returns the
@@ -290,7 +290,7 @@ pub fn run_native(
         config,
         (update, loop1, loop2, loop3, reduce),
     );
-    let report = rt.run();
+    let report = rt.run().expect("run failed");
     let ll_total = rt.read_f64(app.ll_total)[0];
     (report, ll_total)
 }

@@ -24,7 +24,7 @@ fn chain_run(sched: SchedulerKind, tasks: usize) {
     for i in 0..tasks {
         rt.task(tpl).read_write(data[i % data.len()]).submit();
     }
-    let report = rt.run();
+    let report = rt.run().expect("run failed");
     assert_eq!(report.tasks_executed as usize, tasks);
 }
 

@@ -7,10 +7,10 @@ use versa_apps::cholesky::{self, CholeskyConfig, CholeskyVariant};
 use versa_apps::matmul::{self, MatmulConfig, MatmulVariant};
 use versa_core::scheduler::AffinityScheduler;
 use versa_core::{
-    MeanPolicy, SchedulerKind, SizeBucketPolicy, VersionId, VersioningConfig,
+    MeanPolicy, SchedulerKind, SizeBucketPolicy, VersionId, VersioningConfig, WorkerId,
 };
 use versa_runtime::{Runtime, RuntimeConfig};
-use versa_sim::PlatformConfig;
+use versa_sim::{FaultPlan, FaultRule, PlatformConfig};
 
 fn cholesky_cfg(scale: Scale) -> CholeskyConfig {
     match scale {
@@ -42,7 +42,7 @@ pub fn ablate_lambda(scale: Scale) -> FigureResult {
             PlatformConfig::minotauro(4, 2),
         );
         let app = cholesky::build(&mut rt, cfg, CholeskyVariant::PotrfHybrid);
-        let report = rt.run();
+        let report = rt.run().expect("run failed");
         let hist = report.version_histogram(app.potrf, 2);
         out.push_row(vec![
             Cell::text(lambda.to_string()),
@@ -88,7 +88,7 @@ pub fn ablate_bucketing(scale: Scale) -> FigureResult {
             let cm: Vec<_> = (0..nb * nb).map(|_| rt.alloc_bytes(bytes)).collect();
             matmul::submit_tasks(&mut rt, template, nb, &a, &b, &cm);
         }
-        let report = rt.run();
+        let report = rt.run().expect("run failed");
         let groups = rt.versioning().expect("versioning policy").profiles().group_count();
         out.push_row(vec![
             Cell::text(label),
@@ -168,7 +168,7 @@ pub fn ablate_prefetch(scale: Scale) -> FigureResult {
         rc.prefetch = prefetch;
         let mut rt = Runtime::simulated(rc, PlatformConfig::minotauro(4, 2));
         let _app = matmul::build(&mut rt, cfg, MatmulVariant::Hybrid);
-        let report = rt.run();
+        let report = rt.run().expect("run failed");
         out.push_row(vec![
             Cell::text(if prefetch { "on" } else { "off" }),
             Cell::num(report.gflops(cfg.flops())),
@@ -192,7 +192,7 @@ pub fn ablate_locality(scale: Scale) -> FigureResult {
         let mut rt =
             Runtime::simulated(RuntimeConfig::with_scheduler(kind), PlatformConfig::minotauro(8, 2));
         let _app = matmul::build(&mut rt, cfg, MatmulVariant::Hybrid);
-        let report = rt.run();
+        let report = rt.run().expect("run failed");
         out.push_row(vec![
             Cell::text(label),
             Cell::num(report.gflops(cfg.flops())),
@@ -227,7 +227,7 @@ pub fn ablate_mixed_gpus(scale: Scale) -> FigureResult {
             platform,
         );
         let _app = matmul::build(&mut rt, cfg, MatmulVariant::Hybrid);
-        let report = rt.run();
+        let report = rt.run().expect("run failed");
         let gpu_tasks = &report.worker_task_counts[4..6];
         out.push_row(vec![
             Cell::text(label),
@@ -282,7 +282,7 @@ pub fn ablate_baselines(scale: Scale) -> FigureResult {
         let mut rt =
             Runtime::simulated(RuntimeConfig::with_scheduler(kind), PlatformConfig::minotauro(4, 2));
         let _app = cholesky::build(&mut rt, cfg, CholeskyVariant::PotrfGpu);
-        let report = rt.run();
+        let report = rt.run().expect("run failed");
         out.push_row(vec![
             Cell::text(label),
             Cell::num(report.gflops(cfg.flops())),
@@ -316,7 +316,7 @@ pub fn ablate_gpu_capacity(scale: Scale) -> FigureResult {
         let mut rt =
             Runtime::simulated(RuntimeConfig::with_scheduler(SchedulerKind::Affinity), platform);
         let _app = matmul::build(&mut rt, cfg, MatmulVariant::Gpu);
-        let report = rt.run();
+        let report = rt.run().expect("run failed");
         out.push_row(vec![
             Cell::text(label),
             Cell::num(report.gflops(cfg.flops())),
@@ -325,6 +325,56 @@ pub fn ablate_gpu_capacity(scale: Scale) -> FigureResult {
         ]);
     }
     out.note("under memory pressure the runtime re-uploads evicted tiles and writes back sole copies");
+    out
+}
+
+/// Fault injection on the hybrid matmul: the versioning scheduler
+/// quarantines failing versions and finishes the run on whatever still
+/// works, trading GFLOP/s for completion instead of crashing.
+pub fn ablate_fault_injection(scale: Scale) -> FigureResult {
+    let cfg = matmul_cfg(scale);
+    let mut out = FigureResult::new(
+        "ablate-faults",
+        "Fault injection on hybrid matmul (4 SMP workers, 2 GPUs)",
+        &["scenario", "GFLOP/s", "failures", "retries", "quarantined"],
+    );
+    // minotauro(4, 2): workers 0–3 are SMP cores, 4–5 the GPU engines.
+    let scenarios: [(&str, FaultPlan); 3] = [
+        ("no faults", FaultPlan::none()),
+        // The tuned cuBLAS version is broken; the hand-CUDA version
+        // keeps the GPUs productive.
+        ("broken cublas", FaultPlan::single(FaultRule::broken_version(VersionId(0)))),
+        // Both GPU engines are down: every GPU version gets
+        // quarantined and the SMP cores carry the whole run.
+        (
+            "GPUs offline",
+            FaultPlan {
+                rules: vec![
+                    FaultRule::flaky_worker(WorkerId(4), 1.0),
+                    FaultRule::flaky_worker(WorkerId(5), 1.0),
+                ],
+            },
+        ),
+    ];
+    for (label, plan) in scenarios {
+        let mut platform = PlatformConfig::minotauro(4, 2);
+        platform.faults = plan;
+        // Worst case before both GPU versions are quarantined: a task
+        // alternates them and eats 2 failures per version — give it
+        // headroom beyond the default budget of 3.
+        let config = RuntimeConfig { max_task_retries: 8, ..RuntimeConfig::default() };
+        let mut rt = Runtime::simulated(config, platform);
+        let _app = matmul::build(&mut rt, cfg, MatmulVariant::Hybrid);
+        let report = rt.run().expect("a working version always remains");
+        out.push_row(vec![
+            Cell::text(label),
+            Cell::num(report.gflops(cfg.flops())),
+            Cell::num_p(report.failures.failure_count() as f64, 0),
+            Cell::num_p(report.failures.retries as f64, 0),
+            Cell::num_p(report.failures.quarantined.len() as f64, 0),
+        ]);
+    }
+    out.note("failures quarantine the guilty version after 2 strikes; the run always completes, degraded");
     out
 }
 
@@ -345,7 +395,7 @@ pub fn ablate_affinity_steal(scale: Scale) -> FigureResult {
         // Replace the scheduler with a custom-threshold affinity.
         *rt.scheduler_mut() = Box::new(AffinityScheduler::with_steal_threshold(threshold));
         let _app = cholesky::build(&mut rt, cfg, CholeskyVariant::PotrfGpu);
-        let report = rt.run();
+        let report = rt.run().expect("run failed");
         out.push_row(vec![
             Cell::text(label),
             Cell::num(report.gflops(cfg.flops())),

@@ -1,0 +1,66 @@
+//! CI fault-injection smoke test.
+//!
+//! Runs the hybrid matmul on the simulated platform with the cuBLAS
+//! version forced to fail on every execution, and asserts the recovery
+//! contract end to end: the run completes (no escaping panic, no
+//! `RunError`), every failure was retried, and the broken version ends
+//! the run quarantined. Exits 0 on success so CI can gate on it.
+
+use versa_apps::matmul::{self, MatmulConfig, MatmulVariant};
+use versa_core::VersionId;
+use versa_runtime::{Runtime, RuntimeConfig};
+use versa_sim::{FaultPlan, FaultRule, PlatformConfig};
+
+fn main() {
+    let cfg = MatmulConfig::quick();
+    let mut platform = PlatformConfig::minotauro(4, 2);
+    platform.faults = FaultPlan::single(FaultRule::broken_version(VersionId(0)));
+    let mut rt = Runtime::simulated(RuntimeConfig::default(), platform);
+    let _app = matmul::build(&mut rt, cfg, MatmulVariant::Hybrid);
+
+    let report = rt.run().unwrap_or_else(|e| {
+        eprintln!("fault smoke FAILED: run aborted: {e}");
+        std::process::exit(1);
+    });
+
+    let failures = report.failures.failure_count();
+    let quarantined = &report.failures.quarantined;
+    println!(
+        "fault smoke: {} tasks, {} failures, {} retries, {} quarantined version(s), {:.1} GFLOP/s",
+        report.tasks_executed,
+        failures,
+        report.failures.retries,
+        quarantined.len(),
+        report.gflops(cfg.flops())
+    );
+
+    let mut errors = Vec::new();
+    if report.tasks_executed != cfg.task_count() as u64 {
+        errors.push(format!(
+            "expected {} completed tasks, got {}",
+            cfg.task_count(),
+            report.tasks_executed
+        ));
+    }
+    if failures == 0 {
+        errors.push("no injected failures were recorded".into());
+    }
+    if report.failures.retries != failures {
+        errors.push(format!(
+            "every failure should have been retried: {} failures vs {} retries",
+            failures, report.failures.retries
+        ));
+    }
+    if !quarantined.iter().any(|q| q.version == VersionId(0)) {
+        errors.push(format!(
+            "the broken version was not quarantined (quarantined: {quarantined:?})"
+        ));
+    }
+    if !errors.is_empty() {
+        for e in &errors {
+            eprintln!("fault smoke FAILED: {e}");
+        }
+        std::process::exit(1);
+    }
+    println!("fault smoke OK");
+}

@@ -42,6 +42,7 @@ fn print_ablations(scale: Scale) {
     println!("{}", ablations::ablate_mixed_gpus(scale));
     println!("{}", ablations::ablate_baselines(scale));
     println!("{}", ablations::ablate_affinity_steal(scale));
+    println!("{}", ablations::ablate_fault_injection(scale));
 }
 
 fn main() {

@@ -67,7 +67,7 @@ pub fn matmul_matrix(scale: Scale) -> (MatmulConfig, Vec<MatmulPoint>) {
                 platform(),
             );
             let app = matmul::build(&mut rt, cfg, MatmulVariant::Hybrid);
-            let hyb_ver = rt.run();
+            let hyb_ver = rt.run().expect("run failed");
             MatmulPoint { point: p, gpu_dep, gpu_aff, hyb_ver, template: app.template }
         })
         .collect();
@@ -191,7 +191,7 @@ pub fn cholesky_matrix(scale: Scale) -> (CholeskyConfig, Vec<CholeskyPoint>) {
                 platform(),
             );
             let app = cholesky::build(&mut rt, cfg, CholeskyVariant::PotrfHybrid);
-            let hyb_ver = rt.run();
+            let hyb_ver = rt.run().expect("run failed");
             CholeskyPoint { point: p, smp_aff, gpu_dep, gpu_aff, hyb_ver, potrf: app.potrf }
         })
         .collect();
@@ -307,7 +307,7 @@ pub fn pbpi_matrix(scale: Scale) -> (PbpiConfig, Vec<PbpiPoint>) {
                 platform(),
             );
             let app = pbpi::build(&mut rt, cfg, PbpiVariant::Hybrid);
-            let hyb_ver = rt.run();
+            let hyb_ver = rt.run().expect("run failed");
             PbpiPoint {
                 point: p,
                 smp,
@@ -434,7 +434,7 @@ pub fn table1(scale: Scale) -> String {
         let cm: Vec<_> = (0..nb * nb).map(|_| rt.alloc_bytes(bytes)).collect();
         matmul::submit_tasks(&mut rt, template, nb, &a, &b, &cm);
     }
-    let report = rt.run();
+    let report = rt.run().expect("run failed");
     report.profile_table.expect("versioning scheduler renders Table I")
 }
 

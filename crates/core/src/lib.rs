@@ -34,10 +34,10 @@ mod worker;
 
 pub use device::DeviceKind;
 pub use ids::{TaskId, TemplateId, VersionId, WorkerId};
-pub use profile::{BucketKey, MeanPolicy, ProfileStore, SizeBucketPolicy};
+pub use profile::{BucketKey, MeanPolicy, ProfileStore, QuarantineEntry, SizeBucketPolicy};
 pub use scheduler::{
-    make_scheduler, Assignment, SchedCtx, Scheduler, SchedulerKind, VersioningConfig,
-    VersioningScheduler,
+    make_scheduler, Assignment, FailureKind, SchedCtx, Scheduler, SchedulerKind,
+    VersioningConfig, VersioningScheduler,
 };
 pub use task::{TaskInstance, TaskTemplate, TaskVersion, TemplateBuilder, TemplateRegistry};
 pub use worker::{QueuedTask, WorkerInfo, WorkerState};

@@ -10,15 +10,20 @@
 //! the paper's proposed XML, avoiding a serialization dependency:
 //!
 //! ```text
-//! # versa profile hints v1
+//! # versa profile hints v2
+//! policy bucket=exact mean=arithmetic
 //! hint <template_name> <version_index> <bucket_key> <mean_ns> <count>
 //! ```
 //!
 //! Records are keyed by template *name* (stable across runs) and raw
-//! [`BucketKey`] — hints are only meaningful when saved and loaded under
-//! the same [`SizeBucketPolicy`](super::SizeBucketPolicy).
+//! [`BucketKey`]. Bucket keys are only meaningful under the
+//! [`SizeBucketPolicy`] that produced them (and seeded means only under
+//! the same [`MeanPolicy`]), so v2 files carry a `policy` line and
+//! [`apply_hints`] rejects a file whose policies differ from the
+//! receiving store's. Legacy v1 files without a `policy` line still load
+//! — they simply skip the check.
 
-use super::{BucketKey, ProfileStore};
+use super::{BucketKey, MeanPolicy, ProfileStore, SizeBucketPolicy};
 use crate::{TemplateRegistry, VersionId};
 use std::fmt;
 use std::fmt::Write as _;
@@ -39,8 +44,48 @@ pub struct HintRecord {
     pub count: u64,
 }
 
-/// Errors produced while parsing a hints file.
-#[derive(Debug, PartialEq, Eq)]
+/// The profiling policies a hints file was produced under, declared in
+/// its `policy` header line.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HintsPolicy {
+    /// Size-grouping policy the bucket keys were computed with.
+    pub bucket: SizeBucketPolicy,
+    /// Mean-update policy the means were accumulated with.
+    pub mean: MeanPolicy,
+}
+
+impl HintsPolicy {
+    fn render(&self) -> String {
+        format!("policy bucket={} mean={}", render_bucket(self.bucket), render_mean(self.mean))
+    }
+}
+
+fn render_bucket(p: SizeBucketPolicy) -> String {
+    match p {
+        SizeBucketPolicy::Exact => "exact".to_string(),
+        SizeBucketPolicy::RelativeRange { tolerance } => format!("range:{tolerance}"),
+    }
+}
+
+fn render_mean(p: MeanPolicy) -> String {
+    match p {
+        MeanPolicy::Arithmetic => "arithmetic".to_string(),
+        MeanPolicy::Ewma { alpha } => format!("ewma:{alpha}"),
+    }
+}
+
+/// A parsed hints file: the declared policies (absent in legacy v1
+/// files) and the records.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HintsFile {
+    /// The `policy` header, when present.
+    pub policy: Option<HintsPolicy>,
+    /// The `hint` records, in file order.
+    pub records: Vec<HintRecord>,
+}
+
+/// Errors produced while parsing or applying a hints file.
+#[derive(Debug, PartialEq)]
 pub enum HintsError {
     /// A line did not match the expected record shape.
     Malformed {
@@ -56,6 +101,21 @@ pub enum HintsError {
         /// The field name.
         field: &'static str,
     },
+    /// A `policy` line could not be parsed (or appeared twice).
+    BadPolicy {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// The file's declared policies differ from the receiving store's —
+    /// its bucket keys/means would be misinterpreted.
+    PolicyMismatch {
+        /// The receiving store's policies, rendered.
+        expected: String,
+        /// The file's declared policies, rendered.
+        found: String,
+    },
 }
 
 impl fmt::Display for HintsError {
@@ -67,15 +127,28 @@ impl fmt::Display for HintsError {
             HintsError::BadNumber { line, field } => {
                 write!(f, "hints line {line}: invalid number in field {field}")
             }
+            HintsError::BadPolicy { line, content } => {
+                write!(f, "hints line {line}: malformed policy header {content:?}")
+            }
+            HintsError::PolicyMismatch { expected, found } => {
+                write!(
+                    f,
+                    "hints were recorded under \"{found}\" but the store uses \"{expected}\""
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for HintsError {}
 
-/// Serialize every measured statistic of `store` to the hints format.
+/// Serialize every measured statistic of `store` to the hints format,
+/// policies included.
 pub fn render_hints(store: &ProfileStore, registry: &TemplateRegistry) -> String {
-    let mut out = String::from("# versa profile hints v1\n");
+    let mut out = String::from("# versa profile hints v2\n");
+    let policy = HintsPolicy { bucket: store.bucket_policy(), mean: store.mean_policy() };
+    out.push_str(&policy.render());
+    out.push('\n');
     for (template, bucket, group) in store.iter() {
         let name = &registry.get(template).name;
         for (i, stats) in group.versions().iter().enumerate() {
@@ -93,13 +166,53 @@ pub fn render_hints(store: &ProfileStore, registry: &TemplateRegistry) -> String
     out
 }
 
-/// Parse a hints file. Blank lines and `#` comments are ignored.
-pub fn parse_hints(text: &str) -> Result<Vec<HintRecord>, HintsError> {
+fn parse_policy(line: usize, trimmed: &str) -> Result<HintsPolicy, HintsError> {
+    let err = || HintsError::BadPolicy { line, content: trimmed.to_string() };
+    let mut bucket = None;
+    let mut mean = None;
+    for field in trimmed.split_ascii_whitespace().skip(1) {
+        let (key, value) = field.split_once('=').ok_or_else(err)?;
+        match key {
+            "bucket" if bucket.is_none() => {
+                bucket = Some(match value.split_once(':') {
+                    None if value == "exact" => SizeBucketPolicy::Exact,
+                    Some(("range", tol)) => SizeBucketPolicy::RelativeRange {
+                        tolerance: tol.parse().map_err(|_| err())?,
+                    },
+                    _ => return Err(err()),
+                });
+            }
+            "mean" if mean.is_none() => {
+                mean = Some(match value.split_once(':') {
+                    None if value == "arithmetic" => MeanPolicy::Arithmetic,
+                    Some(("ewma", alpha)) => {
+                        MeanPolicy::Ewma { alpha: alpha.parse().map_err(|_| err())? }
+                    }
+                    _ => return Err(err()),
+                });
+            }
+            _ => return Err(err()),
+        }
+    }
+    Ok(HintsPolicy { bucket: bucket.ok_or_else(err)?, mean: mean.ok_or_else(err)? })
+}
+
+/// Parse a hints file. Blank lines and `#` comments are ignored; at most
+/// one `policy` line is accepted (none in legacy v1 files).
+pub fn parse_hints(text: &str) -> Result<HintsFile, HintsError> {
+    let mut policy: Option<HintsPolicy> = None;
     let mut records = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
         let line = idx + 1;
         let trimmed = raw.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if trimmed.starts_with("policy") {
+            if policy.is_some() {
+                return Err(HintsError::BadPolicy { line, content: trimmed.to_string() });
+            }
+            policy = Some(parse_policy(line, trimmed)?);
             continue;
         }
         let mut fields = trimmed.split_ascii_whitespace();
@@ -130,20 +243,31 @@ pub fn parse_hints(text: &str) -> Result<Vec<HintRecord>, HintsError> {
         }
         records.push(HintRecord { template, version, bucket, mean_ns, count });
     }
-    Ok(records)
+    Ok(HintsFile { policy, records })
 }
 
-/// Seed `store` with parsed hints. Hints for templates not present in
-/// `registry` (or version indices out of range) are skipped and counted in
-/// the returned `(applied, skipped)` pair.
+/// Seed `store` with a parsed hints file. When the file declares its
+/// policies, they must match the store's
+/// ([`HintsError::PolicyMismatch`] otherwise). Hints for templates not
+/// present in `registry` (or version indices out of range) are skipped
+/// and counted in the returned `(applied, skipped)` pair.
 pub fn apply_hints(
     store: &mut ProfileStore,
     registry: &TemplateRegistry,
-    records: &[HintRecord],
-) -> (usize, usize) {
+    file: &HintsFile,
+) -> Result<(usize, usize), HintsError> {
+    let ours = HintsPolicy { bucket: store.bucket_policy(), mean: store.mean_policy() };
+    if let Some(theirs) = file.policy {
+        if theirs != ours {
+            return Err(HintsError::PolicyMismatch {
+                expected: ours.render(),
+                found: theirs.render(),
+            });
+        }
+    }
     let mut applied = 0;
     let mut skipped = 0;
-    for rec in records {
+    for rec in &file.records {
         let Some(template) = registry.by_name(&rec.template) else {
             skipped += 1;
             continue;
@@ -163,7 +287,7 @@ pub fn apply_hints(
         );
         applied += 1;
     }
-    (applied, skipped)
+    Ok((applied, skipped))
 }
 
 #[cfg(test)]
@@ -190,15 +314,80 @@ mod tests {
         store.record(tpl, 2, 2000, VersionId(0), Duration::from_millis(14));
 
         let text = render_hints(&store, &reg);
-        let records = parse_hints(&text).unwrap();
-        assert_eq!(records.len(), 3);
+        let file = parse_hints(&text).unwrap();
+        assert_eq!(file.records.len(), 3);
+        assert_eq!(
+            file.policy,
+            Some(HintsPolicy { bucket: SizeBucketPolicy::Exact, mean: MeanPolicy::Arithmetic })
+        );
 
         let mut fresh = ProfileStore::with_defaults();
-        let (applied, skipped) = apply_hints(&mut fresh, &reg, &records);
+        let (applied, skipped) = apply_hints(&mut fresh, &reg, &file).unwrap();
         assert_eq!((applied, skipped), (3, 0));
         assert_eq!(fresh.mean(tpl, 1000, VersionId(0)), Some(Duration::from_millis(7)));
         assert_eq!(fresh.mean(tpl, 1000, VersionId(1)), Some(Duration::from_millis(420)));
         assert_eq!(fresh.count(tpl, 2000, VersionId(0)), 1);
+    }
+
+    #[test]
+    fn non_default_policies_roundtrip() {
+        let reg = registry();
+        let tpl = reg.by_name("matmul_tile").unwrap();
+        let mut store = ProfileStore::new(
+            SizeBucketPolicy::RelativeRange { tolerance: 0.25 },
+            MeanPolicy::Ewma { alpha: 0.3 },
+            4,
+        );
+        store.record(tpl, 2, 1000, VersionId(0), Duration::from_millis(7));
+        let text = render_hints(&store, &reg);
+        assert!(text.contains("policy bucket=range:0.25 mean=ewma:0.3"));
+        let file = parse_hints(&text).unwrap();
+
+        let mut same = ProfileStore::new(
+            SizeBucketPolicy::RelativeRange { tolerance: 0.25 },
+            MeanPolicy::Ewma { alpha: 0.3 },
+            4,
+        );
+        assert_eq!(apply_hints(&mut same, &reg, &file).unwrap(), (1, 0));
+    }
+
+    #[test]
+    fn policy_mismatch_is_rejected_at_load() {
+        let reg = registry();
+        let tpl = reg.by_name("matmul_tile").unwrap();
+        let mut store = ProfileStore::new(
+            SizeBucketPolicy::RelativeRange { tolerance: 0.25 },
+            MeanPolicy::Arithmetic,
+            4,
+        );
+        store.record(tpl, 2, 1000, VersionId(0), Duration::from_millis(7));
+        let file = parse_hints(&render_hints(&store, &reg)).unwrap();
+
+        // A store with exact buckets would misread the range-policy keys.
+        let mut exact = ProfileStore::with_defaults();
+        let err = apply_hints(&mut exact, &reg, &file).unwrap_err();
+        assert!(matches!(err, HintsError::PolicyMismatch { .. }));
+        assert!(err.to_string().contains("range:0.25"));
+
+        // Different tolerance is a mismatch too.
+        let mut other_tol = ProfileStore::new(
+            SizeBucketPolicy::RelativeRange { tolerance: 0.5 },
+            MeanPolicy::Arithmetic,
+            4,
+        );
+        assert!(apply_hints(&mut other_tol, &reg, &file).is_err());
+    }
+
+    #[test]
+    fn legacy_v1_files_without_policy_line_still_load() {
+        let reg = registry();
+        let tpl = reg.by_name("matmul_tile").unwrap();
+        let text = "# versa profile hints v1\nhint matmul_tile 0 1000 7000000 10\n";
+        let file = parse_hints(text).unwrap();
+        assert_eq!(file.policy, None);
+        let mut store = ProfileStore::with_defaults();
+        assert_eq!(apply_hints(&mut store, &reg, &file).unwrap(), (1, 0));
+        assert_eq!(store.count(tpl, 1000, VersionId(0)), 10);
     }
 
     #[test]
@@ -207,18 +396,18 @@ mod tests {
         let tpl = reg.by_name("matmul_tile").unwrap();
         let text = "hint matmul_tile 0 1000 7000000 10\nhint matmul_tile 1 1000 420000000 10\n";
         let mut store = ProfileStore::with_defaults();
-        let recs = parse_hints(text).unwrap();
-        apply_hints(&mut store, &reg, &recs);
+        let file = parse_hints(text).unwrap();
+        apply_hints(&mut store, &reg, &file).unwrap();
         assert!(store.is_reliable(tpl, 1000, &[VersionId(0), VersionId(1)]));
     }
 
     #[test]
     fn comments_and_blank_lines_ignored() {
         let text = "# header\n\n   \nhint t 0 5 100 1\n# trailing\n";
-        let recs = parse_hints(text).unwrap();
-        assert_eq!(recs.len(), 1);
-        assert_eq!(recs[0].template, "t");
-        assert_eq!(recs[0].bucket, BucketKey(5));
+        let file = parse_hints(text).unwrap();
+        assert_eq!(file.records.len(), 1);
+        assert_eq!(file.records[0].template, "t");
+        assert_eq!(file.records[0].bucket, BucketKey(5));
     }
 
     #[test]
@@ -242,11 +431,31 @@ mod tests {
     }
 
     #[test]
+    fn malformed_policy_lines_rejected() {
+        for bad in [
+            "policy",
+            "policy bucket=exact",
+            "policy mean=arithmetic",
+            "policy bucket=weird mean=arithmetic",
+            "policy bucket=range:xyz mean=arithmetic",
+            "policy bucket=exact mean=ewma",
+            "policy bucket=exact mean=arithmetic bucket=exact",
+            "policy bucket=exact mean=arithmetic\npolicy bucket=exact mean=arithmetic",
+        ] {
+            assert!(
+                matches!(parse_hints(bad).unwrap_err(), HintsError::BadPolicy { .. }),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
     fn unknown_templates_are_skipped_not_fatal() {
         let reg = registry();
-        let recs = parse_hints("hint unknown_task 0 5 100 1\nhint matmul_tile 9 5 100 1\n").unwrap();
+        let file =
+            parse_hints("hint unknown_task 0 5 100 1\nhint matmul_tile 9 5 100 1\n").unwrap();
         let mut store = ProfileStore::with_defaults();
-        let (applied, skipped) = apply_hints(&mut store, &reg, &recs);
+        let (applied, skipped) = apply_hints(&mut store, &reg, &file).unwrap();
         assert_eq!((applied, skipped), (0, 2));
     }
 }

@@ -12,6 +12,8 @@ mod stats;
 mod store;
 
 pub use bucket::{BucketKey, SizeBucketPolicy};
-pub use hints::{apply_hints, parse_hints, render_hints, HintRecord, HintsError};
+pub use hints::{
+    apply_hints, parse_hints, render_hints, HintRecord, HintsError, HintsFile, HintsPolicy,
+};
 pub use stats::{MeanPolicy, RunningMean};
-pub use store::{GroupProfile, ProfileStore, VersionStats};
+pub use store::{GroupProfile, ProfileStore, QuarantineEntry, VersionStats};

@@ -49,12 +49,16 @@ impl VersionStats {
 }
 
 /// Per-(task, size-group) profile: one statistics slot per version, plus
-/// the round-robin cursor the learning phase uses.
+/// the round-robin cursor the learning phase uses and per-version
+/// failure/quarantine bookkeeping.
 #[derive(Clone, Debug)]
 pub struct GroupProfile {
     versions: Vec<VersionStats>,
     scheduled: Vec<u64>,
     rr_cursor: usize,
+    failures: Vec<u64>,
+    quarantined: Vec<bool>,
+    probation_credit: Vec<u64>,
 }
 
 impl GroupProfile {
@@ -63,6 +67,9 @@ impl GroupProfile {
             versions: vec![VersionStats::default(); n_versions],
             scheduled: vec![0; n_versions],
             rr_cursor: 0,
+            failures: vec![0; n_versions],
+            quarantined: vec![false; n_versions],
+            probation_credit: vec![0; n_versions],
         }
     }
 
@@ -70,6 +77,9 @@ impl GroupProfile {
         if self.versions.len() < n_versions {
             self.versions.resize(n_versions, VersionStats::default());
             self.scheduled.resize(n_versions, 0);
+            self.failures.resize(n_versions, 0);
+            self.quarantined.resize(n_versions, false);
+            self.probation_credit.resize(n_versions, 0);
         }
     }
 
@@ -85,6 +95,17 @@ impl GroupProfile {
     /// Statistics of one version.
     pub fn version(&self, v: VersionId) -> &VersionStats {
         &self.versions[v.index()]
+    }
+
+    /// Consecutive failures recorded for a version since its last
+    /// successful execution in this group.
+    pub fn failures(&self, v: VersionId) -> u64 {
+        self.failures[v.index()]
+    }
+
+    /// Whether a version is currently quarantined in this group.
+    pub fn is_quarantined(&self, v: VersionId) -> bool {
+        self.quarantined[v.index()]
     }
 
     /// Statistics of every version, in version order.
@@ -129,7 +150,23 @@ pub struct ProfileStore {
     bucket_policy: SizeBucketPolicy,
     mean_policy: MeanPolicy,
     lambda: u64,
+    quarantine_threshold: u64,
+    probation: Option<u64>,
     groups: HashMap<(TemplateId, BucketKey), GroupProfile>,
+}
+
+/// Summary of one quarantined (template, size-group, version) entry, for
+/// run reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantineEntry {
+    /// Template the quarantined version belongs to.
+    pub template: TemplateId,
+    /// Size-group key.
+    pub bucket: BucketKey,
+    /// The quarantined version.
+    pub version: VersionId,
+    /// Consecutive failures that triggered (and sustain) the quarantine.
+    pub failures: u64,
 }
 
 impl ProfileStore {
@@ -141,7 +178,14 @@ impl ProfileStore {
     /// configured by the user").
     pub fn new(bucket_policy: SizeBucketPolicy, mean_policy: MeanPolicy, lambda: u64) -> Self {
         assert!(lambda > 0, "lambda must be at least 1");
-        ProfileStore { bucket_policy, mean_policy, lambda, groups: HashMap::new() }
+        ProfileStore {
+            bucket_policy,
+            mean_policy,
+            lambda,
+            quarantine_threshold: 2,
+            probation: None,
+            groups: HashMap::new(),
+        }
     }
 
     /// Store with the paper's defaults: exact size groups, arithmetic
@@ -153,6 +197,29 @@ impl ProfileStore {
     /// The learning threshold λ.
     pub fn lambda(&self) -> u64 {
         self.lambda
+    }
+
+    /// Configure failure quarantine: after `threshold` consecutive
+    /// failures a (template, version, size-group) entry is quarantined
+    /// and excluded from learning/bidding. With `probation = Some(p)`,
+    /// a quarantined version earns one retrial after `p` successful
+    /// executions of other versions in the same group; with `None`,
+    /// quarantine is permanent until the version succeeds (which can
+    /// only happen through probation or an all-quarantined fallback).
+    pub fn set_quarantine(&mut self, threshold: u64, probation: Option<u64>) {
+        assert!(threshold > 0, "quarantine threshold must be at least 1");
+        self.quarantine_threshold = threshold;
+        self.probation = probation;
+    }
+
+    /// The configured quarantine threshold K.
+    pub fn quarantine_threshold(&self) -> u64 {
+        self.quarantine_threshold
+    }
+
+    /// The configured probation period, if any.
+    pub fn probation(&self) -> Option<u64> {
+        self.probation
     }
 
     /// The active size-grouping policy.
@@ -183,7 +250,10 @@ impl ProfileStore {
         self.groups.get(&(template, self.bucket_policy.bucket(size)))
     }
 
-    /// Record one measured execution.
+    /// Record one measured execution. A success clears the version's
+    /// consecutive-failure streak (lifting any quarantine on it) and
+    /// earns every *other* quarantined version in the group one unit of
+    /// probation credit.
     pub fn record(
         &mut self,
         template: TemplateId,
@@ -195,6 +265,71 @@ impl ProfileStore {
         let policy = self.mean_policy;
         let group = self.group_mut(template, n_versions, size);
         group.versions[version.index()].record(measured, policy);
+        group.failures[version.index()] = 0;
+        group.quarantined[version.index()] = false;
+        group.probation_credit[version.index()] = 0;
+        for (i, q) in group.quarantined.iter().enumerate() {
+            if *q && i != version.index() {
+                group.probation_credit[i] += 1;
+            }
+        }
+    }
+
+    /// Record one failed execution. After the configured threshold of
+    /// consecutive failures the version is quarantined in this size
+    /// group.
+    pub fn record_failure(
+        &mut self,
+        template: TemplateId,
+        n_versions: usize,
+        size: u64,
+        version: VersionId,
+    ) {
+        let threshold = self.quarantine_threshold;
+        let group = self.group_mut(template, n_versions, size);
+        group.failures[version.index()] += 1;
+        group.probation_credit[version.index()] = 0;
+        if group.failures[version.index()] >= threshold {
+            group.quarantined[version.index()] = true;
+        }
+    }
+
+    /// Whether a version is excluded from scheduling in the group of
+    /// `size`: quarantined and not (yet) due for a probation retrial.
+    pub fn is_excluded(&self, template: TemplateId, size: u64, version: VersionId) -> bool {
+        let Some(group) = self.group(template, size) else { return false };
+        if !group.is_quarantined(version) {
+            return false;
+        }
+        match self.probation {
+            None => true,
+            Some(p) => group.probation_credit[version.index()] < p,
+        }
+    }
+
+    /// Whether a version is quarantined in the group of `size` (even if
+    /// a probation retrial is currently due).
+    pub fn is_quarantined(&self, template: TemplateId, size: u64, version: VersionId) -> bool {
+        self.group(template, size).is_some_and(|g| g.is_quarantined(version))
+    }
+
+    /// Every quarantined (template, size-group, version) entry, sorted
+    /// for deterministic output.
+    pub fn quarantined(&self) -> Vec<QuarantineEntry> {
+        let mut out = Vec::new();
+        for (template, bucket, group) in self.iter() {
+            for (i, q) in group.quarantined.iter().enumerate() {
+                if *q {
+                    out.push(QuarantineEntry {
+                        template,
+                        bucket,
+                        version: VersionId(i as u16),
+                        failures: group.failures[i],
+                    });
+                }
+            }
+        }
+        out
     }
 
     /// Seed statistics from external hints (paper §VII: "the scheduler
@@ -305,7 +440,10 @@ impl ProfileStore {
     }
 
     /// Account a non-learning assignment of `version` (keeps scheduled
-    /// counts an upper bound of execution counts).
+    /// counts an upper bound of execution counts). Scheduling a
+    /// quarantined version spends its probation credit: the retrial is
+    /// this one assignment, and another failure re-quarantines it for a
+    /// full probation period.
     pub fn mark_scheduled(
         &mut self,
         template: TemplateId,
@@ -315,6 +453,9 @@ impl ProfileStore {
     ) {
         let group = self.group_mut(template, n_versions, size);
         group.scheduled[version.index()] += 1;
+        if group.quarantined[version.index()] {
+            group.probation_credit[version.index()] = 0;
+        }
     }
 
     /// Iterate over all `(template, bucket, group)` entries, sorted for
@@ -550,5 +691,78 @@ mod tests {
     #[should_panic(expected = "lambda")]
     fn zero_lambda_rejected() {
         let _ = ProfileStore::new(SizeBucketPolicy::Exact, MeanPolicy::Arithmetic, 0);
+    }
+
+    #[test]
+    fn quarantine_after_threshold_failures() {
+        let mut s = store(); // default threshold K = 2
+        assert!(!s.is_excluded(TPL, 100, V0));
+        s.record_failure(TPL, 2, 100, V0);
+        assert!(!s.is_quarantined(TPL, 100, V0), "one failure is below K");
+        assert!(!s.is_excluded(TPL, 100, V0));
+        s.record_failure(TPL, 2, 100, V0);
+        assert!(s.is_quarantined(TPL, 100, V0));
+        assert!(s.is_excluded(TPL, 100, V0), "no probation → permanently excluded");
+        let q = s.quarantined();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].version, V0);
+        assert_eq!(q[0].failures, 2);
+        // Other versions and other size groups are unaffected.
+        assert!(!s.is_quarantined(TPL, 100, V1));
+        assert!(!s.is_quarantined(TPL, 101, V0));
+    }
+
+    #[test]
+    fn success_clears_failure_streak_and_quarantine() {
+        let mut s = store();
+        s.record_failure(TPL, 2, 100, V0);
+        s.record(TPL, 2, 100, V0, ms(5));
+        s.record_failure(TPL, 2, 100, V0);
+        assert!(!s.is_quarantined(TPL, 100, V0), "streak reset by success");
+        s.record_failure(TPL, 2, 100, V0);
+        assert!(s.is_quarantined(TPL, 100, V0));
+        s.record(TPL, 2, 100, V0, ms(5));
+        assert!(!s.is_quarantined(TPL, 100, V0), "a success lifts quarantine");
+    }
+
+    #[test]
+    fn probation_grants_retrial_after_peer_successes() {
+        let mut s = store();
+        s.set_quarantine(2, Some(3));
+        s.record_failure(TPL, 2, 100, V0);
+        s.record_failure(TPL, 2, 100, V0);
+        assert!(s.is_excluded(TPL, 100, V0));
+        // Two peer successes: still short of the probation period.
+        s.record(TPL, 2, 100, V1, ms(5));
+        s.record(TPL, 2, 100, V1, ms(5));
+        assert!(s.is_excluded(TPL, 100, V0));
+        // Third success earns the retrial.
+        s.record(TPL, 2, 100, V1, ms(5));
+        assert!(!s.is_excluded(TPL, 100, V0), "probation retrial due");
+        assert!(s.is_quarantined(TPL, 100, V0), "still quarantined until a success");
+        // Scheduling the retrial spends the credit...
+        s.mark_scheduled(TPL, 2, 100, V0);
+        assert!(s.is_excluded(TPL, 100, V0));
+        // ...and a success on the retrial lifts the quarantine for good.
+        s.record(TPL, 2, 100, V0, ms(5));
+        assert!(!s.is_quarantined(TPL, 100, V0));
+        assert!(!s.is_excluded(TPL, 100, V0));
+    }
+
+    #[test]
+    fn failed_probation_restarts_the_clock() {
+        let mut s = store();
+        s.set_quarantine(1, Some(2));
+        s.record_failure(TPL, 2, 100, V0);
+        s.record(TPL, 2, 100, V1, ms(5));
+        s.record(TPL, 2, 100, V1, ms(5));
+        assert!(!s.is_excluded(TPL, 100, V0));
+        s.mark_scheduled(TPL, 2, 100, V0);
+        s.record_failure(TPL, 2, 100, V0);
+        assert!(s.is_excluded(TPL, 100, V0), "failure re-quarantines");
+        s.record(TPL, 2, 100, V1, ms(5));
+        assert!(s.is_excluded(TPL, 100, V0), "needs the full period again");
+        s.record(TPL, 2, 100, V1, ms(5));
+        assert!(!s.is_excluded(TPL, 100, V0));
     }
 }

@@ -36,6 +36,27 @@ use crate::{TaskInstance, TemplateRegistry, VersionId, WorkerId, WorkerState};
 use std::time::Duration;
 use versa_mem::Directory;
 
+/// Why a task execution failed (fed back to the scheduler through
+/// [`Scheduler::task_failed`] so it can learn which versions misbehave,
+/// not just which are slow).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A native kernel panicked on its worker thread.
+    Panic,
+    /// The simulated platform injected a fault (see `versa-sim`'s
+    /// `FaultPlan`).
+    Fault,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Panic => write!(f, "panic"),
+            FailureKind::Fault => write!(f, "fault"),
+        }
+    }
+}
+
 /// The scheduler's answer for one ready task: which worker runs it, which
 /// implementation it runs, and the execution-time estimate backing the
 /// decision (added to the worker's busy time; zero when unknown).
@@ -83,6 +104,15 @@ pub trait Scheduler: Send {
         measured: Duration,
     ) {
         let _ = (task, assignment, measured);
+    }
+
+    /// Observe a failed execution (kernel panic in the native engine, or
+    /// an injected fault in the simulator). The default implementation
+    /// ignores it; the versioning scheduler counts failures per
+    /// (template, version, size-group) and quarantines versions that
+    /// fail repeatedly so subsequent assignments route around them.
+    fn task_failed(&mut self, task: &TaskInstance, assignment: Assignment, kind: FailureKind) {
+        let _ = (task, assignment, kind);
     }
 
     /// Whether this policy can exploit alternative (non-main) versions.

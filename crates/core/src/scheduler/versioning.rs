@@ -1,6 +1,6 @@
 //! The versioning scheduler — the paper's contribution (§IV).
 
-use super::{compatible_workers, least_loaded, Assignment, SchedCtx, Scheduler};
+use super::{compatible_workers, least_loaded, Assignment, FailureKind, SchedCtx, Scheduler};
 use crate::profile::{MeanPolicy, ProfileStore, SizeBucketPolicy};
 use crate::{TaskId, TaskInstance, VersionId, WorkerId};
 use std::time::Duration;
@@ -26,6 +26,14 @@ pub struct VersioningConfig {
     /// Link bandwidth assumed when estimating transfer times in
     /// locality-aware mode (bytes/second).
     pub assumed_bandwidth: f64,
+    /// Quarantine threshold K: consecutive failures of a (template,
+    /// version, size-group) entry before the version is excluded from
+    /// learning and bidding in that group.
+    pub quarantine_threshold: u64,
+    /// Probation period: with `Some(p)`, a quarantined version earns one
+    /// retrial after `p` successful executions of other versions in the
+    /// same group; with `None`, quarantine holds until the run ends.
+    pub probation: Option<u64>,
 }
 
 impl Default for VersioningConfig {
@@ -37,6 +45,8 @@ impl Default for VersioningConfig {
             locality_aware: false,
             // A PCIe 2.0 x16-class link, matching the simulated platform.
             assumed_bandwidth: 6.0e9,
+            quarantine_threshold: 2,
+            probation: None,
         }
     }
 }
@@ -48,6 +58,10 @@ pub enum DecisionPhase {
     Learning,
     /// Reliable-information phase: earliest-executor selection.
     Reliable,
+    /// Past the learning phase but no version had a completed mean to
+    /// bid with (every version has λ assignments still in flight) — the
+    /// least-scheduled version went to the least-loaded worker.
+    ReliableFallback,
 }
 
 /// One worker's bid during an earliest-executor decision: the version it
@@ -111,8 +125,9 @@ pub struct VersioningScheduler {
 impl VersioningScheduler {
     /// Create a scheduler from a configuration.
     pub fn new(config: VersioningConfig) -> VersioningScheduler {
-        let profiles =
+        let mut profiles =
             ProfileStore::new(config.bucket_policy, config.mean_policy, config.lambda);
+        profiles.set_quarantine(config.quarantine_threshold, config.probation);
         VersioningScheduler { config, profiles, decisions: None }
     }
 
@@ -157,6 +172,28 @@ impl VersioningScheduler {
         (0..tpl.version_count() as u16)
             .map(VersionId)
             .filter(|&v| ctx.workers.iter().any(|w| tpl.version(v).runs_on(w.info.device)))
+            .collect()
+    }
+
+    /// Trainable versions minus quarantined ones. If quarantine empties
+    /// the set entirely, falls back to the least-failed runnable version
+    /// so the scheduler stays total — the engine's bounded retry is the
+    /// layer that turns persistent failure into a graceful error.
+    fn candidate_versions(&self, task: &TaskInstance, ctx: &SchedCtx<'_>) -> Vec<VersionId> {
+        let all = self.trainable_versions(task, ctx);
+        let candidates: Vec<VersionId> = all
+            .iter()
+            .copied()
+            .filter(|&v| !self.profiles.is_excluded(task.template, task.data_set_size, v))
+            .collect();
+        if !candidates.is_empty() {
+            return candidates;
+        }
+        let group = self.profiles.group(task.template, task.data_set_size);
+        all.iter()
+            .copied()
+            .min_by_key(|&v| (group.map_or(0, |g| g.failures(v)), v))
+            .into_iter()
             .collect()
     }
 
@@ -211,7 +248,9 @@ impl VersioningScheduler {
 
         let mut bids: Vec<WorkerBid> = Vec::with_capacity(ctx.workers.len());
         for w in ctx.workers {
-            let runnable: Vec<VersionId> = tpl.versions_for(w.info.device).collect();
+            // Only non-quarantined candidates may bid.
+            let runnable: Vec<VersionId> =
+                tpl.versions_for(w.info.device).filter(|v| candidates.contains(v)).collect();
             let Some((version, mean)) = group.fastest_version(&runnable) else {
                 continue;
             };
@@ -244,7 +283,7 @@ impl VersioningScheduler {
             if let Some(log) = &mut self.decisions {
                 log.push(Decision {
                     task: task.id,
-                    phase: DecisionPhase::Learning,
+                    phase: DecisionPhase::ReliableFallback,
                     bids: Vec::new(),
                     assignment,
                 });
@@ -281,7 +320,7 @@ impl Scheduler for VersioningScheduler {
     }
 
     fn assign(&mut self, task: &TaskInstance, ctx: &SchedCtx<'_>) -> Assignment {
-        let candidates = self.trainable_versions(task, ctx);
+        let candidates = self.candidate_versions(task, ctx);
         assert!(
             !candidates.is_empty(),
             "no worker can run any version of {:?}",
@@ -309,12 +348,23 @@ impl Scheduler for VersioningScheduler {
         );
     }
 
+    fn task_failed(&mut self, task: &TaskInstance, assignment: Assignment, kind: FailureKind) {
+        let _ = kind;
+        let n_versions = usize::from(assignment.version.0) + 1;
+        self.profiles.record_failure(
+            task.template,
+            n_versions,
+            task.data_set_size,
+            assignment.version,
+        );
+    }
+
     fn supports_versions(&self) -> bool {
         true
     }
 
     fn eager(&self, task: &TaskInstance, ctx: &SchedCtx<'_>) -> bool {
-        let candidates = self.trainable_versions(task, ctx);
+        let candidates = self.candidate_versions(task, ctx);
         self.profiles.is_reliable(task.template, task.data_set_size, &candidates)
     }
 
@@ -565,6 +615,111 @@ mod tests {
         let w3 = d.bids.iter().find(|b| b.worker == crate::WorkerId(3)).unwrap();
         assert!(w2.transfer > Duration::ZERO);
         assert_eq!(w3.transfer, Duration::ZERO);
+    }
+
+    #[test]
+    fn no_means_fallback_logs_reliable_fallback_phase() {
+        // λ = 1, three versions: three learning assignments exhaust the
+        // round-robin without any completion, so the fourth assignment
+        // is past learning but has no means to bid with.
+        let fx = Fixture::new();
+        let mut s = VersioningScheduler::new(VersioningConfig {
+            lambda: 1,
+            ..Default::default()
+        });
+        s.set_decision_logging(true);
+        for i in 0..3 {
+            let _ = s.assign(&fx.task(i), &fx.ctx());
+        }
+        let _ = s.assign(&fx.task(3), &fx.ctx());
+        let decisions = s.decisions();
+        assert_eq!(decisions.len(), 4);
+        assert!(decisions[..3].iter().all(|d| d.phase == DecisionPhase::Learning));
+        let last = decisions.last().unwrap();
+        assert_eq!(last.phase, DecisionPhase::ReliableFallback, "not a learning decision");
+        assert!(last.bids.is_empty());
+    }
+
+    #[test]
+    fn quarantined_version_is_routed_around() {
+        let fx = Fixture::new();
+        let mut s = VersioningScheduler::with_defaults();
+        for i in 0..9 {
+            let t = fx.task(i);
+            let a = s.assign(&t, &fx.ctx());
+            s.task_finished(&t, a, measured_for(a.version));
+        }
+        // Idle platform: CUBLAS (v0) would normally win every time.
+        let probe = s.assign(&fx.task(50), &fx.ctx());
+        assert_eq!(probe.version, VersionId(0));
+        // Fail v0 twice (default K = 2) → quarantined.
+        let t = fx.task(51);
+        let a = Assignment { worker: crate::WorkerId(2), version: VersionId(0), estimate: ms(7) };
+        s.task_failed(&t, a, FailureKind::Panic);
+        s.task_failed(&t, a, FailureKind::Panic);
+        assert!(s.profiles().is_quarantined(fx.tpl, 2048, VersionId(0)));
+        // Subsequent assignments avoid the quarantined version.
+        for i in 60..70 {
+            let a = s.assign(&fx.task(i), &fx.ctx());
+            assert_ne!(a.version, VersionId(0), "quarantined version must not be picked");
+            s.task_finished(&fx.task(i), a, measured_for(a.version));
+        }
+    }
+
+    #[test]
+    fn all_quarantined_falls_back_to_least_failed() {
+        let fx = Fixture::new();
+        let mut s = VersioningScheduler::with_defaults();
+        for i in 0..9 {
+            let t = fx.task(i);
+            let a = s.assign(&t, &fx.ctx());
+            s.task_finished(&t, a, measured_for(a.version));
+        }
+        let t = fx.task(99);
+        for v in 0..3u16 {
+            let a = Assignment {
+                worker: crate::WorkerId(0),
+                version: VersionId(v),
+                estimate: Duration::ZERO,
+            };
+            // v0 fails 3×, v1 and v2 fail 2× — v1 is least-failed after v0.
+            let n = if v == 0 { 3 } else { 2 };
+            for _ in 0..n {
+                s.task_failed(&t, a, FailureKind::Fault);
+            }
+        }
+        // The scheduler must stay total: some version is still assigned.
+        let a = s.assign(&fx.task(100), &fx.ctx());
+        assert_eq!(a.version, VersionId(1), "least-failed version wins the fallback");
+    }
+
+    #[test]
+    fn success_during_probation_rehabilitates_version() {
+        let fx = Fixture::new();
+        let mut s = VersioningScheduler::new(VersioningConfig {
+            quarantine_threshold: 1,
+            probation: Some(2),
+            ..Default::default()
+        });
+        for i in 0..9 {
+            let t = fx.task(i);
+            let a = s.assign(&t, &fx.ctx());
+            s.task_finished(&t, a, measured_for(a.version));
+        }
+        let t = fx.task(40);
+        let bad = Assignment { worker: crate::WorkerId(2), version: VersionId(0), estimate: ms(7) };
+        s.task_failed(&t, bad, FailureKind::Panic);
+        assert!(s.profiles().is_excluded(fx.tpl, 2048, VersionId(0)));
+        // Two peer successes earn v0 a retrial; its success lifts quarantine.
+        for i in 41..43 {
+            let a = s.assign(&fx.task(i), &fx.ctx());
+            assert_ne!(a.version, VersionId(0));
+            s.task_finished(&fx.task(i), a, measured_for(a.version));
+        }
+        let a = s.assign(&fx.task(43), &fx.ctx());
+        assert_eq!(a.version, VersionId(0), "probation retrial goes to the fastest version");
+        s.task_finished(&fx.task(43), a, measured_for(a.version));
+        assert!(!s.profiles().is_quarantined(fx.tpl, 2048, VersionId(0)));
     }
 
     #[test]

@@ -124,10 +124,17 @@ impl TemplateBuilder<'_> {
     /// Finish and register the template.
     ///
     /// # Panics
-    /// Panics if no main version was declared or the template name is
-    /// already taken.
+    /// Panics if no main version was declared, the template name is
+    /// already taken, or the name is empty / contains whitespace (names
+    /// key the whitespace-delimited profile-hints format).
     pub fn register(self) -> TemplateId {
         assert!(!self.versions.is_empty(), "template {:?} has no versions", self.name);
+        assert!(
+            !self.name.is_empty() && !self.name.chars().any(|c| c.is_whitespace()),
+            "template name {:?} must be non-empty and contain no whitespace \
+             (it keys the line-based profile-hints format)",
+            self.name
+        );
         let id = TemplateId(self.registry.templates.len() as u32);
         let prev = self.registry.by_name.insert(self.name.clone(), id);
         assert!(prev.is_none(), "template {:?} registered twice", self.name);
@@ -299,6 +306,20 @@ mod tests {
         let mut reg = TemplateRegistry::new();
         let _ = reg.template("t").main("a", &[DeviceKind::Smp]).register();
         let _ = reg.template("t").main("b", &[DeviceKind::Smp]).register();
+    }
+
+    #[test]
+    #[should_panic(expected = "no whitespace")]
+    fn whitespace_in_template_name_rejected() {
+        let mut reg = TemplateRegistry::new();
+        let _ = reg.template("mat mul").main("a", &[DeviceKind::Smp]).register();
+    }
+
+    #[test]
+    #[should_panic(expected = "no whitespace")]
+    fn empty_template_name_rejected() {
+        let mut reg = TemplateRegistry::new();
+        let _ = reg.template("").main("a", &[DeviceKind::Smp]).register();
     }
 
     #[test]

@@ -160,6 +160,10 @@ impl Arena {
     /// spins until the transient reference drops; the task graph's
     /// dependences rule out longer-lived readers.
     ///
+    /// The buffers are restored even if `f` panics (the unwind carries
+    /// whatever partial writes the kernel made), so a failed task can be
+    /// retried with the data still materialized.
+    ///
     /// # Panics
     /// Panics if any buffer is missing or an allocation is listed twice.
     pub fn with_buffers<R>(
@@ -178,7 +182,7 @@ impl Arena {
                 arcs.push(arc);
             }
         }
-        let mut bufs: Vec<AlignedBuf> = arcs
+        let bufs: Vec<AlignedBuf> = arcs
             .into_iter()
             .map(|mut arc| loop {
                 match Arc::try_unwrap(arc) {
@@ -190,14 +194,27 @@ impl Arena {
                 }
             })
             .collect();
-        let result = f(&mut bufs);
-        {
-            let mut guard = self.space(space);
-            for (id, buf) in ids.iter().zip(bufs) {
-                guard.insert(*id, Arc::new(buf));
+
+        /// Re-inserts the taken-out buffers on scope exit, unwind
+        /// included — a panicking kernel must not leave the arena with
+        /// missing allocations.
+        struct Restore<'a> {
+            arena: &'a Arena,
+            space: MemSpace,
+            ids: &'a [DataId],
+            bufs: Vec<AlignedBuf>,
+        }
+        impl Drop for Restore<'_> {
+            fn drop(&mut self) {
+                let mut guard = self.arena.space(self.space);
+                for (id, buf) in self.ids.iter().zip(self.bufs.drain(..)) {
+                    guard.insert(*id, Arc::new(buf));
+                }
             }
         }
-        result
+
+        let mut restore = Restore { arena: self, space, ids, bufs };
+        f(&mut restore.bufs)
     }
 }
 
@@ -282,6 +299,24 @@ mod tests {
         drop(reader);
         t.join().unwrap();
         assert_eq!(a.read(DataId(0), MemSpace::HOST)[0], 1);
+    }
+
+    #[test]
+    fn with_buffers_restores_on_panic() {
+        let a = Arena::new(0);
+        a.alloc_host(DataId(0), &[1, 2]);
+        a.alloc_host(DataId(1), &[3, 4]);
+        let unwind = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            a.with_buffers(MemSpace::HOST, &[DataId(0), DataId(1)], |bufs| {
+                bufs[0].as_bytes_mut()[0] = 9;
+                panic!("kernel blew up");
+            })
+        }));
+        assert!(unwind.is_err());
+        // Both buffers are back in the arena — a retry can still run —
+        // and carry whatever the kernel wrote before panicking.
+        assert_eq!(a.read(DataId(0), MemSpace::HOST), vec![9, 2]);
+        assert_eq!(a.read(DataId(1), MemSpace::HOST), vec![3, 4]);
     }
 
     #[test]

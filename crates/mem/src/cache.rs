@@ -85,9 +85,10 @@ impl DeviceCache {
             "{data:?} ({bytes} B) exceeds device memory capacity ({} B)",
             self.capacity
         );
-        if self.bytes.insert(data, bytes).is_none() {
-            self.used += bytes;
-        }
+        // A re-insert with a different size must adjust usage by the
+        // delta, not keep the stale contribution.
+        let prev = self.bytes.insert(data, bytes);
+        self.used = self.used - prev.unwrap_or(0) + bytes;
         self.refresh(data);
     }
 
@@ -151,6 +152,23 @@ mod tests {
         // Re-inserting the same datum does not double-count.
         c.insert(d(0), 40);
         assert_eq!(c.used(), 70);
+    }
+
+    #[test]
+    fn reinsert_with_different_size_adjusts_usage() {
+        let mut c = DeviceCache::new(100);
+        c.insert(d(0), 40);
+        c.insert(d(1), 30);
+        // Grow d0: usage must reflect the new size, not the stale one.
+        c.insert(d(0), 60);
+        assert_eq!(c.used(), 90);
+        // Shrink d0 back down.
+        c.insert(d(0), 10);
+        assert_eq!(c.used(), 40);
+        // Removing both returns usage to exactly zero (no drift).
+        c.remove(d(0));
+        c.remove(d(1));
+        assert_eq!(c.used(), 0);
     }
 
     #[test]

@@ -25,6 +25,12 @@ pub struct RuntimeConfig {
     /// Relative half-width of the simulated execution-time noise
     /// (e.g. `0.05` = ±5%); ignored by the native engine.
     pub noise_sigma: f64,
+    /// How many times one task may be re-entered into the ready pool
+    /// after a failed execution attempt before the run aborts with a
+    /// [`RunError`](crate::RunError). Both engines honour it: kernel
+    /// panics in the native engine and injected faults in the simulated
+    /// one count against the same budget.
+    pub max_task_retries: u32,
 }
 
 impl RuntimeConfig {
@@ -42,6 +48,7 @@ impl Default for RuntimeConfig {
             flush_on_wait: true,
             trace: false,
             noise_sigma: 0.05,
+            max_task_retries: 3,
         }
     }
 }
@@ -57,6 +64,7 @@ mod tests {
         assert!(c.flush_on_wait);
         assert!(!c.trace);
         assert_eq!(c.scheduler.label(), "ver");
+        assert_eq!(c.max_task_retries, 3);
     }
 
     #[test]

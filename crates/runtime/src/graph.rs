@@ -209,6 +209,21 @@ impl TaskGraph {
         self.nodes[id.index()].successors = successors;
     }
 
+    /// Return a failed task to the ready frontier for reassignment: the
+    /// reverse of [`TaskGraph::mark_running`]. The task stays live, its
+    /// stale assignment is cleared, and successors are untouched (they
+    /// were never released).
+    ///
+    /// # Panics
+    /// Panics unless the task was `Running`.
+    pub fn requeue(&mut self, id: TaskId) {
+        let node = &mut self.nodes[id.index()];
+        assert_eq!(node.state, TaskState::Running, "{id:?} must be running to requeue");
+        node.state = TaskState::Ready;
+        node.assignment = None;
+        self.newly_ready.push(id);
+    }
+
     /// Whether every submitted task has finished.
     pub fn all_done(&self) -> bool {
         self.live == 0
@@ -380,6 +395,26 @@ mod tests {
         g.mark_running(a);
         g.complete(a, WorkerId(0));
         assert!(g.all_done());
+    }
+
+    #[test]
+    fn requeue_returns_running_task_to_frontier() {
+        let mut g = TaskGraph::new();
+        let a = g.submit(instance(0, vec![(whole(0), AccessMode::Out)]));
+        let b = g.submit(instance(1, vec![(whole(0), AccessMode::In)]));
+        g.take_newly_ready();
+        g.mark_running(a);
+        g.requeue(a);
+        assert_eq!(g.node(a).state, TaskState::Ready);
+        assert!(g.node(a).assignment.is_none());
+        assert_eq!(g.take_newly_ready(), vec![a]);
+        assert_eq!(g.live_tasks(), 2, "a failed task is still live");
+        // Successors were never released.
+        assert_eq!(g.node(b).remaining_deps(), 1);
+        // The retry can run and complete normally.
+        g.mark_running(a);
+        g.complete(a, WorkerId(0));
+        assert_eq!(g.take_newly_ready(), vec![b]);
     }
 
     #[test]

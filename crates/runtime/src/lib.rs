@@ -33,5 +33,5 @@ pub use config::RuntimeConfig;
 pub use graph::{TaskGraph, TaskNode, TaskState};
 pub use lanepool::LanePool;
 pub use native::{KernelCtx, NativeConfig};
-pub use report::RunReport;
+pub use report::{FailureReport, QuarantinedVersion, RunError, RunReport, TaskFailure};
 pub use runtime::{NativeFn, Runtime, TaskSubmitter};

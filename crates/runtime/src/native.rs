@@ -15,6 +15,7 @@
 
 use crate::assign::drain_pool;
 use crate::lanepool::LanePool;
+use crate::report::{FailureReport, RunError, TaskFailure};
 use crate::runtime::{EngineKind, NativeFn};
 use crate::{RunReport, Runtime};
 use std::collections::{HashMap, VecDeque};
@@ -22,7 +23,7 @@ use std::ops::Range;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use versa_core::{TaskId, TemplateId, VersionId, WorkerId};
+use versa_core::{FailureKind, TaskId, TemplateId, VersionId, WorkerId};
 use versa_kernels::chunk_ranges;
 use versa_kernels::exec::{LaneExec, SerialExec};
 use versa_mem::{AccessMode, AlignedBuf, Arena, DataId, Region, TransferStats};
@@ -325,7 +326,16 @@ fn execute_item(
 }
 
 /// Run every submitted task to completion on real threads.
-pub(crate) fn run_native(rt: &mut Runtime) -> RunReport {
+///
+/// A kernel panic does not take the process down: the worker catches the
+/// unwind, the coordinator rolls the task back to the ready frontier
+/// (worker bookkeeping unwound, buffers restored by the arena's unwind
+/// guard), reports the failure to the scheduler (quarantine accounting),
+/// and retries elsewhere — until
+/// [`RuntimeConfig::max_task_retries`](crate::RuntimeConfig) is
+/// exhausted, which aborts with a [`RunError`] carrying the partial
+/// report.
+pub(crate) fn run_native(rt: &mut Runtime) -> Result<RunReport, RunError> {
     let EngineKind::Native { cfg, arena } = &rt.engine else {
         unreachable!("run_native on a non-native runtime")
     };
@@ -337,6 +347,9 @@ pub(crate) fn run_native(rt: &mut Runtime) -> RunReport {
     let mut version_counts: HashMap<(TemplateId, VersionId), u64> = HashMap::new();
     let mut worker_counts = vec![0u64; rt.workers.len()];
     let mut tasks_executed = 0u64;
+    let mut failures = FailureReport::default();
+    let mut attempts: HashMap<TaskId, u32> = HashMap::new();
+    let mut abort: Option<(TaskId, String)> = None;
 
     let (done_tx, done_rx) = mpsc::channel();
 
@@ -423,10 +436,6 @@ pub(crate) fn run_native(rt: &mut Runtime) -> RunReport {
                 pool.len()
             );
             let (wid, tid, outcome) = done_rx.recv().expect("all workers died");
-            let measured = match outcome {
-                Ok(d) => d,
-                Err(msg) => panic!("kernel for {tid:?} on {wid:?} panicked: {msg}"),
-            };
             in_flight -= 1;
 
             let q = rt.workers[wid.index()]
@@ -434,15 +443,49 @@ pub(crate) fn run_native(rt: &mut Runtime) -> RunReport {
                 .expect("completion from a worker with an empty queue");
             assert_eq!(q.task, tid, "worker completions must be FIFO");
             rt.workers[wid.index()].finish(tid);
-            rt.graph.complete(tid, wid);
 
-            let assignment = rt.graph.node(tid).assignment.expect("completed task was assigned");
-            rt.scheduler.task_finished(&rt.graph.node(tid).instance, assignment, measured);
-            *version_counts
-                .entry((rt.graph.node(tid).instance.template, assignment.version))
-                .or_insert(0) += 1;
-            worker_counts[wid.index()] += 1;
-            tasks_executed += 1;
+            match outcome {
+                Ok(measured) => {
+                    rt.graph.complete(tid, wid);
+                    let assignment =
+                        rt.graph.node(tid).assignment.expect("completed task was assigned");
+                    rt.scheduler.task_finished(&rt.graph.node(tid).instance, assignment, measured);
+                    *version_counts
+                        .entry((rt.graph.node(tid).instance.template, assignment.version))
+                        .or_insert(0) += 1;
+                    worker_counts[wid.index()] += 1;
+                    tasks_executed += 1;
+                }
+                Err(msg) => {
+                    let assignment =
+                        rt.graph.node(tid).assignment.expect("failed task was assigned");
+                    let attempt = {
+                        let n = attempts.entry(tid).or_insert(0);
+                        *n += 1;
+                        *n
+                    };
+                    failures.events.push(TaskFailure {
+                        task: tid,
+                        template: rt.graph.node(tid).instance.template,
+                        version: assignment.version,
+                        worker: wid,
+                        kind: FailureKind::Panic,
+                        message: msg.clone(),
+                        attempt,
+                    });
+                    rt.scheduler.task_failed(
+                        &rt.graph.node(tid).instance,
+                        assignment,
+                        FailureKind::Panic,
+                    );
+                    if attempt > rt.config.max_task_retries {
+                        abort = Some((tid, msg));
+                        break;
+                    }
+                    rt.graph.requeue(tid);
+                    failures.retries += 1;
+                }
+            }
 
             dispatch(rt, &mut pool, &mut in_flight, &mut stats);
         }
@@ -452,14 +495,17 @@ pub(crate) fn run_native(rt: &mut Runtime) -> RunReport {
         }
     });
 
-    if rt.config.flush_on_wait {
+    // An aborted run skips the flush: the graph still has live tasks and
+    // the caller gets the partial report through the error.
+    if abort.is_none() && rt.config.flush_on_wait {
         for t in rt.directory.flush_all_to_host() {
             arena.perform(&t);
             stats.record(t.kind(), t.bytes);
         }
     }
 
-    RunReport {
+    failures.quarantined = rt.quarantined_versions();
+    let report = RunReport {
         scheduler: rt.scheduler.name().to_string(),
         makespan: wall0.elapsed(),
         tasks_executed,
@@ -471,6 +517,13 @@ pub(crate) fn run_native(rt: &mut Runtime) -> RunReport {
             .as_versioning()
             .map(|v| v.profiles().render_table(&rt.templates)),
         trace: None,
+        failures,
+    };
+    match abort {
+        Some((task, message)) => {
+            Err(RunError { task, kind: FailureKind::Panic, message, report: Box::new(report) })
+        }
+        None => Ok(report),
     }
 }
 

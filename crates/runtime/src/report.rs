@@ -1,9 +1,112 @@
-//! Run reports: everything the paper's evaluation section measures.
+//! Run reports: everything the paper's evaluation section measures,
+//! plus the failure/retry accounting added by the fault-tolerance
+//! subsystem.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::time::Duration;
-use versa_core::{TemplateId, TemplateRegistry, VersionId};
+use versa_core::{BucketKey, FailureKind, TaskId, TemplateId, TemplateRegistry, VersionId, WorkerId};
 use versa_mem::TransferStats;
+
+/// One failed task execution attempt.
+#[derive(Clone, Debug)]
+pub struct TaskFailure {
+    /// The task whose execution failed.
+    pub task: TaskId,
+    /// Its template.
+    pub template: TemplateId,
+    /// The version that failed.
+    pub version: VersionId,
+    /// The worker it was running on.
+    pub worker: WorkerId,
+    /// Panic vs. injected fault.
+    pub kind: FailureKind,
+    /// Panic payload / fault description.
+    pub message: String,
+    /// Which attempt this was (1 = first execution).
+    pub attempt: u32,
+}
+
+/// A version quarantined by the scheduler during the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantinedVersion {
+    /// Template the version belongs to.
+    pub template: TemplateId,
+    /// Size-group key it is quarantined in.
+    pub bucket: BucketKey,
+    /// The quarantined version.
+    pub version: VersionId,
+    /// Consecutive failures that triggered the quarantine.
+    pub failures: u64,
+}
+
+impl From<versa_core::QuarantineEntry> for QuarantinedVersion {
+    fn from(e: versa_core::QuarantineEntry) -> Self {
+        QuarantinedVersion {
+            template: e.template,
+            bucket: e.bucket,
+            version: e.version,
+            failures: e.failures,
+        }
+    }
+}
+
+/// Failure/retry accounting of one run. Default (all zeros/empty) means
+/// the run saw no failures.
+#[derive(Clone, Debug, Default)]
+pub struct FailureReport {
+    /// Every failed execution attempt, in occurrence order.
+    pub events: Vec<TaskFailure>,
+    /// Re-entries into the ready pool after a failure (a task that
+    /// failed twice before completing contributes 2 retries).
+    pub retries: u64,
+    /// Versions left quarantined at the end of the run.
+    pub quarantined: Vec<QuarantinedVersion>,
+}
+
+impl FailureReport {
+    /// Total failed attempts.
+    pub fn failure_count(&self) -> u64 {
+        self.events.len() as u64
+    }
+
+    /// Whether the run completed without a single failure.
+    pub fn is_clean(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// A run aborted because some task exhausted its retry budget. Carries
+/// the partial [`RunReport`] accumulated up to the abort, so callers can
+/// still inspect what executed, failed, and was quarantined.
+#[derive(Debug)]
+pub struct RunError {
+    /// The task that exhausted its retries.
+    pub task: TaskId,
+    /// The kind of its final failure.
+    pub kind: FailureKind,
+    /// The final failure's message.
+    pub message: String,
+    /// Partial report: tasks executed, failures, and quarantine state up
+    /// to the abort. Its `makespan` covers the aborted region. Boxed to
+    /// keep the `Err` variant of `Runtime::run` small.
+    pub report: Box<RunReport>,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "task {:?} exhausted its retries (last failure: {}: {}); {} failures total",
+            self.task,
+            self.kind,
+            self.message,
+            self.report.failures.failure_count()
+        )
+    }
+}
+
+impl std::error::Error for RunError {}
 
 /// Measurements of one `run()` (one taskwait region): the quantities
 /// behind every figure of the paper's §V — makespan (→ GFLOP/s or wall
@@ -33,6 +136,8 @@ pub struct RunReport {
     ///
     /// [`RuntimeConfig::trace`]: crate::RuntimeConfig::trace
     pub trace: Option<versa_sim::Trace>,
+    /// Failure and retry accounting (empty for a clean run).
+    pub failures: FailureReport,
 }
 
 impl RunReport {
@@ -79,6 +184,15 @@ impl RunReport {
             self.transfers.output_bytes as f64 / 1e6,
             self.transfers.device_bytes as f64 / 1e6,
         );
+        if !self.failures.is_clean() {
+            let _ = writeln!(
+                out,
+                "failures: {} retries={} quarantined={}",
+                self.failures.failure_count(),
+                self.failures.retries,
+                self.failures.quarantined.len()
+            );
+        }
         for tpl in registry.iter() {
             let hist = self.version_histogram(tpl.id, tpl.version_count());
             if hist.iter().sum::<u64>() == 0 {
@@ -112,6 +226,7 @@ mod tests {
             worker_task_counts: vec![5, 5, 45, 45],
             profile_table: None,
             trace: None,
+            failures: FailureReport::default(),
         }
     }
 

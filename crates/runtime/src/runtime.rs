@@ -2,7 +2,8 @@
 
 use crate::graph::TaskGraph;
 use crate::native::{KernelCtx, NativeConfig};
-use crate::{RunReport, RuntimeConfig};
+use crate::report::QuarantinedVersion;
+use crate::{RunError, RunReport, RuntimeConfig};
 use std::collections::HashMap;
 use std::sync::Arc;
 use versa_core::{
@@ -64,7 +65,7 @@ pub(crate) enum EngineKind {
 /// for _ in 0..20 {
 ///     rt.task(task).read(x).read_write(y).submit();
 /// }
-/// let report = rt.run();
+/// let report = rt.run().expect("no task exhausted its retries");
 /// assert_eq!(report.tasks_executed, 20);
 /// assert!(report.makespan > Duration::ZERO);
 /// ```
@@ -279,18 +280,21 @@ impl Runtime {
 
     /// Seed the versioning scheduler from hints text produced by
     /// [`Runtime::save_hints`]. Returns `(applied, skipped)` record
-    /// counts, or an error for malformed text.
+    /// counts, or an error for malformed text — including a
+    /// [`PolicyMismatch`](versa_core::profile::HintsError::PolicyMismatch)
+    /// when the file was recorded under different bucketing/mean
+    /// policies than the active scheduler uses.
     ///
     /// # Panics
     /// Panics if the active policy is not the versioning scheduler.
     pub fn load_hints(&mut self, text: &str) -> Result<(usize, usize), versa_core::profile::HintsError> {
-        let records = versa_core::profile::parse_hints(text)?;
+        let file = versa_core::profile::parse_hints(text)?;
         let templates = self.templates.clone();
         let scheduler = self
             .scheduler
             .as_versioning_mut()
             .expect("load_hints requires the versioning scheduler");
-        Ok(versa_core::profile::apply_hints(scheduler.profiles_mut(), &templates, &records))
+        versa_core::profile::apply_hints(scheduler.profiles_mut(), &templates, &file)
     }
 
     /// Read data back as `f64`s, flushing the latest copy to the host
@@ -355,7 +359,16 @@ impl Runtime {
     /// [`RuntimeConfig::flush_on_wait`] set, device-resident data is
     /// flushed back to host memory at the end (and accounted as Output
     /// Tx).
-    pub fn run(&mut self) -> RunReport {
+    ///
+    /// # Errors
+    /// Task failures (native kernel panics, simulated injected faults)
+    /// are recoverable: the task is rescheduled, failing versions are
+    /// quarantined, and the run keeps going. Only when a single task
+    /// fails more than [`RuntimeConfig::max_task_retries`] times does
+    /// the run abort with a [`RunError`] carrying the partial
+    /// [`RunReport`]. An aborted runtime still has tasks in flight and
+    /// must not be reused.
+    pub fn run(&mut self) -> Result<RunReport, RunError> {
         let report = match &self.engine {
             EngineKind::Sim { .. } => crate::sim_engine::run_sim(self),
             EngineKind::Native { .. } => crate::native::run_native(self),
@@ -368,12 +381,40 @@ impl Runtime {
     /// `taskwait(noflush)` of paper §III: tasks synchronize, but data is
     /// left wherever it lives (typically on the devices), so a following
     /// batch can reuse it without round-tripping through host memory.
-    pub fn run_noflush(&mut self) -> RunReport {
+    ///
+    /// # Errors
+    /// As [`Runtime::run`].
+    pub fn run_noflush(&mut self) -> Result<RunReport, RunError> {
         let saved = self.config.flush_on_wait;
         self.config.flush_on_wait = false;
         let report = self.run();
         self.config.flush_on_wait = saved;
         report
+    }
+
+    /// Install a fault-injection plan on the simulated platform (a
+    /// convenience over rebuilding the [`PlatformConfig`]). Plans are
+    /// evaluated at every simulated task start; an empty plan leaves the
+    /// simulation byte-identical to a run without one.
+    ///
+    /// # Panics
+    /// Panics on the native engine (panics there are the real faults)
+    /// or if the plan fails validation.
+    pub fn set_fault_plan(&mut self, faults: versa_sim::FaultPlan) {
+        faults.validate().expect("invalid fault plan");
+        let EngineKind::Sim { platform } = &mut self.engine else {
+            panic!("fault plans only apply to the simulated engine");
+        };
+        platform.faults = faults;
+    }
+
+    /// Versions currently quarantined by the versioning scheduler
+    /// (empty for other policies).
+    pub fn quarantined_versions(&self) -> Vec<QuarantinedVersion> {
+        self.scheduler
+            .as_versioning()
+            .map(|v| v.profiles().quarantined().into_iter().map(Into::into).collect())
+            .unwrap_or_default()
     }
 }
 

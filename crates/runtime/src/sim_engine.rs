@@ -5,15 +5,26 @@
 //! cost table (+ seeded noise), transfers on finite-bandwidth links with
 //! transfer/compute overlap and data prefetch. The scheduler only ever
 //! observes assignments and measured durations, never the cost table.
+//!
+//! Failures: the platform's [`FaultPlan`](versa_sim::FaultPlan) may mark
+//! task executions as failed. A failed attempt occupies its worker for
+//! the sampled duration, produces nothing, is reported to the scheduler
+//! via [`Scheduler::task_failed`](versa_core::Scheduler::task_failed),
+//! and re-enters the ready pool — until the task exhausts
+//! [`RuntimeConfig::max_task_retries`](crate::RuntimeConfig), which
+//! aborts the run with a [`RunError`] carrying the partial report.
 
 use crate::assign::drain_pool;
+use crate::report::{FailureReport, RunError, TaskFailure};
 use crate::runtime::EngineKind;
 use crate::{RunReport, Runtime};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::Duration;
-use versa_core::{TaskId, TemplateId, VersionId, WorkerId};
+use versa_core::{FailureKind, TaskId, TemplateId, VersionId, WorkerId};
 use versa_mem::Transfer;
-use versa_sim::{EventQueue, NoiseModel, SimTime, Trace, TraceEvent, TransferEngine};
+use versa_sim::{
+    EventQueue, FaultInjector, NoiseModel, SimTime, Trace, TraceEvent, TransferEngine,
+};
 
 struct SimState {
     xfer: TransferEngine,
@@ -28,6 +39,13 @@ struct SimState {
     deadlines: HashMap<TaskId, SimTime>,
     /// Sampled compute duration of in-flight tasks.
     durations: HashMap<TaskId, Duration>,
+    /// Injected-fault decisions, made at task start for determinism.
+    injector: FaultInjector,
+    /// In-flight tasks whose current attempt will fail on completion.
+    doomed: HashSet<TaskId>,
+    /// Failed attempts per task so far.
+    attempts: HashMap<TaskId, u32>,
+    failures: FailureReport,
     trace: Trace,
     version_counts: HashMap<(TemplateId, VersionId), u64>,
     worker_counts: Vec<u64>,
@@ -35,7 +53,7 @@ struct SimState {
 }
 
 /// Run every submitted task to completion in virtual time.
-pub(crate) fn run_sim(rt: &mut Runtime) -> RunReport {
+pub(crate) fn run_sim(rt: &mut Runtime) -> Result<RunReport, RunError> {
     let EngineKind::Sim { platform } = &rt.engine else {
         unreachable!("run_sim on a non-simulated runtime")
     };
@@ -58,6 +76,10 @@ pub(crate) fn run_sim(rt: &mut Runtime) -> RunReport {
             .collect(),
         deadlines: HashMap::new(),
         durations: HashMap::new(),
+        injector: FaultInjector::new(platform.faults.clone(), platform.seed),
+        doomed: HashSet::new(),
+        attempts: HashMap::new(),
+        failures: FailureReport::default(),
         trace: Trace::new(),
         version_counts: HashMap::new(),
         worker_counts: vec![0; rt.workers.len()],
@@ -73,7 +95,19 @@ pub(crate) fn run_sim(rt: &mut Runtime) -> RunReport {
 
     while let Some((time, (wid, tid))) = st.events.pop() {
         now = time;
-        on_completion(rt, &mut st, now, wid, tid);
+        if st.doomed.remove(&tid) {
+            if let Some(abort) = on_failure(rt, &mut st, now, wid, tid) {
+                let report = finish_report(rt, st, now.as_duration());
+                return Err(RunError {
+                    task: abort.0,
+                    kind: FailureKind::Fault,
+                    message: abort.1,
+                    report: Box::new(report),
+                });
+            }
+        } else {
+            on_completion(rt, &mut st, now, wid, tid);
+        }
         pump(rt, &mut st, now);
         start_idle_workers(rt, &mut st, now);
     }
@@ -96,9 +130,15 @@ pub(crate) fn run_sim(rt: &mut Runtime) -> RunReport {
         }
     }
 
+    Ok(finish_report(rt, st, end.as_duration()))
+}
+
+/// Assemble the report from the accumulated state (complete or partial).
+fn finish_report(rt: &Runtime, mut st: SimState, makespan: Duration) -> RunReport {
+    st.failures.quarantined = rt.quarantined_versions();
     RunReport {
         scheduler: rt.scheduler.name().to_string(),
-        makespan: end.as_duration(),
+        makespan,
         tasks_executed: st.tasks_executed,
         transfers: *st.xfer.stats(),
         version_counts: st.version_counts,
@@ -108,6 +148,7 @@ pub(crate) fn run_sim(rt: &mut Runtime) -> RunReport {
             .as_versioning()
             .map(|v| v.profiles().render_table(&rt.templates)),
         trace: if rt.config.trace { Some(st.trace) } else { None },
+        failures: st.failures,
     }
 }
 
@@ -132,6 +173,58 @@ fn on_completion(rt: &mut Runtime, st: &mut SimState, now: SimTime, wid: WorkerI
     st.worker_counts[wid.index()] += 1;
     st.tasks_executed += 1;
     st.trace.record(TraceEvent::TaskEnd { time: now, task: tid, worker: wid });
+}
+
+/// Handle one failed attempt at virtual time `now`. The worker is freed,
+/// the task produces nothing and goes back to the ready frontier, and the
+/// scheduler hears about the failure (quarantine accounting). Returns
+/// abort info when the task has exhausted its retry budget.
+fn on_failure(
+    rt: &mut Runtime,
+    st: &mut SimState,
+    now: SimTime,
+    wid: WorkerId,
+    tid: TaskId,
+) -> Option<(TaskId, String)> {
+    rt.workers[wid.index()].finish(tid);
+    st.durations.remove(&tid);
+    st.deadlines.remove(&tid);
+
+    let assignment = rt.graph.node(tid).assignment.expect("failed task had an assignment");
+    let attempt = {
+        let n = st.attempts.entry(tid).or_insert(0);
+        *n += 1;
+        *n
+    };
+    let message = format!(
+        "injected fault (rule matched {:?} {:?} on {wid:?})",
+        rt.templates.get(rt.graph.node(tid).instance.template).name,
+        assignment.version
+    );
+    st.trace.record(TraceEvent::TaskFailed {
+        time: now,
+        task: tid,
+        worker: wid,
+        version: assignment.version,
+        attempt,
+    });
+    st.failures.events.push(TaskFailure {
+        task: tid,
+        template: rt.graph.node(tid).instance.template,
+        version: assignment.version,
+        worker: wid,
+        kind: FailureKind::Fault,
+        message: message.clone(),
+        attempt,
+    });
+    rt.scheduler.task_failed(&rt.graph.node(tid).instance, assignment, FailureKind::Fault);
+
+    if attempt > rt.config.max_task_retries {
+        return Some((tid, message));
+    }
+    rt.graph.requeue(tid);
+    st.failures.retries += 1;
+    None
 }
 
 /// Assign newly-ready and pooled tasks; prefetch their data if enabled.
@@ -271,6 +364,9 @@ fn start_idle_workers(rt: &mut Runtime, st: &mut SimState, now: SimTime) {
         }
 
         let inst = &rt.graph.node(tid).instance;
+        if st.injector.should_fail(inst.template, q.version, wid) {
+            st.doomed.insert(tid);
+        }
         let base = rt.costs.duration(inst.template, q.version, inst.data_set_size);
         let scaled = base.mul_f64(st.speed[wi]);
         let duration = st.noise.sample(scaled);

@@ -38,6 +38,8 @@ pub struct TraceAnalysis {
     pub task_count: usize,
     /// Number of transfers that occurred.
     pub transfer_count: usize,
+    /// Number of failed execution attempts (injected faults).
+    pub failed_count: usize,
 }
 
 impl TraceAnalysis {
@@ -50,6 +52,7 @@ impl TraceAnalysis {
         let mut transfer_time: HashMap<TransferKind, Duration> = HashMap::new();
         let mut span = SimTime::ZERO;
         let mut transfer_count = 0;
+        let mut failed_count = 0;
         for ev in trace.events() {
             match *ev {
                 TraceEvent::TaskStart { time, task, worker, .. } => {
@@ -57,6 +60,17 @@ impl TraceAnalysis {
                 }
                 TraceEvent::TaskEnd { time, task, worker } => {
                     span = span.max(time);
+                    if let Some((w, start)) = starts.remove(&task.0) {
+                        debug_assert_eq!(w, worker, "task moved workers mid-flight");
+                        *busy.entry(worker).or_default() += time - start;
+                        intervals.push(TaskInterval { worker, start, end: time });
+                    }
+                }
+                TraceEvent::TaskFailed { time, task, worker, .. } => {
+                    // The failed attempt still occupied the worker; it
+                    // just produces no completed task.
+                    span = span.max(time);
+                    failed_count += 1;
                     if let Some((w, start)) = starts.remove(&task.0) {
                         debug_assert_eq!(w, worker, "task moved workers mid-flight");
                         *busy.entry(worker).or_default() += time - start;
@@ -72,8 +86,16 @@ impl TraceAnalysis {
             }
         }
         intervals.sort_by_key(|i| (i.start, i.worker));
-        let task_count = intervals.len();
-        TraceAnalysis { span, busy, intervals, transfer_time, task_count, transfer_count }
+        let task_count = intervals.len() - failed_count;
+        TraceAnalysis {
+            span,
+            busy,
+            intervals,
+            transfer_time,
+            task_count,
+            transfer_count,
+            failed_count,
+        }
     }
 
     /// Fraction of the trace span a worker spent computing (0..=1).
@@ -140,6 +162,16 @@ pub fn to_csv(trace: &Trace) -> String {
                         out,
                         "task,{},{},w{},t{}v{version}",
                         start.0, time.0, worker.0, task.0
+                    );
+                }
+            }
+            TraceEvent::TaskFailed { time, task, worker, version, attempt } => {
+                if let Some((w, start, v)) = open.remove(&task.0) {
+                    debug_assert_eq!((w, v), (worker, version.0));
+                    let _ = writeln!(
+                        out,
+                        "failed,{},{},w{},t{}v{}a{attempt}",
+                        start.0, time.0, worker.0, task.0, version.0
                     );
                 }
             }

@@ -29,6 +29,7 @@
 pub mod analysis;
 mod cost;
 mod event;
+mod fault;
 mod platform;
 mod time;
 mod trace;
@@ -37,6 +38,7 @@ mod transfer;
 pub use analysis::{TaskInterval, TraceAnalysis};
 pub use cost::{CostTable, NoiseModel};
 pub use event::EventQueue;
+pub use fault::{FaultInjector, FaultPlan, FaultRule};
 pub use platform::{LinkConfig, PlatformConfig};
 pub use time::SimTime;
 pub use trace::{Trace, TraceEvent};

@@ -1,5 +1,6 @@
 //! Simulated platform description.
 
+use crate::FaultPlan;
 use std::time::Duration;
 
 /// One host↔device interconnect link (PCIe-class).
@@ -71,6 +72,11 @@ pub struct PlatformConfig {
     /// the paper's per-*version* profiles cannot distinguish two
     /// different-speed devices of the same kind.
     pub gpu_speed_factors: Vec<f64>,
+    /// Fault-injection plan: which simulated executions fail and with
+    /// what probability. Empty by default (no faults); decisions are
+    /// drawn from a dedicated RNG stream seeded from `seed`, so the
+    /// same seed and plan reproduce the identical failure pattern.
+    pub faults: FaultPlan,
 }
 
 impl PlatformConfig {
@@ -118,6 +124,7 @@ impl PlatformConfig {
         if self.gpu_speed_factors.iter().any(|&f| f <= 0.0) {
             return Err("GPU speed factors must be positive".into());
         }
+        self.faults.validate()?;
         Ok(())
     }
 }
@@ -134,6 +141,7 @@ impl Default for PlatformConfig {
             smp_core_peak_gflops: 10.1,
             seed: 0x5eed_c0de,
             gpu_speed_factors: Vec::new(),
+            faults: FaultPlan::default(),
         }
     }
 }

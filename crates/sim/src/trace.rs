@@ -28,6 +28,21 @@ pub enum TraceEvent {
         /// On which worker.
         worker: WorkerId,
     },
+    /// A task execution failed (injected fault) — the task will be
+    /// rescheduled or, if retries are exhausted, abort the run.
+    TaskFailed {
+        /// When.
+        time: SimTime,
+        /// Which task.
+        task: TaskId,
+        /// On which worker.
+        worker: WorkerId,
+        /// As which implementation.
+        version: VersionId,
+        /// How many times this task has failed so far (this one
+        /// included).
+        attempt: u32,
+    },
     /// A data transfer occupied a link from `start` to `end`.
     Transfer {
         /// Transfer start (after source/link availability).
@@ -49,7 +64,9 @@ impl TraceEvent {
     /// The event's (primary) timestamp, for ordering checks.
     pub fn time(&self) -> SimTime {
         match self {
-            TraceEvent::TaskStart { time, .. } | TraceEvent::TaskEnd { time, .. } => *time,
+            TraceEvent::TaskStart { time, .. }
+            | TraceEvent::TaskEnd { time, .. }
+            | TraceEvent::TaskFailed { time, .. } => *time,
             TraceEvent::Transfer { start, .. } => *start,
         }
     }
@@ -105,9 +122,9 @@ impl Trace {
     /// Events concerning one task.
     pub fn task_events(&self, task: TaskId) -> impl Iterator<Item = &TraceEvent> {
         self.events.iter().filter(move |e| match e {
-            TraceEvent::TaskStart { task: t, .. } | TraceEvent::TaskEnd { task: t, .. } => {
-                *t == task
-            }
+            TraceEvent::TaskStart { task: t, .. }
+            | TraceEvent::TaskEnd { task: t, .. }
+            | TraceEvent::TaskFailed { task: t, .. } => *t == task,
             TraceEvent::Transfer { .. } => false,
         })
     }

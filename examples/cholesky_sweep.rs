@@ -45,7 +45,7 @@ fn main() {
                 platform(),
             );
             let app = cholesky::build(&mut rt, cfg, CholeskyVariant::PotrfHybrid);
-            let hyb = rt.run();
+            let hyb = rt.run().expect("run failed");
             let hist = hyb.version_histogram(app.potrf, 2);
             println!(
                 "{:<10} {:>12.0}GF {:>12.0}GF {:>12.0}GF {:>13}/{}",

@@ -44,7 +44,7 @@ fn main() {
                 platform,
             );
             let app = matmul::build(&mut rt, cfg, MatmulVariant::Hybrid);
-            let hybrid = rt.run();
+            let hybrid = rt.run().expect("run failed");
             let hist = hybrid.version_histogram(app.template, 3);
             println!(
                 "{:<22} {:>10.0} {:>12.0} {:>12}",

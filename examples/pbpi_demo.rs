@@ -34,7 +34,7 @@ fn main() {
                 platform(),
             );
             let app = pbpi::build(&mut rt, cfg, PbpiVariant::Hybrid);
-            let h = rt.run();
+            let h = rt.run().expect("run failed");
             let l2 = h.version_histogram(app.loop2, 2);
             println!(
                 "{:<10} {:>10.2} {:>10.2} {:>10.2}   {:>10}/{}",

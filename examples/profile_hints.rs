@@ -32,7 +32,7 @@ fn main() {
     for &t in &tiles {
         rt.task(tpl).read_write(t).submit();
     }
-    let cold = rt.run();
+    let cold = rt.run().expect("run failed");
     let slow_runs_cold = cold.version_histogram(tpl, 2)[1];
     println!(
         "cold run : makespan {:.1} ms, slow SMP version ran {} times (learning)",
@@ -51,16 +51,17 @@ fn main() {
     // ---- Run 2: warm start from the hints file. -----------------------
     let (mut rt2, tpl2, tiles2) = build_runtime();
     let text = std::fs::read_to_string(&path).expect("read hints file");
-    let records = parse_hints(&text).expect("well-formed hints");
+    let file = parse_hints(&text).expect("well-formed hints");
     let templates = rt2.templates().clone();
     let (applied, skipped) =
-        apply_hints(rt2.versioning_mut().unwrap().profiles_mut(), &templates, &records);
+        apply_hints(rt2.versioning_mut().unwrap().profiles_mut(), &templates, &file)
+            .expect("hints policies match the scheduler's");
     println!("warm start: applied {applied} hint records ({skipped} skipped)");
 
     for &t in &tiles2 {
         rt2.task(tpl2).read_write(t).submit();
     }
-    let warm = rt2.run();
+    let warm = rt2.run().expect("run failed");
     let slow_runs_warm = warm.version_histogram(tpl2, 2)[1];
     println!(
         "warm run : makespan {:.1} ms, slow SMP version ran {} times",

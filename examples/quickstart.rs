@@ -39,7 +39,7 @@ fn main() {
     }
 
     // The implicit taskwait: run everything, flush results home.
-    let report = rt.run();
+    let report = rt.run().expect("run failed");
 
     println!("{}", report.summary(rt.templates()));
     println!(

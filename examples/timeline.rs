@@ -17,7 +17,7 @@ fn main() {
     rc.trace = true;
     let mut rt = Runtime::simulated(rc, PlatformConfig::minotauro(4, 2));
     let _app = cholesky::build(&mut rt, cfg, CholeskyVariant::PotrfHybrid);
-    let report = rt.run();
+    let report = rt.run().expect("run failed");
     let trace = report.trace.as_ref().expect("trace requested");
     let a = TraceAnalysis::new(trace);
 

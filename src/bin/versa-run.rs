@@ -184,7 +184,7 @@ fn main() {
             );
             let mut rt = Runtime::simulated(rc, platform);
             let _app = matmul::build(&mut rt, cfg, variant);
-            let report = rt.run();
+            let report = rt.run().expect("run failed");
             finish(&report, &rt, Some(cfg.flops()));
         }
         "cholesky" => {
@@ -216,7 +216,7 @@ fn main() {
             );
             let mut rt = Runtime::simulated(rc, platform);
             let _app = cholesky::build(&mut rt, cfg, variant);
-            let report = rt.run();
+            let report = rt.run().expect("run failed");
             finish(&report, &rt, Some(cfg.flops()));
         }
         "pbpi" => {
@@ -243,7 +243,7 @@ fn main() {
             );
             let mut rt = Runtime::simulated(rc, platform);
             let _app = pbpi::build(&mut rt, cfg, variant);
-            let report = rt.run();
+            let report = rt.run().expect("run failed");
             finish(&report, &rt, None);
         }
         other => {

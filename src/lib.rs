@@ -28,10 +28,10 @@ pub use versa_sim as sim;
 /// Convenient glob import: `use versa::prelude::*;`.
 pub mod prelude {
     pub use versa_core::{
-        Assignment, DeviceKind, Scheduler, SchedulerKind, TaskInstance, TemplateId, VersionId,
-        WorkerId,
+        Assignment, DeviceKind, FailureKind, Scheduler, SchedulerKind, TaskInstance, TemplateId,
+        VersionId, WorkerId,
     };
     pub use versa_mem::{AccessMode, DataId, MemSpace, Region, TransferStats};
-    pub use versa_runtime::{Runtime, RuntimeConfig, RunReport};
-    pub use versa_sim::{PlatformConfig, SimTime};
+    pub use versa_runtime::{RunError, RunReport, Runtime, RuntimeConfig};
+    pub use versa_sim::{FaultPlan, FaultRule, PlatformConfig, SimTime};
 }

@@ -21,7 +21,7 @@ fn run_with_capacity(capacity: Option<u64>, rounds: usize) -> RunReport {
             rt.task(tpl).read_write(t).submit();
         }
     }
-    rt.run()
+    rt.run().expect("run failed")
 }
 
 #[test]
@@ -83,5 +83,5 @@ fn allocation_bigger_than_device_memory_panics() {
     rt.bind_cost(tpl, VersionId(0), |_| Duration::from_micros(1));
     let big = rt.alloc_bytes(10_000);
     rt.task(tpl).read_write(big).submit();
-    let _ = rt.run();
+    let _ = rt.run().expect("run failed");
 }

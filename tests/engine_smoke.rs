@@ -27,7 +27,7 @@ fn sim_engine_runs_independent_tasks() {
     for &t in &tiles {
         rt.task(tpl).read_write(t).submit();
     }
-    let report = rt.run();
+    let report = rt.run().expect("run failed");
     assert_eq!(report.tasks_executed, 8);
     // Dep-aware only runs the main (GPU) version, split over 2 GPUs:
     // 4 tasks each, ≈ 4 × 5 ms plus transfer time.
@@ -52,7 +52,7 @@ fn sim_engine_versioning_learns_and_prefers_gpu() {
     for &t in &tiles {
         rt.task(tpl).read_write(t).submit();
     }
-    let report = rt.run();
+    let report = rt.run().expect("run failed");
     assert_eq!(report.tasks_executed, 100);
     let gpu = report.version_counts[&(tpl, VersionId(0))];
     let smp = report.version_counts.get(&(tpl, VersionId(1))).copied().unwrap_or(0);
@@ -74,7 +74,7 @@ fn sim_engine_is_deterministic() {
         for chunk in tiles.chunks(2) {
             rt.task(tpl).read(chunk[0]).read_write(chunk[1]).submit();
         }
-        rt.run()
+        rt.run().expect("run failed")
     };
     let a = run();
     let b = run();
@@ -112,7 +112,7 @@ fn native_engine_computes_real_results_with_dependencies() {
     for _ in 0..5 {
         rt.task(tpl).read(x).read_write(y).submit();
     }
-    let report = rt.run();
+    let report = rt.run().expect("run failed");
     assert_eq!(report.tasks_executed, 5);
     assert_eq!(rt.read_f64(y), vec![20.0, 30.0, 40.0, 50.0]);
     assert_eq!(rt.read_f64(x), vec![1.0, 2.0, 3.0, 4.0]);
@@ -138,7 +138,7 @@ fn native_engine_handles_wide_fanout() {
     for &o in &outs {
         rt.task(tpl).write(o).submit();
     }
-    let report = rt.run();
+    let report = rt.run().expect("run failed");
     assert_eq!(report.tasks_executed, 32);
     for &o in &outs {
         let v = rt.read_f64(o);
@@ -150,27 +150,27 @@ fn native_engine_handles_wide_fanout() {
 }
 
 #[test]
-fn native_kernel_panic_propagates_instead_of_deadlocking() {
-    let result = std::panic::catch_unwind(|| {
-        let mut rt = Runtime::native(
-            RuntimeConfig::with_scheduler(SchedulerKind::DepAware),
-            NativeConfig::new(1, 1),
-        );
-        let tpl = rt
-            .template("bad")
-            .main("bad_any", &[DeviceKind::Smp, DeviceKind::Cuda])
-            .register();
-        rt.bind_native(tpl, VersionId(0), |_ctx| panic!("kernel exploded"));
-        let d = rt.alloc_bytes(64);
-        rt.task(tpl).read_write(d).submit();
-        let _ = rt.run();
-    });
-    let err = result.expect_err("the kernel panic must surface");
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_default();
-    assert!(msg.contains("kernel exploded") || msg.contains("panicked"), "got: {msg}");
+fn native_kernel_panic_surfaces_as_run_error_not_process_panic() {
+    // Every version of the only template panics, so retries cannot help:
+    // the run must end in a RunError (not a process panic or deadlock).
+    let mut rt = Runtime::native(
+        RuntimeConfig::with_scheduler(SchedulerKind::DepAware),
+        NativeConfig::new(1, 1),
+    );
+    let tpl = rt
+        .template("bad")
+        .main("bad_any", &[DeviceKind::Smp, DeviceKind::Cuda])
+        .register();
+    rt.bind_native(tpl, VersionId(0), |_ctx| panic!("kernel exploded"));
+    let d = rt.alloc_bytes(64);
+    let task = rt.task(tpl).read_write(d).submit();
+    let err = rt.run().expect_err("unrecoverable kernel must abort the run");
+    assert_eq!(err.task, task);
+    assert!(err.message.contains("kernel exploded"), "got: {}", err.message);
+    // The default budget allows 3 retries: 4 attempts total, all failed.
+    assert_eq!(err.report.failures.failure_count(), 4);
+    assert_eq!(err.report.failures.retries, 3);
+    assert_eq!(err.report.tasks_executed, 0);
 }
 
 #[test]
@@ -191,7 +191,7 @@ fn noflush_leaves_data_on_the_devices() {
         PlatformConfig::minotauro(1, 1),
     );
     build(&mut rt);
-    let flushed = rt.run();
+    let flushed = rt.run().expect("run failed");
     assert_eq!(flushed.transfers.output_bytes, 1_000_000);
 
     // taskwait(noflush): data stays on the GPU...
@@ -200,7 +200,7 @@ fn noflush_leaves_data_on_the_devices() {
         PlatformConfig::minotauro(1, 1),
     );
     let (tpl2, d2) = build(&mut rt2);
-    let noflush = rt2.run_noflush();
+    let noflush = rt2.run_noflush().expect("run failed");
     assert_eq!(noflush.transfers.output_bytes, 0);
     assert!(noflush.makespan < flushed.makespan);
 
@@ -209,7 +209,7 @@ fn noflush_leaves_data_on_the_devices() {
     for _ in 0..3 {
         rt2.task(tpl2).read_write(d2).submit();
     }
-    let second = rt2.run();
+    let second = rt2.run().expect("run failed");
     assert_eq!(second.transfers.input_bytes, 0, "device copy was reused");
     assert_eq!(second.transfers.output_bytes, 1_000_000, "final taskwait flushes");
 }
@@ -225,13 +225,13 @@ fn state_persists_across_runs() {
     for _ in 0..10 {
         rt.task(tpl).read_write(d).submit();
     }
-    let first = rt.run();
+    let first = rt.run().expect("run failed");
     assert_eq!(first.tasks_executed, 10);
     // Second run: the profile store remembers; learning is already done.
     for _ in 0..10 {
         rt.task(tpl).read_write(d).submit();
     }
-    let second = rt.run();
+    let second = rt.run().expect("run failed");
     assert_eq!(second.tasks_executed, 10);
     let gpu_second = second.version_counts[&(tpl, VersionId(0))];
     assert_eq!(gpu_second, 10, "no re-learning on the second run");

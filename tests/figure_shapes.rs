@@ -75,7 +75,7 @@ fn fig8_version_mix_matches_paper() {
         PlatformConfig::minotauro(8, 1),
     );
     let app = matmul::build(&mut rt, cfg, MatmulVariant::Hybrid);
-    let report = rt.run();
+    let report = rt.run().expect("run failed");
     let hist = report.version_histogram(app.template, 3);
     let total: u64 = hist.iter().sum();
     assert_eq!(total as usize, cfg.task_count());
@@ -94,7 +94,7 @@ fn fig8_version_mix_matches_paper() {
         PlatformConfig::minotauro(8, 2),
     );
     let app2 = matmul::build(&mut rt2, cfg, MatmulVariant::Hybrid);
-    let hist2 = rt2.run().version_histogram(app2.template, 3);
+    let hist2 = rt2.run().expect("run failed").version_histogram(app2.template, 3);
     assert!(hist2[2] < hist[2], "SMP does less with 2 GPUs: {hist2:?} vs {hist:?}");
 }
 
@@ -138,7 +138,7 @@ fn fig11_versioning_sends_potrf_to_the_gpus() {
         PlatformConfig::minotauro(8, 2),
     );
     let app = cholesky::build(&mut rt, cfg, CholeskyVariant::PotrfHybrid);
-    let report = rt.run();
+    let report = rt.run().expect("run failed");
     let hist = report.version_histogram(app.potrf, 2);
     assert_eq!(hist.iter().sum::<u64>() as usize, cfg.nb());
     assert!(hist[1] <= 3, "SMP potrf beyond the λ learning runs: {hist:?}");
@@ -184,7 +184,7 @@ fn fig14_fig15_loop1_is_more_gpu_biased_than_loop2() {
         PlatformConfig::minotauro(4, 2),
     );
     let app = pbpi::build(&mut rt, cfg, PbpiVariant::Hybrid);
-    let report = rt.run();
+    let report = rt.run().expect("run failed");
     let l1 = report.version_shares(app.loop1, 2);
     let l2 = report.version_shares(app.loop2, 2);
     assert!(l1[0] > 0.6, "loop1 mostly GPU, got {l1:?}");
@@ -222,7 +222,7 @@ fn hand_cuda_version_is_abandoned_after_learning() {
             PlatformConfig::minotauro(smp, gpus),
         );
         let app = matmul::build(&mut rt, cfg, MatmulVariant::Hybrid);
-        let report = rt.run();
+        let report = rt.run().expect("run failed");
         let cuda_runs = report.version_histogram(app.template, 3)[1];
         assert!(cuda_runs >= 3, "λ learning runs required ({smp} SMP, {gpus} GPU): {cuda_runs}");
         assert!(cuda_runs <= 10, "hand-cuda must be abandoned ({smp} SMP, {gpus} GPU): {cuda_runs}");

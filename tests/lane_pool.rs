@@ -36,7 +36,7 @@ fn gpu_kernels_reuse_a_fixed_thread_set_across_tasks() {
     for &cell in &cells {
         rt.task(template).read_write(cell).submit();
     }
-    let report = rt.run();
+    let report = rt.run().expect("run failed");
     assert_eq!(report.tasks_executed as usize, TASKS);
     for &cell in &cells {
         assert_eq!(rt.read_f64(cell)[0], 1.0);

@@ -86,7 +86,7 @@ fn run_parallel(tasks: &[GenTask], buffers: usize, len: usize, sched: SchedulerK
         }
         builder.submit();
     }
-    rt.run();
+    rt.run().expect("run failed");
     handles.iter().map(|&h| rt.read_f64(h)).collect()
 }
 

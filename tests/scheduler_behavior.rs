@@ -36,7 +36,7 @@ fn locality_versioning_reduces_device_traffic_on_chains() {
                 rt.task(tpl).read_write(t).submit();
             }
         }
-        rt.run()
+        rt.run().expect("run failed")
     };
     let plain = run(SchedulerKind::versioning());
     let local = run(SchedulerKind::locality_versioning());
@@ -76,7 +76,7 @@ fn ewma_retargets_after_a_device_slowdown() {
                 rt.task(tpl).read_write(t).submit();
             }
         }
-        let report = rt.run();
+        let report = rt.run().expect("run failed");
         let smp_share = report.version_shares(tpl, 2)[1];
         (report.makespan, smp_share)
     };
@@ -111,7 +111,7 @@ fn range_bucketing_skips_relearning_for_similar_sizes() {
                 rt.task(tpl).read_write(t).submit();
             }
         }
-        let report = rt.run();
+        let report = rt.run().expect("run failed");
         report.version_histogram(tpl, 2)[1]
     };
     let exact_smp_runs = run(SizeBucketPolicy::Exact);
@@ -151,7 +151,7 @@ fn two_templates_learn_independently() {
         let tpl = if i % 2 == 0 { gpu_friendly } else { smp_friendly };
         rt.task(tpl).read_write(t).submit();
     }
-    let report = rt.run();
+    let report = rt.run().expect("run failed");
     let gf = report.version_histogram(gpu_friendly, 2);
     let sf = report.version_histogram(smp_friendly, 2);
     assert!(gf[0] > 80, "gpu-friendly work belongs on the GPU: {gf:?}");
@@ -167,7 +167,7 @@ fn breadth_first_matches_report_plumbing() {
     for &t in &tiles {
         rt.task(tpl).read_write(t).submit();
     }
-    let report = rt.run();
+    let report = rt.run().expect("run failed");
     assert_eq!(report.scheduler, "breadth-first");
     assert_eq!(report.version_counts[&(tpl, VersionId(0))], 20);
     assert!(!report.version_counts.contains_key(&(tpl, VersionId(1))));
@@ -189,7 +189,7 @@ fn lambda_one_minimizes_learning_cost() {
         for &t in &tiles {
             rt.task(tpl).read_write(t).submit();
         }
-        rt.run()
+        rt.run().expect("run failed")
     };
     let fast = run(1);
     let slow = run(10);

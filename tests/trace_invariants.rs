@@ -13,7 +13,7 @@ fn traced_matmul() -> (RunReport, usize) {
     rc.trace = true;
     let mut rt = Runtime::simulated(rc, PlatformConfig::minotauro(4, 2));
     let _app = matmul::build(&mut rt, cfg, MatmulVariant::Hybrid);
-    (rt.run(), cfg.task_count())
+    (rt.run().expect("run failed"), cfg.task_count())
 }
 
 #[test]
@@ -61,7 +61,7 @@ fn dependent_tasks_do_not_overlap() {
     rt.bind_cost(tpl, VersionId(1), |_| Duration::from_millis(5));
     let d = rt.alloc_bytes(1 << 16);
     let ids: Vec<_> = (0..40).map(|_| rt.task(tpl).read_write(d).submit()).collect();
-    let report = rt.run();
+    let report = rt.run().expect("run failed");
     let trace = report.trace.as_ref().unwrap();
 
     let mut ends = std::collections::HashMap::new();
@@ -74,7 +74,7 @@ fn dependent_tasks_do_not_overlap() {
             TraceEvent::TaskEnd { time, task, .. } => {
                 ends.insert(task, time);
             }
-            TraceEvent::Transfer { .. } => {}
+            TraceEvent::Transfer { .. } | TraceEvent::TaskFailed { .. } => {}
         }
     }
     for pair in ids.windows(2) {
