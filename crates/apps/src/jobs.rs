@@ -1,0 +1,206 @@
+//! Reusable [`JobSpec`] factories over the paper's applications — the
+//! bridge between the one-shot app builders and the `versa-serve`
+//! multi-job service.
+//!
+//! Each factory's build closure registers its templates *idempotently*
+//! (looked up by name first), so any number of jobs submitted to one
+//! service share a single template — and therefore a single learned
+//! execution profile: the cross-job warmth the service exists for. The
+//! finish closure reads results back, optionally verifies them against
+//! a serial recomputation, and frees every allocation the job made.
+
+use crate::{cholesky, matmul};
+use versa_core::VersionId;
+use versa_mem::DataId;
+use versa_runtime::Runtime;
+use versa_serve::{FinishFn, JobSpec};
+
+/// Idempotent template registration + native kernel binding for the
+/// hybrid matmul. First registration wins; later jobs reuse it.
+fn ensure_matmul_native(rt: &mut Runtime, bs: usize) -> versa_core::TemplateId {
+    if let Some(t) = rt.templates().by_name("matmul_tile") {
+        return t;
+    }
+    let template = matmul::register(rt, matmul::MatmulVariant::Hybrid);
+    rt.bind_native(template, VersionId(0), move |ctx| {
+        let exec = ctx.exec();
+        let (reads, c) = ctx.f64_reads_and_mut(&[0, 1], 2);
+        versa_kernels::gemm::dgemm_parallel_on(exec, reads[0], reads[1], c, bs);
+    });
+    rt.bind_native(template, VersionId(1), move |ctx| {
+        let (reads, c) = ctx.f64_reads_and_mut(&[0, 1], 2);
+        versa_kernels::gemm::dgemm_blocked(reads[0], reads[1], c, bs);
+    });
+    rt.bind_native(template, VersionId(2), move |ctx| {
+        let (reads, c) = ctx.f64_reads_and_mut(&[0, 1], 2);
+        versa_kernels::gemm::dgemm_naive(reads[0], reads[1], c, bs);
+    });
+    template
+}
+
+/// A native hybrid matmul job: random `A`/`B` tiles, `nb³` gemm tasks.
+/// With `verify`, the finish closure recomputes `C` serially and fails
+/// the job on any deviation — keep dimensions small when verifying.
+/// All tiles are freed at completion either way.
+///
+/// Every job built by this factory must use the same `bs` (the kernels
+/// bound at first registration close over it).
+pub fn matmul_native_job(config: matmul::MatmulConfig, seed: u64, verify: bool) -> JobSpec {
+    let name = format!("matmul-{}x{}", config.n, config.bs);
+    JobSpec::new(name, move |rt| {
+        let bs = config.bs;
+        let nb = config.nb();
+        let template = ensure_matmul_native(rt, bs);
+        let mut mk = |off: u64| -> Vec<DataId> {
+            (0..nb * nb)
+                .map(|t| {
+                    let tile = versa_kernels::verify::random_matrix_f64(bs, seed + off + t as u64);
+                    rt.alloc_from_f64(&tile)
+                })
+                .collect()
+        };
+        let a = mk(1_000);
+        let b = mk(2_000);
+        let c: Vec<DataId> = (0..nb * nb).map(|_| rt.alloc_from_f64(&vec![0.0; bs * bs])).collect();
+        matmul::submit_tasks(rt, template, nb, &a, &b, &c);
+        let finish: FinishFn = Box::new(move |rt| {
+            let result = if verify {
+                let read = |ids: &[DataId], rt: &mut Runtime| -> Vec<Vec<f64>> {
+                    ids.iter().map(|&t| rt.read_f64(t)).collect()
+                };
+                let data = matmul::NativeMatmulData {
+                    nb,
+                    bs,
+                    a: read(&a, rt),
+                    b: read(&b, rt),
+                    c: read(&c, rt),
+                };
+                let err = data.max_error();
+                if err < 1e-9 {
+                    Ok(())
+                } else {
+                    Err(format!("matmul verification failed: max error {err:e}"))
+                }
+            } else {
+                Ok(())
+            };
+            for id in a.iter().chain(&b).chain(&c) {
+                rt.free(*id);
+            }
+            result
+        });
+        finish
+    })
+}
+
+fn ensure_cholesky_native(
+    rt: &mut Runtime,
+    bs: usize,
+) -> (versa_core::TemplateId, versa_core::TemplateId, versa_core::TemplateId, versa_core::TemplateId)
+{
+    if let (Some(p), Some(t), Some(s), Some(g)) = (
+        rt.templates().by_name("potrf"),
+        rt.templates().by_name("trsm"),
+        rt.templates().by_name("syrk"),
+        rt.templates().by_name("gemm"),
+    ) {
+        return (p, t, s, g);
+    }
+    let templates = cholesky::register(rt, cholesky::CholeskyVariant::PotrfHybrid);
+    let (potrf_t, trsm_t, syrk_t, gemm_t) = templates;
+    let potrf_kernel = move |ctx: &mut versa_runtime::KernelCtx<'_>| {
+        versa_kernels::potrf::spotrf(ctx.f32_mut(0), bs).expect("tile not positive definite");
+    };
+    rt.bind_native(potrf_t, VersionId(0), potrf_kernel);
+    rt.bind_native(potrf_t, VersionId(1), potrf_kernel);
+    rt.bind_native(trsm_t, VersionId(0), move |ctx| {
+        let exec = ctx.exec();
+        let (reads, a) = ctx.f32_reads_and_mut(&[0], 1);
+        versa_kernels::trsm::strsm_right_lower_trans_par_on(exec, reads[0], a, bs);
+    });
+    rt.bind_native(syrk_t, VersionId(0), move |ctx| {
+        let exec = ctx.exec();
+        let (reads, c) = ctx.f32_reads_and_mut(&[0], 1);
+        versa_kernels::syrk::ssyrk_lower_par_on(exec, reads[0], c, bs);
+    });
+    rt.bind_native(gemm_t, VersionId(0), move |ctx| {
+        let exec = ctx.exec();
+        let (reads, c) = ctx.f32_reads_and_mut(&[0, 1], 2);
+        versa_kernels::gemm::sgemm_nt_sub_par_on(exec, reads[0], reads[1], c, bs);
+    });
+    templates
+}
+
+/// A native hybrid Cholesky job over a random SPD matrix. With
+/// `verify`, the finish closure checks `L·Lᵀ` against the input. Tiles
+/// are freed at completion. As with [`matmul_native_job`], every job
+/// from this factory must share one `bs`.
+pub fn cholesky_native_job(config: cholesky::CholeskyConfig, seed: u64, verify: bool) -> JobSpec {
+    let name = format!("cholesky-{}x{}", config.n, config.bs);
+    JobSpec::new(name, move |rt| {
+        let (n, bs, nb) = (config.n, config.bs, config.nb());
+        let templates = ensure_cholesky_native(rt, bs);
+        let full = versa_kernels::verify::spd_matrix_f32(n, seed);
+        let tiles: Vec<DataId> = (0..nb * nb)
+            .map(|idx| {
+                let (ti, tj) = (idx / nb, idx % nb);
+                let mut t = vec![0.0f32; bs * bs];
+                for r in 0..bs {
+                    let src = (ti * bs + r) * n + tj * bs;
+                    t[r * bs..r * bs + bs].copy_from_slice(&full[src..src + bs]);
+                }
+                rt.alloc_from_f32(&t)
+            })
+            .collect();
+        cholesky::submit_tasks(rt, templates, nb, &tiles);
+        let finish: FinishFn = Box::new(move |rt| {
+            let result = if verify {
+                let factor: Vec<Vec<f32>> = tiles.iter().map(|&t| rt.read_f32(t)).collect();
+                let data = cholesky::NativeCholeskyData { n, bs, nb, input: full, factor };
+                let err = data.max_error();
+                let tolerance = 5e-2 * n as f32;
+                if err < tolerance {
+                    Ok(())
+                } else {
+                    Err(format!("cholesky verification failed: max error {err}"))
+                }
+            } else {
+                Ok(())
+            };
+            for id in &tiles {
+                rt.free(*id);
+            }
+            result
+        });
+        finish
+    })
+}
+
+/// A simulated hybrid matmul job (cost models, no data contents): the
+/// sim-engine counterpart of [`matmul_native_job`], for driving a
+/// service on the virtual platform. Frees its tiles at completion.
+pub fn matmul_sim_job(config: matmul::MatmulConfig) -> JobSpec {
+    let name = format!("matmul-sim-{}x{}", config.n, config.bs);
+    JobSpec::new(name, move |rt| {
+        let template = rt
+            .templates()
+            .by_name("matmul_tile")
+            .unwrap_or_else(|| matmul::register(rt, matmul::MatmulVariant::Hybrid));
+        let nb = config.nb();
+        let bytes = config.tile_bytes();
+        let mk = |rt: &mut Runtime| -> Vec<DataId> {
+            (0..nb * nb).map(|_| rt.alloc_bytes(bytes)).collect()
+        };
+        let a = mk(rt);
+        let b = mk(rt);
+        let c = mk(rt);
+        matmul::submit_tasks(rt, template, nb, &a, &b, &c);
+        let finish: FinishFn = Box::new(move |rt| {
+            for id in a.iter().chain(&b).chain(&c) {
+                rt.free(*id);
+            }
+            Ok(())
+        });
+        finish
+    })
+}

@@ -12,10 +12,14 @@
 //!   `pbpi-gpu`, `pbpi-hyb`).
 //! * [`calib`] — the simulated-platform cost calibration (device rates
 //!   matched to the ratios the paper reports).
+//! * [`jobs`] — the applications as reusable `versa-serve` job
+//!   factories (idempotent template registration, verify-and-free
+//!   finalizers).
 
 #![warn(missing_docs)]
 
 pub mod calib;
 pub mod cholesky;
+pub mod jobs;
 pub mod matmul;
 pub mod pbpi;

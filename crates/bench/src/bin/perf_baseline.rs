@@ -128,7 +128,7 @@ fn main() {
 
     let (n, reps): (usize, usize) = if quick { (256, 1) } else { (1024, 3) };
     eprintln!("GEMM tiers (f64, n={n}):");
-    let tiers = vec![
+    let tiers = [
         time_tier("naive", n, reps.saturating_sub(2).max(1), dgemm_naive),
         time_tier("blocked64", n, reps, dgemm_blocked64),
         time_tier("packed", n, reps, dgemm_packed),
@@ -140,7 +140,7 @@ fn main() {
     eprintln!("packed vs blocked64 speedup: {speedup:.2}x");
 
     eprintln!("native engine end-to-end:");
-    let native = vec![native_matmul(quick), native_cholesky(quick)];
+    let native = [native_matmul(quick), native_cholesky(quick)];
 
     let mut json = String::new();
     json.push_str("{\n");

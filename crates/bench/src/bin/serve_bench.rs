@@ -1,0 +1,118 @@
+//! Cold-start vs. warm-start service latency on the native engine.
+//!
+//! Runs the same stream of hybrid matmul jobs through two services:
+//!
+//! * **cold** — a fresh runtime: the first jobs pay the versioning
+//!   scheduler's learning phase, which forces λ executions of every
+//!   version — including the naive SMP GEMM, the slowest thing on the
+//!   machine.
+//! * **warm** — a fresh runtime whose service is seeded with the hints
+//!   saved from the cold service's shutdown: jobs are scheduled from
+//!   the learned profiles immediately.
+//!
+//! Writes per-job turnaround latencies and the cold/warm means to
+//! `BENCH_serve.json` (override with `--out PATH`). Regenerate the
+//! committed numbers with:
+//! `cargo run --release -p versa-bench --bin serve_bench`.
+
+use std::time::Duration;
+use versa_apps::jobs;
+use versa_apps::matmul::MatmulConfig;
+use versa_core::SchedulerKind;
+use versa_runtime::{NativeConfig, Runtime, RuntimeConfig};
+use versa_serve::{ServeConfig, Service};
+
+const JOBS: usize = 5;
+// 2×2 tiles of 1024² f64 → 8 gemm tasks/job. The big tile is the point:
+// the naive single-core SMP GEMM the learning phase must execute λ times
+// takes seconds at this size, while the lane-parallel GPU version takes
+// ~0.2 s — so a cold service pays a large, honest learning bill that a
+// warm-started one skips.
+const CONFIG: MatmulConfig = MatmulConfig { n: 2048, bs: 1024 };
+
+fn run_stream(label: &str, warm_start: Option<String>) -> (Vec<Duration>, Option<String>) {
+    let rt = Runtime::native(
+        RuntimeConfig::with_scheduler(SchedulerKind::versioning()),
+        NativeConfig::new(2, 1),
+    );
+    let service = Service::start(
+        rt,
+        ServeConfig { queue_capacity: 8, wave_dispatch: 16, warm_start, ..ServeConfig::default() },
+    );
+    let client = service.client();
+    let mut latencies = Vec::with_capacity(JOBS);
+    for i in 0..JOBS {
+        let ticket = client
+            .submit(jobs::matmul_native_job(CONFIG, 42 + i as u64, false))
+            .accepted()
+            .expect("queue has room for a sequential stream");
+        let report = ticket.wait();
+        assert!(report.outcome.is_ok(), "job failed: {:?}", report.outcome);
+        eprintln!(
+            "  {label} job {i}: turnaround {:8.1} ms ({} tasks)",
+            report.turnaround.as_secs_f64() * 1e3,
+            report.tasks
+        );
+        latencies.push(report.turnaround);
+    }
+    drop(client);
+    let rt = service.shutdown();
+    (latencies, rt.save_hints())
+}
+
+fn mean_ms(xs: &[Duration]) -> f64 {
+    xs.iter().map(|d| d.as_secs_f64() * 1e3).sum::<f64>() / xs.len() as f64
+}
+
+fn main() {
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_serve.json".to_string())
+    };
+
+    eprintln!("cold service (learning from scratch):");
+    let (cold, hints) = run_stream("cold", None);
+    let hints = hints.expect("versioning scheduler saves hints");
+    eprintln!("warm service (seeded from the cold service's profile):");
+    let (warm, _) = run_stream("warm", Some(hints));
+
+    let cold_mean = mean_ms(&cold);
+    let warm_mean = mean_ms(&warm);
+    let speedup = cold_mean / warm_mean;
+    eprintln!(
+        "mean job latency: cold {cold_mean:.1} ms, warm {warm_mean:.1} ms \
+         ({speedup:.2}x)"
+    );
+
+    let fmt_list = |xs: &[Duration]| {
+        xs.iter()
+            .map(|d| format!("{:.3}", d.as_secs_f64() * 1e3))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"serve_cold_vs_warm\",\n  \"app\": \"matmul-hybrid\",\n  \
+         \"matrix_n\": {},\n  \"tile_bs\": {},\n  \"jobs_per_stream\": {},\n  \
+         \"cold_job_latency_ms\": [{}],\n  \"warm_job_latency_ms\": [{}],\n  \
+         \"cold_mean_ms\": {:.3},\n  \"warm_mean_ms\": {:.3},\n  \
+         \"warm_speedup\": {:.3}\n}}\n",
+        CONFIG.n,
+        CONFIG.bs,
+        JOBS,
+        fmt_list(&cold),
+        fmt_list(&warm),
+        cold_mean,
+        warm_mean,
+        speedup
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+
+    assert!(
+        warm_mean < cold_mean,
+        "warm start should beat cold start (cold {cold_mean:.1} ms vs warm {warm_mean:.1} ms)"
+    );
+}

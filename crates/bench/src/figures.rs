@@ -491,6 +491,7 @@ pub fn fig5() -> String {
         template,
         accesses: vec![(Region::whole(DataId(0), 1 << 20), AccessMode::InOut)],
         data_set_size: 1 << 20,
+        job: None,
     };
     let ctx = SchedCtx { templates: &registry, workers: &workers, directory: &directory, chain_hint: None };
     let assignment = sched.assign(&task, &ctx);

@@ -39,5 +39,5 @@ pub use scheduler::{
     make_scheduler, Assignment, FailureKind, SchedCtx, Scheduler, SchedulerKind,
     VersioningConfig, VersioningScheduler,
 };
-pub use task::{TaskInstance, TaskTemplate, TaskVersion, TemplateBuilder, TemplateRegistry};
+pub use task::{JobTag, TaskInstance, TaskTemplate, TaskVersion, TemplateBuilder, TemplateRegistry};
 pub use worker::{QueuedTask, WorkerInfo, WorkerState};

@@ -13,6 +13,7 @@
 //! # versa profile hints v2
 //! policy bucket=exact mean=arithmetic
 //! hint <template_name> <version_index> <bucket_key> <mean_ns> <count>
+//! quarantine <template_name> <version_index> <bucket_key> <failures>
 //! ```
 //!
 //! Records are keyed by template *name* (stable across runs) and raw
@@ -22,6 +23,11 @@
 //! [`apply_hints`] rejects a file whose policies differ from the
 //! receiving store's. Legacy v1 files without a `policy` line still load
 //! — they simply skip the check.
+//!
+//! `quarantine` records are optional and carry the store's failure
+//! quarantine state (consecutive-failure streak per quarantined entry),
+//! so a warm-started service does not have to rediscover a broken
+//! version by failing on it again.
 
 use super::{BucketKey, MeanPolicy, ProfileStore, SizeBucketPolicy};
 use crate::{TemplateRegistry, VersionId};
@@ -74,6 +80,20 @@ fn render_mean(p: MeanPolicy) -> String {
     }
 }
 
+/// One parsed quarantine line: a (template, version, size-group) entry
+/// that was quarantined when the hints were saved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantineRecord {
+    /// Template (task version set) name.
+    pub template: String,
+    /// Version index within the template.
+    pub version: u16,
+    /// Size-group key (raw).
+    pub bucket: BucketKey,
+    /// Consecutive failures sustaining the quarantine.
+    pub failures: u64,
+}
+
 /// A parsed hints file: the declared policies (absent in legacy v1
 /// files) and the records.
 #[derive(Clone, Debug, PartialEq)]
@@ -82,6 +102,8 @@ pub struct HintsFile {
     pub policy: Option<HintsPolicy>,
     /// The `hint` records, in file order.
     pub records: Vec<HintRecord>,
+    /// The `quarantine` records, in file order.
+    pub quarantine: Vec<QuarantineRecord>,
 }
 
 /// Errors produced while parsing or applying a hints file.
@@ -163,6 +185,16 @@ pub fn render_hints(store: &ProfileStore, registry: &TemplateRegistry) -> String
             }
         }
     }
+    for entry in store.quarantined() {
+        let name = &registry.get(entry.template).name;
+        let _ = writeln!(
+            out,
+            "quarantine {name} {} {} {}",
+            entry.version.index(),
+            entry.bucket.0,
+            entry.failures
+        );
+    }
     out
 }
 
@@ -202,6 +234,7 @@ fn parse_policy(line: usize, trimmed: &str) -> Result<HintsPolicy, HintsError> {
 pub fn parse_hints(text: &str) -> Result<HintsFile, HintsError> {
     let mut policy: Option<HintsPolicy> = None;
     let mut records = Vec::new();
+    let mut quarantine = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
         let line = idx + 1;
         let trimmed = raw.trim();
@@ -217,7 +250,7 @@ pub fn parse_hints(text: &str) -> Result<HintsFile, HintsError> {
         }
         let mut fields = trimmed.split_ascii_whitespace();
         let tag = fields.next();
-        if tag != Some("hint") {
+        if tag != Some("hint") && tag != Some("quarantine") {
             return Err(HintsError::Malformed { line, content: trimmed.to_string() });
         }
         let mut next = |field: &'static str| {
@@ -234,6 +267,15 @@ pub fn parse_hints(text: &str) -> Result<HintsFile, HintsError> {
             s.parse::<u16>().map_err(|_| HintsError::BadNumber { line, field: f })?;
         let (f, s) = next("bucket")?;
         let bucket = BucketKey(parse_u64(f, &s)?);
+        if tag == Some("quarantine") {
+            let (f, s) = next("failures")?;
+            let failures = parse_u64(f, &s)?;
+            if fields.next().is_some() {
+                return Err(HintsError::Malformed { line, content: trimmed.to_string() });
+            }
+            quarantine.push(QuarantineRecord { template, version, bucket, failures });
+            continue;
+        }
         let (f, s) = next("mean_ns")?;
         let mean_ns = parse_u64(f, &s)?;
         let (f, s) = next("count")?;
@@ -243,7 +285,7 @@ pub fn parse_hints(text: &str) -> Result<HintsFile, HintsError> {
         }
         records.push(HintRecord { template, version, bucket, mean_ns, count });
     }
-    Ok(HintsFile { policy, records })
+    Ok(HintsFile { policy, records, quarantine })
 }
 
 /// Seed `store` with a parsed hints file. When the file declares its
@@ -285,6 +327,19 @@ pub fn apply_hints(
             Duration::from_nanos(rec.mean_ns),
             rec.count,
         );
+        applied += 1;
+    }
+    for rec in &file.quarantine {
+        let Some(template) = registry.by_name(&rec.template) else {
+            skipped += 1;
+            continue;
+        };
+        let n_versions = registry.get(template).version_count();
+        if rec.version as usize >= n_versions {
+            skipped += 1;
+            continue;
+        }
+        store.seed_quarantine(template, n_versions, rec.bucket, VersionId(rec.version), rec.failures);
         applied += 1;
     }
     Ok((applied, skipped))
@@ -399,6 +454,30 @@ mod tests {
         let file = parse_hints(text).unwrap();
         apply_hints(&mut store, &reg, &file).unwrap();
         assert!(store.is_reliable(tpl, 1000, &[VersionId(0), VersionId(1)]));
+    }
+
+    #[test]
+    fn quarantine_state_roundtrips() {
+        let reg = registry();
+        let tpl = reg.by_name("matmul_tile").unwrap();
+        let mut store = ProfileStore::with_defaults();
+        store.record(tpl, 2, 1000, VersionId(0), Duration::from_millis(7));
+        store.record_failure(tpl, 2, 1000, VersionId(1));
+        store.record_failure(tpl, 2, 1000, VersionId(1));
+        assert!(store.is_quarantined(tpl, 1000, VersionId(1)));
+
+        let text = render_hints(&store, &reg);
+        assert!(text.contains("quarantine matmul_tile 1 1000 2"));
+        let file = parse_hints(&text).unwrap();
+        assert_eq!(file.quarantine.len(), 1);
+        assert_eq!(file.quarantine[0].failures, 2);
+
+        let mut fresh = ProfileStore::with_defaults();
+        apply_hints(&mut fresh, &reg, &file).unwrap();
+        assert!(fresh.is_quarantined(tpl, 1000, VersionId(1)));
+        assert!(fresh.is_excluded(tpl, 1000, VersionId(1)));
+        // Byte-stable: re-rendering the restored store reproduces the file.
+        assert_eq!(render_hints(&fresh, &reg), text);
     }
 
     #[test]

@@ -14,6 +14,7 @@ mod store;
 pub use bucket::{BucketKey, SizeBucketPolicy};
 pub use hints::{
     apply_hints, parse_hints, render_hints, HintRecord, HintsError, HintsFile, HintsPolicy,
+    QuarantineRecord,
 };
 pub use stats::{MeanPolicy, RunningMean};
 pub use store::{GroupProfile, ProfileStore, QuarantineEntry, VersionStats};

@@ -371,6 +371,30 @@ impl ProfileStore {
         group.scheduled[version.index()] = group.scheduled[version.index()].max(count);
     }
 
+    /// Seed quarantine state addressing a size group by its raw
+    /// [`BucketKey`] (used when loading hint files). The entry is marked
+    /// quarantined with the given consecutive-failure streak, exactly as
+    /// it was when the hints were saved — the streak is *not* clamped to
+    /// the receiving store's threshold, so a save/load round trip is
+    /// lossless.
+    pub fn seed_quarantine(
+        &mut self,
+        template: TemplateId,
+        n_versions: usize,
+        key: BucketKey,
+        version: VersionId,
+        failures: u64,
+    ) {
+        let group = self
+            .groups
+            .entry((template, key))
+            .or_insert_with(|| GroupProfile::new(n_versions));
+        group.ensure(n_versions.max(version.index() + 1));
+        group.failures[version.index()] = failures;
+        group.quarantined[version.index()] = true;
+        group.probation_credit[version.index()] = 0;
+    }
+
     /// Mean execution time of one version in the group of `size`.
     pub fn mean(&self, template: TemplateId, size: u64, version: VersionId) -> Option<Duration> {
         self.group(template, size).and_then(|g| g.version(version).mean())

@@ -273,7 +273,7 @@ pub(crate) mod testutil {
             (Region::whole(a, bytes), AccessMode::In),
             (Region::whole(c, bytes), AccessMode::InOut),
         ];
-        TaskInstance { id: TaskId(id), template, accesses, data_set_size: 2 * bytes }
+        TaskInstance { id: TaskId(id), template, accesses, data_set_size: 2 * bytes, job: None }
     }
 
     /// A directory with `a` and `c` registered on the host.

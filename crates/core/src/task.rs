@@ -191,6 +191,32 @@ impl TemplateRegistry {
     }
 }
 
+/// Job/tenant tag attached to a task instance by a serving layer.
+///
+/// The one-shot API leaves tasks untagged (`TaskInstance::job == None`);
+/// a multi-job service stamps every task it submits so that dispatch
+/// order can interleave jobs fairly and reports can be sliced per job.
+/// Tags are advisory: schedulers may ignore them entirely.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct JobTag {
+    /// Service-unique job id.
+    pub job: u64,
+    /// Owning tenant/client id (several jobs may share a tenant).
+    pub tenant: u32,
+    /// Priority class; higher classes are dispatched strictly before
+    /// lower ones when tasks compete for dispatch slots.
+    pub class: u8,
+    /// Weighted-round-robin share *within* a class (must be >= 1).
+    pub weight: u32,
+}
+
+impl JobTag {
+    /// Tag with default class/weight (class 1 "normal", weight 1).
+    pub fn new(job: u64, tenant: u32) -> JobTag {
+        JobTag { job, tenant, class: 1, weight: 1 }
+    }
+}
+
 /// A dynamic task instance: one invocation of an annotated task function.
 #[derive(Clone, Debug)]
 pub struct TaskInstance {
@@ -204,6 +230,8 @@ pub struct TaskInstance {
     /// counted once, "even if it is an input/output parameter" (paper
     /// footnote 2). Used to select the profile size group.
     pub data_set_size: u64,
+    /// Owning job, when submitted through a multi-job service.
+    pub job: Option<JobTag>,
 }
 
 impl TaskInstance {

@@ -49,6 +49,7 @@ macro_rules! microkernel_impls {
         /// row-major with row stride `lda` and `c` row-major with row
         /// stride `ldc`. `sub` selects `-=` (the Cholesky NT update)
         /// instead of `+=`.
+        #[allow(clippy::too_many_arguments)]
         pub(crate) fn $drive(
             a: &[$t],
             lda: usize,

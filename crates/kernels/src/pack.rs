@@ -27,6 +27,7 @@ pub(crate) const MC: usize = 128;
 /// k-major micro-panels, zero-padding the last panel to `mr` rows.
 /// `a` is row-major with row stride `lda`; `out` must hold at least
 /// `mc.next_multiple_of(mr) * kc` elements.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn pack_a<T: Copy + Default>(
     a: &[T],
     lda: usize,
@@ -121,7 +122,7 @@ impl<T: Copy + Default> PackedB<T> {
     /// `KC`). Within it, the micro-panel for columns `jr..jr + nr` starts
     /// at `(jr / nr) * (kc * nr)`.
     pub fn panel(&self, p0: usize, kc: usize) -> &[T] {
-        debug_assert!(p0 % KC == 0 && kc <= KC);
+        debug_assert!(p0.is_multiple_of(KC) && kc <= KC);
         &self.data[p0 * self.n_round..(p0 + kc) * self.n_round]
     }
 }

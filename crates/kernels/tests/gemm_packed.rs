@@ -49,7 +49,7 @@ fn nt_sub_reference(a: &[f64], b: &[f64], c0: &[f64], n: usize) -> Vec<f64> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 10 })]
 
     #[test]
     fn packed_matches_naive_f64(n in adversarial_n(), seed in 0u64..1_000_000) {

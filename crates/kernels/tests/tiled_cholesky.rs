@@ -95,7 +95,7 @@ fn tiled_factor_reconstructs_the_input() {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 32 })]
 
     #[test]
     fn tiled_cholesky_property(seed in 0u64..10_000, nb in 1usize..5) {

@@ -18,6 +18,9 @@ use versa_mem::Directory;
 /// distribution during the learning phase). Returns the assignments made,
 /// in order; tasks that could not be placed stay pooled for the next call
 /// (triggered by the next completion, which frees a worker).
+///
+/// `limit` caps how many assignments this call may make (`None` =
+/// unlimited) — the dispatch budget behind bounded waves.
 pub(crate) fn drain_pool(
     pool: &mut VecDeque<TaskId>,
     scheduler: &mut dyn Scheduler,
@@ -25,13 +28,14 @@ pub(crate) fn drain_pool(
     workers: &mut [WorkerState],
     directory: &Directory,
     graph: &mut TaskGraph,
+    limit: Option<usize>,
 ) -> Vec<(TaskId, Assignment)> {
     let mut out = Vec::new();
     let mut progress = true;
-    while progress {
+    while progress && limit.is_none_or(|l| out.len() < l) {
         progress = false;
         let mut i = 0;
-        while i < pool.len() {
+        while i < pool.len() && limit.is_none_or(|l| out.len() < l) {
             let tid = pool[i];
             let assignment = {
                 let node = graph.node(tid);
@@ -114,6 +118,7 @@ mod tests {
                     template: tpl,
                     accesses,
                     data_set_size: 64,
+                    job: None,
                 })
             })
             .collect()
@@ -133,11 +138,32 @@ mod tests {
             &mut workers,
             &directory,
             &mut graph,
+            None,
         );
         assert_eq!(assigned.len(), 10, "baselines push eagerly");
         assert!(pool.is_empty());
         // Everything went to the single GPU worker (main version is CUDA).
         assert!(assigned.iter().all(|(_, a)| a.worker == WorkerId(1)));
+    }
+
+    #[test]
+    fn limit_caps_assignments_and_keeps_the_rest_pooled() {
+        let (templates, tpl, mut workers, directory) = setup();
+        let mut graph = TaskGraph::new();
+        submit_n(&mut graph, tpl, 10);
+        let mut pool: VecDeque<TaskId> = graph.take_newly_ready().into();
+        let mut sched = make_scheduler(&SchedulerKind::DepAware);
+        let assigned = drain_pool(
+            &mut pool,
+            sched.as_mut(),
+            &templates,
+            &mut workers,
+            &directory,
+            &mut graph,
+            Some(3),
+        );
+        assert_eq!(assigned.len(), 3);
+        assert_eq!(pool.len(), 7, "tasks beyond the budget stay pooled");
     }
 
     #[test]
@@ -154,6 +180,7 @@ mod tests {
             &mut workers,
             &directory,
             &mut graph,
+            None,
         );
         // Group is in the learning phase → only idle workers got work:
         // two workers → two assignments, eight tasks held back.
@@ -177,6 +204,7 @@ mod tests {
             &mut workers,
             &directory,
             &mut graph,
+            None,
         );
         assert_eq!(first.len(), 2);
         // Complete the GPU worker's task: it becomes idle again.
@@ -197,6 +225,7 @@ mod tests {
             &mut workers,
             &directory,
             &mut graph,
+            None,
         );
         assert_eq!(second.len(), 1, "one more task for the freed worker");
         assert_eq!(pool.len(), 1);

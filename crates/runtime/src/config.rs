@@ -31,6 +31,12 @@ pub struct RuntimeConfig {
     /// panics in the native engine and injected faults in the simulated
     /// one count against the same budget.
     pub max_task_retries: u32,
+    /// Reorder the ready pool with weighted start-time fair queuing over
+    /// job tags before each dispatch round, so concurrently submitted
+    /// jobs interleave instead of running FIFO. Off by default — the
+    /// one-shot API has a single implicit job, and keeping the flag off
+    /// preserves the exact historical dispatch order.
+    pub fair_scheduling: bool,
 }
 
 impl RuntimeConfig {
@@ -49,6 +55,7 @@ impl Default for RuntimeConfig {
             trace: false,
             noise_sigma: 0.05,
             max_task_retries: 3,
+            fair_scheduling: false,
         }
     }
 }

@@ -229,6 +229,23 @@ impl TaskGraph {
         self.live == 0
     }
 
+    /// Number of unfinished tasks (pending, ready, or running) with an
+    /// access clause over `data` — the per-allocation liveness check
+    /// behind [`Runtime::free`](crate::Runtime::free) in a multi-job
+    /// setting, where the graph as a whole may never be quiescent.
+    pub fn live_users(&self, data: DataId) -> usize {
+        if self.live == 0 {
+            return 0;
+        }
+        self.nodes
+            .iter()
+            .filter(|n| {
+                n.state != TaskState::Done
+                    && n.instance.accesses.iter().any(|(r, _)| r.data == data)
+            })
+            .count()
+    }
+
     /// Iterate over all nodes (for reports).
     pub fn nodes(&self) -> impl Iterator<Item = &TaskNode> {
         self.nodes.iter()
@@ -243,7 +260,7 @@ mod tests {
 
     fn instance(id: u64, accesses: Vec<(Region, AccessMode)>) -> TaskInstance {
         let size = TaskInstance::data_set_size_of(&accesses, |_| 64);
-        TaskInstance { id: TaskId(id), template: TemplateId(0), accesses, data_set_size: size }
+        TaskInstance { id: TaskId(id), template: TemplateId(0), accesses, data_set_size: size, job: None }
     }
 
     fn whole(d: u32) -> Region {

@@ -22,6 +22,7 @@
 
 mod assign;
 mod config;
+mod fair;
 pub mod graph;
 pub mod lanepool;
 mod native;
@@ -34,4 +35,4 @@ pub use graph::{TaskGraph, TaskNode, TaskState};
 pub use lanepool::LanePool;
 pub use native::{KernelCtx, NativeConfig};
 pub use report::{FailureReport, QuarantinedVersion, RunError, RunReport, TaskFailure};
-pub use runtime::{NativeFn, Runtime, TaskSubmitter};
+pub use runtime::{FreeError, NativeFn, Runtime, TaskSubmitter};

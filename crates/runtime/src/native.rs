@@ -18,7 +18,7 @@ use crate::lanepool::LanePool;
 use crate::report::{FailureReport, RunError, TaskFailure};
 use crate::runtime::{EngineKind, NativeFn};
 use crate::{RunReport, Runtime};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -335,7 +335,11 @@ fn execute_item(
 /// [`RuntimeConfig::max_task_retries`](crate::RuntimeConfig) is
 /// exhausted, which aborts with a [`RunError`] carrying the partial
 /// report.
-pub(crate) fn run_native(rt: &mut Runtime) -> Result<RunReport, RunError> {
+///
+/// With `max_dispatch` set, at most that many tasks are dispatched this
+/// call (a *wave*); everything dispatched drains before returning, and
+/// ready tasks beyond the budget stay pooled in the runtime.
+pub(crate) fn run_native(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunReport, RunError> {
     let EngineKind::Native { cfg, arena } = &rt.engine else {
         unreachable!("run_native on a non-native runtime")
     };
@@ -346,7 +350,10 @@ pub(crate) fn run_native(rt: &mut Runtime) -> Result<RunReport, RunError> {
     let mut stats = TransferStats::default();
     let mut version_counts: HashMap<(TemplateId, VersionId), u64> = HashMap::new();
     let mut worker_counts = vec![0u64; rt.workers.len()];
+    let mut worker_busy = vec![Duration::ZERO; rt.workers.len()];
     let mut tasks_executed = 0u64;
+    let budget = max_dispatch.unwrap_or(u64::MAX);
+    let mut dispatched = 0u64;
     let mut failures = FailureReport::default();
     let mut attempts: HashMap<TaskId, u32> = HashMap::new();
     let mut abort: Option<(TaskId, String)> = None;
@@ -372,26 +379,39 @@ pub(crate) fn run_native(rt: &mut Runtime) -> Result<RunReport, RunError> {
         // errors instead of hanging the coordinator forever.
         drop(done_tx);
 
-        let mut pool: VecDeque<TaskId> = VecDeque::new();
         let mut in_flight = 0usize;
 
-        // Assign + dispatch everything currently assignable. Transfers
-        // are performed synchronously here (coordinator order matches
-        // directory order, so sources are always materialized in time).
+        // Assign + dispatch everything currently assignable within the
+        // wave budget. Transfers are performed synchronously here
+        // (coordinator order matches directory order, so sources are
+        // always materialized in time). The ready pool lives in the
+        // runtime so over-budget tasks carry to the next wave.
         let dispatch = |rt: &mut Runtime,
-                            pool: &mut VecDeque<TaskId>,
                             in_flight: &mut usize,
+                            dispatched: &mut u64,
                             stats: &mut TransferStats| {
             let newly = rt.graph.take_newly_ready();
-            pool.extend(newly);
+            rt.pending.extend(newly);
+            let remaining = budget - *dispatched;
+            if remaining == 0 {
+                return;
+            }
+            if rt.config.fair_scheduling {
+                rt.fair.order(&mut rt.pending, &rt.graph);
+            }
             let assigned = drain_pool(
-                &mut *pool,
+                &mut rt.pending,
                 rt.scheduler.as_mut(),
                 &rt.templates,
                 &mut rt.workers,
                 &rt.directory,
                 &mut rt.graph,
+                (budget != u64::MAX).then_some(remaining as usize),
             );
+            *dispatched += assigned.len() as u64;
+            if rt.config.fair_scheduling {
+                rt.fair.note_dispatched(&rt.graph, assigned.iter().map(|(t, _)| t));
+            }
             for (tid, a) in assigned {
                 let space = rt.workers[a.worker.index()].info.space;
                 let accesses = rt.graph.node(tid).instance.accesses.clone();
@@ -426,14 +446,17 @@ pub(crate) fn run_native(rt: &mut Runtime) -> Result<RunReport, RunError> {
             }
         };
 
-        dispatch(rt, &mut pool, &mut in_flight, &mut stats);
+        dispatch(rt, &mut in_flight, &mut dispatched, &mut stats);
 
         while !rt.graph.all_done() {
+            if in_flight == 0 && dispatched >= budget {
+                break; // wave budget spent, everything dispatched drained
+            }
             assert!(
                 in_flight > 0,
                 "native engine stalled with {} live tasks and {} pooled tasks",
                 rt.graph.live_tasks(),
-                pool.len()
+                rt.pending.len()
             );
             let (wid, tid, outcome) = done_rx.recv().expect("all workers died");
             in_flight -= 1;
@@ -454,6 +477,7 @@ pub(crate) fn run_native(rt: &mut Runtime) -> Result<RunReport, RunError> {
                         .entry((rt.graph.node(tid).instance.template, assignment.version))
                         .or_insert(0) += 1;
                     worker_counts[wid.index()] += 1;
+                    worker_busy[wid.index()] += measured;
                     tasks_executed += 1;
                 }
                 Err(msg) => {
@@ -487,7 +511,7 @@ pub(crate) fn run_native(rt: &mut Runtime) -> Result<RunReport, RunError> {
                 }
             }
 
-            dispatch(rt, &mut pool, &mut in_flight, &mut stats);
+            dispatch(rt, &mut in_flight, &mut dispatched, &mut stats);
         }
 
         for tx in &work_txs {
@@ -495,9 +519,10 @@ pub(crate) fn run_native(rt: &mut Runtime) -> Result<RunReport, RunError> {
         }
     });
 
-    // An aborted run skips the flush: the graph still has live tasks and
-    // the caller gets the partial report through the error.
-    if abort.is_none() && rt.config.flush_on_wait {
+    // An aborted run skips the flush (the graph still has live tasks and
+    // the caller gets the partial report through the error); a partial
+    // wave skips it too, leaving data in place for the next wave.
+    if abort.is_none() && rt.config.flush_on_wait && rt.graph.all_done() {
         for t in rt.directory.flush_all_to_host() {
             arena.perform(&t);
             stats.record(t.kind(), t.bytes);
@@ -512,6 +537,8 @@ pub(crate) fn run_native(rt: &mut Runtime) -> Result<RunReport, RunError> {
         transfers: stats,
         version_counts,
         worker_task_counts: worker_counts,
+        worker_busy,
+        completed: rt.graph.all_done(),
         profile_table: rt
             .scheduler
             .as_versioning()

@@ -128,6 +128,14 @@ pub struct RunReport {
     pub version_counts: HashMap<(TemplateId, VersionId), u64>,
     /// Tasks executed per worker, indexed by worker id.
     pub worker_task_counts: Vec<u64>,
+    /// Accumulated kernel time per worker, indexed by worker id —
+    /// divide by `makespan` for per-worker utilization.
+    pub worker_busy: Vec<Duration>,
+    /// Whether every submitted task finished in this run. Always true
+    /// for a successful unbounded [`run()`](crate::Runtime::run); a
+    /// bounded wave ([`run_bounded`](crate::Runtime::run_bounded)) may
+    /// return with work still outstanding.
+    pub completed: bool,
     /// Rendered Table I-style profile dump (versioning scheduler only).
     pub profile_table: Option<String>,
     /// The structured execution trace, when [`RuntimeConfig::trace`] was
@@ -224,6 +232,8 @@ mod tests {
             transfers: TransferStats::default(),
             version_counts,
             worker_task_counts: vec![5, 5, 45, 45],
+            worker_busy: vec![Duration::ZERO; 4],
+            completed: true,
             profile_table: None,
             trace: None,
             failures: FailureReport::default(),

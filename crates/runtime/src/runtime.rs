@@ -1,24 +1,28 @@
 //! The user-facing runtime: data allocation, task submission, execution.
 
+use crate::fair::FairState;
 use crate::graph::TaskGraph;
 use crate::native::{KernelCtx, NativeConfig};
 use crate::report::QuarantinedVersion;
 use crate::{RunError, RunReport, RuntimeConfig};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use versa_core::{
-    make_scheduler, DeviceKind, Scheduler, TaskId, TaskInstance, TemplateBuilder, TemplateId,
-    TemplateRegistry, VersionId, VersioningScheduler, WorkerId, WorkerInfo, WorkerState,
+    make_scheduler, DeviceKind, JobTag, Scheduler, TaskId, TaskInstance, TemplateBuilder,
+    TemplateId, TemplateRegistry, VersionId, VersioningScheduler, WorkerId, WorkerInfo,
+    WorkerState,
 };
-use versa_mem::{AccessMode, Arena, DataId, Directory, MemSpace, Region};
+use versa_mem::{AccessMode, Arena, DataId, DeviceCache, Directory, MemSpace, Region};
 use versa_sim::{CostTable, PlatformConfig};
 
 /// A task implementation body for native execution.
 pub type NativeFn = Arc<dyn Fn(&mut KernelCtx<'_>) + Send + Sync>;
 
 pub(crate) enum EngineKind {
-    /// Virtual-time execution on a simulated heterogeneous node.
-    Sim { platform: PlatformConfig },
+    /// Virtual-time execution on a simulated heterogeneous node. The
+    /// device caches persist across runs/waves so residency decisions
+    /// made for one job carry over to the next.
+    Sim { platform: PlatformConfig, caches: Option<Vec<DeviceCache>> },
     /// Real execution on OS threads with emulated accelerator devices.
     Native { cfg: NativeConfig, arena: Arc<Arena> },
 }
@@ -80,6 +84,12 @@ pub struct Runtime {
     pub(crate) kernels: HashMap<(TemplateId, VersionId), NativeFn>,
     pub(crate) engine: EngineKind,
     pub(crate) run_count: u64,
+    /// Ready tasks not yet dispatched — persists across bounded waves.
+    pub(crate) pending: VecDeque<TaskId>,
+    /// Cross-job fair-queuing dispatch accounting.
+    pub(crate) fair: FairState,
+    /// Tag stamped onto subsequently submitted tasks (multi-job service).
+    current_job: Option<JobTag>,
     next_data: u32,
 }
 
@@ -120,8 +130,11 @@ impl Runtime {
             scheduler,
             costs: CostTable::new(),
             kernels: HashMap::new(),
-            engine: EngineKind::Sim { platform },
+            engine: EngineKind::Sim { platform, caches: None },
             run_count: 0,
+            pending: VecDeque::new(),
+            fair: FairState::default(),
+            current_job: None,
             next_data: 0,
         }
     }
@@ -146,6 +159,9 @@ impl Runtime {
             kernels: HashMap::new(),
             engine: EngineKind::Native { cfg: native, arena },
             run_count: 0,
+            pending: VecDeque::new(),
+            fair: FairState::default(),
+            current_job: None,
             next_data: 0,
         }
     }
@@ -153,6 +169,14 @@ impl Runtime {
     /// The active configuration.
     pub fn config(&self) -> &RuntimeConfig {
         &self.config
+    }
+
+    /// Mutable access to the configuration. The behavioural flags
+    /// (`prefetch`, `flush_on_wait`, `fair_scheduling`, …) take effect
+    /// on the next run; changing `scheduler` here has no effect — the
+    /// policy object was built at construction.
+    pub fn config_mut(&mut self) -> &mut RuntimeConfig {
+        &mut self.config
     }
 
     /// The registered templates.
@@ -259,13 +283,30 @@ impl Runtime {
     /// (in native mode) every copy is dropped.
     ///
     /// # Panics
-    /// Panics if tasks touching the allocation are still in flight.
+    /// Panics if tasks touching the allocation are still pending or in
+    /// flight (use [`Runtime::try_free`] for a recoverable check).
     pub fn free(&mut self, id: DataId) {
-        assert!(self.graph.all_done(), "free of {id:?} while tasks are in flight; run() first");
+        self.try_free(id).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Free an allocation, or report why it cannot be freed yet. Unlike
+    /// the old whole-graph gate, only tasks that actually reference the
+    /// allocation block the free — in a multi-job service, one job can
+    /// release its data while another job's tasks are still queued.
+    ///
+    /// # Errors
+    /// Returns a description of the conflict when unfinished tasks still
+    /// reference the allocation; the allocation is left untouched.
+    pub fn try_free(&mut self, id: DataId) -> Result<(), FreeError> {
+        let users = self.graph.live_users(id);
+        if users > 0 {
+            return Err(FreeError { data: id, live_users: users });
+        }
         self.directory.unregister(id);
         if let EngineKind::Native { arena, .. } = &self.engine {
             arena.free(id);
         }
+        Ok(())
     }
 
     /// Serialize the versioning scheduler's learned profile to the hints
@@ -316,7 +357,10 @@ impl Runtime {
     }
 
     fn read_bytes(&mut self, id: DataId) -> Vec<u8> {
-        assert!(self.graph.all_done(), "read of {id:?} while tasks are in flight; run() first");
+        assert!(
+            self.graph.live_users(id) == 0,
+            "read of {id:?} while tasks referencing it are in flight; run() first"
+        );
         let EngineKind::Native { arena, .. } = &self.engine else {
             panic!("read_bytes is only available on the native engine");
         };
@@ -330,6 +374,21 @@ impl Runtime {
     // Task submission
     // ------------------------------------------------------------------
 
+    /// Stamp every subsequently submitted task with a job tag (or stop
+    /// stamping with `None`). The tag drives fair multi-job dispatch
+    /// ordering when [`RuntimeConfig::fair_scheduling`] is on and lets
+    /// reports attribute tasks to jobs. One-shot applications never need
+    /// this; `versa-serve` sets it around each job's build closure.
+    pub fn set_job_tag(&mut self, tag: Option<JobTag>) {
+        self.current_job = tag;
+    }
+
+    /// The task graph (read-only): inspect task states, count live
+    /// tasks, or map a job's id range to completion states.
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
     /// Submit a task instance with explicit accesses.
     pub fn submit(&mut self, template: TemplateId, accesses: Vec<(Region, AccessMode)>) -> TaskId {
         for (region, _) in &accesses {
@@ -342,7 +401,7 @@ impl Runtime {
         let data_set_size =
             TaskInstance::data_set_size_of(&accesses, |d| self.directory.bytes(d));
         let id = TaskId(self.graph.len() as u64);
-        self.graph.submit(TaskInstance { id, template, accesses, data_set_size })
+        self.graph.submit(TaskInstance { id, template, accesses, data_set_size, job: self.current_job })
     }
 
     /// Fluent task submission: `rt.task(tpl).read(a).read(b).read_write(c).submit()`.
@@ -369,9 +428,26 @@ impl Runtime {
     /// [`RunReport`]. An aborted runtime still has tasks in flight and
     /// must not be reused.
     pub fn run(&mut self) -> Result<RunReport, RunError> {
+        self.run_bounded(None)
+    }
+
+    /// Execute one *wave*: dispatch at most `max_dispatch` tasks (counted
+    /// at dispatch, so an eager scheduler cannot blow the budget by bulk
+    /// enqueueing), let everything dispatched drain, and return. Ready
+    /// tasks beyond the budget stay pooled in the runtime for the next
+    /// wave; [`RunReport::completed`] says whether the graph fully
+    /// drained. `None` behaves exactly like [`Runtime::run`].
+    ///
+    /// This is the re-entry point a multi-job service loops on: between
+    /// waves it can admit new jobs, whose tasks then compete fairly
+    /// (see [`RuntimeConfig::fair_scheduling`]) with the backlog.
+    ///
+    /// # Errors
+    /// As [`Runtime::run`].
+    pub fn run_bounded(&mut self, max_dispatch: Option<u64>) -> Result<RunReport, RunError> {
         let report = match &self.engine {
-            EngineKind::Sim { .. } => crate::sim_engine::run_sim(self),
-            EngineKind::Native { .. } => crate::native::run_native(self),
+            EngineKind::Sim { .. } => crate::sim_engine::run_sim(self, max_dispatch),
+            EngineKind::Native { .. } => crate::native::run_native(self, max_dispatch),
         };
         self.run_count += 1;
         report
@@ -402,7 +478,7 @@ impl Runtime {
     /// or if the plan fails validation.
     pub fn set_fault_plan(&mut self, faults: versa_sim::FaultPlan) {
         faults.validate().expect("invalid fault plan");
-        let EngineKind::Sim { platform } = &mut self.engine else {
+        let EngineKind::Sim { platform, .. } = &mut self.engine else {
             panic!("fault plans only apply to the simulated engine");
         };
         platform.faults = faults;
@@ -459,6 +535,27 @@ impl TaskSubmitter<'_> {
         rt.submit(template, accesses)
     }
 }
+
+/// Why [`Runtime::try_free`] refused to free an allocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FreeError {
+    /// The allocation that could not be freed.
+    pub data: DataId,
+    /// How many unfinished tasks still reference it.
+    pub live_users: usize,
+}
+
+impl std::fmt::Display for FreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot free {:?}: {} unfinished task(s) still reference it; run() first",
+            self.data, self.live_users
+        )
+    }
+}
+
+impl std::error::Error for FreeError {}
 
 #[cfg(test)]
 mod tests {
@@ -526,6 +623,39 @@ mod tests {
         rt.free(a);
         // The id can be observed gone via the directory.
         assert!(rt.directory.state(a).is_none());
+    }
+
+    #[test]
+    fn free_is_rejected_while_queued_tasks_reference_the_data() {
+        let mut rt = sim_runtime();
+        let tpl = rt.template("t").main("t_smp", &[DeviceKind::Smp]).register();
+        rt.bind_cost(tpl, versa_core::VersionId(0), |_| std::time::Duration::from_millis(1));
+        let used = rt.alloc_bytes(64);
+        let idle = rt.alloc_bytes(64);
+        rt.task(tpl).read_write(used).submit();
+
+        let err = rt.try_free(used).unwrap_err();
+        assert_eq!(err, FreeError { data: used, live_users: 1 });
+        assert!(err.to_string().contains("unfinished task"));
+        // The rejected free left the allocation intact...
+        assert!(rt.directory.state(used).is_some());
+        // ...and data no queued task references frees fine meanwhile.
+        rt.try_free(idle).expect("no task references this allocation");
+
+        rt.run().expect("run failed");
+        rt.try_free(used).expect("all referencing tasks are done");
+        assert!(rt.directory.state(used).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "unfinished task")]
+    fn free_panics_while_queued_tasks_reference_the_data() {
+        let mut rt = sim_runtime();
+        let tpl = rt.template("t").main("t_smp", &[DeviceKind::Smp]).register();
+        rt.bind_cost(tpl, versa_core::VersionId(0), |_| std::time::Duration::from_millis(1));
+        let a = rt.alloc_bytes(64);
+        rt.task(tpl).read_write(a).submit();
+        rt.free(a);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::assign::drain_pool;
 use crate::report::{FailureReport, RunError, TaskFailure};
 use crate::runtime::EngineKind;
 use crate::{RunReport, Runtime};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 use std::time::Duration;
 use versa_core::{FailureKind, TaskId, TemplateId, VersionId, WorkerId};
 use versa_mem::Transfer;
@@ -30,7 +30,10 @@ struct SimState {
     xfer: TransferEngine,
     noise: NoiseModel,
     events: EventQueue<(WorkerId, TaskId)>,
-    pool: VecDeque<TaskId>,
+    /// Dispatch budget of this wave (`u64::MAX` = unbounded).
+    budget: u64,
+    /// Tasks dispatched so far this wave.
+    dispatched: u64,
     /// Per-GPU LRU residency trackers when device memory is finite.
     caches: Option<Vec<versa_mem::DeviceCache>>,
     /// Per-worker kernel-duration multipliers (mixed-generation GPUs).
@@ -49,22 +52,32 @@ struct SimState {
     trace: Trace,
     version_counts: HashMap<(TemplateId, VersionId), u64>,
     worker_counts: Vec<u64>,
+    worker_busy: Vec<Duration>,
     tasks_executed: u64,
 }
 
-/// Run every submitted task to completion in virtual time.
-pub(crate) fn run_sim(rt: &mut Runtime) -> Result<RunReport, RunError> {
-    let EngineKind::Sim { platform } = &rt.engine else {
-        unreachable!("run_sim on a non-simulated runtime")
+/// Run tasks in virtual time: all of them (`max_dispatch = None`), or at
+/// most a bounded wave of dispatches, leaving the rest pooled in the
+/// runtime for the next wave.
+pub(crate) fn run_sim(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunReport, RunError> {
+    let (platform, stored_caches) = {
+        let EngineKind::Sim { platform, caches } = &mut rt.engine else {
+            unreachable!("run_sim on a non-simulated runtime")
+        };
+        (platform.clone(), caches.take())
     };
-    let platform = platform.clone();
     let mut st = SimState {
         xfer: TransferEngine::new(&platform),
         noise: NoiseModel::new(rt.config.noise_sigma, platform.seed.wrapping_add(rt.run_count)),
         events: EventQueue::new(),
-        pool: VecDeque::new(),
-        caches: platform.gpu_mem_capacity.map(|cap| {
-            (0..platform.gpus).map(|_| versa_mem::DeviceCache::new(cap)).collect()
+        budget: max_dispatch.unwrap_or(u64::MAX),
+        dispatched: 0,
+        // Device residency state survives across waves/runs, so a later
+        // job still sees what an earlier one left on the GPUs.
+        caches: stored_caches.or_else(|| {
+            platform.gpu_mem_capacity.map(|cap| {
+                (0..platform.gpus).map(|_| versa_mem::DeviceCache::new(cap)).collect()
+            })
         }),
         speed: rt
             .workers
@@ -83,6 +96,7 @@ pub(crate) fn run_sim(rt: &mut Runtime) -> Result<RunReport, RunError> {
         trace: Trace::new(),
         version_counts: HashMap::new(),
         worker_counts: vec![0; rt.workers.len()],
+        worker_busy: vec![Duration::ZERO; rt.workers.len()],
         tasks_executed: 0,
     };
     if rt.config.trace {
@@ -112,17 +126,20 @@ pub(crate) fn run_sim(rt: &mut Runtime) -> Result<RunReport, RunError> {
         start_idle_workers(rt, &mut st, now);
     }
 
-    assert!(
-        rt.graph.all_done() && st.pool.is_empty(),
-        "simulation stalled with {} live tasks and {} pooled tasks — \
-         is some template missing a compatible worker?",
-        rt.graph.live_tasks(),
-        st.pool.len()
-    );
+    if max_dispatch.is_none() {
+        assert!(
+            rt.graph.all_done() && rt.pending.is_empty(),
+            "simulation stalled with {} live tasks and {} pooled tasks — \
+             is some template missing a compatible worker?",
+            rt.graph.live_tasks(),
+            rt.pending.len()
+        );
+    }
 
-    // The implicit taskwait: flush device-resident data home.
+    // The implicit taskwait: flush device-resident data home (only once
+    // everything is done — a partial wave leaves data on the devices).
     let mut end = now;
-    if rt.config.flush_on_wait {
+    if rt.config.flush_on_wait && rt.graph.all_done() {
         for t in rt.directory.flush_all_to_host() {
             let done = st.xfer.schedule(&t, now);
             record_transfers(&mut st.trace, &[t], now, done);
@@ -133,8 +150,12 @@ pub(crate) fn run_sim(rt: &mut Runtime) -> Result<RunReport, RunError> {
     Ok(finish_report(rt, st, end.as_duration()))
 }
 
-/// Assemble the report from the accumulated state (complete or partial).
-fn finish_report(rt: &Runtime, mut st: SimState, makespan: Duration) -> RunReport {
+/// Assemble the report from the accumulated state (complete or partial)
+/// and hand persistent device-cache state back to the runtime.
+fn finish_report(rt: &mut Runtime, mut st: SimState, makespan: Duration) -> RunReport {
+    if let EngineKind::Sim { caches, .. } = &mut rt.engine {
+        *caches = st.caches.take();
+    }
     st.failures.quarantined = rt.quarantined_versions();
     RunReport {
         scheduler: rt.scheduler.name().to_string(),
@@ -143,6 +164,8 @@ fn finish_report(rt: &Runtime, mut st: SimState, makespan: Duration) -> RunRepor
         transfers: *st.xfer.stats(),
         version_counts: st.version_counts,
         worker_task_counts: st.worker_counts,
+        worker_busy: st.worker_busy,
+        completed: rt.graph.all_done(),
         profile_table: rt
             .scheduler
             .as_versioning()
@@ -171,6 +194,7 @@ fn on_completion(rt: &mut Runtime, st: &mut SimState, now: SimTime, wid: WorkerI
         .entry((rt.graph.node(tid).instance.template, assignment.version))
         .or_insert(0) += 1;
     st.worker_counts[wid.index()] += 1;
+    st.worker_busy[wid.index()] += measured;
     st.tasks_executed += 1;
     st.trace.record(TraceEvent::TaskEnd { time: now, task: tid, worker: wid });
 }
@@ -228,17 +252,31 @@ fn on_failure(
 }
 
 /// Assign newly-ready and pooled tasks; prefetch their data if enabled.
+/// The pool lives in the runtime, so tasks a bounded wave could not
+/// dispatch carry over to the next wave.
 fn pump(rt: &mut Runtime, st: &mut SimState, now: SimTime) {
     let newly = rt.graph.take_newly_ready();
-    st.pool.extend(newly);
+    rt.pending.extend(newly);
+    let remaining = st.budget - st.dispatched;
+    if remaining == 0 {
+        return;
+    }
+    if rt.config.fair_scheduling {
+        rt.fair.order(&mut rt.pending, &rt.graph);
+    }
     let assigned = drain_pool(
-        &mut st.pool,
+        &mut rt.pending,
         rt.scheduler.as_mut(),
         &rt.templates,
         &mut rt.workers,
         &rt.directory,
         &mut rt.graph,
+        (st.budget != u64::MAX).then_some(remaining as usize),
     );
+    st.dispatched += assigned.len() as u64;
+    if rt.config.fair_scheduling {
+        rt.fair.note_dispatched(&rt.graph, assigned.iter().map(|(t, _)| t));
+    }
     if !rt.config.prefetch {
         return;
     }

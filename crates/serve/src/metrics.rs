@@ -1,0 +1,137 @@
+//! Live service metrics: lock-free counters updated by the service
+//! thread and the clients, queryable at any time — including while jobs
+//! are in flight.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+use versa_core::{TemplateId, VersionId};
+
+/// State shared between the service thread and every client handle.
+pub(crate) struct Shared {
+    pub accepted: AtomicU64,
+    pub rejected_queue_full: AtomicU64,
+    pub shed_deadline: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    /// Submissions accepted but not yet admitted by the service thread.
+    pub queue_depth: AtomicU64,
+    /// Jobs admitted and not yet completed.
+    pub active_jobs: AtomicU64,
+    /// Tasks admitted and not yet executed.
+    pub live_tasks: AtomicU64,
+    pub tasks_executed: AtomicU64,
+    pub waves: AtomicU64,
+    /// EWMA of per-task kernel time in ns (0 = no sample yet); feeds the
+    /// deadline-feasibility estimate on the client side.
+    pub ewma_task_ns: AtomicU64,
+    /// False once shutdown begins: clients stop submitting.
+    pub accepting: AtomicBool,
+    pub next_job: AtomicU64,
+    pub workers: usize,
+    pub detail: Mutex<Detail>,
+}
+
+/// The non-scalar metrics, guarded by one short-held mutex.
+#[derive(Default)]
+pub(crate) struct Detail {
+    pub version_counts: HashMap<(TemplateId, VersionId), u64>,
+    pub worker_busy: Vec<Duration>,
+    pub worker_task_counts: Vec<u64>,
+}
+
+impl Shared {
+    pub fn new(workers: usize) -> Shared {
+        Shared {
+            accepted: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            shed_deadline: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            active_jobs: AtomicU64::new(0),
+            live_tasks: AtomicU64::new(0),
+            tasks_executed: AtomicU64::new(0),
+            waves: AtomicU64::new(0),
+            ewma_task_ns: AtomicU64::new(0),
+            accepting: AtomicBool::new(true),
+            next_job: AtomicU64::new(0),
+            workers,
+            detail: Mutex::new(Detail {
+                version_counts: HashMap::new(),
+                worker_busy: vec![Duration::ZERO; workers],
+                worker_task_counts: vec![0; workers],
+            }),
+        }
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let detail = self.detail.lock().expect("metrics mutex poisoned");
+        MetricsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            active_jobs: self.active_jobs.load(Ordering::Relaxed),
+            live_tasks: self.live_tasks.load(Ordering::Relaxed),
+            tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
+            waves: self.waves.load(Ordering::Relaxed),
+            mean_task: {
+                let ns = self.ewma_task_ns.load(Ordering::Relaxed);
+                (ns > 0).then(|| Duration::from_nanos(ns))
+            },
+            version_counts: detail.version_counts.clone(),
+            worker_busy: detail.worker_busy.clone(),
+            worker_task_counts: detail.worker_task_counts.clone(),
+        }
+    }
+}
+
+/// A point-in-time copy of the service counters — consistent enough for
+/// monitoring (scalar counters are read individually, not atomically as
+/// a group).
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Submissions accepted into the queue.
+    pub accepted: u64,
+    /// Submissions rejected because the queue was full.
+    pub rejected_queue_full: u64,
+    /// Submissions shed because their deadline looked infeasible.
+    pub shed_deadline: u64,
+    /// Jobs completed with an `Ok` outcome.
+    pub completed: u64,
+    /// Jobs completed with an `Err` outcome (finalizer failure or
+    /// service abort).
+    pub failed: u64,
+    /// Submissions accepted but not yet admitted by the service thread.
+    pub queue_depth: u64,
+    /// Jobs admitted and not yet completed.
+    pub active_jobs: u64,
+    /// Tasks admitted and not yet executed.
+    pub live_tasks: u64,
+    /// Tasks executed since the service started.
+    pub tasks_executed: u64,
+    /// Waves the service has run.
+    pub waves: u64,
+    /// Smoothed per-task kernel time, once at least one wave executed
+    /// something.
+    pub mean_task: Option<Duration>,
+    /// Executions per (template, version) across all jobs.
+    pub version_counts: HashMap<(TemplateId, VersionId), u64>,
+    /// Accumulated kernel time per worker.
+    pub worker_busy: Vec<Duration>,
+    /// Tasks executed per worker.
+    pub worker_task_counts: Vec<u64>,
+}
+
+impl MetricsSnapshot {
+    /// Per-worker utilization over `elapsed` (busy time / wall time),
+    /// clamped to 1.
+    pub fn utilization(&self, elapsed: Duration) -> Vec<f64> {
+        let wall = elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+        self.worker_busy.iter().map(|b| (b.as_secs_f64() / wall).min(1.0)).collect()
+    }
+}

@@ -1,0 +1,378 @@
+//! The service itself: one thread owning the [`Runtime`], a bounded
+//! admission queue in front of it, and a wave loop interleaving every
+//! admitted job through the shared scheduler.
+
+use crate::job::{FinishFn, JobId, JobReport, JobSpec, RejectReason, SubmitOutcome};
+use crate::metrics::{MetricsSnapshot, Shared};
+use crate::JobTicket;
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+use versa_core::profile::{apply_hints, parse_hints, HintsFile};
+use versa_core::{JobTag, TaskId};
+use versa_runtime::{graph::TaskState, RunReport, Runtime};
+
+/// Service knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Capacity of the bounded admission queue; a full queue makes
+    /// [`Client::submit`] return `Rejected(QueueFull)` immediately
+    /// (backpressure, not blocking).
+    pub queue_capacity: usize,
+    /// Dispatch budget per wave: how many tasks the runtime may hand to
+    /// workers between two admission points. Smaller = fresher admission
+    /// and fairer interleaving; larger = less coordination overhead.
+    pub wave_dispatch: u64,
+    /// Hints-v2 text (from [`Runtime::save_hints`]) to warm the
+    /// versioning scheduler with. Applied *incrementally*: whenever a
+    /// job registers a template the hints mention, that template's
+    /// records are seeded — once — so late-arriving job types still get
+    /// their warm start, and profiles learned while serving are never
+    /// overwritten by a re-apply.
+    pub warm_start: Option<String>,
+    /// How long the idle service sleeps between queue polls.
+    pub idle_poll: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 16,
+            wave_dispatch: 32,
+            warm_start: None,
+            idle_poll: Duration::from_millis(2),
+        }
+    }
+}
+
+struct Submission {
+    id: u64,
+    spec: JobSpec,
+    submitted: Instant,
+    report_tx: mpsc::Sender<JobReport>,
+}
+
+struct ActiveJob {
+    id: u64,
+    name: String,
+    range: Range<u64>,
+    finish: Option<FinishFn>,
+    submitted: Instant,
+    admitted: Instant,
+    admitted_wave: u64,
+    report_tx: mpsc::Sender<JobReport>,
+}
+
+/// A cloneable submission handle. Clones share the same queue and
+/// metrics; hand one to each client thread.
+#[derive(Clone)]
+pub struct Client {
+    tx: mpsc::SyncSender<Submission>,
+    shared: Arc<Shared>,
+}
+
+impl Client {
+    /// Submit a job. Never blocks: the outcome is decided immediately —
+    /// admission-queue backpressure (`Rejected(QueueFull)`), deadline
+    /// shedding (`Shed`), or acceptance with a [`JobTicket`] to redeem
+    /// for the [`JobReport`].
+    pub fn submit(&self, spec: JobSpec) -> SubmitOutcome {
+        if !self.shared.accepting.load(Ordering::Acquire) {
+            return SubmitOutcome::Rejected(RejectReason::ShuttingDown);
+        }
+        if let Some(deadline) = spec.deadline {
+            let ewma = self.shared.ewma_task_ns.load(Ordering::Relaxed);
+            if ewma > 0 && spec.est_tasks > 0 {
+                let backlog = self.shared.live_tasks.load(Ordering::Relaxed) + spec.est_tasks;
+                let estimated =
+                    Duration::from_nanos(backlog * ewma / self.shared.workers.max(1) as u64);
+                if estimated > deadline {
+                    self.shared.shed_deadline.fetch_add(1, Ordering::Relaxed);
+                    return SubmitOutcome::Shed { estimated, deadline };
+                }
+            }
+        }
+        let id = self.shared.next_job.fetch_add(1, Ordering::Relaxed);
+        let (report_tx, report_rx) = mpsc::channel();
+        let sub = Submission { id, spec, submitted: Instant::now(), report_tx };
+        match self.tx.try_send(sub) {
+            Ok(()) => {
+                self.shared.queue_depth.fetch_add(1, Ordering::Relaxed);
+                self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+                SubmitOutcome::Accepted(JobTicket { id: JobId(id), rx: report_rx })
+            }
+            Err(mpsc::TrySendError::Full(_)) => {
+                self.shared.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                SubmitOutcome::Rejected(RejectReason::QueueFull)
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => {
+                SubmitOutcome::Rejected(RejectReason::ShuttingDown)
+            }
+        }
+    }
+
+    /// A live snapshot of the service counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.snapshot()
+    }
+}
+
+/// A running job service. Construct with [`Service::start`], submit
+/// through [`Client`] handles, stop with [`Service::shutdown`].
+pub struct Service {
+    client: Client,
+    handle: std::thread::JoinHandle<Runtime>,
+}
+
+impl Service {
+    /// Move `runtime` onto a service thread and start serving. The
+    /// runtime keeps its registered templates, bound kernels/costs and
+    /// — crucially — its scheduler's learned profiles: every job the
+    /// service runs trains the profiles the next job is scheduled with.
+    pub fn start(runtime: Runtime, config: ServeConfig) -> Service {
+        let shared = Arc::new(Shared::new(runtime.workers().len()));
+        let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("versa-serve".into())
+            .spawn(move || serve_loop(runtime, config, rx, thread_shared))
+            .expect("failed to spawn service thread");
+        Service { client: Client { tx, shared }, handle }
+    }
+
+    /// A new submission handle (cheap; clone freely across threads).
+    pub fn client(&self) -> Client {
+        self.client.clone()
+    }
+
+    /// A live snapshot of the service counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.client.metrics()
+    }
+
+    /// Stop accepting new jobs, drain everything already admitted or
+    /// queued, and hand the runtime back — with everything its scheduler
+    /// learned, ready for [`Runtime::save_hints`] or another service.
+    pub fn shutdown(self) -> Runtime {
+        self.client.shared.accepting.store(false, Ordering::Release);
+        drop(self.client);
+        self.handle.join().expect("service thread panicked")
+    }
+}
+
+fn serve_loop(
+    mut rt: Runtime,
+    config: ServeConfig,
+    rx: mpsc::Receiver<Submission>,
+    shared: Arc<Shared>,
+) -> Runtime {
+    let saved_flush = rt.config().flush_on_wait;
+    let saved_fair = rt.config().fair_scheduling;
+    rt.config_mut().fair_scheduling = true;
+    // Waves must not flush device data home: jobs overlap, and residency
+    // is part of the cross-job warmth the service exists to preserve.
+    rt.config_mut().flush_on_wait = false;
+
+    let warm: Option<HintsFile> =
+        config.warm_start.as_deref().and_then(|text| parse_hints(text).ok());
+    let mut seeded: HashSet<String> = HashSet::new();
+    let mut active: Vec<ActiveJob> = Vec::new();
+    let mut wave: u64 = 0;
+
+    loop {
+        while let Ok(sub) = rx.try_recv() {
+            admit(&mut rt, sub, &mut active, &shared, warm.as_ref(), &mut seeded, wave);
+        }
+        if active.is_empty() {
+            if !shared.accepting.load(Ordering::Acquire) {
+                break;
+            }
+            match rx.recv_timeout(config.idle_poll) {
+                Ok(sub) => {
+                    admit(&mut rt, sub, &mut active, &shared, warm.as_ref(), &mut seeded, wave);
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+            continue;
+        }
+
+        wave += 1;
+        match rt.run_bounded(Some(config.wave_dispatch)) {
+            Ok(report) => {
+                assert!(
+                    report.tasks_executed > 0 || report.completed,
+                    "service stalled: no task of the {} active job(s) can run on any worker",
+                    active.len()
+                );
+                note_wave(&shared, &report);
+            }
+            Err(err) => {
+                // A task exhausted its retries: the runtime cannot be
+                // driven further. Fail every in-flight job and stop.
+                note_wave(&shared, &err.report);
+                let msg = err.to_string();
+                for job in active.drain(..) {
+                    shared.active_jobs.fetch_sub(1, Ordering::Relaxed);
+                    shared.failed.fetch_add(1, Ordering::Relaxed);
+                    let mut report = JobReport::service_gone(JobId(job.id));
+                    report.name = job.name;
+                    report.outcome = Err(format!("service aborted: {msg}"));
+                    let _ = job.report_tx.send(report);
+                }
+                shared.accepting.store(false, Ordering::Release);
+                break;
+            }
+        }
+
+        let mut still = Vec::with_capacity(active.len());
+        for job in active.drain(..) {
+            if job_done(&rt, &job.range) {
+                finalize(&mut rt, job, &shared, wave);
+            } else {
+                still.push(job);
+            }
+        }
+        active = still;
+    }
+
+    rt.config_mut().flush_on_wait = saved_flush;
+    rt.config_mut().fair_scheduling = saved_fair;
+    rt
+}
+
+fn admit(
+    rt: &mut Runtime,
+    sub: Submission,
+    active: &mut Vec<ActiveJob>,
+    shared: &Shared,
+    warm: Option<&HintsFile>,
+    seeded: &mut HashSet<String>,
+    wave: u64,
+) {
+    shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    let admitted = Instant::now();
+    let Submission { id, spec, submitted, report_tx } = sub;
+    let before = rt.graph().len() as u64;
+    rt.set_job_tag(Some(JobTag {
+        job: id,
+        tenant: spec.tenant,
+        class: spec.class.priority,
+        weight: spec.class.weight,
+    }));
+    let finish = (spec.build)(rt);
+    rt.set_job_tag(None);
+    let after = rt.graph().len() as u64;
+    if let Some(file) = warm {
+        seed_new_templates(rt, file, seeded);
+    }
+    shared.live_tasks.fetch_add(after - before, Ordering::Relaxed);
+    shared.active_jobs.fetch_add(1, Ordering::Relaxed);
+    active.push(ActiveJob {
+        id,
+        name: spec.name,
+        range: before..after,
+        finish: Some(finish),
+        submitted,
+        admitted,
+        admitted_wave: wave,
+        report_tx,
+    });
+}
+
+/// Seed warm-start hints for templates that exist now but were not
+/// seeded yet. Each template is seeded at most once, so profiles keep
+/// anything they learned afterwards.
+fn seed_new_templates(rt: &mut Runtime, file: &HintsFile, seeded: &mut HashSet<String>) {
+    let fresh: Vec<&str> = file
+        .records
+        .iter()
+        .map(|r| r.template.as_str())
+        .chain(file.quarantine.iter().map(|q| q.template.as_str()))
+        .filter(|name| !seeded.contains(*name) && rt.templates().by_name(name).is_some())
+        .collect();
+    if fresh.is_empty() {
+        return;
+    }
+    let sub = HintsFile {
+        policy: file.policy,
+        records: file.records.iter().filter(|r| fresh.contains(&r.template.as_str())).cloned().collect(),
+        quarantine: file
+            .quarantine
+            .iter()
+            .filter(|q| fresh.contains(&q.template.as_str()))
+            .cloned()
+            .collect(),
+    };
+    let templates = rt.templates().clone();
+    if let Some(v) = rt.versioning_mut() {
+        // A policy mismatch just skips warm start; serving continues.
+        let _ = apply_hints(v.profiles_mut(), &templates, &sub);
+    }
+    seeded.extend(fresh.into_iter().map(str::to_owned));
+}
+
+fn note_wave(shared: &Shared, report: &RunReport) {
+    shared.waves.fetch_add(1, Ordering::Relaxed);
+    shared.tasks_executed.fetch_add(report.tasks_executed, Ordering::Relaxed);
+    shared.live_tasks.fetch_sub(report.tasks_executed, Ordering::Relaxed);
+    if report.tasks_executed > 0 {
+        let busy: Duration = report.worker_busy.iter().sum();
+        let mean_ns = (busy.as_nanos() / u128::from(report.tasks_executed)).min(u128::from(u64::MAX)) as u64;
+        let old = shared.ewma_task_ns.load(Ordering::Relaxed);
+        let next = if old == 0 { mean_ns } else { (old * 7 + mean_ns) / 8 };
+        shared.ewma_task_ns.store(next.max(1), Ordering::Relaxed);
+    }
+    let mut detail = shared.detail.lock().expect("metrics mutex poisoned");
+    for (key, n) in &report.version_counts {
+        *detail.version_counts.entry(*key).or_insert(0) += n;
+    }
+    for (i, b) in report.worker_busy.iter().enumerate() {
+        detail.worker_busy[i] += *b;
+    }
+    for (i, n) in report.worker_task_counts.iter().enumerate() {
+        detail.worker_task_counts[i] += n;
+    }
+}
+
+fn job_done(rt: &Runtime, range: &Range<u64>) -> bool {
+    range.clone().all(|i| rt.graph().node(TaskId(i)).state == TaskState::Done)
+}
+
+fn finalize(rt: &mut Runtime, mut job: ActiveJob, shared: &Shared, wave: u64) {
+    let mut version_counts = HashMap::new();
+    let mut worker_task_counts = vec![0u64; shared.workers];
+    for i in job.range.clone() {
+        let node = rt.graph().node(TaskId(i));
+        let a = node.assignment.expect("done task has an assignment");
+        *version_counts.entry((node.instance.template, a.version)).or_insert(0) += 1;
+        worker_task_counts[a.worker.index()] += 1;
+    }
+    let outcome = match job.finish.take() {
+        Some(f) => f(rt),
+        None => Ok(()),
+    };
+    shared.active_jobs.fetch_sub(1, Ordering::Relaxed);
+    match outcome {
+        Ok(()) => shared.completed.fetch_add(1, Ordering::Relaxed),
+        Err(_) => shared.failed.fetch_add(1, Ordering::Relaxed),
+    };
+    let finished = Instant::now();
+    let report = JobReport {
+        job: JobId(job.id),
+        name: job.name,
+        tasks: job.range.end - job.range.start,
+        wait: job.admitted.duration_since(job.submitted),
+        exec: finished.duration_since(job.admitted),
+        turnaround: finished.duration_since(job.submitted),
+        admitted_wave: job.admitted_wave,
+        completed_wave: wave,
+        version_counts,
+        worker_task_counts,
+        outcome,
+    };
+    // The client may have dropped its ticket; that is fine.
+    let _ = job.report_tx.send(report);
+}

@@ -1,0 +1,286 @@
+//! Integration tests: admission control, multi-job interleaving on both
+//! engines, cross-job profile warmth, warm start, and live metrics.
+
+use std::time::{Duration, Instant};
+use versa_core::{DeviceKind, SchedulerKind, VersionId};
+use versa_runtime::{NativeConfig, Runtime, RuntimeConfig};
+use versa_serve::{JobSpec, RejectReason, ServeConfig, Service, SubmitOutcome};
+use versa_sim::PlatformConfig;
+
+/// Simulated runtime with a 3-version template: fast GPU main (1 ms),
+/// slower GPU alternate (2 ms), slow SMP fallback (20 ms). The alternate
+/// GPU version can only ever run during the learning phase — on any
+/// given worker the main version's estimate beats it — which makes its
+/// execution count a clean "did this job pay for learning?" probe.
+fn sim_runtime() -> (Runtime, versa_core::TemplateId) {
+    let mut rt = Runtime::simulated(
+        RuntimeConfig::with_scheduler(SchedulerKind::versioning()),
+        PlatformConfig::minotauro(2, 1),
+    );
+    let tpl = rt
+        .template("mm")
+        .main("mm_cublas", &[DeviceKind::Cuda])
+        .version("mm_cuda", &[DeviceKind::Cuda])
+        .version("mm_cblas", &[DeviceKind::Smp])
+        .register();
+    rt.bind_cost(tpl, VersionId(0), |_| Duration::from_millis(1));
+    rt.bind_cost(tpl, VersionId(1), |_| Duration::from_millis(2));
+    rt.bind_cost(tpl, VersionId(2), |_| Duration::from_millis(20));
+    (rt, tpl)
+}
+
+/// `tasks` independent tasks over fresh same-size allocations (one size
+/// group), leaked on purpose — sim data is contentless.
+fn sim_job(tpl: versa_core::TemplateId, tasks: usize) -> JobSpec {
+    JobSpec::fire_and_forget(format!("sim-{tasks}"), move |rt| {
+        for _ in 0..tasks {
+            let d = rt.alloc_bytes(1 << 16);
+            rt.task(tpl).read_write(d).submit();
+        }
+    })
+}
+
+#[test]
+fn two_clients_interleave_on_the_sim_engine() {
+    let (rt, tpl) = sim_runtime();
+    let service =
+        Service::start(rt, ServeConfig { wave_dispatch: 4, ..ServeConfig::default() });
+    let c1 = service.client();
+    let c2 = service.client();
+    let h1 = std::thread::spawn(move || {
+        c1.submit(sim_job(tpl, 128)).accepted().expect("queue has room").wait()
+    });
+    let h2 = std::thread::spawn(move || {
+        c2.submit(sim_job(tpl, 128)).accepted().expect("queue has room").wait()
+    });
+    let r1 = h1.join().unwrap();
+    let r2 = h2.join().unwrap();
+
+    for r in [&r1, &r2] {
+        assert_eq!(r.tasks, 128);
+        assert!(r.outcome.is_ok());
+        assert_eq!(r.worker_task_counts.iter().sum::<u64>(), 128);
+        assert!(r.turnaround >= r.wait);
+    }
+    // Both jobs were in flight at the same time: each was admitted
+    // before the other's completing wave.
+    assert!(
+        r1.admitted_wave < r2.completed_wave && r2.admitted_wave < r1.completed_wave,
+        "jobs did not overlap: {r1:?} vs {r2:?}"
+    );
+
+    let m = service.metrics();
+    assert_eq!(m.accepted, 2);
+    assert_eq!(m.completed, 2);
+    assert_eq!(m.tasks_executed, 256);
+    assert_eq!(m.active_jobs, 0);
+    assert_eq!(m.live_tasks, 0);
+    assert!(m.waves >= 2, "a 4-task budget cannot drain 256 tasks in one wave");
+    assert!(m.mean_task.is_some());
+    assert!(m.version_counts.values().sum::<u64>() >= 256);
+    service.shutdown();
+}
+
+#[test]
+fn profiles_stay_warm_across_jobs_and_across_services() {
+    // Cold service: the first job pays the learning phase (the alternate
+    // GPU version runs at least λ = 3 times)...
+    let (rt, tpl) = sim_runtime();
+    let service = Service::start(rt, ServeConfig::default());
+    let client = service.client();
+    let cold = client.submit(sim_job(tpl, 64)).accepted().unwrap().wait();
+    assert!(
+        cold.version_count(tpl, VersionId(1)) >= 3,
+        "cold job should pay the learning phase: {:?}",
+        cold.version_counts
+    );
+    // ...and the second job on the same service does not: the profiles
+    // it is scheduled with were learned by the first job.
+    let second = client.submit(sim_job(tpl, 64)).accepted().unwrap().wait();
+    assert_eq!(
+        second.version_count(tpl, VersionId(1)),
+        0,
+        "second job re-entered learning: {:?}",
+        second.version_counts
+    );
+    drop(client);
+    let rt = service.shutdown();
+    let hints = rt.save_hints().expect("versioning scheduler active");
+
+    // A brand-new service warm-started from those hints skips learning
+    // from its very first job.
+    let (rt2, tpl2) = sim_runtime();
+    let warm_service = Service::start(
+        rt2,
+        ServeConfig { warm_start: Some(hints), ..ServeConfig::default() },
+    );
+    let warm = warm_service.client().submit(sim_job(tpl2, 64)).accepted().unwrap().wait();
+    assert_eq!(
+        warm.version_count(tpl2, VersionId(1)),
+        0,
+        "warm-started job re-entered learning: {:?}",
+        warm.version_counts
+    );
+    warm_service.shutdown();
+}
+
+#[test]
+fn infeasible_deadlines_are_shed() {
+    let (rt, tpl) = sim_runtime();
+    let service = Service::start(rt, ServeConfig::default());
+    let client = service.client();
+    // First job trains the per-task time estimate.
+    client.submit(sim_job(tpl, 16)).accepted().unwrap().wait();
+    assert!(service.metrics().mean_task.is_some());
+    // A million estimated tasks against a 1 µs deadline: shed at the door.
+    let spec = sim_job(tpl, 16).deadline(Duration::from_micros(1), 1_000_000);
+    match client.submit(spec) {
+        SubmitOutcome::Shed { estimated, deadline } => {
+            assert!(estimated > deadline);
+        }
+        other => panic!("expected Shed, got {other:?}"),
+    }
+    assert_eq!(service.metrics().shed_deadline, 1);
+    // Without a deadline the same job sails through.
+    let r = client.submit(sim_job(tpl, 16)).accepted().unwrap().wait();
+    assert!(r.outcome.is_ok());
+    service.shutdown();
+}
+
+#[test]
+fn shutdown_rejects_new_submissions() {
+    let (rt, tpl) = sim_runtime();
+    let service = Service::start(rt, ServeConfig::default());
+    let client = service.client();
+    let rt = service.shutdown();
+    assert!(rt.graph().is_empty());
+    match client.submit(sim_job(tpl, 4)) {
+        SubmitOutcome::Rejected(RejectReason::ShuttingDown) => {}
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+}
+
+/// Native job: `tasks` single-datum kernels that each bump their datum
+/// by 1.0 and sleep, so waves take real wall time. The finalizer reads
+/// every datum back, checks the kernel ran exactly once, and frees it.
+fn sleepy_job(tpl: versa_core::TemplateId, tasks: usize, kernel_ms: u64) -> JobSpec {
+    JobSpec::new(format!("sleepy-{tasks}"), move |rt| {
+        let data: Vec<_> = (0..tasks)
+            .map(|_| {
+                let d = rt.alloc_from_f64(&[0.0]);
+                rt.task(tpl).read_write(d).submit();
+                d
+            })
+            .collect();
+        let _ = kernel_ms;
+        Box::new(move |rt: &mut Runtime| {
+            let mut result = Ok(());
+            for &d in &data {
+                let v = rt.read_f64(d);
+                if v != [1.0] {
+                    result = Err(format!("expected [1.0], got {v:?}"));
+                }
+                rt.free(d);
+            }
+            result
+        }) as versa_serve::FinishFn
+    })
+}
+
+#[test]
+fn native_backpressure_live_metrics_and_correct_results() {
+    let mut rt = Runtime::native(
+        RuntimeConfig::with_scheduler(SchedulerKind::DepAware),
+        NativeConfig { smp_workers: 1, gpus: 0, gpu_lanes: 1 },
+    );
+    let tpl = rt.template("sleepy").main("sleepy_smp", &[DeviceKind::Smp]).register();
+    rt.bind_native(tpl, VersionId(0), |ctx| {
+        ctx.f64_mut(0)[0] += 1.0;
+        std::thread::sleep(Duration::from_millis(15));
+    });
+    let service = Service::start(
+        rt,
+        ServeConfig { queue_capacity: 1, wave_dispatch: 8, ..ServeConfig::default() },
+    );
+    let client = service.client();
+
+    // One 8-task job = one ≥120 ms wave on the single worker.
+    let first = client.submit(sleepy_job(tpl, 8, 15)).accepted().expect("empty queue");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while service.metrics().active_jobs == 0 {
+        assert!(Instant::now() < deadline, "job was never admitted");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Burst while the wave runs: capacity 1 → at most one fits, the
+    // rest bounce off the full queue.
+    let mut tickets = vec![first];
+    let mut rejected = 0u64;
+    for _ in 0..6 {
+        match client.submit(sleepy_job(tpl, 2, 15)) {
+            SubmitOutcome::Accepted(t) => tickets.push(t),
+            o if o.is_queue_full() => rejected += 1,
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+    assert!(rejected >= 1, "a 1-slot queue absorbed 6 instant submissions");
+
+    // Metrics are queryable while the job is mid-flight.
+    let m = service.metrics();
+    assert!(m.active_jobs >= 1);
+    assert!(m.live_tasks >= 1);
+    assert!(m.queue_depth <= 1);
+
+    let accepted = tickets.len() as u64;
+    for t in tickets {
+        let r = t.wait();
+        assert!(r.outcome.is_ok(), "job failed: {:?}", r.outcome);
+    }
+    let m = service.metrics();
+    assert_eq!(m.completed, accepted);
+    assert_eq!(m.rejected_queue_full, rejected);
+    assert_eq!(m.active_jobs, 0);
+    assert!(m.worker_busy[0] >= Duration::from_millis(100));
+    assert!(m.utilization(Duration::from_secs(3600))[0] > 0.0);
+    service.shutdown();
+}
+
+#[test]
+fn native_jobs_from_two_threads_interleave() {
+    let mut rt = Runtime::native(
+        RuntimeConfig::with_scheduler(SchedulerKind::DepAware),
+        NativeConfig { smp_workers: 2, gpus: 0, gpu_lanes: 1 },
+    );
+    let tpl = rt.template("sleepy").main("sleepy_smp", &[DeviceKind::Smp]).register();
+    rt.bind_native(tpl, VersionId(0), |ctx| {
+        ctx.f64_mut(0)[0] += 1.0;
+        std::thread::sleep(Duration::from_millis(10));
+    });
+    let service = Service::start(
+        rt,
+        ServeConfig { wave_dispatch: 4, ..ServeConfig::default() },
+    );
+    let c1 = service.client();
+    let c2 = service.client();
+    let h1 = std::thread::spawn(move || {
+        c1.submit(sleepy_job(tpl, 12, 10)).accepted().unwrap().wait()
+    });
+    let h2 = std::thread::spawn(move || {
+        c2.submit(sleepy_job(tpl, 12, 10)).accepted().unwrap().wait()
+    });
+    let r1 = h1.join().unwrap();
+    let r2 = h2.join().unwrap();
+    for r in [&r1, &r2] {
+        assert_eq!(r.tasks, 12);
+        assert!(r.outcome.is_ok(), "job failed: {:?}", r.outcome);
+    }
+    // 12 tasks × 10 ms each per job on 2 workers: the second submission
+    // lands (µs later) long before the first job's ~60 ms of waves end,
+    // so the jobs must have overlapped.
+    assert!(
+        r1.admitted_wave < r2.completed_wave && r2.admitted_wave < r1.completed_wave,
+        "jobs did not overlap: {r1:?} vs {r2:?}"
+    );
+    assert_eq!(service.metrics().completed, 2);
+    service.shutdown();
+}

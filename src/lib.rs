@@ -13,6 +13,7 @@
 //! * [`mem`] — memory spaces, coherence directory, transfer accounting.
 //! * [`sim`] — deterministic discrete-event simulator of an SMP+GPU node.
 //! * [`runtime`] — the task runtime (dependence analysis + engines).
+//! * [`serve`] — persistent multi-job service over one runtime.
 //! * [`kernels`] — pure-Rust BLAS-like and PBPI computational kernels.
 //! * [`apps`] — the paper's applications (matmul, Cholesky, PBPI).
 //!
@@ -23,6 +24,7 @@ pub use versa_core as core;
 pub use versa_kernels as kernels;
 pub use versa_mem as mem;
 pub use versa_runtime as runtime;
+pub use versa_serve as serve;
 pub use versa_sim as sim;
 
 /// Convenient glob import: `use versa::prelude::*;`.

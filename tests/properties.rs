@@ -99,7 +99,7 @@ fn run_serial(tasks: &[GenTask], buffers: usize, len: usize) -> Vec<Vec<f64>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 24 })]
 
     #[test]
     fn parallel_execution_equals_serial_elaboration(
@@ -258,6 +258,162 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Hints file: save/load round trip is byte-stable
+// ---------------------------------------------------------------------
+
+mod hints_roundtrip {
+    use super::*;
+    use std::time::Duration;
+    use versa::core::profile::{apply_hints, parse_hints, render_hints};
+    use versa::core::{BucketKey, MeanPolicy, ProfileStore, SizeBucketPolicy, TemplateRegistry};
+
+    /// Version counts per template in [`registry`], indexed by slot.
+    pub const TEMPLATES: [(&str, usize); 2] = [("alpha_task", 3), ("beta_task", 2)];
+
+    pub fn registry() -> TemplateRegistry {
+        let mut reg = TemplateRegistry::new();
+        reg.template("alpha_task")
+            .main("alpha_cuda", &[DeviceKind::Cuda])
+            .version("alpha_blocked", &[DeviceKind::Smp])
+            .version("alpha_naive", &[DeviceKind::Smp])
+            .register();
+        reg.template("beta_task")
+            .main("beta_cuda", &[DeviceKind::Cuda])
+            .version("beta_smp", &[DeviceKind::Smp])
+            .register();
+        reg
+    }
+
+    /// (template slot, version pick, bucket, mean_ns, count) — version is
+    /// taken modulo the template's version count.
+    pub fn hint_entry() -> impl Strategy<Value = (usize, u16, u64, u64, u64)> {
+        (0..TEMPLATES.len(), 0u16..8, 0u64..1_000_000, 1u64..1 << 40, 1u64..1000)
+    }
+
+    /// (template slot, version pick, bucket, failure streak).
+    pub fn quarantine_entry() -> impl Strategy<Value = (usize, u16, u64, u64)> {
+        (0..TEMPLATES.len(), 0u16..8, 0u64..1_000_000, 1u64..50)
+    }
+
+    pub fn bucket_policy() -> impl Strategy<Value = SizeBucketPolicy> {
+        prop_oneof![
+            Just(SizeBucketPolicy::Exact),
+            (0.01f64..2.0).prop_map(|tolerance| SizeBucketPolicy::RelativeRange { tolerance }),
+        ]
+    }
+
+    pub fn mean_policy() -> impl Strategy<Value = MeanPolicy> {
+        prop_oneof![
+            Just(MeanPolicy::Arithmetic),
+            (0.01f64..1.0).prop_map(|alpha| MeanPolicy::Ewma { alpha }),
+        ]
+    }
+
+    /// Build a store holding exactly the given (deduplicated) entries.
+    pub fn build_store(
+        bucket: SizeBucketPolicy,
+        mean: MeanPolicy,
+        hints: &[(usize, u16, u64, u64, u64)],
+        quarantines: &[(usize, u16, u64, u64)],
+        reg: &TemplateRegistry,
+    ) -> ProfileStore {
+        let mut store = ProfileStore::new(bucket, mean, 3);
+        for &(slot, v, bucket, mean_ns, count) in hints {
+            let (name, n_versions) = TEMPLATES[slot];
+            let tpl = reg.by_name(name).unwrap();
+            let version = VersionId(v % n_versions as u16);
+            store.seed_bucket(
+                tpl,
+                n_versions,
+                BucketKey(bucket),
+                version,
+                Duration::from_nanos(mean_ns),
+                count,
+            );
+        }
+        for &(slot, v, bucket, failures) in quarantines {
+            let (name, n_versions) = TEMPLATES[slot];
+            let tpl = reg.by_name(name).unwrap();
+            let version = VersionId(v % n_versions as u16);
+            store.seed_quarantine(tpl, n_versions, BucketKey(bucket), version, failures);
+        }
+        store
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 48 })]
+
+        // render → parse → apply-to-fresh-store → render reproduces the
+        // original text byte for byte, for any mix of hint and
+        // quarantine records under any policy header.
+        #[test]
+        fn hints_save_load_round_trip_is_byte_stable(
+            bucket in bucket_policy(),
+            mean in mean_policy(),
+            hints in proptest::collection::vec(hint_entry(), 0..20),
+            quarantines in proptest::collection::vec(quarantine_entry(), 0..8),
+        ) {
+            let (mut hints, mut quarantines) = (hints, quarantines);
+            // Deduplicate on (template, version, bucket): seeding the
+            // same cell twice is last-write-wins, which would make the
+            // original store disagree with the file's single record.
+            let n_of = |slot: usize| TEMPLATES[slot].1 as u16;
+            hints.sort_by_key(|&(s, v, b, ..)| (s, v % n_of(s), b));
+            hints.dedup_by_key(|&mut (s, v, b, ..)| (s, v % n_of(s), b));
+            quarantines.sort_by_key(|&(s, v, b, _)| (s, v % n_of(s), b));
+            quarantines.dedup_by_key(|&mut (s, v, b, _)| (s, v % n_of(s), b));
+
+            let reg = registry();
+            let store = build_store(bucket, mean, &hints, &quarantines, &reg);
+            let text = render_hints(&store, &reg);
+
+            let file = parse_hints(&text).expect("rendered hints must parse");
+            prop_assert_eq!(file.records.len(), hints.len());
+            prop_assert_eq!(file.quarantine.len(), quarantines.len());
+            let policy = file.policy.expect("v2 files declare their policies");
+            prop_assert_eq!(policy.bucket, bucket, "bucket policy survives the header");
+            prop_assert_eq!(policy.mean, mean, "mean policy survives the header");
+
+            let mut fresh = ProfileStore::new(bucket, mean, 3);
+            let (applied, skipped) =
+                apply_hints(&mut fresh, &reg, &file).expect("policies match by construction");
+            prop_assert_eq!(applied, hints.len() + quarantines.len());
+            prop_assert_eq!(skipped, 0);
+            prop_assert_eq!(render_hints(&fresh, &reg), text, "round trip must be byte-stable");
+        }
+
+        // Applying a file to a store with different policies must fail:
+        // bucket keys/means are only meaningful under the policies that
+        // produced them.
+        #[test]
+        fn hints_policy_mismatch_always_rejected(
+            tol_a in 0.01f64..2.0,
+            tol_b in 0.01f64..2.0,
+            hint in hint_entry(),
+        ) {
+            if tol_a == tol_b {
+                continue;
+            }
+            let reg = registry();
+            let store = build_store(
+                SizeBucketPolicy::RelativeRange { tolerance: tol_a },
+                MeanPolicy::Arithmetic,
+                &[hint],
+                &[],
+                &reg,
+            );
+            let file = parse_hints(&render_hints(&store, &reg)).unwrap();
+            let mut other = ProfileStore::new(
+                SizeBucketPolicy::RelativeRange { tolerance: tol_b },
+                MeanPolicy::Arithmetic,
+                3,
+            );
+            prop_assert!(apply_hints(&mut other, &reg, &file).is_err());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Event queue ordering
 // ---------------------------------------------------------------------
 
@@ -286,7 +442,7 @@ proptest! {
 // ---------------------------------------------------------------------
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 64 })]
 
     #[test]
     fn task_graph_always_drains(
@@ -308,6 +464,7 @@ proptest! {
                 template: versa::core::TemplateId(0),
                 accesses,
                 data_set_size: 64,
+                job: None,
             });
         }
         // Drain with a pseudo-random ready-task choice.

@@ -1,0 +1,105 @@
+//! Regression: profiles learned by one `run()` must carry over to the
+//! next `run()` on the same [`Runtime`] — re-entering the versioning
+//! scheduler's learning phase on every run would defeat the whole point
+//! of a persistent runtime (and of the `versa-serve` layer built on it).
+
+use std::time::Duration;
+use versa::core::{DeviceKind, SchedulerKind, TaskId, TemplateId, VersionId};
+use versa::runtime::Runtime;
+use versa::runtime::RuntimeConfig;
+use versa::sim::PlatformConfig;
+
+/// Three versions with a strict speed order: fast GPU main (1 ms), a
+/// slower GPU alternate (2 ms), and a slow SMP fallback (20 ms). Once
+/// the scheduler has reliable profiles, the alternate GPU version can
+/// never win a bid — the main version beats it on every worker — so any
+/// execution of it is proof the scheduler was (still) learning.
+fn versioning_runtime() -> (Runtime, TemplateId) {
+    let mut rt = Runtime::simulated(
+        RuntimeConfig::with_scheduler(SchedulerKind::versioning()),
+        PlatformConfig::minotauro(2, 1),
+    );
+    let tpl = rt
+        .template("mm")
+        .main("mm_cublas", &[DeviceKind::Cuda])
+        .version("mm_cuda", &[DeviceKind::Cuda])
+        .version("mm_cblas", &[DeviceKind::Smp])
+        .register();
+    rt.bind_cost(tpl, VersionId(0), |_| Duration::from_millis(1));
+    rt.bind_cost(tpl, VersionId(1), |_| Duration::from_millis(2));
+    rt.bind_cost(tpl, VersionId(2), |_| Duration::from_millis(20));
+    (rt, tpl)
+}
+
+/// Submit `tasks` independent same-size tasks and return their ids.
+fn submit_batch(rt: &mut Runtime, tpl: TemplateId, tasks: usize) -> Vec<TaskId> {
+    (0..tasks)
+        .map(|_| {
+            let d = rt.alloc_bytes(1 << 16);
+            rt.task(tpl).read_write(d).submit()
+        })
+        .collect()
+}
+
+/// How many of `ids` executed as `version` (from the graph's recorded
+/// assignments).
+fn version_count(rt: &Runtime, ids: &[TaskId], version: VersionId) -> usize {
+    ids.iter()
+        .filter(|&&id| {
+            rt.graph().node(id).assignment.map(|a| a.version) == Some(version)
+        })
+        .count()
+}
+
+#[test]
+fn second_run_does_not_reenter_learning() {
+    let (mut rt, tpl) = versioning_runtime();
+
+    // First run: the scheduler knows nothing, so learning round-robins
+    // every version at least λ = 3 times — including the alternate GPU
+    // version that can never win a bid afterwards.
+    let first = submit_batch(&mut rt, tpl, 64);
+    rt.run().expect("first run failed");
+    assert!(
+        version_count(&rt, &first, VersionId(1)) >= 3,
+        "the first run should pay the learning phase"
+    );
+
+    // Second run on the *same* runtime: the profiles learned above make
+    // the group reliable, so the alternate version must never run again.
+    let second = submit_batch(&mut rt, tpl, 64);
+    rt.run().expect("second run failed");
+    assert_eq!(
+        version_count(&rt, &second, VersionId(1)),
+        0,
+        "the second run re-entered the learning phase"
+    );
+    // The slow SMP fallback may still run when the GPU queue is long
+    // enough — but every one of the second batch's tasks ran *something*.
+    assert_eq!(
+        second.iter().filter(|&&id| rt.graph().node(id).assignment.is_some()).count(),
+        64
+    );
+}
+
+#[test]
+fn second_run_skips_learning_even_after_hints_round_trip() {
+    // Same property across a save/load boundary: a fresh runtime seeded
+    // with the first runtime's saved hints starts reliable.
+    let (mut rt, tpl) = versioning_runtime();
+    let first = submit_batch(&mut rt, tpl, 64);
+    rt.run().expect("first run failed");
+    assert!(version_count(&rt, &first, VersionId(1)) >= 3);
+    let hints = rt.save_hints().expect("versioning scheduler saves hints");
+
+    let (mut rt2, tpl2) = versioning_runtime();
+    let (applied, _skipped) = rt2.load_hints(&hints).expect("hints load cleanly");
+    assert!(applied >= 3, "one record per version with data");
+    let batch = submit_batch(&mut rt2, tpl2, 64);
+    rt2.run().expect("warm run failed");
+    assert_eq!(
+        version_count(&rt2, &batch, VersionId(1)),
+        0,
+        "a hint-seeded runtime re-entered the learning phase"
+    );
+}

@@ -247,8 +247,8 @@ macro_rules! prop_assert_eq {
 #[macro_export]
 macro_rules! prop_oneof {
     ($($s:expr),+ $(,)?) => {{
-        let mut opts: Vec<Box<dyn $crate::Strategy<Value = _>>> = Vec::new();
-        $(opts.push(Box::new($s));)+
+        let opts: Vec<Box<dyn $crate::Strategy<Value = _>>> =
+            vec![$(Box::new($s)),+];
         $crate::Union::new(opts)
     }};
 }
@@ -337,7 +337,7 @@ mod tests {
     }
 
     proptest! {
-        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+        #![proptest_config(ProptestConfig { cases: 16 })]
 
         #[test]
         fn the_macro_itself_works(x in 0u32..100, v in collection::vec(0u64..9, 0..6)) {
