@@ -224,7 +224,20 @@ pub fn run_native(
     native: NativeConfig,
     seed: u64,
 ) -> (RunReport, NativeCholeskyData) {
-    let mut rt = Runtime::native(RuntimeConfig::with_scheduler(scheduler), native);
+    run_native_with(RuntimeConfig::with_scheduler(scheduler), config, variant, native, seed)
+}
+
+/// [`run_native`] with full control over the [`RuntimeConfig`] — for
+/// benchmarks and tests that toggle transfer staging
+/// (`async_transfers`, `lookahead_depth`) or other runtime knobs.
+pub fn run_native_with(
+    runtime_config: RuntimeConfig,
+    config: CholeskyConfig,
+    variant: CholeskyVariant,
+    native: NativeConfig,
+    seed: u64,
+) -> (RunReport, NativeCholeskyData) {
+    let mut rt = Runtime::native(runtime_config, native);
     let templates = register(&mut rt, variant);
     let (potrf_t, trsm_t, syrk_t, gemm_t) = templates;
     let bs = config.bs;

@@ -184,7 +184,20 @@ pub fn run_native(
     native: NativeConfig,
     seed: u64,
 ) -> (RunReport, NativeMatmulData) {
-    let mut rt = Runtime::native(RuntimeConfig::with_scheduler(scheduler), native);
+    run_native_with(RuntimeConfig::with_scheduler(scheduler), config, variant, native, seed)
+}
+
+/// [`run_native`] with full control over the [`RuntimeConfig`] — for
+/// benchmarks and tests that toggle transfer staging
+/// (`async_transfers`, `lookahead_depth`) or other runtime knobs.
+pub fn run_native_with(
+    runtime_config: RuntimeConfig,
+    config: MatmulConfig,
+    variant: MatmulVariant,
+    native: NativeConfig,
+    seed: u64,
+) -> (RunReport, NativeMatmulData) {
+    let mut rt = Runtime::native(runtime_config, native);
     let template = register(&mut rt, variant);
     let bs = config.bs;
 

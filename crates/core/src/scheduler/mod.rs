@@ -106,6 +106,16 @@ pub trait Scheduler: Send {
         let _ = (task, assignment, measured);
     }
 
+    /// Observe a completed data transfer into `to`: `bytes` moved in
+    /// `elapsed` wall (or virtual) time. The default implementation
+    /// ignores it; the versioning scheduler maintains a per-space
+    /// bandwidth EWMA — learned online exactly like the paper's mean
+    /// execution times — that prices the transfer term of its
+    /// earliest-executor estimate.
+    fn transfer_done(&mut self, to: versa_mem::MemSpace, bytes: u64, elapsed: Duration) {
+        let _ = (to, bytes, elapsed);
+    }
+
     /// Observe a failed execution (kernel panic in the native engine, or
     /// an injected fault in the simulator). The default implementation
     /// ignores it; the versioning scheduler counts failures per

@@ -3,7 +3,14 @@
 use super::{compatible_workers, least_loaded, Assignment, FailureKind, SchedCtx, Scheduler};
 use crate::profile::{MeanPolicy, ProfileStore, SizeBucketPolicy};
 use crate::{TaskId, TaskInstance, VersionId, WorkerId};
+use std::collections::HashMap;
 use std::time::Duration;
+use versa_mem::MemSpace;
+
+/// Smoothing factor for the per-space bandwidth EWMA: the same "keep
+/// adapting, weight the recent past" idea as the paper's footnote-3
+/// weighted execution means.
+const BANDWIDTH_EWMA_ALPHA: f64 = 0.25;
 
 /// Tunables of the [`VersioningScheduler`]; the analogue of Nanos++
 /// configuration arguments / environment variables.
@@ -120,6 +127,11 @@ pub struct VersioningScheduler {
     config: VersioningConfig,
     profiles: ProfileStore,
     decisions: Option<Vec<Decision>>,
+    /// Measured bytes/second into each space, learned online from
+    /// completed transfers (EWMA). Used by the locality-aware transfer
+    /// term in place of the static `assumed_bandwidth` once at least one
+    /// transfer into the space has been observed.
+    bandwidth: HashMap<MemSpace, f64>,
 }
 
 impl VersioningScheduler {
@@ -128,7 +140,7 @@ impl VersioningScheduler {
         let mut profiles =
             ProfileStore::new(config.bucket_policy, config.mean_policy, config.lambda);
         profiles.set_quarantine(config.quarantine_threshold, config.probation);
-        VersioningScheduler { config, profiles, decisions: None }
+        VersioningScheduler { config, profiles, decisions: None, bandwidth: HashMap::new() }
     }
 
     /// Scheduler with the paper's default configuration.
@@ -197,12 +209,26 @@ impl VersioningScheduler {
             .collect()
     }
 
+    /// Measured bandwidth into `space`, once at least one transfer has
+    /// completed there.
+    pub fn measured_bandwidth(&self, space: MemSpace) -> Option<f64> {
+        self.bandwidth.get(&space).copied()
+    }
+
     fn transfer_estimate(&self, task: &TaskInstance, ctx: &SchedCtx<'_>, w: &crate::WorkerState) -> Duration {
         if !self.config.locality_aware {
             return Duration::ZERO;
         }
         let bytes = ctx.directory.bytes_missing_for(&task.accesses, w.info.space);
-        Duration::from_secs_f64(bytes as f64 / self.config.assumed_bandwidth)
+        // Prefer the online-measured bandwidth for this destination
+        // space; until a transfer has been observed, fall back to the
+        // configured static estimate.
+        let bw = self
+            .bandwidth
+            .get(&w.info.space)
+            .copied()
+            .unwrap_or(self.config.assumed_bandwidth);
+        Duration::from_secs_f64(bytes as f64 / bw)
     }
 
     fn learning_assign(
@@ -346,6 +372,17 @@ impl Scheduler for VersioningScheduler {
             assignment.version,
             measured,
         );
+    }
+
+    fn transfer_done(&mut self, to: MemSpace, bytes: u64, elapsed: Duration) {
+        if bytes == 0 || elapsed.is_zero() {
+            return;
+        }
+        let sample = bytes as f64 / elapsed.as_secs_f64();
+        self.bandwidth
+            .entry(to)
+            .and_modify(|bw| *bw += BANDWIDTH_EWMA_ALPHA * (sample - *bw))
+            .or_insert(sample);
     }
 
     fn task_failed(&mut self, task: &TaskInstance, assignment: Assignment, kind: FailureKind) {
@@ -615,6 +652,75 @@ mod tests {
         let w3 = d.bids.iter().find(|b| b.worker == crate::WorkerId(3)).unwrap();
         assert!(w2.transfer > Duration::ZERO);
         assert_eq!(w3.transfer, Duration::ZERO);
+    }
+
+    #[test]
+    fn transfer_done_learns_bandwidth_as_ewma() {
+        let mut s = VersioningScheduler::with_defaults();
+        let dev = versa_mem::MemSpace::device(0);
+        assert_eq!(s.measured_bandwidth(dev), None);
+        // First sample sets the estimate outright: 1e9 B in 1 s.
+        s.transfer_done(dev, 1_000_000_000, Duration::from_secs(1));
+        assert_eq!(s.measured_bandwidth(dev), Some(1.0e9));
+        // Second sample (2e9 B/s) moves it by α = 0.25.
+        s.transfer_done(dev, 2_000_000_000, Duration::from_secs(1));
+        let bw = s.measured_bandwidth(dev).unwrap();
+        assert!((bw - 1.25e9).abs() < 1.0, "EWMA step: got {bw}");
+        // Degenerate samples are ignored.
+        s.transfer_done(dev, 0, Duration::from_secs(1));
+        s.transfer_done(dev, 64, Duration::ZERO);
+        assert_eq!(s.measured_bandwidth(dev), Some(bw));
+        // Other spaces keep independent estimates.
+        assert_eq!(s.measured_bandwidth(versa_mem::MemSpace::device(1)), None);
+    }
+
+    #[test]
+    fn measured_bandwidth_steers_to_slower_but_data_resident_worker() {
+        // The Fig. 5 analogue for data movement: the GPU version's mean
+        // (10 ms) beats the SMP version's (40 ms), but the task's 200 MB
+        // working set lives on the host and the *measured* link is slow
+        // — the earliest executor is the slower worker that already
+        // holds the data.
+        let (reg, tpl) = hybrid_registry();
+        let workers = workers_2smp_2gpu();
+        let dir = directory(DataId(0), DataId(1), 100_000_000);
+        let mk = || {
+            let mut s = VersioningScheduler::new(VersioningConfig {
+                locality_aware: true,
+                // Deliberately optimistic static estimate: with no
+                // measurements the transfer term is negligible.
+                assumed_bandwidth: 1.0e12,
+                ..Default::default()
+            });
+            for (v, mean) in [(VersionId(0), ms(10)), (VersionId(1), ms(15)), (VersionId(2), ms(40))] {
+                s.profiles_mut().seed(tpl, 3, 200_000_000, v, mean, 5);
+            }
+            s.set_decision_logging(true);
+            s
+        };
+        let ctx = SchedCtx { templates: &reg, workers: &workers, directory: &dir, chain_hint: None };
+
+        // Before any transfer completes, the optimistic static bandwidth
+        // makes the fast GPU win.
+        let mut cold = mk();
+        let a = cold.assign(&task(0, tpl, DataId(0), DataId(1), 100_000_000), &ctx);
+        assert_eq!(a.version, VersionId(0), "without measurements the GPU mean dominates");
+
+        // Online measurements reveal the real link: 2 GB/s into each GPU
+        // space → a 200 MB copy-in costs ~100 ms, dwarfing the 30 ms
+        // mean advantage. The host-resident SMP worker now wins.
+        let mut warm = mk();
+        for g in 0..2 {
+            warm.transfer_done(versa_mem::MemSpace::device(g), 200_000_000, Duration::from_millis(100));
+        }
+        let a = warm.assign(&task(1, tpl, DataId(0), DataId(1), 100_000_000), &ctx);
+        assert_eq!(a.version, VersionId(2), "SMP CBLAS wins on residency");
+        assert_eq!(workers[a.worker.index()].info.device, DeviceKind::Smp);
+        let d = warm.decisions().last().unwrap();
+        let gpu_bid = d.bids.iter().find(|b| b.worker == crate::WorkerId(2)).unwrap();
+        let smp_bid = d.bids.iter().find(|b| b.worker == crate::WorkerId(0)).unwrap();
+        assert!(gpu_bid.transfer >= Duration::from_millis(90), "priced from the measured EWMA");
+        assert_eq!(smp_bid.transfer, Duration::ZERO, "data already resident on the host");
     }
 
     #[test]

@@ -217,6 +217,39 @@ impl Directory {
         ids.into_iter().filter_map(|d| self.flush_to_host(d)).collect()
     }
 
+    /// Copy of one allocation's full state, for exact restore after a
+    /// failed optimistic update (async staging rollback of a writer's
+    /// acquire — see `versa-runtime`'s native engine).
+    pub fn snapshot(&self, data: DataId) -> Option<HandleState> {
+        self.entries.get(&data).cloned()
+    }
+
+    /// Overwrite one allocation's state with a previously taken
+    /// [`Directory::snapshot`]. No-op if the allocation was unregistered
+    /// in the meantime.
+    pub fn restore(&mut self, data: DataId, state: HandleState) {
+        if let Some(e) = self.entries.get_mut(&data) {
+            *e = state;
+        }
+    }
+
+    /// Undo one optimistic read copy-in: drop `space` from the valid set
+    /// of `data` *if* it is present and not the sole copy. Unlike
+    /// [`Directory::invalidate`] this never panics — retracting is
+    /// commutative across any number of failed concurrent copy-ins, and
+    /// a retraction can never strand the value because the copy being
+    /// retracted was planned *from* another valid space which the
+    /// planner never removed (readers only add validity).
+    pub fn retract(&mut self, data: DataId, space: MemSpace) {
+        if let Some(e) = self.entries.get_mut(&data) {
+            if e.valid.len() > 1 {
+                if let Ok(pos) = e.valid.binary_search(&space) {
+                    e.valid.remove(pos);
+                }
+            }
+        }
+    }
+
     /// Bytes that would have to be copied into `space` for a task with the
     /// given accesses to run there (the affinity scheduler's objective:
     /// "the amount of data that should be transferred to a certain device
@@ -393,6 +426,51 @@ mod tests {
     fn double_register_panics() {
         let mut dir = dir_with(DataId(0), 1);
         dir.register(DataId(0), 1, MemSpace::HOST);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_undoes_a_write() {
+        let mut dir = dir_with(DataId(0), 64);
+        dir.acquire(DataId(0), MemSpace::device(0), AccessMode::In);
+        let snap = dir.snapshot(DataId(0)).unwrap();
+        dir.acquire(DataId(0), MemSpace::device(1), AccessMode::InOut);
+        assert!(!dir.valid_in(DataId(0), MemSpace::HOST));
+        dir.restore(DataId(0), snap);
+        assert!(dir.valid_in(DataId(0), MemSpace::HOST));
+        assert!(dir.valid_in(DataId(0), MemSpace::device(0)));
+        assert!(!dir.valid_in(DataId(0), MemSpace::device(1)));
+    }
+
+    #[test]
+    fn retract_undoes_a_read_copy_in() {
+        let mut dir = dir_with(DataId(0), 64);
+        dir.acquire(DataId(0), MemSpace::device(0), AccessMode::In);
+        dir.retract(DataId(0), MemSpace::device(0));
+        assert!(!dir.valid_in(DataId(0), MemSpace::device(0)));
+        assert!(dir.is_sole_copy(DataId(0), MemSpace::HOST));
+    }
+
+    #[test]
+    fn retract_never_strands_the_sole_copy() {
+        let mut dir = dir_with(DataId(0), 64);
+        // Sole copy: retract must be a no-op, not a panic.
+        dir.retract(DataId(0), MemSpace::HOST);
+        assert!(dir.valid_in(DataId(0), MemSpace::HOST));
+        // Absent space / unregistered data: also no-ops.
+        dir.retract(DataId(0), MemSpace::device(3));
+        dir.retract(DataId(9), MemSpace::HOST);
+        assert!(dir.is_sole_copy(DataId(0), MemSpace::HOST));
+    }
+
+    #[test]
+    fn retract_is_commutative_across_failed_replicas() {
+        let mut dir = dir_with(DataId(0), 64);
+        dir.acquire(DataId(0), MemSpace::device(0), AccessMode::In);
+        dir.acquire(DataId(0), MemSpace::device(1), AccessMode::In);
+        // Both copies failed; either retraction order leaves only host.
+        dir.retract(DataId(0), MemSpace::device(1));
+        dir.retract(DataId(0), MemSpace::device(0));
+        assert!(dir.is_sole_copy(DataId(0), MemSpace::HOST));
     }
 
     #[test]

@@ -29,6 +29,7 @@ mod cache;
 mod directory;
 mod region;
 mod space;
+mod staging;
 mod stats;
 mod transfer;
 
@@ -38,5 +39,6 @@ pub use cache::DeviceCache;
 pub use directory::{AccessMode, Directory, HandleState};
 pub use region::{DataId, Region};
 pub use space::MemSpace;
+pub use staging::{ReadyCell, StagingLedger};
 pub use stats::{TransferKind, TransferStats};
 pub use transfer::Transfer;

@@ -37,6 +37,19 @@ pub struct RuntimeConfig {
     /// one-shot API has a single implicit job, and keeping the flag off
     /// preserves the exact historical dispatch order.
     pub fair_scheduling: bool,
+    /// Native engine: move copy-in byte movement off the coordinator
+    /// onto per-worker staging lanes (the coordinator still *plans*
+    /// every transfer, so directory decisions stay deterministic). On by
+    /// default; turning it off restores the fully synchronous
+    /// coordinator path byte-for-byte (same `TransferStats`, same
+    /// assignment order). See DESIGN.md §2.2.
+    pub async_transfers: bool,
+    /// Native engine, async mode: how many tasks beyond the running one
+    /// may occupy a worker's staging pipeline, so the next task's inputs
+    /// stage while the current kernel runs (the double-buffering the
+    /// paper's M2090s did in hardware). `0` still stages asynchronously
+    /// but without compute/copy overlap on the same worker.
+    pub lookahead_depth: usize,
 }
 
 impl RuntimeConfig {
@@ -56,6 +69,8 @@ impl Default for RuntimeConfig {
             noise_sigma: 0.05,
             max_task_retries: 3,
             fair_scheduling: false,
+            async_transfers: true,
+            lookahead_depth: 2,
         }
     }
 }
@@ -72,6 +87,8 @@ mod tests {
         assert!(!c.trace);
         assert_eq!(c.scheduler.label(), "ver");
         assert_eq!(c.max_task_retries, 3);
+        assert!(c.async_transfers, "staged transfers overlap by default");
+        assert_eq!(c.lookahead_depth, 2, "double-buffering depth");
     }
 
     #[test]

@@ -34,5 +34,7 @@ pub use config::RuntimeConfig;
 pub use graph::{TaskGraph, TaskNode, TaskState};
 pub use lanepool::LanePool;
 pub use native::{KernelCtx, NativeConfig};
-pub use report::{FailureReport, QuarantinedVersion, RunError, RunReport, TaskFailure};
+pub use report::{
+    FailureReport, QuarantinedVersion, RunError, RunReport, TaskFailure, WorkerTransferStats,
+};
 pub use runtime::{FreeError, NativeFn, Runtime, TaskSubmitter};

@@ -15,10 +15,10 @@
 
 use crate::assign::drain_pool;
 use crate::lanepool::LanePool;
-use crate::report::{FailureReport, RunError, TaskFailure};
+use crate::report::{FailureReport, RunError, TaskFailure, WorkerTransferStats};
 use crate::runtime::{EngineKind, NativeFn};
 use crate::{RunReport, Runtime};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::ops::Range;
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -26,7 +26,10 @@ use std::time::{Duration, Instant};
 use versa_core::{FailureKind, TaskId, TemplateId, VersionId, WorkerId};
 use versa_kernels::chunk_ranges;
 use versa_kernels::exec::{LaneExec, SerialExec};
-use versa_mem::{AccessMode, AlignedBuf, Arena, DataId, Region, TransferStats};
+use versa_mem::{
+    AccessMode, AlignedBuf, Arena, DataId, HandleState, MemSpace, ReadyCell, Region, StagingLedger,
+    Transfer, TransferStats,
+};
 
 /// Native-engine sizing.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -37,12 +40,21 @@ pub struct NativeConfig {
     pub gpus: usize,
     /// Cores an emulated GPU kernel may parallelize over.
     pub gpu_lanes: usize,
+    /// Emulated interconnect bandwidth in bytes/second: each planned
+    /// transfer takes at least `bytes / link_bandwidth` wall time (the
+    /// memcpy runs, then the mover sleeps off the residual). `None`
+    /// (default) moves bytes at memcpy speed — the historical behaviour.
+    /// Real machines pay PCIe for every copy; our in-process "devices"
+    /// otherwise copy at DRAM speed, which makes transfer scheduling
+    /// decisions invisible. Applied identically on the synchronous and
+    /// asynchronous staging paths.
+    pub link_bandwidth: Option<u64>,
 }
 
 impl NativeConfig {
     /// `smp` SMP workers + `gpus` emulated GPUs with the default 4 lanes.
     pub fn new(smp: usize, gpus: usize) -> NativeConfig {
-        NativeConfig { smp_workers: smp, gpus, gpu_lanes: 4 }
+        NativeConfig { smp_workers: smp, gpus, gpu_lanes: 4, link_bandwidth: None }
     }
 
     /// Validate the configuration. Shape problems (no workers, zero-lane
@@ -55,6 +67,9 @@ impl NativeConfig {
         }
         if self.gpus > 0 && self.gpu_lanes == 0 {
             return Err("emulated GPUs need at least one lane".into());
+        }
+        if self.link_bandwidth == Some(0) {
+            return Err("link_bandwidth must be positive (use None for unthrottled)".into());
         }
         Ok(())
     }
@@ -245,6 +260,26 @@ enum Msg {
     Stop,
 }
 
+/// Extract a readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "kernel panicked".to_string())
+}
+
+/// Sleep off the residual of an emulated link budget: a transfer of
+/// `bytes` bytes must take at least `bytes / bw` seconds of wall time,
+/// of which `spent` already elapsed in the memcpy.
+fn throttle_link(link_bandwidth: Option<u64>, bytes: u64, spent: Duration) {
+    let Some(bw) = link_bandwidth else { return };
+    let budget = Duration::from_secs_f64(bytes as f64 / bw as f64);
+    if let Some(residual) = budget.checked_sub(spent) {
+        std::thread::sleep(residual);
+    }
+}
+
 /// One worker thread: receive tasks, run kernels against this worker's
 /// arena space, report wall-clock kernel durations. Multi-lane workers
 /// build their lane pool here, once, before the first task arrives.
@@ -266,13 +301,7 @@ fn worker_loop(
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             execute_item(item, &arena, space, exec)
         }))
-        .map_err(|payload| {
-            payload
-                .downcast_ref::<String>()
-                .cloned()
-                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
-                .unwrap_or_else(|| "kernel panicked".to_string())
-        });
+        .map_err(panic_message);
         done.send((wid, task, outcome)).expect("coordinator hung up");
     }
 }
@@ -339,7 +368,27 @@ fn execute_item(
 /// With `max_dispatch` set, at most that many tasks are dispatched this
 /// call (a *wave*); everything dispatched drains before returning, and
 /// ready tasks beyond the budget stay pooled in the runtime.
+///
+/// Two data-movement modes, selected by
+/// [`RuntimeConfig::async_transfers`](crate::RuntimeConfig):
+/// the historical synchronous path performs every copy-in on the
+/// coordinator before dispatch; the overlapped path (default) plans
+/// transfers on the coordinator but executes the byte movement on
+/// per-worker staging lanes, with a bounded lookahead so the next task's
+/// inputs stage under the current kernel (DESIGN.md §2.2).
 pub(crate) fn run_native(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunReport, RunError> {
+    if rt.config.async_transfers {
+        run_native_async(rt, max_dispatch)
+    } else {
+        run_native_sync(rt, max_dispatch)
+    }
+}
+
+/// The fully synchronous engine: copy-ins happen on the coordinator
+/// thread, in plan order, before each dispatch. Kept byte-identical to
+/// the pre-staging behaviour (same `TransferStats`, same assignment
+/// order) as the fallback for `async_transfers = false`.
+fn run_native_sync(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunReport, RunError> {
     let EngineKind::Native { cfg, arena } = &rt.engine else {
         unreachable!("run_native on a non-native runtime")
     };
@@ -351,6 +400,7 @@ pub(crate) fn run_native(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<
     let mut version_counts: HashMap<(TemplateId, VersionId), u64> = HashMap::new();
     let mut worker_counts = vec![0u64; rt.workers.len()];
     let mut worker_busy = vec![Duration::ZERO; rt.workers.len()];
+    let mut worker_transfers = vec![WorkerTransferStats::default(); rt.workers.len()];
     let mut tasks_executed = 0u64;
     let budget = max_dispatch.unwrap_or(u64::MAX);
     let mut dispatched = 0u64;
@@ -389,7 +439,8 @@ pub(crate) fn run_native(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<
         let dispatch = |rt: &mut Runtime,
                             in_flight: &mut usize,
                             dispatched: &mut u64,
-                            stats: &mut TransferStats| {
+                            stats: &mut TransferStats,
+                            worker_transfers: &mut Vec<WorkerTransferStats>| {
             let newly = rt.graph.take_newly_ready();
             rt.pending.extend(newly);
             let remaining = budget - *dispatched;
@@ -413,12 +464,20 @@ pub(crate) fn run_native(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<
                 rt.fair.note_dispatched(&rt.graph, assigned.iter().map(|(t, _)| t));
             }
             for (tid, a) in assigned {
-                let space = rt.workers[a.worker.index()].info.space;
+                let wi = a.worker.index();
+                let space = rt.workers[wi].info.space;
                 let accesses = rt.graph.node(tid).instance.accesses.clone();
                 for (region, mode) in &accesses {
                     if let Some(t) = rt.directory.acquire(region.data, space, *mode) {
+                        let t0 = Instant::now();
                         arena.perform(&t);
+                        throttle_link(cfg.link_bandwidth, t.bytes, t0.elapsed());
                         stats.record(t.kind(), t.bytes);
+                        let wt = &mut worker_transfers[wi];
+                        wt.staged_bytes += t.bytes;
+                        wt.staged_count += 1;
+                        wt.stage_time += t0.elapsed();
+                        rt.scheduler.transfer_done(t.to, t.bytes, t0.elapsed());
                     }
                     if mode.writes() {
                         // Output-only accesses get no copy-in, but the
@@ -446,7 +505,7 @@ pub(crate) fn run_native(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<
             }
         };
 
-        dispatch(rt, &mut in_flight, &mut dispatched, &mut stats);
+        dispatch(rt, &mut in_flight, &mut dispatched, &mut stats, &mut worker_transfers);
 
         while !rt.graph.all_done() {
             if in_flight == 0 && dispatched >= budget {
@@ -478,6 +537,7 @@ pub(crate) fn run_native(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<
                         .or_insert(0) += 1;
                     worker_counts[wid.index()] += 1;
                     worker_busy[wid.index()] += measured;
+                    worker_transfers[wid.index()].compute_time += measured;
                     tasks_executed += 1;
                 }
                 Err(msg) => {
@@ -511,7 +571,7 @@ pub(crate) fn run_native(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<
                 }
             }
 
-            dispatch(rt, &mut in_flight, &mut dispatched, &mut stats);
+            dispatch(rt, &mut in_flight, &mut dispatched, &mut stats, &mut worker_transfers);
         }
 
         for tx in &work_txs {
@@ -524,8 +584,11 @@ pub(crate) fn run_native(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<
     // wave skips it too, leaving data in place for the next wave.
     if abort.is_none() && rt.config.flush_on_wait && rt.graph.all_done() {
         for t in rt.directory.flush_all_to_host() {
+            let t0 = Instant::now();
             arena.perform(&t);
+            throttle_link(cfg.link_bandwidth, t.bytes, t0.elapsed());
             stats.record(t.kind(), t.bytes);
+            rt.scheduler.transfer_done(t.to, t.bytes, t0.elapsed());
         }
     }
 
@@ -538,6 +601,665 @@ pub(crate) fn run_native(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<
         version_counts,
         worker_task_counts: worker_counts,
         worker_busy,
+        worker_transfers,
+        completed: rt.graph.all_done(),
+        profile_table: rt
+            .scheduler
+            .as_versioning()
+            .map(|v| v.profiles().render_table(&rt.templates)),
+        trace: None,
+        failures,
+    };
+    match abort {
+        Some((task, message)) => {
+            Err(RunError { task, kind: FailureKind::Panic, message, report: Box::new(report) })
+        }
+        None => Ok(report),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Overlapped transfer pipeline (async_transfers = true)
+// ---------------------------------------------------------------------------
+//
+// Per worker, two pipeline threads replace the single worker thread:
+//
+//   coordinator ──plan──▶ outbox ──▶ stager ──▶ exec ──done──▶ coordinator
+//
+// The coordinator still performs every directory transition (acquire,
+// snapshot, rollback) single-threaded, in plan order — decisions stay
+// deterministic. What moves off the coordinator is the byte movement:
+// each planned task becomes a `StagedItem` whose `StageOp`s the worker's
+// *stager* thread executes (waiting on in-flight sources via the
+// `StagingLedger`'s `ReadyCell`s), after which the item flows to the
+// *exec* thread that runs the kernel. At most `lookahead_depth + 1`
+// items occupy a worker's pipeline, so the next task's inputs stage
+// while the current kernel computes.
+
+/// One step of a staged item's pre-kernel pipeline, planned by the
+/// coordinator, executed by the destination worker's stager.
+enum StageOp {
+    /// Move bytes: wait for the source copy if it is itself in flight,
+    /// perform the transfer, publish the destination cell.
+    Copy {
+        t: Transfer,
+        wait_src: Option<Arc<ReadyCell>>,
+        publish: Arc<ReadyCell>,
+        /// Test hook: panic instead of copying (see
+        /// [`Runtime::inject_stage_fault`]).
+        inject_fault: bool,
+    },
+    /// The datum is already directory-valid in this space, but its bytes
+    /// may still be in flight from an earlier concurrent reader's staged
+    /// copy — wait for that copy to land.
+    WaitLocal(Arc<ReadyCell>),
+    /// Allocate zeroed backing for an output-only access.
+    Ensure { data: DataId, len: usize },
+}
+
+/// A planned task travelling through one worker's staging pipeline.
+struct StagedItem {
+    task: TaskId,
+    kernel: NativeFn,
+    accesses: Vec<(Region, AccessMode)>,
+    ops: Vec<StageOp>,
+}
+
+/// If an item is dropped without being staged (coordinator unwound with
+/// the item still in an outbox), its publish cells must resolve — a
+/// stager on another worker may be blocked waiting on one.
+impl Drop for StagedItem {
+    fn drop(&mut self) {
+        for op in &self.ops {
+            if let StageOp::Copy { publish, .. } = op {
+                publish.publish_failed_if_pending("staged item dropped before execution");
+            }
+        }
+    }
+}
+
+enum StageMsg {
+    Work(StagedItem),
+    Stop,
+}
+
+enum ExecMsg {
+    Run {
+        task: TaskId,
+        kernel: NativeFn,
+        accesses: Vec<(Region, AccessMode)>,
+        /// Total staging time, ns.
+        stage_ns: u64,
+        /// Per-copy `(start, end)` offsets from the run's epoch, ns.
+        stage_spans: Vec<(u64, u64)>,
+        /// Per-copy `(bytes, ns)` bandwidth samples.
+        samples: Vec<(u64, u64)>,
+    },
+    Failed {
+        task: TaskId,
+        msg: String,
+        /// True when this task did not fail itself but observed another
+        /// task's staging failure (its copy source, or a local cell) —
+        /// it is requeued without charging a retry.
+        upstream: bool,
+    },
+    Stop,
+}
+
+/// What the exec thread reports back to the coordinator per task.
+enum Outcome {
+    Done {
+        kernel: Duration,
+        /// Kernel `(start, end)` offsets from the run's epoch, ns.
+        kernel_span: (u64, u64),
+        stage_ns: u64,
+        stage_spans: Vec<(u64, u64)>,
+        samples: Vec<(u64, u64)>,
+    },
+    Panicked(String),
+    StageFailed { msg: String, upstream: bool },
+}
+
+/// Undo record for one task's optimistic directory updates, applied in
+/// reverse push order when its staging fails.
+enum Rollback {
+    /// Undo a read copy-in. Commutative across concurrently failing
+    /// readers (each only removes its own destination space).
+    Retract(DataId, MemSpace),
+    /// Undo a write acquire with an exact pre-acquire snapshot. Exact
+    /// restore is safe because the graph serializes every writer against
+    /// all other accessors of the datum — no concurrent planner can have
+    /// touched the entry in between.
+    Restore(DataId, HandleState),
+}
+
+/// The staging lane of one worker: executes `StageOp`s in plan order,
+/// then forwards the item to the exec thread (or a failure notice, so
+/// per-worker completion order stays FIFO).
+fn stager_loop(
+    rx: mpsc::Receiver<StageMsg>,
+    tx: mpsc::Sender<ExecMsg>,
+    arena: Arc<Arena>,
+    space: MemSpace,
+    link_bandwidth: Option<u64>,
+    wall0: Instant,
+) {
+    while let Ok(StageMsg::Work(mut item)) = rx.recv() {
+        let task = item.task;
+        let kernel = item.kernel.clone();
+        let accesses = std::mem::take(&mut item.accesses);
+        // Taking the ops out disarms StagedItem's drop guard; from here
+        // every cell is resolved explicitly.
+        let mut ops = std::mem::take(&mut item.ops).into_iter();
+        drop(item);
+
+        let mut stage_ns = 0u64;
+        let mut stage_spans: Vec<(u64, u64)> = Vec::new();
+        let mut samples: Vec<(u64, u64)> = Vec::new();
+        let mut failure: Option<(String, bool)> = None;
+        for op in ops.by_ref() {
+            match op {
+                StageOp::WaitLocal(cell) => {
+                    if let Err(msg) = cell.wait() {
+                        failure = Some((format!("upstream staging failed: {msg}"), true));
+                        break;
+                    }
+                }
+                StageOp::Ensure { data, len } => arena.ensure(data, space, len),
+                StageOp::Copy { t, wait_src, publish, inject_fault } => {
+                    debug_assert_eq!(t.to, space, "copy planned onto the wrong lane");
+                    if let Some(src) = wait_src {
+                        if let Err(msg) = src.wait() {
+                            let msg = format!("upstream staging failed: {msg}");
+                            publish.publish_failed(msg.clone());
+                            failure = Some((msg, true));
+                            break;
+                        }
+                    }
+                    let start = wall0.elapsed();
+                    let moved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        if inject_fault {
+                            panic!("injected staging fault for {:?}", t.data);
+                        }
+                        arena.perform(&t);
+                    }));
+                    match moved {
+                        Ok(()) => {
+                            throttle_link(link_bandwidth, t.bytes, wall0.elapsed() - start);
+                            let end = wall0.elapsed();
+                            let took = end - start;
+                            stage_ns += took.as_nanos() as u64;
+                            stage_spans.push((start.as_nanos() as u64, end.as_nanos() as u64));
+                            samples.push((t.bytes, took.as_nanos() as u64));
+                            publish.publish_ok();
+                        }
+                        Err(payload) => {
+                            let msg = panic_message(payload);
+                            publish.publish_failed(msg.clone());
+                            failure = Some((msg, false));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let sent = match failure {
+            Some((msg, upstream)) => {
+                // Poison the copies this item never attempted, so
+                // cross-worker waiters observe failure instead of
+                // hanging; the coordinator rolls all of them back.
+                for op in ops {
+                    if let StageOp::Copy { publish, .. } = &op {
+                        publish.publish_failed("abandoned after earlier staging failure");
+                    }
+                }
+                tx.send(ExecMsg::Failed { task, msg, upstream })
+            }
+            None => tx.send(ExecMsg::Run { task, kernel, accesses, stage_ns, stage_spans, samples }),
+        };
+        if sent.is_err() {
+            return; // exec thread gone: coordinator is unwinding
+        }
+    }
+    let _ = tx.send(ExecMsg::Stop);
+}
+
+/// The exec thread of one worker: runs kernels against fully staged
+/// data, forwards staging failures unchanged (keeping completion order
+/// FIFO), reports outcomes with wall-clock spans for overlap accounting.
+fn exec_loop(
+    rx: mpsc::Receiver<ExecMsg>,
+    done: mpsc::Sender<(WorkerId, TaskId, Outcome)>,
+    arena: Arc<Arena>,
+    space: MemSpace,
+    lanes: usize,
+    wid: WorkerId,
+    wall0: Instant,
+) {
+    let pool = (lanes > 1).then(|| LanePool::new(lanes));
+    let exec: &dyn LaneExec = match &pool {
+        Some(pool) => pool,
+        None => &SerialExec,
+    };
+    while let Ok(msg) = rx.recv() {
+        let (task, outcome) = match msg {
+            ExecMsg::Stop => break,
+            ExecMsg::Failed { task, msg, upstream } => {
+                (task, Outcome::StageFailed { msg, upstream })
+            }
+            ExecMsg::Run { task, kernel, accesses, stage_ns, stage_spans, samples } => {
+                let start = wall0.elapsed();
+                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    execute_item(WorkItem { task, kernel, accesses }, &arena, space, exec)
+                }));
+                let end = wall0.elapsed();
+                let outcome = match res {
+                    Ok(kernel) => Outcome::Done {
+                        kernel,
+                        kernel_span: (start.as_nanos() as u64, end.as_nanos() as u64),
+                        stage_ns,
+                        stage_spans,
+                        samples,
+                    },
+                    Err(payload) => Outcome::Panicked(panic_message(payload)),
+                };
+                (task, outcome)
+            }
+        };
+        done.send((wid, task, outcome)).expect("coordinator hung up");
+    }
+}
+
+/// Nanoseconds of `stage` spans that intersect any `kernel` span —
+/// staging time hidden under compute. Kernel spans are merged first;
+/// stage spans never overlap each other (one sequential stager).
+fn overlap_ns(kernel: &mut [(u64, u64)], stage: &[(u64, u64)]) -> u64 {
+    kernel.sort_unstable();
+    let mut merged: Vec<(u64, u64)> = Vec::with_capacity(kernel.len());
+    for &(s, e) in kernel.iter() {
+        match merged.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    let mut total = 0u64;
+    for &(s, e) in stage {
+        // First merged kernel interval that ends after this stage span
+        // starts; walk forward while intervals still intersect it.
+        let mut i = merged.partition_point(|&(_, ke)| ke <= s);
+        while i < merged.len() && merged[i].0 < e {
+            total += e.min(merged[i].1) - s.max(merged[i].0);
+            i += 1;
+        }
+    }
+    total
+}
+
+/// The overlapped engine: coordinator-planned, worker-staged transfers
+/// with bounded per-worker lookahead. See the module comment above and
+/// DESIGN.md §2.2 for the protocol and its invariants.
+fn run_native_async(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunReport, RunError> {
+    let EngineKind::Native { cfg, arena } = &rt.engine else {
+        unreachable!("run_native on a non-native runtime")
+    };
+    let cfg = cfg.clone();
+    let arena = Arc::clone(arena);
+    let wall0 = Instant::now();
+    let n_workers = rt.workers.len();
+    // The running task plus `lookahead_depth` staging successors.
+    let inflight_cap = rt.config.lookahead_depth + 1;
+
+    let mut stats = TransferStats::default();
+    let mut version_counts: HashMap<(TemplateId, VersionId), u64> = HashMap::new();
+    let mut worker_counts = vec![0u64; n_workers];
+    let mut worker_busy = vec![Duration::ZERO; n_workers];
+    let mut worker_transfers = vec![WorkerTransferStats::default(); n_workers];
+    let mut kernel_spans: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n_workers];
+    let mut stage_spans: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n_workers];
+    let mut tasks_executed = 0u64;
+    let budget = max_dispatch.unwrap_or(u64::MAX);
+    let mut dispatched = 0u64;
+    let mut failures = FailureReport::default();
+    let mut attempts: HashMap<TaskId, u32> = HashMap::new();
+    let mut abort: Option<(TaskId, String)> = None;
+    let mut ledger = StagingLedger::new();
+    let mut rollbacks: HashMap<TaskId, Vec<Rollback>> = HashMap::new();
+
+    let (done_tx, done_rx) = mpsc::channel();
+
+    std::thread::scope(|scope| {
+        // As in the sync engine, every sender lives inside the scope so
+        // a coordinator panic unwinds cleanly: dropping the outboxes
+        // resolves their cells (StagedItem's drop guard), dropping
+        // `stage_txs` stops the stagers, which drop their exec senders,
+        // which stops the exec threads.
+        let mut stage_txs: Vec<mpsc::Sender<StageMsg>> = Vec::with_capacity(n_workers);
+        for w in rt.workers.iter() {
+            let (stage_tx, stage_rx) = mpsc::channel();
+            let (exec_tx, exec_rx) = mpsc::channel();
+            stage_txs.push(stage_tx);
+            let info = w.info;
+            let lanes = if info.device.shares_host_memory() { 1 } else { cfg.gpu_lanes };
+            let done = done_tx.clone();
+            let stager_arena = Arc::clone(&arena);
+            let exec_arena = Arc::clone(&arena);
+            let link = cfg.link_bandwidth;
+            scope.spawn(move || stager_loop(stage_rx, exec_tx, stager_arena, info.space, link, wall0));
+            scope.spawn(move || exec_loop(exec_rx, done, exec_arena, info.space, lanes, info.id, wall0));
+        }
+        drop(done_tx);
+
+        // Planned items not yet admitted to a lane, and the number
+        // admitted and not yet completed (bounded by `inflight_cap`).
+        let mut outbox: Vec<VecDeque<StagedItem>> =
+            (0..n_workers).map(|_| VecDeque::new()).collect();
+        let mut lane_busy = vec![0usize; n_workers];
+        let mut in_flight = 0usize;
+
+        // Plan everything currently assignable within the wave budget:
+        // run the scheduler, perform directory transitions, record the
+        // rollback ledger, and queue `StagedItem`s — no byte movement.
+        let plan = |rt: &mut Runtime,
+                    in_flight: &mut usize,
+                    dispatched: &mut u64,
+                    stats: &mut TransferStats,
+                    worker_transfers: &mut Vec<WorkerTransferStats>,
+                    ledger: &mut StagingLedger,
+                    rollbacks: &mut HashMap<TaskId, Vec<Rollback>>,
+                    outbox: &mut Vec<VecDeque<StagedItem>>| {
+            let newly = rt.graph.take_newly_ready();
+            rt.pending.extend(newly);
+            let remaining = budget - *dispatched;
+            if remaining == 0 {
+                return;
+            }
+            if rt.config.fair_scheduling {
+                rt.fair.order(&mut rt.pending, &rt.graph);
+            }
+            let assigned = drain_pool(
+                &mut rt.pending,
+                rt.scheduler.as_mut(),
+                &rt.templates,
+                &mut rt.workers,
+                &rt.directory,
+                &mut rt.graph,
+                (budget != u64::MAX).then_some(remaining as usize),
+            );
+            *dispatched += assigned.len() as u64;
+            if rt.config.fair_scheduling {
+                rt.fair.note_dispatched(&rt.graph, assigned.iter().map(|(t, _)| t));
+            }
+            for (tid, a) in assigned {
+                let wi = a.worker.index();
+                let space = rt.workers[wi].info.space;
+                let accesses = rt.graph.node(tid).instance.accesses.clone();
+                let mut ops: Vec<StageOp> = Vec::new();
+                let mut rb: Vec<Rollback> = Vec::new();
+                for (region, mode) in &accesses {
+                    let data = region.data;
+                    if mode.writes() {
+                        if let Some(snap) = rt.directory.snapshot(data) {
+                            rb.push(Rollback::Restore(data, snap));
+                        }
+                    }
+                    if let Some(t) = rt.directory.acquire(data, space, *mode) {
+                        if !mode.writes() {
+                            // A pure read copy-in rolls back by
+                            // retraction; a write's snapshot (above)
+                            // already covers its transfer.
+                            rb.push(Rollback::Retract(data, space));
+                        }
+                        let (wait_src, publish) = ledger.plan_copy(&t);
+                        let inject_fault = rt.take_stage_fault(data);
+                        // Counted at plan time, in plan order — exactly
+                        // where the sync path records them, so fault-free
+                        // runs produce identical TransferStats.
+                        stats.record(t.kind(), t.bytes);
+                        let wt = &mut worker_transfers[wi];
+                        wt.staged_bytes += t.bytes;
+                        wt.staged_count += 1;
+                        ops.push(StageOp::Copy { t, wait_src, publish, inject_fault });
+                    } else if mode.reads() {
+                        if let Some(cell) = ledger.pending(data, space) {
+                            ops.push(StageOp::WaitLocal(cell));
+                        }
+                    }
+                    if mode.writes() {
+                        // Plan-order invariant: a writer's datum has no
+                        // pending cells (the graph serialized all prior
+                        // accessors); drop stale failed cells so they
+                        // stop gating future readers.
+                        ledger.note_write(data);
+                        ops.push(StageOp::Ensure {
+                            data,
+                            len: rt.directory.bytes(data) as usize,
+                        });
+                    }
+                }
+                rollbacks.insert(tid, rb);
+                let template = rt.graph.node(tid).instance.template;
+                let kernel = rt
+                    .kernels
+                    .get(&(template, a.version))
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "no native kernel bound for ({:?}, {:?})",
+                            rt.templates.get(template).name,
+                            a.version
+                        )
+                    })
+                    .clone();
+                rt.graph.mark_running(tid);
+                outbox[wi].push_back(StagedItem { task: tid, kernel, accesses, ops });
+                *in_flight += 1;
+            }
+        };
+
+        // Admit queued items to each lane up to the lookahead cap.
+        let pump = |outbox: &mut Vec<VecDeque<StagedItem>>, lane_busy: &mut Vec<usize>| {
+            for wi in 0..n_workers {
+                while lane_busy[wi] < inflight_cap {
+                    let Some(item) = outbox[wi].pop_front() else { break };
+                    stage_txs[wi].send(StageMsg::Work(item)).expect("staging lane died");
+                    lane_busy[wi] += 1;
+                }
+            }
+        };
+
+        plan(
+            rt,
+            &mut in_flight,
+            &mut dispatched,
+            &mut stats,
+            &mut worker_transfers,
+            &mut ledger,
+            &mut rollbacks,
+            &mut outbox,
+        );
+        pump(&mut outbox, &mut lane_busy);
+
+        while !rt.graph.all_done() {
+            if in_flight == 0 && dispatched >= budget {
+                break; // wave budget spent, everything dispatched drained
+            }
+            assert!(
+                in_flight > 0,
+                "native engine stalled with {} live tasks and {} pooled tasks",
+                rt.graph.live_tasks(),
+                rt.pending.len()
+            );
+            let (wid, tid, outcome) = done_rx.recv().expect("all workers died");
+            in_flight -= 1;
+            let wi = wid.index();
+            lane_busy[wi] -= 1;
+
+            let q = rt.workers[wi]
+                .start_next()
+                .expect("completion from a worker with an empty queue");
+            assert_eq!(q.task, tid, "worker completions must be FIFO");
+            rt.workers[wi].finish(tid);
+
+            match outcome {
+                Outcome::Done { kernel, kernel_span, stage_ns, stage_spans: spans, samples } => {
+                    rollbacks.remove(&tid);
+                    rt.graph.complete(tid, wid);
+                    let assignment =
+                        rt.graph.node(tid).assignment.expect("completed task was assigned");
+                    rt.scheduler.task_finished(&rt.graph.node(tid).instance, assignment, kernel);
+                    let space = rt.workers[wi].info.space;
+                    for (bytes, ns) in samples {
+                        rt.scheduler.transfer_done(space, bytes, Duration::from_nanos(ns));
+                    }
+                    *version_counts
+                        .entry((rt.graph.node(tid).instance.template, assignment.version))
+                        .or_insert(0) += 1;
+                    worker_counts[wi] += 1;
+                    worker_busy[wi] += kernel;
+                    let wt = &mut worker_transfers[wi];
+                    wt.compute_time += kernel;
+                    wt.stage_time += Duration::from_nanos(stage_ns);
+                    kernel_spans[wi].push(kernel_span);
+                    stage_spans[wi].extend(spans);
+                    tasks_executed += 1;
+                }
+                Outcome::Panicked(msg) => {
+                    // Kernel panic: staging succeeded, so the directory's
+                    // optimistic state is real — no rollback, same
+                    // accounting as the sync engine.
+                    rollbacks.remove(&tid);
+                    let assignment =
+                        rt.graph.node(tid).assignment.expect("failed task was assigned");
+                    let attempt = {
+                        let n = attempts.entry(tid).or_insert(0);
+                        *n += 1;
+                        *n
+                    };
+                    failures.events.push(TaskFailure {
+                        task: tid,
+                        template: rt.graph.node(tid).instance.template,
+                        version: assignment.version,
+                        worker: wid,
+                        kind: FailureKind::Panic,
+                        message: msg.clone(),
+                        attempt,
+                    });
+                    rt.scheduler.task_failed(
+                        &rt.graph.node(tid).instance,
+                        assignment,
+                        FailureKind::Panic,
+                    );
+                    if attempt > rt.config.max_task_retries {
+                        abort = Some((tid, msg));
+                        break;
+                    }
+                    rt.graph.requeue(tid);
+                    failures.retries += 1;
+                }
+                Outcome::StageFailed { msg, upstream } => {
+                    // The kernel never ran: undo this task's optimistic
+                    // directory updates (LIFO, so a same-task read
+                    // copy-in preceding a write acquire of the same
+                    // datum unwinds correctly), then requeue.
+                    if let Some(rb) = rollbacks.remove(&tid) {
+                        for op in rb.into_iter().rev() {
+                            match op {
+                                Rollback::Retract(d, s) => rt.directory.retract(d, s),
+                                Rollback::Restore(d, st) => rt.directory.restore(d, st),
+                            }
+                        }
+                    }
+                    if upstream {
+                        // Collateral of another task's staging failure:
+                        // replan without charging this task an attempt —
+                        // the origin task's retry budget bounds the
+                        // cascade.
+                        rt.graph.requeue(tid);
+                    } else {
+                        let assignment =
+                            rt.graph.node(tid).assignment.expect("failed task was assigned");
+                        let attempt = {
+                            let n = attempts.entry(tid).or_insert(0);
+                            *n += 1;
+                            *n
+                        };
+                        failures.events.push(TaskFailure {
+                            task: tid,
+                            template: rt.graph.node(tid).instance.template,
+                            version: assignment.version,
+                            worker: wid,
+                            kind: FailureKind::Panic,
+                            message: msg.clone(),
+                            attempt,
+                        });
+                        rt.scheduler.task_failed(
+                            &rt.graph.node(tid).instance,
+                            assignment,
+                            FailureKind::Panic,
+                        );
+                        if attempt > rt.config.max_task_retries {
+                            abort = Some((tid, msg));
+                            break;
+                        }
+                        rt.graph.requeue(tid);
+                        failures.retries += 1;
+                    }
+                }
+            }
+
+            ledger.prune();
+            plan(
+                rt,
+                &mut in_flight,
+                &mut dispatched,
+                &mut stats,
+                &mut worker_transfers,
+                &mut ledger,
+                &mut rollbacks,
+                &mut outbox,
+            );
+            pump(&mut outbox, &mut lane_busy);
+        }
+
+        // Flush every outbox before stopping (reached on abort, or when
+        // a wave budget leaves planned items unadmitted): a queued item
+        // may hold the publish cell a blocked stager is waiting on.
+        for (wi, q) in outbox.iter_mut().enumerate() {
+            while let Some(item) = q.pop_front() {
+                if stage_txs[wi].send(StageMsg::Work(item)).is_err() {
+                    break;
+                }
+            }
+        }
+        for tx in &stage_txs {
+            let _ = tx.send(StageMsg::Stop);
+        }
+    });
+
+    if abort.is_none() && rt.config.flush_on_wait && rt.graph.all_done() {
+        for t in rt.directory.flush_all_to_host() {
+            let t0 = Instant::now();
+            arena.perform(&t);
+            throttle_link(cfg.link_bandwidth, t.bytes, t0.elapsed());
+            stats.record(t.kind(), t.bytes);
+            rt.scheduler.transfer_done(t.to, t.bytes, t0.elapsed());
+        }
+    }
+
+    for wi in 0..n_workers {
+        worker_transfers[wi].overlap_time =
+            Duration::from_nanos(overlap_ns(&mut kernel_spans[wi], &stage_spans[wi]));
+    }
+
+    failures.quarantined = rt.quarantined_versions();
+    let report = RunReport {
+        scheduler: rt.scheduler.name().to_string(),
+        makespan: wall0.elapsed(),
+        tasks_executed,
+        transfers: stats,
+        version_counts,
+        worker_task_counts: worker_counts,
+        worker_busy,
+        worker_transfers,
         completed: rt.graph.all_done(),
         profile_table: rt
             .scheduler
@@ -561,9 +1283,17 @@ mod tests {
     #[test]
     fn native_config_validation() {
         assert!(NativeConfig::new(2, 1).validate().is_ok());
-        assert!(NativeConfig { smp_workers: 0, gpus: 0, gpu_lanes: 4 }.validate().is_err());
-        assert!(NativeConfig { smp_workers: 1, gpus: 1, gpu_lanes: 0 }.validate().is_err());
-        assert!(NativeConfig { smp_workers: 0, gpus: 1, gpu_lanes: 2 }.validate().is_ok());
+        assert!(NativeConfig { smp_workers: 0, gpus: 0, ..NativeConfig::new(0, 0) }
+            .validate()
+            .is_err());
+        assert!(NativeConfig { gpu_lanes: 0, ..NativeConfig::new(1, 1) }.validate().is_err());
+        assert!(NativeConfig { gpu_lanes: 2, ..NativeConfig::new(0, 1) }.validate().is_ok());
+        assert!(NativeConfig { link_bandwidth: Some(0), ..NativeConfig::new(1, 0) }
+            .validate()
+            .is_err());
+        assert!(NativeConfig { link_bandwidth: Some(1 << 30), ..NativeConfig::new(1, 1) }
+            .validate()
+            .is_ok());
     }
 
     #[test]
@@ -575,11 +1305,11 @@ mod tests {
 
     #[test]
     fn oversubscription_warns_but_validates() {
-        let c = NativeConfig { smp_workers: 1, gpus: 1, gpu_lanes: 100_000 };
+        let c = NativeConfig { gpu_lanes: 100_000, ..NativeConfig::new(1, 1) };
         assert!(c.validate().is_ok());
         assert!(!c.warnings().is_empty());
         // No GPUs → lane count is irrelevant, no warning either.
-        let smp_only = NativeConfig { smp_workers: 2, gpus: 0, gpu_lanes: 100_000 };
+        let smp_only = NativeConfig { gpu_lanes: 100_000, ..NativeConfig::new(2, 0) };
         assert!(smp_only.warnings().is_empty());
     }
 

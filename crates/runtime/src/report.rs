@@ -108,6 +108,48 @@ impl fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
+/// Per-worker data-movement breakdown for one run: how many bytes were
+/// staged into the worker's space for its tasks, how long the staging
+/// lane spent moving them, how long the worker computed, and how much of
+/// the staging time was hidden under kernel execution (the whole point
+/// of the overlapped transfer pipeline).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerTransferStats {
+    /// Bytes copied into this worker's space for its tasks.
+    pub staged_bytes: u64,
+    /// Number of staged copies.
+    pub staged_count: u64,
+    /// Wall (or virtual) time spent moving those bytes.
+    pub stage_time: Duration,
+    /// Wall (or virtual) time spent executing kernels.
+    pub compute_time: Duration,
+    /// Portion of `stage_time` that ran concurrently with a kernel on
+    /// the same worker (native async engine only; zero elsewhere).
+    pub overlap_time: Duration,
+}
+
+impl WorkerTransferStats {
+    /// Fraction (0..=1) of staging time hidden under compute. Zero when
+    /// the worker staged nothing.
+    pub fn overlap_ratio(&self) -> f64 {
+        if self.stage_time.is_zero() {
+            0.0
+        } else {
+            (self.overlap_time.as_secs_f64() / self.stage_time.as_secs_f64()).min(1.0)
+        }
+    }
+
+    /// Accumulate another breakdown into this one (used by the serving
+    /// layer to aggregate across waves).
+    pub fn merge(&mut self, other: &WorkerTransferStats) {
+        self.staged_bytes += other.staged_bytes;
+        self.staged_count += other.staged_count;
+        self.stage_time += other.stage_time;
+        self.compute_time += other.compute_time;
+        self.overlap_time += other.overlap_time;
+    }
+}
+
 /// Measurements of one `run()` (one taskwait region): the quantities
 /// behind every figure of the paper's §V — makespan (→ GFLOP/s or wall
 /// time), bytes transferred per category, and per-version execution
@@ -131,6 +173,9 @@ pub struct RunReport {
     /// Accumulated kernel time per worker, indexed by worker id —
     /// divide by `makespan` for per-worker utilization.
     pub worker_busy: Vec<Duration>,
+    /// Per-worker transfer breakdown (bytes staged, staging vs compute
+    /// time, overlap ratio), indexed by worker id.
+    pub worker_transfers: Vec<WorkerTransferStats>,
     /// Whether every submitted task finished in this run. Always true
     /// for a successful unbounded [`run()`](crate::Runtime::run); a
     /// bounded wave ([`run_bounded`](crate::Runtime::run_bounded)) may
@@ -233,6 +278,7 @@ mod tests {
             version_counts,
             worker_task_counts: vec![5, 5, 45, 45],
             worker_busy: vec![Duration::ZERO; 4],
+            worker_transfers: vec![WorkerTransferStats::default(); 4],
             completed: true,
             profile_table: None,
             trace: None,
@@ -261,6 +307,24 @@ mod tests {
         assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert!((shares[0] - 0.9).abs() < 1e-12);
         assert_eq!(r.version_shares(TemplateId(9), 2), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn overlap_ratio_is_hidden_share_of_stage_time() {
+        let mut w = WorkerTransferStats::default();
+        assert_eq!(w.overlap_ratio(), 0.0, "no staging → no ratio");
+        w.staged_bytes = 1000;
+        w.staged_count = 2;
+        w.stage_time = Duration::from_millis(100);
+        w.overlap_time = Duration::from_millis(75);
+        assert!((w.overlap_ratio() - 0.75).abs() < 1e-12);
+        let mut acc = WorkerTransferStats::default();
+        acc.merge(&w);
+        acc.merge(&w);
+        assert_eq!(acc.staged_bytes, 2000);
+        assert_eq!(acc.staged_count, 4);
+        assert_eq!(acc.stage_time, Duration::from_millis(200));
+        assert!((acc.overlap_ratio() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -90,6 +90,9 @@ pub struct Runtime {
     pub(crate) fair: FairState,
     /// Tag stamped onto subsequently submitted tasks (multi-job service).
     current_job: Option<JobTag>,
+    /// Test hook: pending injected staging faults per datum (native
+    /// engine, async mode). See [`Runtime::inject_stage_fault`].
+    pub(crate) stage_faults: HashMap<DataId, u32>,
     next_data: u32,
 }
 
@@ -135,6 +138,7 @@ impl Runtime {
             pending: VecDeque::new(),
             fair: FairState::default(),
             current_job: None,
+            stage_faults: HashMap::new(),
             next_data: 0,
         }
     }
@@ -162,6 +166,7 @@ impl Runtime {
             pending: VecDeque::new(),
             fair: FairState::default(),
             current_job: None,
+            stage_faults: HashMap::new(),
             next_data: 0,
         }
     }
@@ -482,6 +487,34 @@ impl Runtime {
             panic!("fault plans only apply to the simulated engine");
         };
         platform.faults = faults;
+    }
+
+    /// Arrange for the next `times` staged copies of `data` to panic
+    /// mid-transfer (native engine, `async_transfers` mode). This is the
+    /// staging analogue of the simulated engine's fault plans: it proves
+    /// a transfer-lane failure routes through the same
+    /// `task_failed`/retry/quarantine machinery as a kernel panic. The
+    /// sync path never consults it (its copies run on the coordinator),
+    /// and an empty plan leaves execution byte-identical.
+    pub fn inject_stage_fault(&mut self, data: DataId, times: u32) {
+        if times > 0 {
+            *self.stage_faults.entry(data).or_insert(0) += times;
+        }
+    }
+
+    /// Consume one pending staging fault for `data`, if any (called by
+    /// the async planner per planned copy).
+    pub(crate) fn take_stage_fault(&mut self, data: DataId) -> bool {
+        match self.stage_faults.get_mut(&data) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                if *n == 0 {
+                    self.stage_faults.remove(&data);
+                }
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Versions currently quarantined by the versioning scheduler

@@ -15,7 +15,7 @@
 //! aborts the run with a [`RunError`] carrying the partial report.
 
 use crate::assign::drain_pool;
-use crate::report::{FailureReport, RunError, TaskFailure};
+use crate::report::{FailureReport, RunError, TaskFailure, WorkerTransferStats};
 use crate::runtime::EngineKind;
 use crate::{RunReport, Runtime};
 use std::collections::{HashMap, HashSet};
@@ -53,6 +53,10 @@ struct SimState {
     version_counts: HashMap<(TemplateId, VersionId), u64>,
     worker_counts: Vec<u64>,
     worker_busy: Vec<Duration>,
+    /// Per-worker copy-in accounting (virtual time). `overlap_time`
+    /// stays zero here: the simulator models overlap via link/engine
+    /// occupancy rather than measuring wall-clock intersections.
+    worker_transfers: Vec<WorkerTransferStats>,
     tasks_executed: u64,
 }
 
@@ -97,6 +101,7 @@ pub(crate) fn run_sim(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<Run
         version_counts: HashMap::new(),
         worker_counts: vec![0; rt.workers.len()],
         worker_busy: vec![Duration::ZERO; rt.workers.len()],
+        worker_transfers: vec![WorkerTransferStats::default(); rt.workers.len()],
         tasks_executed: 0,
     };
     if rt.config.trace {
@@ -165,6 +170,7 @@ fn finish_report(rt: &mut Runtime, mut st: SimState, makespan: Duration) -> RunR
         version_counts: st.version_counts,
         worker_task_counts: st.worker_counts,
         worker_busy: st.worker_busy,
+        worker_transfers: st.worker_transfers,
         completed: rt.graph.all_done(),
         profile_table: rt
             .scheduler
@@ -189,6 +195,7 @@ fn on_completion(rt: &mut Runtime, st: &mut SimState, now: SimTime, wid: WorkerI
     }
     let measured = st.durations.remove(&tid).expect("in-flight task had a sampled duration");
     rt.scheduler.task_finished(&rt.graph.node(tid).instance, assignment, measured);
+    st.worker_transfers[wid.index()].compute_time += measured;
 
     *st.version_counts
         .entry((rt.graph.node(tid).instance.template, assignment.version))
@@ -340,12 +347,25 @@ fn stage_task_data(
     }
 
     let mut transfers = Vec::new();
+    let mut end = now;
     for (region, mode) in &accesses {
         if let Some(t) = rt.directory.acquire(region.data, space, *mode) {
+            // Per-transfer scheduling (same fold `schedule_all` does, so
+            // virtual-time results are unchanged) lets the scheduler
+            // observe each copy's modelled duration — feeding the same
+            // per-space bandwidth EWMA the native engine trains — and
+            // attributes the copy to the destination worker.
+            let t_end = st.xfer.schedule(&t, now);
+            let elapsed = t_end.as_duration().saturating_sub(now.as_duration());
+            rt.scheduler.transfer_done(t.to, t.bytes, elapsed);
+            let wt = &mut st.worker_transfers[worker.index()];
+            wt.staged_bytes += t.bytes;
+            wt.staged_count += 1;
+            wt.stage_time += elapsed;
+            end = end.max(t_end);
             transfers.push(t);
         }
     }
-    let end = st.xfer.schedule_all(&transfers, now);
     record_transfers(&mut st.trace, &transfers, now, end);
     deadline.max(end)
 }

@@ -7,6 +7,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 use versa_core::{TemplateId, VersionId};
+use versa_runtime::WorkerTransferStats;
 
 /// State shared between the service thread and every client handle.
 pub(crate) struct Shared {
@@ -39,6 +40,7 @@ pub(crate) struct Detail {
     pub version_counts: HashMap<(TemplateId, VersionId), u64>,
     pub worker_busy: Vec<Duration>,
     pub worker_task_counts: Vec<u64>,
+    pub worker_transfers: Vec<WorkerTransferStats>,
 }
 
 impl Shared {
@@ -62,6 +64,7 @@ impl Shared {
                 version_counts: HashMap::new(),
                 worker_busy: vec![Duration::ZERO; workers],
                 worker_task_counts: vec![0; workers],
+                worker_transfers: vec![WorkerTransferStats::default(); workers],
             }),
         }
     }
@@ -86,6 +89,7 @@ impl Shared {
             version_counts: detail.version_counts.clone(),
             worker_busy: detail.worker_busy.clone(),
             worker_task_counts: detail.worker_task_counts.clone(),
+            worker_transfers: detail.worker_transfers.clone(),
         }
     }
 }
@@ -125,6 +129,9 @@ pub struct MetricsSnapshot {
     pub worker_busy: Vec<Duration>,
     /// Tasks executed per worker.
     pub worker_task_counts: Vec<u64>,
+    /// Accumulated per-worker transfer staging breakdown (bytes staged,
+    /// staging vs compute time, overlap) across all waves.
+    pub worker_transfers: Vec<WorkerTransferStats>,
 }
 
 impl MetricsSnapshot {

@@ -335,6 +335,9 @@ fn note_wave(shared: &Shared, report: &RunReport) {
     for (i, n) in report.worker_task_counts.iter().enumerate() {
         detail.worker_task_counts[i] += n;
     }
+    for (i, wt) in report.worker_transfers.iter().enumerate() {
+        detail.worker_transfers[i].merge(wt);
+    }
 }
 
 fn job_done(rt: &Runtime, range: &Range<u64>) -> bool {

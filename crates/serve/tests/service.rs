@@ -191,7 +191,7 @@ fn sleepy_job(tpl: versa_core::TemplateId, tasks: usize, kernel_ms: u64) -> JobS
 fn native_backpressure_live_metrics_and_correct_results() {
     let mut rt = Runtime::native(
         RuntimeConfig::with_scheduler(SchedulerKind::DepAware),
-        NativeConfig { smp_workers: 1, gpus: 0, gpu_lanes: 1 },
+        NativeConfig { smp_workers: 1, gpus: 0, gpu_lanes: 1, link_bandwidth: None },
     );
     let tpl = rt.template("sleepy").main("sleepy_smp", &[DeviceKind::Smp]).register();
     rt.bind_native(tpl, VersionId(0), |ctx| {
@@ -249,7 +249,7 @@ fn native_backpressure_live_metrics_and_correct_results() {
 fn native_jobs_from_two_threads_interleave() {
     let mut rt = Runtime::native(
         RuntimeConfig::with_scheduler(SchedulerKind::DepAware),
-        NativeConfig { smp_workers: 2, gpus: 0, gpu_lanes: 1 },
+        NativeConfig { smp_workers: 2, gpus: 0, gpu_lanes: 1, link_bandwidth: None },
     );
     let tpl = rt.template("sleepy").main("sleepy_smp", &[DeviceKind::Smp]).register();
     rt.bind_native(tpl, VersionId(0), |ctx| {

@@ -32,7 +32,7 @@ fn main() {
             cfg,
             variant,
             sched,
-            NativeConfig { smp_workers: 2, gpus: 2, gpu_lanes: 4 },
+            NativeConfig { smp_workers: 2, gpus: 2, gpu_lanes: 4, link_bandwidth: None },
             42,
         );
         let err = data.max_error();

@@ -16,7 +16,7 @@ fn gpu_kernels_reuse_a_fixed_thread_set_across_tasks() {
 
     let mut rt = Runtime::native(
         RuntimeConfig::with_scheduler(SchedulerKind::DepAware),
-        NativeConfig { smp_workers: 0, gpus: 1, gpu_lanes: LANES },
+        NativeConfig { smp_workers: 0, gpus: 1, gpu_lanes: LANES, link_bandwidth: None },
     );
     let template = rt.template("lane_probe").main("lane_probe_gpu", &[DeviceKind::Cuda]).register();
 

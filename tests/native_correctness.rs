@@ -114,14 +114,14 @@ fn native_matmul_gpu_lanes_accelerate_the_emulated_gpu() {
         MM_SMALL,
         MatmulVariant::Gpu,
         SchedulerKind::DepAware,
-        NativeConfig { smp_workers: 0, gpus: 1, gpu_lanes: 4 },
+        NativeConfig { smp_workers: 0, gpus: 1, gpu_lanes: 4, link_bandwidth: None },
         21,
     );
     let (_, d2) = matmul::run_native(
         MM_SMALL,
         MatmulVariant::Gpu,
         SchedulerKind::DepAware,
-        NativeConfig { smp_workers: 0, gpus: 1, gpu_lanes: 1 },
+        NativeConfig { smp_workers: 0, gpus: 1, gpu_lanes: 1, link_bandwidth: None },
         21,
     );
     for (t1, t2) in d1.c.iter().zip(&d2.c) {

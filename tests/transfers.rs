@@ -1,0 +1,249 @@
+//! Overlapped-transfer semantics: the async staging pipeline must be
+//! *observationally equivalent* to the synchronous coordinator path —
+//! same numerics, same `TransferStats` — while staging failures route
+//! through the same recovery machinery as kernel panics.
+
+use versa::apps::matmul::{self, MatmulConfig, MatmulVariant};
+use versa::prelude::*;
+use versa::runtime::NativeConfig;
+
+fn small() -> MatmulConfig {
+    // nb = 4: 64 gemm tasks over 16+16+16 tiles of 48×48 f64.
+    MatmulConfig { n: 192, bs: 48 }
+}
+
+fn one_gpu() -> NativeConfig {
+    NativeConfig { smp_workers: 0, gpus: 1, gpu_lanes: 2, link_bandwidth: None }
+}
+
+fn runtime_config(async_transfers: bool, lookahead_depth: usize) -> RuntimeConfig {
+    let mut cfg = RuntimeConfig::with_scheduler(SchedulerKind::DepAware);
+    cfg.async_transfers = async_transfers;
+    cfg.lookahead_depth = lookahead_depth;
+    cfg
+}
+
+/// Golden regression for the synchronous path: with one GPU, every tile
+/// is copied up exactly once (48 inputs) and only the written `C` tiles
+/// flush back (16 outputs). Pins the historical count-at-dispatch
+/// accounting the async path must reproduce.
+#[test]
+fn sync_transfer_stats_match_golden() {
+    let (report, data) = matmul::run_native_with(
+        runtime_config(false, 0),
+        small(),
+        MatmulVariant::Gpu,
+        one_gpu(),
+        7,
+    );
+    let tile = 48 * 48 * 8u64;
+    assert_eq!(report.transfers.input_count, 48, "16 A + 16 B + 16 C copy-ins");
+    assert_eq!(report.transfers.input_bytes, 48 * tile);
+    assert_eq!(report.transfers.output_count, 16, "only written C tiles flush");
+    assert_eq!(report.transfers.output_bytes, 16 * tile);
+    assert_eq!(report.transfers.device_count, 0);
+    assert!(data.max_error() < 1e-9);
+}
+
+/// `async_transfers = false` vs `true` on a fixed seed: identical
+/// `TransferStats`, identical version counts, identical numerics. With a
+/// single worker the assignment trace is fully deterministic, so this is
+/// the strictest possible byte-identity check.
+#[test]
+fn async_path_reproduces_sync_transfer_stats_exactly() {
+    let (sync_report, sync_data) = matmul::run_native_with(
+        runtime_config(false, 0),
+        small(),
+        MatmulVariant::Gpu,
+        one_gpu(),
+        7,
+    );
+    for depth in [0, 2] {
+        let (async_report, async_data) = matmul::run_native_with(
+            runtime_config(true, depth),
+            small(),
+            MatmulVariant::Gpu,
+            one_gpu(),
+            7,
+        );
+        assert_eq!(
+            async_report.transfers, sync_report.transfers,
+            "async (depth {depth}) must move exactly the bytes the sync path moved"
+        );
+        assert_eq!(async_report.tasks_executed, sync_report.tasks_executed);
+        assert_eq!(async_report.version_counts, sync_report.version_counts);
+        assert_eq!(async_data.c, sync_data.c, "bitwise-identical results");
+    }
+}
+
+/// Independent tasks on two GPUs are all planned in the first dispatch
+/// round, in submission order, in both modes — so even a multi-worker
+/// run keeps deterministic, mode-independent transfer accounting.
+#[test]
+fn independent_tasks_have_deterministic_stats_across_modes_and_workers() {
+    let run = |async_transfers: bool| -> (TransferStats, Vec<Vec<f64>>) {
+        let mut cfg = runtime_config(async_transfers, 2);
+        cfg.flush_on_wait = true;
+        let mut rt = Runtime::native(
+            cfg,
+            NativeConfig { smp_workers: 0, gpus: 2, gpu_lanes: 1, link_bandwidth: None },
+        );
+        let tpl = rt.template("scale").main("scale_gpu", &[DeviceKind::Cuda]).register();
+        rt.bind_native(tpl, VersionId(0), |ctx| {
+            for v in ctx.f64_mut(1) {
+                *v += 1.0;
+            }
+        });
+        let tiles: Vec<(DataId, DataId)> = (0..8)
+            .map(|i| {
+                let a = rt.alloc_from_f64(&[i as f64; 16]);
+                let c = rt.alloc_from_f64(&[0.0; 16]);
+                (a, c)
+            })
+            .collect();
+        for &(a, c) in &tiles {
+            rt.task(tpl).read(a).read_write(c).submit();
+        }
+        let report = rt.run().expect("run failed");
+        let out = tiles.iter().map(|&(_, c)| rt.read_f64(c)).collect();
+        (report.transfers, out)
+    };
+    let (sync_stats, sync_out) = run(false);
+    let (async_stats, async_out) = run(true);
+    assert_eq!(async_stats, sync_stats);
+    assert_eq!(async_out, sync_out);
+    assert_eq!(sync_stats.input_count, 16, "8 A + 8 C copy-ins");
+    assert_eq!(sync_stats.output_count, 8, "written C tiles flush home");
+}
+
+/// Per-worker staging accounting: bytes and counts attributed to the
+/// worker whose lane moved them, stage/compute times populated, overlap
+/// never exceeding staging time.
+#[test]
+fn worker_transfer_breakdown_is_populated() {
+    let (report, _) = matmul::run_native_with(
+        runtime_config(true, 2),
+        small(),
+        MatmulVariant::Gpu,
+        // Throttle the emulated link so staging time is measurable.
+        NativeConfig { smp_workers: 0, gpus: 1, gpu_lanes: 2, link_bandwidth: Some(200_000_000) },
+        7,
+    );
+    assert_eq!(report.worker_transfers.len(), 1);
+    let wt = &report.worker_transfers[0];
+    let tile = 48 * 48 * 8u64;
+    assert_eq!(wt.staged_count, 48);
+    assert_eq!(wt.staged_bytes, 48 * tile);
+    assert!(wt.stage_time > std::time::Duration::ZERO);
+    assert!(wt.compute_time > std::time::Duration::ZERO);
+    assert!(wt.overlap_time <= wt.stage_time);
+    let ratio = wt.overlap_ratio();
+    assert!((0.0..=1.0).contains(&ratio), "overlap ratio {ratio} out of range");
+}
+
+/// An injected staging-lane fault is a first-class recoverable failure:
+/// logged as a `TaskFailure`, reported to the scheduler, retried after
+/// rollback — and the numerics still come out right.
+#[test]
+fn staging_fault_is_recovered_by_retry() {
+    let mut rt = Runtime::native(runtime_config(true, 2), one_gpu());
+    let tpl = rt.template("scale").main("scale_gpu", &[DeviceKind::Cuda]).register();
+    rt.bind_native(tpl, VersionId(0), |ctx| {
+        for v in ctx.f64_mut(1) {
+            *v *= 2.0;
+        }
+    });
+    let a = rt.alloc_from_f64(&[3.0; 8]);
+    let c = rt.alloc_from_f64(&[1.0; 8]);
+    rt.task(tpl).read(a).read_write(c).submit();
+    rt.inject_stage_fault(a, 1);
+
+    let report = rt.run().expect("one staging fault is within the retry budget");
+    assert_eq!(report.tasks_executed, 1);
+    assert_eq!(report.failures.failure_count(), 1);
+    assert_eq!(report.failures.retries, 1);
+    let f = &report.failures.events[0];
+    assert_eq!(f.kind, FailureKind::Panic);
+    assert!(f.message.contains("injected staging fault"), "got: {}", f.message);
+    // The rollback re-exposed the host copy, so the retry re-staged it.
+    assert_eq!(rt.read_f64(c), vec![2.0; 8]);
+    assert_eq!(rt.read_f64(a), vec![3.0; 8], "input survived the faulted copy");
+}
+
+/// Exhausting the retry budget on staging faults aborts exactly like
+/// kernel panics do: a `RunError` with a coherent partial report.
+#[test]
+fn persistent_staging_faults_exhaust_retries_and_abort() {
+    let mut cfg = runtime_config(true, 2);
+    cfg.max_task_retries = 2;
+    let mut rt = Runtime::native(cfg, one_gpu());
+    let tpl = rt.template("scale").main("scale_gpu", &[DeviceKind::Cuda]).register();
+    rt.bind_native(tpl, VersionId(0), |ctx| {
+        for v in ctx.f64_mut(0) {
+            *v *= 2.0;
+        }
+    });
+    let c = rt.alloc_from_f64(&[1.0; 8]);
+    let task = rt.task(tpl).read_write(c).submit();
+    rt.inject_stage_fault(c, 10);
+
+    let err = rt.run().expect_err("every staging attempt faults");
+    assert_eq!(err.task, task);
+    assert_eq!(err.kind, FailureKind::Panic);
+    assert!(err.message.contains("injected staging fault"));
+    assert_eq!(err.report.failures.failure_count(), 3, "1 attempt + 2 retries");
+    assert_eq!(err.report.failures.retries, 2);
+}
+
+/// A task that merely *waited* on another task's failed copy is requeued
+/// silently: only the origin task is charged a failure, and both tasks
+/// complete once the retry restages the datum.
+#[test]
+fn upstream_staging_failure_does_not_charge_innocent_waiters() {
+    let mut rt = Runtime::native(runtime_config(true, 2), one_gpu());
+    let tpl = rt.template("scale").main("scale_gpu", &[DeviceKind::Cuda]).register();
+    rt.bind_native(tpl, VersionId(0), |ctx| {
+        let src = ctx.f64(0)[0];
+        for v in ctx.f64_mut(1) {
+            *v += src;
+        }
+    });
+    // Both tasks read the same tile; the second's plan waits on the
+    // first's in-flight copy, which is the one that faults.
+    let shared = rt.alloc_from_f64(&[5.0; 8]);
+    let c1 = rt.alloc_from_f64(&[0.0; 8]);
+    let c2 = rt.alloc_from_f64(&[0.0; 8]);
+    rt.task(tpl).read(shared).read_write(c1).submit();
+    rt.task(tpl).read(shared).read_write(c2).submit();
+    rt.inject_stage_fault(shared, 1);
+
+    let report = rt.run().expect("retry must carry both tasks");
+    assert_eq!(report.tasks_executed, 2);
+    assert_eq!(
+        report.failures.failure_count(),
+        1,
+        "only the task whose copy faulted is charged"
+    );
+    assert_eq!(report.failures.retries, 1);
+    assert_eq!(rt.read_f64(c1), vec![5.0; 8]);
+    assert_eq!(rt.read_f64(c2), vec![5.0; 8]);
+}
+
+/// The sync path ignores injected staging faults entirely (its copies
+/// run on the coordinator), keeping the degraded mode byte-identical.
+#[test]
+fn sync_mode_ignores_staging_faults() {
+    let mut rt = Runtime::native(runtime_config(false, 0), one_gpu());
+    let tpl = rt.template("scale").main("scale_gpu", &[DeviceKind::Cuda]).register();
+    rt.bind_native(tpl, VersionId(0), |ctx| {
+        for v in ctx.f64_mut(0) {
+            *v *= 2.0;
+        }
+    });
+    let c = rt.alloc_from_f64(&[1.0; 8]);
+    rt.task(tpl).read_write(c).submit();
+    rt.inject_stage_fault(c, 5);
+    let report = rt.run().expect("sync path never consults staging faults");
+    assert_eq!(report.failures.failure_count(), 0);
+    assert_eq!(rt.read_f64(c), vec![2.0; 8]);
+}
