@@ -1,0 +1,124 @@
+//! Tracing overhead guard: the versa-trace recorder must stay cheap
+//! enough to leave on.
+//!
+//! Runs the same native matmul instance with tracing off and on,
+//! interleaved (off/on/off/on/…) so thermal and cache drift hits both
+//! sides equally, takes the median makespan of each side, and reports
+//! the relative overhead. With `--check` the run fails if the overhead
+//! exceeds the budget (3% by default) — this is what CI's perf-smoke
+//! job enforces.
+//!
+//! Usage:
+//! ```text
+//! trace_overhead [--quick] [--check] [--max-overhead PCT] [--out PATH]
+//! ```
+//! `--quick` shrinks the instance and rep count for CI smoke runs; the
+//! default writes `BENCH_trace.json` in the working directory.
+//! Regenerate the committed baseline with:
+//! `cargo run --release -p versa-bench --bin trace_overhead`.
+
+use std::process::ExitCode;
+use versa_apps::matmul::{self, MatmulConfig, MatmulVariant};
+use versa_core::SchedulerKind;
+use versa_runtime::{NativeConfig, RuntimeConfig};
+
+struct Side {
+    label: &'static str,
+    runs: Vec<f64>,
+    median: f64,
+    events: u64,
+}
+
+fn median(xs: &[f64]) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    sorted[sorted.len() / 2]
+}
+
+/// One native matmul run; returns (makespan seconds, trace events).
+fn run_once(cfg: MatmulConfig, traced: bool, seed: u64) -> (f64, u64) {
+    let mut rc = RuntimeConfig::with_scheduler(SchedulerKind::versioning());
+    rc.tracing.enabled = traced;
+    let (report, _data) =
+        matmul::run_native_with(rc, cfg, MatmulVariant::Hybrid, NativeConfig::new(2, 1), seed);
+    let events = report.trace.as_ref().map(|t| t.len() as u64).unwrap_or(0);
+    (report.makespan.as_secs_f64(), events)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let max_overhead_pct: f64 = args
+        .iter()
+        .position(|a| a == "--max-overhead")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--max-overhead expects a number"))
+        .unwrap_or(3.0);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_trace.json".to_string());
+
+    // The instance must be large enough that per-run scheduling noise
+    // does not swamp a single-digit-percent ratio: ≥10 ms per run.
+    let (cfg, reps) = if quick {
+        (MatmulConfig { n: 384, bs: 64 }, 9)
+    } else {
+        (MatmulConfig { n: 512, bs: 64 }, 11)
+    };
+
+    // Warm-up both sides once (page faults, lane-pool spin-up).
+    run_once(cfg, false, 1);
+    run_once(cfg, true, 1);
+
+    let mut off = Side { label: "off", runs: Vec::new(), median: 0.0, events: 0 };
+    let mut on = Side { label: "on", runs: Vec::new(), median: 0.0, events: 0 };
+    for rep in 0..reps {
+        let seed = 100 + rep as u64;
+        let (t_off, _) = run_once(cfg, false, seed);
+        let (t_on, ev) = run_once(cfg, true, seed);
+        off.runs.push(t_off);
+        on.runs.push(t_on);
+        on.events = on.events.max(ev);
+        eprintln!("  rep {rep}: off {t_off:.4}s  on {t_on:.4}s  ({ev} events)");
+    }
+    off.median = median(&off.runs);
+    on.median = median(&on.runs);
+
+    let overhead_pct = (on.median / off.median - 1.0) * 100.0;
+    eprintln!(
+        "tracing overhead: median off {:.4}s, on {:.4}s → {overhead_pct:+.2}% ({} events/run, budget {max_overhead_pct}%)",
+        off.median, on.median, on.events
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"generated_by\": \"trace_overhead\",\n");
+    json.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
+    json.push_str(&format!("  \"matmul_n\": {},\n", cfg.n));
+    json.push_str(&format!("  \"matmul_bs\": {},\n", cfg.bs));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!("  \"events_per_run\": {},\n", on.events));
+    for side in [&off, &on] {
+        json.push_str(&format!(
+            "  \"makespan_{}\": {{\"median_s\": {:.6}, \"runs_s\": [{}]}},\n",
+            side.label,
+            side.median,
+            side.runs.iter().map(|t| format!("{t:.6}")).collect::<Vec<_>>().join(", ")
+        ));
+    }
+    json.push_str(&format!("  \"overhead_pct\": {overhead_pct:.3},\n"));
+    json.push_str(&format!("  \"budget_pct\": {max_overhead_pct:.3}\n"));
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+
+    if check && overhead_pct > max_overhead_pct {
+        eprintln!("FAIL: tracing overhead {overhead_pct:.2}% exceeds budget {max_overhead_pct}%");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

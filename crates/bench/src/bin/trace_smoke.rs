@@ -1,0 +1,134 @@
+//! Trace wiring smoke test: record one traced matmul run per engine,
+//! require the traces to be well-formed, carry a decision ledger, and
+//! reconcile *exactly* with the engines' own `RunReport` totals, then
+//! write them as `vtrace v1` files for `versa-analyze` to consume.
+//!
+//! Usage:
+//! ```text
+//! trace_smoke [--out-dir DIR]
+//! ```
+//! Writes `sim.vtrace` and `native.vtrace` into `DIR` (default:
+//! `target/trace-smoke`). Exits non-zero if any invariant or
+//! reconciliation check fails. CI runs this and then pipes both files
+//! through `versa-analyze --check --require-decisions`.
+
+use std::process::ExitCode;
+use std::time::Duration;
+use versa_apps::matmul::{self, MatmulConfig, MatmulVariant};
+use versa_core::{SchedulerKind, WorkerId};
+use versa_mem::TransferKind;
+use versa_runtime::{NativeConfig, RunReport, RuntimeConfig};
+use versa_sim::PlatformConfig;
+use versa_trace::{invariants, Trace, TraceAnalysis};
+
+fn traced_rc() -> RuntimeConfig {
+    let mut rc = RuntimeConfig::with_scheduler(SchedulerKind::versioning());
+    rc.tracing.enabled = true;
+    rc
+}
+
+/// All the checks versa-trace promises: clean invariants, a non-empty
+/// decision ledger, and exact agreement with the run report.
+fn verify(label: &str, report: &RunReport) -> Result<(), String> {
+    let trace = report.trace.as_ref().ok_or_else(|| format!("{label}: no trace recorded"))?;
+    let violations = invariants::check(trace);
+    if !violations.is_empty() {
+        return Err(format!("{label}: invariant violations: {violations:?}"));
+    }
+    let a = TraceAnalysis::new(trace);
+    let expect = |name: &str, got: u64, want: u64| -> Result<(), String> {
+        if got == want {
+            Ok(())
+        } else {
+            Err(format!("{label}: {name} diverges: trace {got} vs report {want}"))
+        }
+    };
+    expect("dropped events", a.dropped, 0)?;
+    expect("task count", a.task_count as u64, report.tasks_executed)?;
+    expect("failed attempts", a.failed_count as u64, report.failures.failure_count())?;
+    expect("transfer count", a.transfer_count as u64, report.transfers.total_count())?;
+    let bytes = |k: TransferKind| a.transfer_bytes.get(&k).copied().unwrap_or(0);
+    expect("input bytes", bytes(TransferKind::Input), report.transfers.input_bytes)?;
+    expect("output bytes", bytes(TransferKind::Output), report.transfers.output_bytes)?;
+    expect("device bytes", bytes(TransferKind::Device), report.transfers.device_bytes)?;
+    if a.version_counts != report.version_counts {
+        return Err(format!(
+            "{label}: version counts diverge: trace {:?} vs report {:?}",
+            a.version_counts, report.version_counts
+        ));
+    }
+    for (wi, &busy) in report.worker_busy.iter().enumerate() {
+        let traced = a.busy.get(&WorkerId(wi as u16)).copied().unwrap_or(Duration::ZERO);
+        if traced != busy {
+            return Err(format!(
+                "{label}: worker {wi} busy diverges: trace {traced:?} vs report {busy:?}"
+            ));
+        }
+    }
+    if a.decisions.is_empty() {
+        return Err(format!("{label}: decision ledger is empty"));
+    }
+    eprintln!(
+        "  {label}: {} events, {} tasks, {} transfers, {} decisions — invariants OK, reconciles exactly",
+        trace.len(),
+        a.task_count,
+        a.transfer_count,
+        a.decisions.len()
+    );
+    Ok(())
+}
+
+fn write_vtrace(dir: &std::path::Path, name: &str, trace: &Trace) -> Result<(), String> {
+    let path = dir.join(name);
+    std::fs::write(&path, trace.to_text()).map_err(|e| format!("write {}: {e}", path.display()))?;
+    eprintln!("  wrote {}", path.display());
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out-dir")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "target/trace-smoke".to_string());
+    let dir = std::path::PathBuf::from(out_dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+
+    let cfg = MatmulConfig { n: 128, bs: 32 };
+    eprintln!("sim matmul {}x{} (versioning, traced):", cfg.n, cfg.n);
+    let sim = matmul::run_sim_with(
+        traced_rc(),
+        cfg,
+        MatmulVariant::Hybrid,
+        PlatformConfig::minotauro(2, 1),
+    );
+    verify("sim", &sim)?;
+    write_vtrace(&dir, "sim.vtrace", sim.trace.as_ref().unwrap())?;
+
+    eprintln!("native matmul {}x{} (versioning, traced):", cfg.n, cfg.n);
+    let (native, _data) = matmul::run_native_with(
+        traced_rc(),
+        cfg,
+        MatmulVariant::Hybrid,
+        NativeConfig::new(2, 1),
+        7,
+    );
+    verify("native", &native)?;
+    write_vtrace(&dir, "native.vtrace", native.trace.as_ref().unwrap())?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => {
+            eprintln!("trace smoke: OK");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace smoke: FAIL: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

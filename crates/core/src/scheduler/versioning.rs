@@ -1,8 +1,8 @@
 //! The versioning scheduler — the paper's contribution (§IV).
 
 use super::{compatible_workers, least_loaded, Assignment, FailureKind, SchedCtx, Scheduler};
-use crate::profile::{MeanPolicy, ProfileStore, SizeBucketPolicy};
-use crate::{TaskId, TaskInstance, VersionId, WorkerId};
+use crate::profile::{BucketKey, MeanPolicy, ProfileStore, SizeBucketPolicy};
+use crate::{TaskId, TaskInstance, TemplateId, VersionId, WorkerId};
 use std::collections::HashMap;
 use std::time::Duration;
 use versa_mem::MemSpace;
@@ -97,6 +97,12 @@ pub struct WorkerBid {
 pub struct Decision {
     /// The task being placed.
     pub task: TaskId,
+    /// Its template.
+    pub template: TemplateId,
+    /// The size bucket the profile lookup used.
+    pub bucket: BucketKey,
+    /// The owning job id, when the task runs under a multi-job service.
+    pub job: Option<u64>,
     /// Phase the group was in.
     pub phase: DecisionPhase,
     /// All bids considered (empty for learning-phase decisions).
@@ -176,6 +182,18 @@ impl VersioningScheduler {
         self.decisions.as_deref().unwrap_or(&[])
     }
 
+    /// Drain and return the recorded decisions, leaving logging enabled.
+    /// Engines call this after each scheduling burst to move records into
+    /// the trace without unbounded growth here.
+    pub fn drain_decisions(&mut self) -> Vec<Decision> {
+        self.decisions.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Whether decision logging is currently enabled.
+    pub fn decision_logging(&self) -> bool {
+        self.decisions.is_some()
+    }
+
     /// Versions of `task`'s template that at least one existing worker
     /// can run (versions targeting absent devices are excluded so the
     /// learning phase can terminate).
@@ -252,6 +270,9 @@ impl VersioningScheduler {
         if let Some(log) = &mut self.decisions {
             log.push(Decision {
                 task: task.id,
+                template: task.template,
+                bucket: self.profiles.bucket(task.data_set_size),
+                job: task.job.map(|j| j.job),
                 phase: DecisionPhase::Learning,
                 bids: Vec::new(),
                 assignment,
@@ -309,6 +330,9 @@ impl VersioningScheduler {
             if let Some(log) = &mut self.decisions {
                 log.push(Decision {
                     task: task.id,
+                    template: task.template,
+                    bucket: self.profiles.bucket(task.data_set_size),
+                    job: task.job.map(|j| j.job),
                     phase: DecisionPhase::ReliableFallback,
                     bids: Vec::new(),
                     assignment,
@@ -327,6 +351,9 @@ impl VersioningScheduler {
         if let Some(log) = &mut self.decisions {
             log.push(Decision {
                 task: task.id,
+                template: task.template,
+                bucket: self.profiles.bucket(task.data_set_size),
+                job: task.job.map(|j| j.job),
                 phase: DecisionPhase::Reliable,
                 bids,
                 assignment,

@@ -1,6 +1,7 @@
 //! Runtime configuration — the analogue of Nanos++ environment variables.
 
 use versa_core::SchedulerKind;
+use versa_trace::TraceConfig;
 
 /// Behavioural switches of the runtime. "We can decide which plug-ins
 /// should be enabled through configuration arguments or environment
@@ -20,8 +21,12 @@ pub struct RuntimeConfig {
     /// device-resident data back to the host. Disable for the
     /// `taskwait(noflush)` behaviour of paper §III.
     pub flush_on_wait: bool,
-    /// Record a structured execution trace (simulated engine only).
-    pub trace: bool,
+    /// Structured execution tracing (both engines): task lifecycle,
+    /// scheduler decision records, transfer spans. Off by default; when
+    /// off the engines hold no recorder at all, so runs are byte-identical
+    /// to pre-tracing builds. The resulting [`versa_trace::Trace`] lands
+    /// in [`RunReport::trace`](crate::RunReport::trace).
+    pub tracing: TraceConfig,
     /// Relative half-width of the simulated execution-time noise
     /// (e.g. `0.05` = ±5%); ignored by the native engine.
     pub noise_sigma: f64,
@@ -65,7 +70,7 @@ impl Default for RuntimeConfig {
             scheduler: SchedulerKind::versioning(),
             prefetch: true,
             flush_on_wait: true,
-            trace: false,
+            tracing: TraceConfig::default(),
             noise_sigma: 0.05,
             max_task_retries: 3,
             fair_scheduling: false,
@@ -84,7 +89,8 @@ mod tests {
         let c = RuntimeConfig::default();
         assert!(c.prefetch, "paper enables transfer/compute overlap + prefetch");
         assert!(c.flush_on_wait);
-        assert!(!c.trace);
+        assert!(!c.tracing.enabled);
+        assert!(c.tracing.lane_capacity > 0, "bounded but non-empty rings");
         assert_eq!(c.scheduler.label(), "ver");
         assert_eq!(c.max_task_retries, 3);
         assert!(c.async_transfers, "staged transfers overlap by default");

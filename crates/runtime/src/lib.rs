@@ -29,6 +29,7 @@ mod native;
 mod report;
 mod runtime;
 mod sim_engine;
+mod tracing;
 
 pub use config::RuntimeConfig;
 pub use graph::{TaskGraph, TaskNode, TaskState};

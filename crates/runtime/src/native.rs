@@ -30,6 +30,12 @@ use versa_mem::{
     AccessMode, AlignedBuf, Arena, DataId, HandleState, MemSpace, ReadyCell, Region, StagingLedger,
     Transfer, TransferStats,
 };
+use versa_trace::{TraceEvent, TraceSink, Ts};
+
+/// Wall-clock offset from the run's epoch as a trace timestamp.
+fn ts(wall0: Instant) -> Ts {
+    Ts(wall0.elapsed().as_nanos() as u64)
+}
 
 /// Native-engine sizing.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -253,6 +259,12 @@ struct WorkItem {
     task: TaskId,
     kernel: NativeFn,
     accesses: Vec<(Region, AccessMode)>,
+    /// Trace identity of this execution attempt (version + template from
+    /// the assignment, attempt = failures so far + 1, both computed by
+    /// the coordinator at dispatch time).
+    version: VersionId,
+    template: TemplateId,
+    attempt: u32,
 }
 
 enum Msg {
@@ -283,6 +295,7 @@ fn throttle_link(link_bandwidth: Option<u64>, bytes: u64, spent: Duration) {
 /// One worker thread: receive tasks, run kernels against this worker's
 /// arena space, report wall-clock kernel durations. Multi-lane workers
 /// build their lane pool here, once, before the first task arrives.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     rx: mpsc::Receiver<Msg>,
     done: mpsc::Sender<(WorkerId, TaskId, Result<Duration, String>)>,
@@ -290,6 +303,8 @@ fn worker_loop(
     space: versa_mem::MemSpace,
     lanes: usize,
     wid: WorkerId,
+    sink: Option<Arc<TraceSink>>,
+    wall0: Instant,
 ) {
     let pool = (lanes > 1).then(|| LanePool::new(lanes));
     let exec: &dyn LaneExec = match &pool {
@@ -298,10 +313,31 @@ fn worker_loop(
     };
     while let Ok(Msg::Work(item)) = rx.recv() {
         let task = item.task;
+        let (version, template, attempt) = (item.version, item.template, item.attempt);
+        // This thread records its own lifecycle events into its own lane,
+        // so per-worker spans are monotonic by construction.
+        if let Some(sink) = &sink {
+            sink.record(
+                wid.index(),
+                TraceEvent::TaskStart { time: ts(wall0), task, worker: wid, version, template, attempt },
+            );
+        }
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             execute_item(item, &arena, space, exec)
         }))
         .map_err(panic_message);
+        if let Some(sink) = &sink {
+            let ev = match &outcome {
+                Ok(measured) => TraceEvent::TaskEnd {
+                    time: ts(wall0),
+                    task,
+                    worker: wid,
+                    kernel_ns: measured.as_nanos() as u64,
+                },
+                Err(_) => TraceEvent::TaskFailed { time: ts(wall0), task, worker: wid, version, attempt },
+            };
+            sink.record(wid.index(), ev);
+        }
         done.send((wid, task, outcome)).expect("coordinator hung up");
     }
 }
@@ -408,6 +444,10 @@ fn run_native_sync(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRep
     let mut attempts: HashMap<TaskId, u32> = HashMap::new();
     let mut abort: Option<(TaskId, String)> = None;
 
+    let sink = TraceSink::from_config(&rt.config.tracing, rt.workers.len());
+    let log_here = crate::tracing::begin_decision_log(rt, &sink);
+    crate::tracing::record_live_created(rt, &sink, ts(wall0));
+
     let (done_tx, done_rx) = mpsc::channel();
 
     std::thread::scope(|scope| {
@@ -423,7 +463,8 @@ fn run_native_sync(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRep
             let arena = Arc::clone(&arena);
             let info = w.info;
             let lanes = if info.device.shares_host_memory() { 1 } else { cfg.gpu_lanes };
-            scope.spawn(move || worker_loop(rx, done, arena, info.space, lanes, info.id));
+            let wsink = sink.clone();
+            scope.spawn(move || worker_loop(rx, done, arena, info.space, lanes, info.id, wsink, wall0));
         }
         // Workers hold the only senders now: if they all die, recv()
         // errors instead of hanging the coordinator forever.
@@ -440,8 +481,15 @@ fn run_native_sync(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRep
                             in_flight: &mut usize,
                             dispatched: &mut u64,
                             stats: &mut TransferStats,
-                            worker_transfers: &mut Vec<WorkerTransferStats>| {
+                            worker_transfers: &mut Vec<WorkerTransferStats>,
+                            attempts: &HashMap<TaskId, u32>| {
             let newly = rt.graph.take_newly_ready();
+            if let Some(sink) = &sink {
+                let lane = sink.coordinator();
+                for &tid in &newly {
+                    sink.record(lane, TraceEvent::TaskReady { time: ts(wall0), task: tid });
+                }
+            }
             rt.pending.extend(newly);
             let remaining = budget - *dispatched;
             if remaining == 0 {
@@ -463,16 +511,32 @@ fn run_native_sync(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRep
             if rt.config.fair_scheduling {
                 rt.fair.note_dispatched(&rt.graph, assigned.iter().map(|(t, _)| t));
             }
+            crate::tracing::drain_decisions(rt, &sink, ts(wall0));
             for (tid, a) in assigned {
                 let wi = a.worker.index();
                 let space = rt.workers[wi].info.space;
                 let accesses = rt.graph.node(tid).instance.accesses.clone();
                 for (region, mode) in &accesses {
                     if let Some(t) = rt.directory.acquire(region.data, space, *mode) {
+                        let t_start = ts(wall0);
                         let t0 = Instant::now();
                         arena.perform(&t);
                         throttle_link(cfg.link_bandwidth, t.bytes, t0.elapsed());
                         stats.record(t.kind(), t.bytes);
+                        if let Some(sink) = &sink {
+                            sink.record(
+                                sink.coordinator(),
+                                TraceEvent::Transfer {
+                                    start: t_start,
+                                    end: ts(wall0),
+                                    data: t.data,
+                                    from: t.from,
+                                    to: t.to,
+                                    bytes: t.bytes,
+                                    by: Some(a.worker),
+                                },
+                            );
+                        }
                         let wt = &mut worker_transfers[wi];
                         wt.staged_bytes += t.bytes;
                         wt.staged_count += 1;
@@ -499,13 +563,20 @@ fn run_native_sync(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRep
                     .clone();
                 rt.graph.mark_running(tid);
                 work_txs[a.worker.index()]
-                    .send(Msg::Work(WorkItem { task: tid, kernel, accesses }))
+                    .send(Msg::Work(WorkItem {
+                        task: tid,
+                        kernel,
+                        accesses,
+                        version: a.version,
+                        template,
+                        attempt: attempts.get(&tid).copied().unwrap_or(0) + 1,
+                    }))
                     .expect("worker thread died");
                 *in_flight += 1;
             }
         };
 
-        dispatch(rt, &mut in_flight, &mut dispatched, &mut stats, &mut worker_transfers);
+        dispatch(rt, &mut in_flight, &mut dispatched, &mut stats, &mut worker_transfers, &attempts);
 
         while !rt.graph.all_done() {
             if in_flight == 0 && dispatched >= budget {
@@ -571,7 +642,7 @@ fn run_native_sync(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRep
                 }
             }
 
-            dispatch(rt, &mut in_flight, &mut dispatched, &mut stats, &mut worker_transfers);
+            dispatch(rt, &mut in_flight, &mut dispatched, &mut stats, &mut worker_transfers, &attempts);
         }
 
         for tx in &work_txs {
@@ -584,14 +655,30 @@ fn run_native_sync(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRep
     // wave skips it too, leaving data in place for the next wave.
     if abort.is_none() && rt.config.flush_on_wait && rt.graph.all_done() {
         for t in rt.directory.flush_all_to_host() {
+            let t_start = ts(wall0);
             let t0 = Instant::now();
             arena.perform(&t);
             throttle_link(cfg.link_bandwidth, t.bytes, t0.elapsed());
             stats.record(t.kind(), t.bytes);
+            if let Some(sink) = &sink {
+                sink.record(
+                    sink.coordinator(),
+                    TraceEvent::Transfer {
+                        start: t_start,
+                        end: ts(wall0),
+                        data: t.data,
+                        from: t.from,
+                        to: t.to,
+                        bytes: t.bytes,
+                        by: None,
+                    },
+                );
+            }
             rt.scheduler.transfer_done(t.to, t.bytes, t0.elapsed());
         }
     }
 
+    crate::tracing::end_decision_log(rt, log_here);
     failures.quarantined = rt.quarantined_versions();
     let report = RunReport {
         scheduler: rt.scheduler.name().to_string(),
@@ -607,7 +694,7 @@ fn run_native_sync(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRep
             .scheduler
             .as_versioning()
             .map(|v| v.profiles().render_table(&rt.templates)),
-        trace: None,
+        trace: sink.map(|s| s.drain(crate::tracing::trace_meta(rt, "native"))),
         failures,
     };
     match abort {
@@ -663,6 +750,10 @@ struct StagedItem {
     kernel: NativeFn,
     accesses: Vec<(Region, AccessMode)>,
     ops: Vec<StageOp>,
+    /// Trace identity of this execution attempt (see [`WorkItem`]).
+    version: VersionId,
+    template: TemplateId,
+    attempt: u32,
 }
 
 /// If an item is dropped without being staged (coordinator unwound with
@@ -694,6 +785,10 @@ enum ExecMsg {
         stage_spans: Vec<(u64, u64)>,
         /// Per-copy `(bytes, ns)` bandwidth samples.
         samples: Vec<(u64, u64)>,
+        /// Trace identity of this execution attempt (see [`WorkItem`]).
+        version: VersionId,
+        template: TemplateId,
+        attempt: u32,
     },
     Failed {
         task: TaskId,
@@ -736,6 +831,7 @@ enum Rollback {
 /// The staging lane of one worker: executes `StageOp`s in plan order,
 /// then forwards the item to the exec thread (or a failure notice, so
 /// per-worker completion order stays FIFO).
+#[allow(clippy::too_many_arguments)]
 fn stager_loop(
     rx: mpsc::Receiver<StageMsg>,
     tx: mpsc::Sender<ExecMsg>,
@@ -743,11 +839,33 @@ fn stager_loop(
     space: MemSpace,
     link_bandwidth: Option<u64>,
     wall0: Instant,
+    wid: WorkerId,
+    sink: Option<Arc<TraceSink>>,
 ) {
+    // Every planned `Copy` gets exactly one Transfer event — a real span
+    // on success, a truncated (or empty) span when the copy faults or is
+    // abandoned — so traced bytes reconcile with plan-time TransferStats.
+    let record_copy = |t: &Transfer, start: Ts, end: Ts| {
+        if let Some(sink) = &sink {
+            sink.record(
+                wid.index(),
+                TraceEvent::Transfer {
+                    start,
+                    end,
+                    data: t.data,
+                    from: t.from,
+                    to: t.to,
+                    bytes: t.bytes,
+                    by: Some(wid),
+                },
+            );
+        }
+    };
     while let Ok(StageMsg::Work(mut item)) = rx.recv() {
         let task = item.task;
         let kernel = item.kernel.clone();
         let accesses = std::mem::take(&mut item.accesses);
+        let (version, template, attempt) = (item.version, item.template, item.attempt);
         // Taking the ops out disarms StagedItem's drop guard; from here
         // every cell is resolved explicitly.
         let mut ops = std::mem::take(&mut item.ops).into_iter();
@@ -772,6 +890,8 @@ fn stager_loop(
                         if let Err(msg) = src.wait() {
                             let msg = format!("upstream staging failed: {msg}");
                             publish.publish_failed(msg.clone());
+                            let now = ts(wall0);
+                            record_copy(&t, now, now);
                             failure = Some((msg, true));
                             break;
                         }
@@ -791,11 +911,17 @@ fn stager_loop(
                             stage_ns += took.as_nanos() as u64;
                             stage_spans.push((start.as_nanos() as u64, end.as_nanos() as u64));
                             samples.push((t.bytes, took.as_nanos() as u64));
+                            record_copy(
+                                &t,
+                                Ts(start.as_nanos() as u64),
+                                Ts(end.as_nanos() as u64),
+                            );
                             publish.publish_ok();
                         }
                         Err(payload) => {
                             let msg = panic_message(payload);
                             publish.publish_failed(msg.clone());
+                            record_copy(&t, Ts(start.as_nanos() as u64), ts(wall0));
                             failure = Some((msg, false));
                             break;
                         }
@@ -809,13 +935,25 @@ fn stager_loop(
                 // cross-worker waiters observe failure instead of
                 // hanging; the coordinator rolls all of them back.
                 for op in ops {
-                    if let StageOp::Copy { publish, .. } = &op {
+                    if let StageOp::Copy { t, publish, .. } = &op {
                         publish.publish_failed("abandoned after earlier staging failure");
+                        let now = ts(wall0);
+                        record_copy(t, now, now);
                     }
                 }
                 tx.send(ExecMsg::Failed { task, msg, upstream })
             }
-            None => tx.send(ExecMsg::Run { task, kernel, accesses, stage_ns, stage_spans, samples }),
+            None => tx.send(ExecMsg::Run {
+                task,
+                kernel,
+                accesses,
+                stage_ns,
+                stage_spans,
+                samples,
+                version,
+                template,
+                attempt,
+            }),
         };
         if sent.is_err() {
             return; // exec thread gone: coordinator is unwinding
@@ -827,6 +965,7 @@ fn stager_loop(
 /// The exec thread of one worker: runs kernels against fully staged
 /// data, forwards staging failures unchanged (keeping completion order
 /// FIFO), reports outcomes with wall-clock spans for overlap accounting.
+#[allow(clippy::too_many_arguments)]
 fn exec_loop(
     rx: mpsc::Receiver<ExecMsg>,
     done: mpsc::Sender<(WorkerId, TaskId, Outcome)>,
@@ -835,6 +974,7 @@ fn exec_loop(
     lanes: usize,
     wid: WorkerId,
     wall0: Instant,
+    sink: Option<Arc<TraceSink>>,
 ) {
     let pool = (lanes > 1).then(|| LanePool::new(lanes));
     let exec: &dyn LaneExec = match &pool {
@@ -847,12 +987,55 @@ fn exec_loop(
             ExecMsg::Failed { task, msg, upstream } => {
                 (task, Outcome::StageFailed { msg, upstream })
             }
-            ExecMsg::Run { task, kernel, accesses, stage_ns, stage_spans, samples } => {
+            ExecMsg::Run {
+                task,
+                kernel,
+                accesses,
+                stage_ns,
+                stage_spans,
+                samples,
+                version,
+                template,
+                attempt,
+            } => {
                 let start = wall0.elapsed();
+                if let Some(sink) = &sink {
+                    sink.record(
+                        wid.index(),
+                        TraceEvent::TaskStart {
+                            time: Ts(start.as_nanos() as u64),
+                            task,
+                            worker: wid,
+                            version,
+                            template,
+                            attempt,
+                        },
+                    );
+                }
                 let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    execute_item(WorkItem { task, kernel, accesses }, &arena, space, exec)
+                    execute_item(
+                        WorkItem { task, kernel, accesses, version, template, attempt },
+                        &arena,
+                        space,
+                        exec,
+                    )
                 }));
                 let end = wall0.elapsed();
+                if let Some(sink) = &sink {
+                    let time = Ts(end.as_nanos() as u64);
+                    let ev = match &res {
+                        Ok(kernel) => TraceEvent::TaskEnd {
+                            time,
+                            task,
+                            worker: wid,
+                            kernel_ns: kernel.as_nanos() as u64,
+                        },
+                        Err(_) => {
+                            TraceEvent::TaskFailed { time, task, worker: wid, version, attempt }
+                        }
+                    };
+                    sink.record(wid.index(), ev);
+                }
                 let outcome = match res {
                     Ok(kernel) => Outcome::Done {
                         kernel,
@@ -925,6 +1108,10 @@ fn run_native_async(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRe
     let mut ledger = StagingLedger::new();
     let mut rollbacks: HashMap<TaskId, Vec<Rollback>> = HashMap::new();
 
+    let sink = TraceSink::from_config(&rt.config.tracing, n_workers);
+    let log_here = crate::tracing::begin_decision_log(rt, &sink);
+    crate::tracing::record_live_created(rt, &sink, ts(wall0));
+
     let (done_tx, done_rx) = mpsc::channel();
 
     std::thread::scope(|scope| {
@@ -944,8 +1131,14 @@ fn run_native_async(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRe
             let stager_arena = Arc::clone(&arena);
             let exec_arena = Arc::clone(&arena);
             let link = cfg.link_bandwidth;
-            scope.spawn(move || stager_loop(stage_rx, exec_tx, stager_arena, info.space, link, wall0));
-            scope.spawn(move || exec_loop(exec_rx, done, exec_arena, info.space, lanes, info.id, wall0));
+            let stager_sink = sink.clone();
+            let exec_sink = sink.clone();
+            scope.spawn(move || {
+                stager_loop(stage_rx, exec_tx, stager_arena, info.space, link, wall0, info.id, stager_sink)
+            });
+            scope.spawn(move || {
+                exec_loop(exec_rx, done, exec_arena, info.space, lanes, info.id, wall0, exec_sink)
+            });
         }
         drop(done_tx);
 
@@ -966,8 +1159,15 @@ fn run_native_async(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRe
                     worker_transfers: &mut Vec<WorkerTransferStats>,
                     ledger: &mut StagingLedger,
                     rollbacks: &mut HashMap<TaskId, Vec<Rollback>>,
-                    outbox: &mut Vec<VecDeque<StagedItem>>| {
+                    outbox: &mut Vec<VecDeque<StagedItem>>,
+                    attempts: &HashMap<TaskId, u32>| {
             let newly = rt.graph.take_newly_ready();
+            if let Some(sink) = &sink {
+                let lane = sink.coordinator();
+                for &tid in &newly {
+                    sink.record(lane, TraceEvent::TaskReady { time: ts(wall0), task: tid });
+                }
+            }
             rt.pending.extend(newly);
             let remaining = budget - *dispatched;
             if remaining == 0 {
@@ -989,6 +1189,7 @@ fn run_native_async(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRe
             if rt.config.fair_scheduling {
                 rt.fair.note_dispatched(&rt.graph, assigned.iter().map(|(t, _)| t));
             }
+            crate::tracing::drain_decisions(rt, &sink, ts(wall0));
             for (tid, a) in assigned {
                 let wi = a.worker.index();
                 let space = rt.workers[wi].info.space;
@@ -1050,7 +1251,15 @@ fn run_native_async(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRe
                     })
                     .clone();
                 rt.graph.mark_running(tid);
-                outbox[wi].push_back(StagedItem { task: tid, kernel, accesses, ops });
+                outbox[wi].push_back(StagedItem {
+                    task: tid,
+                    kernel,
+                    accesses,
+                    ops,
+                    version: a.version,
+                    template,
+                    attempt: attempts.get(&tid).copied().unwrap_or(0) + 1,
+                });
                 *in_flight += 1;
             }
         };
@@ -1075,6 +1284,7 @@ fn run_native_async(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRe
             &mut ledger,
             &mut rollbacks,
             &mut outbox,
+            &attempts,
         );
         pump(&mut outbox, &mut lane_busy);
 
@@ -1182,6 +1392,23 @@ fn run_native_async(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRe
                             *n += 1;
                             *n
                         };
+                        // A staging failure never reached the exec thread,
+                        // so no TaskStart exists — record the terminal
+                        // event here (Failed-without-Start is legal).
+                        // Upstream requeues charge no attempt and are
+                        // deliberately not recorded.
+                        if let Some(sink) = &sink {
+                            sink.record(
+                                sink.coordinator(),
+                                TraceEvent::TaskFailed {
+                                    time: ts(wall0),
+                                    task: tid,
+                                    worker: wid,
+                                    version: assignment.version,
+                                    attempt,
+                                },
+                            );
+                        }
                         failures.events.push(TaskFailure {
                             task: tid,
                             template: rt.graph.node(tid).instance.template,
@@ -1216,6 +1443,7 @@ fn run_native_async(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRe
                 &mut ledger,
                 &mut rollbacks,
                 &mut outbox,
+                &attempts,
             );
             pump(&mut outbox, &mut lane_busy);
         }
@@ -1237,10 +1465,25 @@ fn run_native_async(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRe
 
     if abort.is_none() && rt.config.flush_on_wait && rt.graph.all_done() {
         for t in rt.directory.flush_all_to_host() {
+            let t_start = ts(wall0);
             let t0 = Instant::now();
             arena.perform(&t);
             throttle_link(cfg.link_bandwidth, t.bytes, t0.elapsed());
             stats.record(t.kind(), t.bytes);
+            if let Some(sink) = &sink {
+                sink.record(
+                    sink.coordinator(),
+                    TraceEvent::Transfer {
+                        start: t_start,
+                        end: ts(wall0),
+                        data: t.data,
+                        from: t.from,
+                        to: t.to,
+                        bytes: t.bytes,
+                        by: None,
+                    },
+                );
+            }
             rt.scheduler.transfer_done(t.to, t.bytes, t0.elapsed());
         }
     }
@@ -1250,6 +1493,7 @@ fn run_native_async(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRe
             Duration::from_nanos(overlap_ns(&mut kernel_spans[wi], &stage_spans[wi]));
     }
 
+    crate::tracing::end_decision_log(rt, log_here);
     failures.quarantined = rt.quarantined_versions();
     let report = RunReport {
         scheduler: rt.scheduler.name().to_string(),
@@ -1265,7 +1509,7 @@ fn run_native_async(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRe
             .scheduler
             .as_versioning()
             .map(|v| v.profiles().render_table(&rt.templates)),
-        trace: None,
+        trace: sink.map(|s| s.drain(crate::tracing::trace_meta(rt, "native"))),
         failures,
     };
     match abort {

@@ -183,12 +183,14 @@ pub struct RunReport {
     pub completed: bool,
     /// Rendered Table I-style profile dump (versioning scheduler only).
     pub profile_table: Option<String>,
-    /// The structured execution trace, when [`RuntimeConfig::trace`] was
-    /// set (simulated engine only). Analyze with
-    /// [`versa_sim::TraceAnalysis`].
-    ///
-    /// [`RuntimeConfig::trace`]: crate::RuntimeConfig::trace
-    pub trace: Option<versa_sim::Trace>,
+    /// The structured execution trace, when
+    /// [`RuntimeConfig::tracing`](crate::RuntimeConfig::tracing) was
+    /// enabled (both engines). Analyze with
+    /// [`versa_trace::TraceAnalysis`], export with
+    /// [`versa_trace::chrome`], or serialize with
+    /// [`Trace::to_text`](versa_trace::Trace::to_text) for
+    /// `versa-analyze`.
+    pub trace: Option<versa_trace::Trace>,
     /// Failure and retry accounting (empty for a clean run).
     pub failures: FailureReport,
 }

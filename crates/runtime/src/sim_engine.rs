@@ -19,12 +19,12 @@ use crate::report::{FailureReport, RunError, TaskFailure, WorkerTransferStats};
 use crate::runtime::EngineKind;
 use crate::{RunReport, Runtime};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Duration;
 use versa_core::{FailureKind, TaskId, TemplateId, VersionId, WorkerId};
 use versa_mem::Transfer;
-use versa_sim::{
-    EventQueue, FaultInjector, NoiseModel, SimTime, Trace, TraceEvent, TransferEngine,
-};
+use versa_sim::{EventQueue, FaultInjector, NoiseModel, SimTime, TransferEngine};
+use versa_trace::{TraceEvent, TraceSink, Ts};
 
 struct SimState {
     xfer: TransferEngine,
@@ -49,7 +49,13 @@ struct SimState {
     /// Failed attempts per task so far.
     attempts: HashMap<TaskId, u32>,
     failures: FailureReport,
-    trace: Trace,
+    /// The unified tracer (`None` = tracing off; see `crate::tracing`).
+    /// Worker events go to lane `worker.index()`, everything the
+    /// coordinator does to the coordinator lane.
+    sink: Option<Arc<TraceSink>>,
+    /// Whether this run turned scheduler decision logging on (and must
+    /// turn it off again).
+    log_here: bool,
     version_counts: HashMap<(TemplateId, VersionId), u64>,
     worker_counts: Vec<u64>,
     worker_busy: Vec<Duration>,
@@ -97,16 +103,16 @@ pub(crate) fn run_sim(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<Run
         doomed: HashSet::new(),
         attempts: HashMap::new(),
         failures: FailureReport::default(),
-        trace: Trace::new(),
+        sink: TraceSink::from_config(&rt.config.tracing, rt.workers.len()),
+        log_here: false,
         version_counts: HashMap::new(),
         worker_counts: vec![0; rt.workers.len()],
         worker_busy: vec![Duration::ZERO; rt.workers.len()],
         worker_transfers: vec![WorkerTransferStats::default(); rt.workers.len()],
         tasks_executed: 0,
     };
-    if rt.config.trace {
-        st.trace.enable();
-    }
+    st.log_here = crate::tracing::begin_decision_log(rt, &st.sink);
+    crate::tracing::record_live_created(rt, &st.sink, Ts::ZERO);
 
     let mut now = SimTime::ZERO;
     pump(rt, &mut st, now);
@@ -147,7 +153,7 @@ pub(crate) fn run_sim(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<Run
     if rt.config.flush_on_wait && rt.graph.all_done() {
         for t in rt.directory.flush_all_to_host() {
             let done = st.xfer.schedule(&t, now);
-            record_transfers(&mut st.trace, &[t], now, done);
+            record_transfers(&st.sink, std::slice::from_ref(&t), now, done, None);
             end = end.max(done);
         }
     }
@@ -161,6 +167,7 @@ fn finish_report(rt: &mut Runtime, mut st: SimState, makespan: Duration) -> RunR
     if let EngineKind::Sim { caches, .. } = &mut rt.engine {
         *caches = st.caches.take();
     }
+    crate::tracing::end_decision_log(rt, st.log_here);
     st.failures.quarantined = rt.quarantined_versions();
     RunReport {
         scheduler: rt.scheduler.name().to_string(),
@@ -176,7 +183,7 @@ fn finish_report(rt: &mut Runtime, mut st: SimState, makespan: Duration) -> RunR
             .scheduler
             .as_versioning()
             .map(|v| v.profiles().render_table(&rt.templates)),
-        trace: if rt.config.trace { Some(st.trace) } else { None },
+        trace: st.sink.take().map(|sink| sink.drain(crate::tracing::trace_meta(rt, "sim"))),
         failures: st.failures,
     }
 }
@@ -203,7 +210,17 @@ fn on_completion(rt: &mut Runtime, st: &mut SimState, now: SimTime, wid: WorkerI
     st.worker_counts[wid.index()] += 1;
     st.worker_busy[wid.index()] += measured;
     st.tasks_executed += 1;
-    st.trace.record(TraceEvent::TaskEnd { time: now, task: tid, worker: wid });
+    if let Some(sink) = &st.sink {
+        sink.record(
+            wid.index(),
+            TraceEvent::TaskEnd {
+                time: now.into(),
+                task: tid,
+                worker: wid,
+                kernel_ns: measured.as_nanos() as u64,
+            },
+        );
+    }
 }
 
 /// Handle one failed attempt at virtual time `now`. The worker is freed,
@@ -232,13 +249,18 @@ fn on_failure(
         rt.templates.get(rt.graph.node(tid).instance.template).name,
         assignment.version
     );
-    st.trace.record(TraceEvent::TaskFailed {
-        time: now,
-        task: tid,
-        worker: wid,
-        version: assignment.version,
-        attempt,
-    });
+    if let Some(sink) = &st.sink {
+        sink.record(
+            wid.index(),
+            TraceEvent::TaskFailed {
+                time: now.into(),
+                task: tid,
+                worker: wid,
+                version: assignment.version,
+                attempt,
+            },
+        );
+    }
     st.failures.events.push(TaskFailure {
         task: tid,
         template: rt.graph.node(tid).instance.template,
@@ -263,6 +285,12 @@ fn on_failure(
 /// dispatch carry over to the next wave.
 fn pump(rt: &mut Runtime, st: &mut SimState, now: SimTime) {
     let newly = rt.graph.take_newly_ready();
+    if let Some(sink) = &st.sink {
+        let lane = sink.coordinator();
+        for &tid in &newly {
+            sink.record(lane, TraceEvent::TaskReady { time: now.into(), task: tid });
+        }
+    }
     rt.pending.extend(newly);
     let remaining = st.budget - st.dispatched;
     if remaining == 0 {
@@ -281,6 +309,7 @@ fn pump(rt: &mut Runtime, st: &mut SimState, now: SimTime) {
         (st.budget != u64::MAX).then_some(remaining as usize),
     );
     st.dispatched += assigned.len() as u64;
+    crate::tracing::drain_decisions(rt, &st.sink, now.into());
     if rt.config.fair_scheduling {
         rt.fair.note_dispatched(&rt.graph, assigned.iter().map(|(t, _)| t));
     }
@@ -339,14 +368,13 @@ fn stage_task_data(
                     .flush_to_host(victim)
                     .expect("sole device copy needs a write-back");
                 let end = st.xfer.schedule(&wb, now);
-                record_transfers(&mut st.trace, &[wb], now, end);
+                record_transfers(&st.sink, std::slice::from_ref(&wb), now, end, None);
                 deadline = deadline.max(end);
             }
             rt.directory.invalidate(victim, space);
         }
     }
 
-    let mut transfers = Vec::new();
     let mut end = now;
     for (region, mode) in &accesses {
         if let Some(t) = rt.directory.acquire(region.data, space, *mode) {
@@ -362,27 +390,35 @@ fn stage_task_data(
             wt.staged_bytes += t.bytes;
             wt.staged_count += 1;
             wt.stage_time += elapsed;
+            record_transfers(&st.sink, std::slice::from_ref(&t), now, t_end, Some(worker));
             end = end.max(t_end);
-            transfers.push(t);
         }
     }
-    record_transfers(&mut st.trace, &transfers, now, end);
     deadline.max(end)
 }
 
-fn record_transfers(trace: &mut Trace, transfers: &[Transfer], start: SimTime, end: SimTime) {
-    if !trace.is_enabled() {
-        return;
-    }
+fn record_transfers(
+    sink: &Option<Arc<TraceSink>>,
+    transfers: &[Transfer],
+    start: SimTime,
+    end: SimTime,
+    by: Option<WorkerId>,
+) {
+    let Some(sink) = sink else { return };
+    let lane = sink.coordinator();
     for t in transfers {
-        trace.record(TraceEvent::Transfer {
-            start,
-            end,
-            data: t.data,
-            from: t.from,
-            to: t.to,
-            bytes: t.bytes,
-        });
+        sink.record(
+            lane,
+            TraceEvent::Transfer {
+                start: start.into(),
+                end: end.into(),
+                data: t.data,
+                from: t.from,
+                to: t.to,
+                bytes: t.bytes,
+                by,
+            },
+        );
     }
 }
 
@@ -432,11 +468,19 @@ fn start_idle_workers(rt: &mut Runtime, st: &mut SimState, now: SimTime) {
         let end = start + duration;
         st.durations.insert(tid, duration);
         st.events.push(end, (wid, tid));
-        st.trace.record(TraceEvent::TaskStart {
-            time: start,
-            task: tid,
-            worker: wid,
-            version: q.version,
-        });
+        if let Some(sink) = &st.sink {
+            let attempt = st.attempts.get(&tid).copied().unwrap_or(0) + 1;
+            sink.record(
+                wi,
+                TraceEvent::TaskStart {
+                    time: start.into(),
+                    task: tid,
+                    worker: wid,
+                    version: q.version,
+                    template: inst.template,
+                    attempt,
+                },
+            );
+        }
     }
 }

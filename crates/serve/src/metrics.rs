@@ -2,12 +2,18 @@
 //! thread and the clients, queryable at any time — including while jobs
 //! are in flight.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use versa_core::{TemplateId, VersionId};
 use versa_runtime::WorkerTransferStats;
+use versa_trace::{DecisionRecord, Phase, TraceEvent};
+
+/// How many recent scheduler decisions the service keeps for inspection.
+pub(crate) const DECISION_TAIL: usize = 64;
+/// How many job admission/completion events the service keeps.
+pub(crate) const JOB_EVENT_TAIL: usize = 256;
 
 /// State shared between the service thread and every client handle.
 pub(crate) struct Shared {
@@ -31,6 +37,9 @@ pub(crate) struct Shared {
     pub accepting: AtomicBool,
     pub next_job: AtomicU64,
     pub workers: usize,
+    /// Service epoch — job events and decision tails are stamped with
+    /// offsets from it, matching the trace timestamp convention.
+    pub started: Instant,
     pub detail: Mutex<Detail>,
 }
 
@@ -41,6 +50,15 @@ pub(crate) struct Detail {
     pub worker_busy: Vec<Duration>,
     pub worker_task_counts: Vec<u64>,
     pub worker_transfers: Vec<WorkerTransferStats>,
+    /// Last [`DECISION_TAIL`] scheduler decisions observed in wave
+    /// traces (empty unless the runtime runs with tracing enabled).
+    pub decision_tail: VecDeque<DecisionRecord>,
+    /// Decisions per (job, phase) across all traced waves.
+    pub decision_phases: HashMap<(Option<u64>, Phase), u64>,
+    /// Trace events lost to ring overflow across all traced waves.
+    pub trace_dropped: u64,
+    /// Last [`JOB_EVENT_TAIL`] job admission/completion events.
+    pub job_events: VecDeque<TraceEvent>,
 }
 
 impl Shared {
@@ -60,11 +78,13 @@ impl Shared {
             accepting: AtomicBool::new(true),
             next_job: AtomicU64::new(0),
             workers,
+            started: Instant::now(),
             detail: Mutex::new(Detail {
                 version_counts: HashMap::new(),
                 worker_busy: vec![Duration::ZERO; workers],
                 worker_task_counts: vec![0; workers],
                 worker_transfers: vec![WorkerTransferStats::default(); workers],
+                ..Detail::default()
             }),
         }
     }
@@ -90,6 +110,10 @@ impl Shared {
             worker_busy: detail.worker_busy.clone(),
             worker_task_counts: detail.worker_task_counts.clone(),
             worker_transfers: detail.worker_transfers.clone(),
+            last_decisions: detail.decision_tail.iter().cloned().collect(),
+            decision_phases: detail.decision_phases.clone(),
+            trace_dropped: detail.trace_dropped,
+            job_events: detail.job_events.iter().cloned().collect(),
         }
     }
 }
@@ -132,6 +156,21 @@ pub struct MetricsSnapshot {
     /// Accumulated per-worker transfer staging breakdown (bytes staged,
     /// staging vs compute time, overlap) across all waves.
     pub worker_transfers: Vec<WorkerTransferStats>,
+    /// The most recent scheduler decisions (oldest first, at most
+    /// `DECISION_TAIL`), harvested from wave traces. Empty unless the
+    /// service's runtime was built with `RuntimeConfig::tracing` on.
+    pub last_decisions: Vec<DecisionRecord>,
+    /// Decisions per (job, scheduling phase) across all traced waves.
+    pub decision_phases: HashMap<(Option<u64>, Phase), u64>,
+    /// Trace events lost to ring overflow across all traced waves — a
+    /// non-zero value means the lane capacity is too small for the
+    /// service's wave size.
+    pub trace_dropped: u64,
+    /// Recent job admission/completion events
+    /// ([`TraceEvent::JobAdmitted`] / [`TraceEvent::JobCompleted`]),
+    /// stamped with offsets from service start. Always populated, even
+    /// with tracing off.
+    pub job_events: Vec<TraceEvent>,
 }
 
 impl MetricsSnapshot {

@@ -3,7 +3,7 @@
 //! admitted job through the shared scheduler.
 
 use crate::job::{FinishFn, JobId, JobReport, JobSpec, RejectReason, SubmitOutcome};
-use crate::metrics::{MetricsSnapshot, Shared};
+use crate::metrics::{MetricsSnapshot, Shared, DECISION_TAIL, JOB_EVENT_TAIL};
 use crate::JobTicket;
 use std::collections::{HashMap, HashSet};
 use std::ops::Range;
@@ -13,6 +13,21 @@ use std::time::{Duration, Instant};
 use versa_core::profile::{apply_hints, parse_hints, HintsFile};
 use versa_core::{JobTag, TaskId};
 use versa_runtime::{graph::TaskState, RunReport, Runtime};
+use versa_trace::{TraceEvent, Ts};
+
+/// Offset from the service epoch as a trace timestamp.
+fn service_ts(shared: &Shared) -> Ts {
+    Ts(shared.started.elapsed().as_nanos() as u64)
+}
+
+/// Append a job admission/completion event, keeping the ring bounded.
+fn push_job_event(shared: &Shared, ev: TraceEvent) {
+    let mut detail = shared.detail.lock().expect("metrics mutex poisoned");
+    if detail.job_events.len() >= JOB_EVENT_TAIL {
+        detail.job_events.pop_front();
+    }
+    detail.job_events.push_back(ev);
+}
 
 /// Service knobs.
 #[derive(Clone, Debug)]
@@ -270,6 +285,10 @@ fn admit(
     }
     shared.live_tasks.fetch_add(after - before, Ordering::Relaxed);
     shared.active_jobs.fetch_add(1, Ordering::Relaxed);
+    push_job_event(
+        shared,
+        TraceEvent::JobAdmitted { time: service_ts(shared), job: id, tasks: after - before },
+    );
     active.push(ActiveJob {
         id,
         name: spec.name,
@@ -338,6 +357,21 @@ fn note_wave(shared: &Shared, report: &RunReport) {
     for (i, wt) in report.worker_transfers.iter().enumerate() {
         detail.worker_transfers[i].merge(wt);
     }
+    // Harvest the wave's trace, when the runtime records one: the
+    // decision ledger tail, per-(job, phase) decision counts, and ring
+    // drop counters all surface through `MetricsSnapshot`.
+    if let Some(trace) = &report.trace {
+        detail.trace_dropped += trace.dropped;
+        for ev in trace.events() {
+            if let TraceEvent::Decision(d) = ev {
+                *detail.decision_phases.entry((d.job, d.phase)).or_insert(0) += 1;
+                if detail.decision_tail.len() >= DECISION_TAIL {
+                    detail.decision_tail.pop_front();
+                }
+                detail.decision_tail.push_back(d.clone());
+            }
+        }
+    }
 }
 
 fn job_done(rt: &Runtime, range: &Range<u64>) -> bool {
@@ -363,6 +397,14 @@ fn finalize(rt: &mut Runtime, mut job: ActiveJob, shared: &Shared, wave: u64) {
         Err(_) => shared.failed.fetch_add(1, Ordering::Relaxed),
     };
     let finished = Instant::now();
+    push_job_event(
+        shared,
+        TraceEvent::JobCompleted {
+            time: service_ts(shared),
+            job: job.id,
+            ok: outcome.is_ok(),
+        },
+    );
     let report = JobReport {
         job: JobId(job.id),
         name: job.name,

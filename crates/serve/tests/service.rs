@@ -6,6 +6,7 @@ use versa_core::{DeviceKind, SchedulerKind, VersionId};
 use versa_runtime::{NativeConfig, Runtime, RuntimeConfig};
 use versa_serve::{JobSpec, RejectReason, ServeConfig, Service, SubmitOutcome};
 use versa_sim::PlatformConfig;
+use versa_trace::TraceEvent;
 
 /// Simulated runtime with a 3-version template: fast GPU main (1 ms),
 /// slower GPU alternate (2 ms), slow SMP fallback (20 ms). The alternate
@@ -282,5 +283,49 @@ fn native_jobs_from_two_threads_interleave() {
         "jobs did not overlap: {r1:?} vs {r2:?}"
     );
     assert_eq!(service.metrics().completed, 2);
+    service.shutdown();
+}
+
+#[test]
+fn traced_service_exposes_decision_ledger_and_job_events() {
+    let mut rc = RuntimeConfig::with_scheduler(SchedulerKind::versioning());
+    rc.tracing.enabled = true;
+    let mut rt = Runtime::simulated(rc, PlatformConfig::minotauro(2, 1));
+    let tpl = rt
+        .template("mm")
+        .main("mm_cublas", &[DeviceKind::Cuda])
+        .version("mm_cblas", &[DeviceKind::Smp])
+        .register();
+    rt.bind_cost(tpl, VersionId(0), |_| Duration::from_millis(1));
+    rt.bind_cost(tpl, VersionId(1), |_| Duration::from_millis(20));
+    let service = Service::start(rt, ServeConfig::default());
+    let report = service
+        .client()
+        .submit(sim_job(tpl, 32))
+        .accepted()
+        .expect("queue has room")
+        .wait();
+    assert!(report.outcome.is_ok());
+
+    let m = service.metrics();
+    assert_eq!(m.trace_dropped, 0);
+    assert!(!m.last_decisions.is_empty(), "wave traces feed the decision tail");
+    // Every decision the service saw belongs to the one admitted job,
+    // and the phase histogram accounts for all of them.
+    assert!(m.last_decisions.iter().all(|d| d.job == Some(report.job.0)));
+    let phase_total: u64 = m.decision_phases.values().sum();
+    assert!(phase_total >= m.last_decisions.len() as u64);
+    assert!(m.decision_phases.keys().all(|(job, _)| *job == Some(report.job.0)));
+
+    // Job lifecycle events are recorded even though they come from the
+    // service itself, not the runtime trace.
+    let admitted = m.job_events.iter().any(
+        |ev| matches!(ev, TraceEvent::JobAdmitted { job, tasks, .. } if *job == report.job.0 && *tasks == 32),
+    );
+    let completed = m.job_events.iter().any(
+        |ev| matches!(ev, TraceEvent::JobCompleted { job, ok, .. } if *job == report.job.0 && *ok),
+    );
+    assert!(admitted, "missing JobAdmitted: {:?}", m.job_events);
+    assert!(completed, "missing JobCompleted: {:?}", m.job_events);
     service.shutdown();
 }

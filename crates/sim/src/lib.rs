@@ -18,7 +18,9 @@
 //! * [`TransferEngine`] — virtual-time DMA: transfers occupy links,
 //!   respect data production times, may overlap with compute (prefetch),
 //!   and are accounted in the paper's Input/Output/Device Tx categories.
-//! * [`Trace`] — optional structured event traces for tests and debugging.
+//! * [`Trace`] — re-export of the unified `versa-trace` event model (the
+//!   recorder, exporters and analysis live there, shared with the native
+//!   engine).
 //!
 //! The actual task-execution event loop lives in `versa-runtime`
 //! (`SimEngine`), which combines these pieces with the task graph and a
@@ -26,7 +28,6 @@
 
 #![warn(missing_docs)]
 
-pub mod analysis;
 mod cost;
 mod event;
 mod fault;
@@ -35,11 +36,12 @@ mod time;
 mod trace;
 mod transfer;
 
-pub use analysis::{TaskInterval, TraceAnalysis};
 pub use cost::{CostTable, NoiseModel};
 pub use event::EventQueue;
 pub use fault::{FaultInjector, FaultPlan, FaultRule};
 pub use platform::{LinkConfig, PlatformConfig};
 pub use time::SimTime;
-pub use trace::{Trace, TraceEvent};
+pub use trace::{Trace, TraceEvent, Ts};
 pub use transfer::TransferEngine;
+pub use versa_trace::analysis;
+pub use versa_trace::{TaskInterval, TraceAnalysis};

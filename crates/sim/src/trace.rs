@@ -1,132 +1,25 @@
-//! Structured execution traces (for tests, debugging and Fig. 5-style
-//! narratives).
+//! Thin adapter onto the unified `versa-trace` event model.
+//!
+//! Early revisions of this crate carried their own trace recorder and
+//! analysis; both now live in `versa-trace`, shared with the native
+//! engine so one toolchain (`versa-analyze`, the Chrome exporter, the
+//! invariant checker) serves every trace. This module keeps the old
+//! import paths (`versa_sim::{Trace, TraceEvent}`) working and provides
+//! the [`SimTime`] ↔ [`Ts`] bridge: both are nanoseconds from run start,
+//! so the conversion is the identity on the raw counter.
 
 use crate::SimTime;
-use versa_core::{TaskId, VersionId, WorkerId};
-use versa_mem::{DataId, MemSpace};
+pub use versa_trace::{Trace, TraceEvent, Ts};
 
-/// One traced simulation event.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum TraceEvent {
-    /// A task began executing on a worker.
-    TaskStart {
-        /// When.
-        time: SimTime,
-        /// Which task.
-        task: TaskId,
-        /// On which worker.
-        worker: WorkerId,
-        /// As which implementation.
-        version: VersionId,
-    },
-    /// A task finished executing.
-    TaskEnd {
-        /// When.
-        time: SimTime,
-        /// Which task.
-        task: TaskId,
-        /// On which worker.
-        worker: WorkerId,
-    },
-    /// A task execution failed (injected fault) — the task will be
-    /// rescheduled or, if retries are exhausted, abort the run.
-    TaskFailed {
-        /// When.
-        time: SimTime,
-        /// Which task.
-        task: TaskId,
-        /// On which worker.
-        worker: WorkerId,
-        /// As which implementation.
-        version: VersionId,
-        /// How many times this task has failed so far (this one
-        /// included).
-        attempt: u32,
-    },
-    /// A data transfer occupied a link from `start` to `end`.
-    Transfer {
-        /// Transfer start (after source/link availability).
-        start: SimTime,
-        /// Transfer completion.
-        end: SimTime,
-        /// The allocation moved.
-        data: DataId,
-        /// Source space.
-        from: MemSpace,
-        /// Destination space.
-        to: MemSpace,
-        /// Bytes moved.
-        bytes: u64,
-    },
-}
-
-impl TraceEvent {
-    /// The event's (primary) timestamp, for ordering checks.
-    pub fn time(&self) -> SimTime {
-        match self {
-            TraceEvent::TaskStart { time, .. }
-            | TraceEvent::TaskEnd { time, .. }
-            | TraceEvent::TaskFailed { time, .. } => *time,
-            TraceEvent::Transfer { start, .. } => *start,
-        }
+impl From<SimTime> for Ts {
+    fn from(t: SimTime) -> Ts {
+        Ts(t.0)
     }
 }
 
-/// An append-only event trace. Disabled by default: recording is a no-op
-/// until [`Trace::enable`] is called, so hot paths can trace
-/// unconditionally.
-#[derive(Default, Debug, Clone)]
-pub struct Trace {
-    events: Vec<TraceEvent>,
-    enabled: bool,
-}
-
-impl Trace {
-    /// A disabled trace.
-    pub fn new() -> Trace {
-        Trace::default()
-    }
-
-    /// Start recording.
-    pub fn enable(&mut self) {
-        self.enabled = true;
-    }
-
-    /// Whether recording is active.
-    pub fn is_enabled(&self) -> bool {
-        self.enabled
-    }
-
-    /// Record an event (no-op when disabled).
-    pub fn record(&mut self, event: TraceEvent) {
-        if self.enabled {
-            self.events.push(event);
-        }
-    }
-
-    /// All recorded events in record order.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
-    }
-
-    /// Number of recorded events.
-    pub fn len(&self) -> usize {
-        self.events.len()
-    }
-
-    /// Whether nothing was recorded.
-    pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
-    }
-
-    /// Events concerning one task.
-    pub fn task_events(&self, task: TaskId) -> impl Iterator<Item = &TraceEvent> {
-        self.events.iter().filter(move |e| match e {
-            TraceEvent::TaskStart { task: t, .. }
-            | TraceEvent::TaskEnd { task: t, .. }
-            | TraceEvent::TaskFailed { task: t, .. } => *t == task,
-            TraceEvent::Transfer { .. } => false,
-        })
+impl From<Ts> for SimTime {
+    fn from(t: Ts) -> SimTime {
+        SimTime(t.0)
     }
 }
 
@@ -134,45 +27,11 @@ impl Trace {
 mod tests {
     use super::*;
 
-    fn start(t: u64, task: u64, w: u16) -> TraceEvent {
-        TraceEvent::TaskStart {
-            time: SimTime(t),
-            task: TaskId(task),
-            worker: WorkerId(w),
-            version: VersionId(0),
-        }
-    }
-
     #[test]
-    fn disabled_trace_records_nothing() {
-        let mut tr = Trace::new();
-        assert!(!tr.is_enabled());
-        tr.record(start(0, 1, 0));
-        assert!(tr.is_empty());
-    }
-
-    #[test]
-    fn enabled_trace_accumulates() {
-        let mut tr = Trace::new();
-        tr.enable();
-        tr.record(start(0, 1, 0));
-        tr.record(TraceEvent::TaskEnd { time: SimTime(10), task: TaskId(1), worker: WorkerId(0) });
-        assert_eq!(tr.len(), 2);
-        assert_eq!(tr.task_events(TaskId(1)).count(), 2);
-        assert_eq!(tr.task_events(TaskId(2)).count(), 0);
-    }
-
-    #[test]
-    fn event_time_accessor() {
-        let e = TraceEvent::Transfer {
-            start: SimTime(5),
-            end: SimTime(9),
-            data: DataId(0),
-            from: MemSpace::HOST,
-            to: MemSpace::device(0),
-            bytes: 64,
-        };
-        assert_eq!(e.time(), SimTime(5));
-        assert_eq!(start(3, 0, 0).time(), SimTime(3));
+    fn simtime_ts_bridge_is_identity_on_nanos() {
+        let t = SimTime(1_234_567);
+        let ts: Ts = t.into();
+        assert_eq!(ts, Ts(1_234_567));
+        assert_eq!(SimTime::from(ts), t);
     }
 }

@@ -1,0 +1,164 @@
+//! `versa-analyze` — reproduce the paper's artifacts from a trace file.
+//!
+//! Reads `vtrace v1` files written by the engines' `--trace` flags and
+//! prints, per trace:
+//!
+//! * a per-version execution-count table (paper Table I),
+//! * per-category transfer bytes and link occupancy,
+//! * a per-worker occupancy timeline + utilization table,
+//! * the scheduler's learning→reliable phase-transition report per
+//!   (template, size-bucket).
+//!
+//! ```text
+//! versa-analyze [--check] [--require-decisions] [--chrome OUT.json]
+//!               [--csv OUT.csv] [--quiet] TRACE...
+//! ```
+//!
+//! `--check` additionally verifies trace well-formedness invariants and
+//! exits non-zero on any violation; `--require-decisions` also fails if
+//! the trace carries no scheduler decision records (an empty decision
+//! ledger means the wiring is broken). `--chrome`/`--csv` convert the
+//! (last) input trace for external tools.
+
+use std::process::ExitCode;
+use versa_trace::{analysis, chrome, invariants, Trace, TraceAnalysis};
+
+struct Args {
+    check: bool,
+    require_decisions: bool,
+    quiet: bool,
+    chrome_out: Option<String>,
+    csv_out: Option<String>,
+    inputs: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: versa-analyze [--check] [--require-decisions] [--chrome OUT.json]\n\
+         \x20                    [--csv OUT.csv] [--quiet] TRACE..."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        check: false,
+        require_decisions: false,
+        quiet: false,
+        chrome_out: None,
+        csv_out: None,
+        inputs: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--check" => args.check = true,
+            "--require-decisions" => args.require_decisions = true,
+            "--quiet" => args.quiet = true,
+            "--chrome" => args.chrome_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--csv" => args.csv_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+            path => args.inputs.push(path.to_string()),
+        }
+    }
+    if args.inputs.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn analyze_one(path: &str, args: &Args) -> Result<Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let trace = Trace::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let a = TraceAnalysis::new(&trace);
+
+    if !args.quiet {
+        println!("=== {path} ===");
+        println!(
+            "engine {}  ·  {} events ({} dropped)  ·  span {:.3} ms  ·  {} tasks, {} failed attempts, {} transfers, {} decisions\n",
+            trace.meta.engine,
+            trace.len(),
+            trace.dropped,
+            a.span.as_duration().as_secs_f64() * 1e3,
+            a.task_count,
+            a.failed_count,
+            a.transfer_count,
+            a.decisions.len()
+        );
+        println!("per-version execution counts (paper Table I):");
+        println!("{}", a.version_table(&trace.meta));
+        println!("transfers:");
+        println!("{}", a.transfer_table());
+        println!("per-worker occupancy ('#' compute, 'x' failed attempt, '.' idle):");
+        print!("{}", a.timeline(&trace.meta, 72));
+        println!();
+        println!("{}", a.utilization_table());
+        if !a.phase_mix.is_empty() {
+            println!("scheduler phase transitions per (template, bucket):");
+            println!("{}", a.phase_report(&trace.meta));
+        }
+    }
+
+    let mut problems = Vec::new();
+    if args.check {
+        problems.extend(invariants::check(&trace));
+    }
+    if args.require_decisions && a.decisions.is_empty() {
+        problems.push("decision ledger is empty".to_string());
+    }
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("{path}: INVARIANT VIOLATION: {p}");
+        }
+        return Err(format!("{path}: {} invariant violation(s)", problems.len()));
+    }
+    if args.check && !args.quiet {
+        println!("invariants: OK\n");
+    }
+    Ok(trace)
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut failed = false;
+    let mut last: Option<Trace> = None;
+    for path in &args.inputs {
+        match analyze_one(path, &args) {
+            Ok(trace) => last = Some(trace),
+            Err(e) => {
+                eprintln!("{e}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(trace) = &last {
+        if let Some(out) = &args.chrome_out {
+            let json = chrome::to_chrome_json(trace);
+            if let Err(e) = chrome::validate(&json) {
+                eprintln!("internal error: exporter produced invalid JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = std::fs::write(out, &json) {
+                eprintln!("write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {out}");
+        }
+        if let Some(out) = &args.csv_out {
+            if let Err(e) = std::fs::write(out, analysis::to_csv(trace)) {
+                eprintln!("write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {out}");
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,205 @@
+//! Trace well-formedness invariants, shared by `versa-analyze --check`,
+//! the `trace_smoke` CI bin and the property-test suite.
+//!
+//! 1. Every `TaskStart` is closed by exactly one terminal event
+//!    (`TaskEnd` or `TaskFailed`) at a time ≥ its start, on the same
+//!    worker, before the task starts again.
+//! 2. A task has at most one `TaskEnd` (completion is final).
+//! 3. Retry attempt numbers are strictly increasing per task, starting
+//!    at 1 (`TaskFailed` may appear without a `TaskStart` — staging
+//!    faults fail a task before its kernel ever runs).
+//! 4. Attempt spans never overlap per worker.
+//! 5. Transfer spans are well-formed (`start ≤ end`).
+//!
+//! Note: a `Trace` drained from a bounded wave (versa-serve) can carry a
+//! start whose terminal lands in the *next* wave's trace; `check` is
+//! meant for whole-run traces.
+
+use crate::analysis::TraceAnalysis;
+use crate::event::{Trace, TraceEvent};
+use std::collections::HashMap;
+
+/// Check all invariants; returns human-readable violations (empty =
+/// well-formed).
+pub fn check(trace: &Trace) -> Vec<String> {
+    let mut violations = Vec::new();
+
+    struct TaskState {
+        open: Option<(versa_core::WorkerId, crate::Ts)>,
+        ended: bool,
+        last_attempt: u32,
+    }
+    let mut tasks: HashMap<u64, TaskState> = HashMap::new();
+
+    for ev in trace.events() {
+        match *ev {
+            TraceEvent::TaskStart { time, task, worker, attempt, .. } => {
+                let st = tasks
+                    .entry(task.0)
+                    .or_insert(TaskState { open: None, ended: false, last_attempt: 0 });
+                if st.ended {
+                    violations.push(format!("{task} started again after completing"));
+                }
+                if st.open.is_some() {
+                    violations.push(format!("{task} started twice without a terminal event"));
+                }
+                if attempt != st.last_attempt + 1 {
+                    violations.push(format!(
+                        "{task} attempt numbers not increasing ({} after {})",
+                        attempt, st.last_attempt
+                    ));
+                }
+                st.open = Some((worker, time));
+            }
+            TraceEvent::TaskEnd { time, task, worker, .. } => {
+                let st = tasks
+                    .entry(task.0)
+                    .or_insert(TaskState { open: None, ended: false, last_attempt: 0 });
+                if st.ended {
+                    violations.push(format!("{task} completed twice"));
+                }
+                st.ended = true;
+                match st.open.take() {
+                    Some((w, start)) => {
+                        if w != worker {
+                            violations.push(format!("{task} started on {w} but ended on {worker}"));
+                        }
+                        if time < start {
+                            violations.push(format!("{task} ended at {time} before start {start}"));
+                        }
+                    }
+                    None => violations.push(format!("{task} ended without a start")),
+                }
+            }
+            TraceEvent::TaskFailed { time, task, worker, attempt, .. } => {
+                let st = tasks
+                    .entry(task.0)
+                    .or_insert(TaskState { open: None, ended: false, last_attempt: 0 });
+                if st.ended {
+                    violations.push(format!("{task} failed after completing"));
+                }
+                if attempt != st.last_attempt + 1 {
+                    violations.push(format!(
+                        "{task} attempt numbers not increasing ({} after {})",
+                        attempt, st.last_attempt
+                    ));
+                }
+                st.last_attempt = attempt;
+                // A failure may close an open start (kernel fault) or
+                // stand alone (staging fault).
+                if let Some((w, start)) = st.open.take() {
+                    if w != worker {
+                        violations.push(format!("{task} started on {w} but failed on {worker}"));
+                    }
+                    if time < start {
+                        violations.push(format!("{task} failed at {time} before start {start}"));
+                    }
+                }
+            }
+            TraceEvent::Transfer { start, end, data, .. } if end < start => {
+                violations.push(format!("transfer of {data:?} ends at {end} before start {start}"));
+            }
+            _ => {}
+        }
+    }
+
+    for (task, st) in &tasks {
+        if st.open.is_some() {
+            violations.push(format!("t{task} started but never reached a terminal event"));
+        }
+    }
+
+    let a = TraceAnalysis::new(trace);
+    if let Some((p, q)) = a.find_overlap() {
+        violations.push(format!(
+            "worker {} ran two attempts at once: t{} [{}..{}] overlaps t{} [{}..{}]",
+            p.worker, p.task.0, p.start.0, p.end.0, q.task.0, q.start.0, q.end.0
+        ));
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceMeta, Ts};
+    use versa_core::{TaskId, TemplateId, VersionId, WorkerId};
+
+    fn start(t: u64, task: u64, w: u16, attempt: u32) -> TraceEvent {
+        TraceEvent::TaskStart {
+            time: Ts(t),
+            task: TaskId(task),
+            worker: WorkerId(w),
+            version: VersionId(0),
+            template: TemplateId(0),
+            attempt,
+        }
+    }
+    fn end(t: u64, task: u64, w: u16) -> TraceEvent {
+        TraceEvent::TaskEnd { time: Ts(t), task: TaskId(task), worker: WorkerId(w), kernel_ns: 1 }
+    }
+    fn failed(t: u64, task: u64, w: u16, attempt: u32) -> TraceEvent {
+        TraceEvent::TaskFailed {
+            time: Ts(t),
+            task: TaskId(task),
+            worker: WorkerId(w),
+            version: VersionId(0),
+            attempt,
+        }
+    }
+    fn trace(evs: Vec<TraceEvent>) -> Trace {
+        Trace::new(TraceMeta::default(), evs, 0)
+    }
+
+    #[test]
+    fn clean_retry_chain_passes() {
+        let t = trace(vec![
+            start(0, 1, 0, 1),
+            failed(10, 1, 0, 1),
+            start(10, 1, 1, 2),
+            end(30, 1, 1),
+        ]);
+        assert_eq!(check(&t), Vec::<String>::new());
+    }
+
+    #[test]
+    fn staging_fault_without_start_passes() {
+        let t = trace(vec![failed(5, 1, 0, 1), start(6, 1, 0, 2), end(9, 1, 0)]);
+        assert!(check(&t).is_empty());
+    }
+
+    #[test]
+    fn dangling_start_is_flagged() {
+        let v = check(&trace(vec![start(0, 1, 0, 1)]));
+        assert!(v.iter().any(|m| m.contains("never reached a terminal")));
+    }
+
+    #[test]
+    fn double_end_is_flagged() {
+        let v = check(&trace(vec![start(0, 1, 0, 1), end(5, 1, 0), end(6, 1, 0)]));
+        assert!(v.iter().any(|m| m.contains("without a start") || m.contains("completed twice")));
+    }
+
+    #[test]
+    fn non_monotonic_attempts_are_flagged() {
+        let v = check(&trace(vec![
+            start(0, 1, 0, 1),
+            failed(5, 1, 0, 1),
+            start(6, 1, 0, 1), // attempt should be 2
+            end(9, 1, 0),
+        ]));
+        assert!(v.iter().any(|m| m.contains("not increasing")));
+    }
+
+    #[test]
+    fn worker_overlap_is_flagged() {
+        let v = check(&trace(vec![
+            start(0, 1, 0, 1),
+            start(5, 2, 0, 1),
+            end(10, 1, 0),
+            end(15, 2, 0),
+        ]));
+        assert!(v.iter().any(|m| m.contains("two attempts at once") || m.contains("started twice")));
+    }
+}

@@ -1,0 +1,41 @@
+//! # versa-trace — unified runtime tracing and decision-ledger observability
+//!
+//! The paper's whole evaluation is trace-shaped: per-version execution
+//! counts (Table I), earliest-executor timelines (Fig. 5), and
+//! bytes-transferred-per-category. This crate is the one event model both
+//! execution engines record into, so a native trace and a simulated trace
+//! of the same program are comparable event-for-event.
+//!
+//! * [`TraceEvent`] — the unified event model: task lifecycle (created →
+//!   ready → running → done/failed/retried), scheduler [`DecisionRecord`]s
+//!   (phase + every worker's bid), staging/transfer spans, and serve-level
+//!   job admission events.
+//! * [`TraceSink`] — a lock-light per-worker ring-buffer recorder:
+//!   bounded memory, drop-counted overflow, one uncontended mutex per
+//!   lane (each engine thread owns a lane, so locks never collide).
+//! * [`Trace`] — the merged, time-ordered result with [`TraceMeta`]
+//!   naming workers, templates and versions.
+//! * [`analysis::TraceAnalysis`] — occupancy, per-category transfer
+//!   volume, version counts, phase mix; the numbers reconcile exactly
+//!   with the engine's `RunReport`.
+//! * [`invariants::check`] — trace well-formedness (every start has one
+//!   terminal event, spans never overlap per worker, retry attempts are
+//!   monotonic).
+//! * Exporters: [`chrome::to_chrome_json`] (chrome://tracing / Perfetto),
+//!   [`analysis::to_csv`], and the `vtrace v1` text format
+//!   ([`Trace::to_text`] / [`Trace::parse`]) consumed by the
+//!   `versa-analyze` CLI.
+
+pub mod analysis;
+pub mod chrome;
+mod event;
+pub mod invariants;
+pub mod json;
+mod meta;
+mod sink;
+mod text;
+
+pub use analysis::{TaskInterval, TraceAnalysis};
+pub use event::{Bid, DecisionRecord, Phase, Trace, TraceEvent, Ts};
+pub use meta::{TemplateMeta, TraceMeta, WorkerMeta};
+pub use sink::{TraceConfig, TraceSink};

@@ -1,0 +1,187 @@
+//! Lock-light, bounded-memory event recorder.
+//!
+//! One [`TraceSink`] carries `workers + 1` independent *lanes*: engine
+//! thread `i` records into lane `i`, the coordinator records into the
+//! last lane ([`TraceSink::coordinator`]). Each lane is a fixed-capacity
+//! ring guarded by its own mutex — a worker thread only ever touches its
+//! own lane, so the lock is uncontended on the hot path and recording is
+//! one `VecDeque` push. When a ring is full the **oldest** event is
+//! dropped and counted (flight-recorder semantics: the tail of a run is
+//! always intact; [`Trace::dropped`] reports the loss).
+//!
+//! When tracing is disabled the engines hold no sink at all
+//! (`Option<Arc<TraceSink>>` is `None`), so the disabled cost is a
+//! branch on an `Option` — the run is byte-identical to an untraced one.
+
+use crate::event::{Trace, TraceEvent};
+use crate::meta::TraceMeta;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// The `RuntimeConfig::tracing` knob.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Record a trace for this run.
+    pub enabled: bool,
+    /// Ring capacity per lane (events). Each worker thread and the
+    /// coordinator get one lane; total bounded memory is
+    /// `(workers + 1) * lane_capacity * sizeof(event)`.
+    pub lane_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig { enabled: false, lane_capacity: 1 << 16 }
+    }
+}
+
+impl TraceConfig {
+    /// Tracing on, default lane capacity.
+    pub fn on() -> TraceConfig {
+        TraceConfig { enabled: true, ..TraceConfig::default() }
+    }
+}
+
+struct Lane {
+    ring: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+/// The shared recorder. See the module docs for the lane protocol.
+pub struct TraceSink {
+    lanes: Vec<Mutex<Lane>>,
+    cap: usize,
+}
+
+impl TraceSink {
+    /// A sink with one lane per worker plus a coordinator lane.
+    pub fn new(workers: usize, lane_capacity: usize) -> TraceSink {
+        let cap = lane_capacity.max(1);
+        TraceSink {
+            lanes: (0..workers + 1)
+                .map(|_| Mutex::new(Lane { ring: VecDeque::new(), dropped: 0 }))
+                .collect(),
+            cap,
+        }
+    }
+
+    /// Build the sink an engine should use for a run: `None` when the
+    /// config has tracing off (the no-sink path costs one branch).
+    pub fn from_config(cfg: &TraceConfig, workers: usize) -> Option<Arc<TraceSink>> {
+        cfg.enabled.then(|| Arc::new(TraceSink::new(workers, cfg.lane_capacity)))
+    }
+
+    /// The coordinator's lane index (workers use their own index).
+    pub fn coordinator(&self) -> usize {
+        self.lanes.len() - 1
+    }
+
+    /// Record an event into a lane, dropping (and counting) the oldest
+    /// event if the ring is full.
+    pub fn record(&self, lane: usize, ev: TraceEvent) {
+        let mut lane = self.lanes[lane].lock().unwrap();
+        if lane.ring.len() == self.cap {
+            lane.ring.pop_front();
+            lane.dropped += 1;
+        }
+        lane.ring.push_back(ev);
+    }
+
+    /// Total events lost to overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.lanes.iter().map(|l| l.lock().unwrap().dropped).sum()
+    }
+
+    /// Drain every lane and merge into a time-ordered [`Trace`]. Lanes
+    /// are left empty (the sink can keep recording a subsequent wave).
+    pub fn drain(&self, meta: TraceMeta) -> Trace {
+        let mut events = Vec::new();
+        let mut dropped = 0;
+        for lane in &self.lanes {
+            let mut lane = lane.lock().unwrap();
+            events.extend(lane.ring.drain(..));
+            dropped += lane.dropped;
+            lane.dropped = 0;
+        }
+        Trace::new(meta, events, dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Ts;
+    use versa_core::{TaskId, TemplateId, VersionId, WorkerId};
+
+    fn ev(t: u64, task: u64) -> TraceEvent {
+        TraceEvent::TaskStart {
+            time: Ts(t),
+            task: TaskId(task),
+            worker: WorkerId(0),
+            version: VersionId(0),
+            template: TemplateId(0),
+            attempt: 1,
+        }
+    }
+
+    #[test]
+    fn disabled_config_yields_no_sink() {
+        assert!(TraceSink::from_config(&TraceConfig::default(), 4).is_none());
+        assert!(TraceSink::from_config(&TraceConfig::on(), 4).is_some());
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let sink = TraceSink::new(0, 3);
+        for i in 0..5 {
+            sink.record(0, ev(i, i));
+        }
+        assert_eq!(sink.dropped(), 2);
+        let tr = sink.drain(TraceMeta::default());
+        assert_eq!(tr.dropped, 2);
+        // The *newest* three survive (flight-recorder).
+        let kept: Vec<u64> = tr
+            .events()
+            .iter()
+            .map(|e| match e {
+                TraceEvent::TaskStart { task, .. } => task.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn lanes_merge_in_time_order() {
+        let sink = TraceSink::new(2, 16);
+        sink.record(0, ev(10, 1));
+        sink.record(1, ev(5, 2));
+        sink.record(sink.coordinator(), ev(7, 3));
+        let tr = sink.drain(TraceMeta::default());
+        let times: Vec<u64> = tr.events().iter().map(|e| e.time().0).collect();
+        assert_eq!(times, vec![5, 7, 10]);
+        // Drain resets the lanes.
+        assert_eq!(sink.drain(TraceMeta::default()).len(), 0);
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn threaded_recording_loses_nothing_under_capacity() {
+        let sink = Arc::new(TraceSink::new(4, 1024));
+        let mut handles = Vec::new();
+        for lane in 0..4 {
+            let s = Arc::clone(&sink);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    s.record(lane, ev(i, lane as u64 * 1000 + i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let tr = sink.drain(TraceMeta::default());
+        assert_eq!(tr.len(), 400);
+        assert_eq!(tr.dropped, 0);
+    }
+}

@@ -14,7 +14,7 @@ use versa::sim::{analysis, SimTime, TraceAnalysis};
 fn main() {
     let cfg = CholeskyConfig { n: 8192, bs: 1024 };
     let mut rc = RuntimeConfig::with_scheduler(SchedulerKind::versioning());
-    rc.trace = true;
+    rc.tracing.enabled = true;
     let mut rt = Runtime::simulated(rc, PlatformConfig::minotauro(4, 2));
     let _app = cholesky::build(&mut rt, cfg, CholeskyVariant::PotrfHybrid);
     let report = rt.run().expect("run failed");

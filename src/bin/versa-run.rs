@@ -8,15 +8,17 @@
 //! versa-run --app cholesky --variant gpu    --scheduler aff --smp 4 --gpus 2 --n 16384 --bs 1024
 //! versa-run --app pbpi     --variant smp    --scheduler dep --generations 50
 //! versa-run --app matmul --scheduler ver --trace --gpu-mem 2000000000
+//! versa-run --app matmul --scheduler ver --trace-out matmul.vtrace
 //! ```
 //!
 //! Prints the run report (makespan, GFLOP/s where defined, transfer
 //! volumes, per-version execution counts) and, with `--trace`, a
-//! per-worker utilization table.
+//! per-worker utilization table. `--trace-out PATH` additionally writes
+//! the raw event trace in the `vtrace` text format for `versa-analyze`.
 
 use versa::apps::{cholesky, matmul, pbpi};
 use versa::prelude::*;
-use versa::sim::TraceAnalysis;
+use versa::trace::TraceAnalysis;
 
 #[derive(Debug)]
 struct Args {
@@ -31,6 +33,7 @@ struct Args {
     lambda: Option<u64>,
     gpu_mem: Option<u64>,
     trace: bool,
+    trace_out: Option<String>,
     no_prefetch: bool,
     seed: Option<u64>,
 }
@@ -41,7 +44,8 @@ impl Args {
             "usage: versa-run [--app matmul|cholesky|pbpi] [--variant gpu|hybrid|smp]\n\
              \x20               [--scheduler bf|dep|aff|ver|locver] [--smp N] [--gpus N]\n\
              \x20               [--n ELEMS] [--bs TILE] [--generations N] [--lambda N]\n\
-             \x20               [--gpu-mem BYTES] [--seed N] [--trace] [--no-prefetch]"
+             \x20               [--gpu-mem BYTES] [--seed N] [--trace] [--trace-out PATH]\n\
+             \x20               [--no-prefetch]"
         );
         std::process::exit(2);
     }
@@ -59,6 +63,7 @@ impl Args {
             lambda: None,
             gpu_mem: None,
             trace: false,
+            trace_out: None,
             no_prefetch: false,
             seed: None,
         };
@@ -89,6 +94,7 @@ impl Args {
                     args.seed = Some(value(&mut it).parse().unwrap_or_else(|_| Args::usage()))
                 }
                 "--trace" => args.trace = true,
+                "--trace-out" => args.trace_out = Some(value(&mut it)),
                 "--no-prefetch" => args.no_prefetch = true,
                 "--help" | "-h" => Args::usage(),
                 other => {
@@ -129,13 +135,13 @@ impl Args {
 
     fn runtime_config(&self) -> RuntimeConfig {
         let mut rc = RuntimeConfig::with_scheduler(self.scheduler_kind());
-        rc.trace = self.trace;
+        rc.tracing.enabled = self.trace || self.trace_out.is_some();
         rc.prefetch = !self.no_prefetch;
         rc
     }
 }
 
-fn finish(report: &RunReport, rt: &Runtime, flops: Option<f64>) {
+fn finish(report: &RunReport, rt: &Runtime, flops: Option<f64>, trace_out: Option<&str>) {
     println!("{}", report.summary(rt.templates()));
     if let Some(f) = flops {
         println!("performance: {:.1} GFLOP/s", report.gflops(f));
@@ -143,6 +149,13 @@ fn finish(report: &RunReport, rt: &Runtime, flops: Option<f64>) {
     if let Some(trace) = &report.trace {
         let a = TraceAnalysis::new(trace);
         println!("\nper-worker utilization:\n{}", a.utilization_table());
+        if let Some(path) = trace_out {
+            std::fs::write(path, trace.to_text()).unwrap_or_else(|e| {
+                eprintln!("cannot write trace to {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("\ntrace written to {path} (inspect with versa-analyze)");
+        }
     }
     if let Some(table) = &report.profile_table {
         println!("\nlearned profile (paper Table I):\n{table}");
@@ -185,7 +198,7 @@ fn main() {
             let mut rt = Runtime::simulated(rc, platform);
             let _app = matmul::build(&mut rt, cfg, variant);
             let report = rt.run().expect("run failed");
-            finish(&report, &rt, Some(cfg.flops()));
+            finish(&report, &rt, Some(cfg.flops()), args.trace_out.as_deref());
         }
         "cholesky" => {
             let mut cfg = cholesky::CholeskyConfig::paper();
@@ -217,7 +230,7 @@ fn main() {
             let mut rt = Runtime::simulated(rc, platform);
             let _app = cholesky::build(&mut rt, cfg, variant);
             let report = rt.run().expect("run failed");
-            finish(&report, &rt, Some(cfg.flops()));
+            finish(&report, &rt, Some(cfg.flops()), args.trace_out.as_deref());
         }
         "pbpi" => {
             let mut cfg = pbpi::PbpiConfig::paper();
@@ -244,7 +257,7 @@ fn main() {
             let mut rt = Runtime::simulated(rc, platform);
             let _app = pbpi::build(&mut rt, cfg, variant);
             let report = rt.run().expect("run failed");
-            finish(&report, &rt, None);
+            finish(&report, &rt, None, args.trace_out.as_deref());
         }
         other => {
             eprintln!("unknown app {other:?}");

@@ -14,6 +14,7 @@
 //! * [`sim`] — deterministic discrete-event simulator of an SMP+GPU node.
 //! * [`runtime`] — the task runtime (dependence analysis + engines).
 //! * [`serve`] — persistent multi-job service over one runtime.
+//! * [`trace`] — unified event tracing, invariants, exporters, analysis.
 //! * [`kernels`] — pure-Rust BLAS-like and PBPI computational kernels.
 //! * [`apps`] — the paper's applications (matmul, Cholesky, PBPI).
 //!
@@ -26,6 +27,7 @@ pub use versa_mem as mem;
 pub use versa_runtime as runtime;
 pub use versa_serve as serve;
 pub use versa_sim as sim;
+pub use versa_trace as trace;
 
 /// Convenient glob import: `use versa::prelude::*;`.
 pub mod prelude {

@@ -111,7 +111,8 @@ fn fault_trace_records_failed_attempts() {
     let plan = FaultPlan::single(FaultRule::broken_version(VersionId(0)));
     let mut platform = PlatformConfig::minotauro(2, 1);
     platform.faults = plan;
-    let config = RuntimeConfig { trace: true, ..RuntimeConfig::default() };
+    let mut config = RuntimeConfig::default();
+    config.tracing.enabled = true;
     let mut rt = Runtime::simulated(config, platform);
     let tpl = rt
         .template("work")
