@@ -31,6 +31,18 @@ pub const GPU_DGEMM_CUDA: f64 = 214.0e9;
 /// ≈ 60× slower than CUBLAS per tile.
 pub const SMP_DGEMM_CBLAS: f64 = 5.1e9;
 
+/// Sustained f64 GEMM rate of one SMP core running the explicit-SIMD
+/// packed kernel (the `mm-wide` variant's extra CPU version): ~4× the
+/// CBLAS stand-in — mirroring the measured avx512-vs-scalar gap of the
+/// native kernels — yet still ~15× off CUBLAS, so a learning scheduler
+/// should prefer it over CBLAS without ever preferring it over the GPU.
+pub const SMP_DGEMM_SIMD: f64 = 20.4e9;
+
+/// Sustained f64 GEMM rate of one SMP core running the naive triple
+/// loop — the deliberately bad version in the `mm-wide` version space;
+/// a scheduler that can't learn pays ~190× per task for picking it.
+pub const SMP_DGEMM_NAIVE: f64 = 1.6e9;
+
 /// Sustained f32 GEMM rate of the GPU (CUBLAS sgemm).
 pub const GPU_SGEMM: f64 = 550.0e9;
 
@@ -91,6 +103,19 @@ mod tests {
         let ratio = smp.as_secs_f64() / gpu.as_secs_f64();
         assert!((55.0..65.0).contains(&ratio), "SMP/GPU ratio {ratio}, paper says ~60");
         assert!((0.006..0.009).contains(&gpu.as_secs_f64()), "CUBLAS tile ≈ 7 ms");
+    }
+
+    #[test]
+    fn wide_version_space_is_strictly_ordered() {
+        // mm-wide relies on an unambiguous quality ordering of its five
+        // versions: CUBLAS > CUDA > SMP-SIMD > SMP-CBLAS > SMP-naive.
+        assert!(GPU_DGEMM_CUBLAS > GPU_DGEMM_CUDA);
+        assert!(GPU_DGEMM_CUDA > SMP_DGEMM_SIMD);
+        assert!(SMP_DGEMM_SIMD > SMP_DGEMM_CBLAS);
+        assert!(SMP_DGEMM_CBLAS > SMP_DGEMM_NAIVE);
+        // SIMD is ~4× CBLAS (the measured avx512/scalar kernel gap).
+        let r = SMP_DGEMM_SIMD / SMP_DGEMM_CBLAS;
+        assert!((3.0..5.0).contains(&r), "SIMD/CBLAS ratio {r} drifted");
     }
 
     #[test]

@@ -1,12 +1,18 @@
 //! Tiled dense matrix multiplication (paper §V-B1).
 //!
 //! `C[i][j] += A[i][k] · B[k][j]` over `nb × nb` tiles of `bs × bs`
-//! elements; each tile product is one task. Two application versions:
+//! elements; each tile product is one task. Three application versions:
 //!
 //! * **mm-gpu** — a single CUBLAS (GPU) implementation of the task.
 //! * **mm-hyb** — three implementations: CUBLAS (main), hand-coded CUDA,
 //!   and CBLAS on the SMP, joined via `implements` so only the versioning
 //!   scheduler can exploit them all.
+//! * **mm-wide** — five implementations spanning the full kernel-tier
+//!   spread: the two GPU versions plus SMP-SIMD (the runtime-dispatched
+//!   packed kernel), SMP-CBLAS (the forced-scalar packed kernel) and
+//!   SMP-naive. The wider, strictly ordered version space is the
+//!   multiversioning setting of Luo et al. — it gives the versioning
+//!   scheduler's learning phase real performance gaps to discover.
 
 use crate::calib;
 use versa_core::{DeviceKind, SchedulerKind, TemplateId, VersionId};
@@ -22,6 +28,8 @@ pub enum MatmulVariant {
     Gpu,
     /// `mm-hyb`: CUBLAS + hand-CUDA + CBLAS versions.
     Hybrid,
+    /// `mm-wide`: CUBLAS + hand-CUDA + SMP-SIMD + SMP-CBLAS + SMP-naive.
+    Wide,
 }
 
 impl MatmulVariant {
@@ -30,6 +38,16 @@ impl MatmulVariant {
         match self {
             MatmulVariant::Gpu => "mm-gpu",
             MatmulVariant::Hybrid => "mm-hyb",
+            MatmulVariant::Wide => "mm-wide",
+        }
+    }
+
+    /// Number of task versions the variant registers.
+    pub fn version_count(self) -> usize {
+        match self {
+            MatmulVariant::Gpu => 1,
+            MatmulVariant::Hybrid => 3,
+            MatmulVariant::Wide => 5,
         }
     }
 }
@@ -106,6 +124,14 @@ pub fn register(rt: &mut Runtime, variant: MatmulVariant) -> TemplateId {
             .version("matmul_tile_cuda", &[DeviceKind::Cuda])
             .version("matmul_tile_cblas", &[DeviceKind::Smp])
             .register(),
+        MatmulVariant::Wide => rt
+            .template("matmul_tile")
+            .main("matmul_tile_cublas", &[DeviceKind::Cuda])
+            .version("matmul_tile_cuda", &[DeviceKind::Cuda])
+            .version("matmul_tile_simd", &[DeviceKind::Smp])
+            .version("matmul_tile_cblas", &[DeviceKind::Smp])
+            .version("matmul_tile_naive", &[DeviceKind::Smp])
+            .register(),
     };
 
     let gemm_flops = |data_set_size: u64| {
@@ -113,15 +139,23 @@ pub fn register(rt: &mut Runtime, variant: MatmulVariant) -> TemplateId {
         let bs2 = data_set_size as f64 / 24.0;
         2.0 * bs2.powf(1.5)
     };
-    rt.bind_cost(template, VersionId(0), move |s| {
-        calib::duration_at(gemm_flops(s), calib::GPU_DGEMM_CUBLAS)
-    });
-    if variant == MatmulVariant::Hybrid {
-        rt.bind_cost(template, VersionId(1), move |s| {
-            calib::duration_at(gemm_flops(s), calib::GPU_DGEMM_CUDA)
-        });
-        rt.bind_cost(template, VersionId(2), move |s| {
-            calib::duration_at(gemm_flops(s), calib::SMP_DGEMM_CBLAS)
+    // Per-version rate table, in VersionId order for the variant.
+    let rates: &[f64] = match variant {
+        MatmulVariant::Gpu => &[calib::GPU_DGEMM_CUBLAS],
+        MatmulVariant::Hybrid => {
+            &[calib::GPU_DGEMM_CUBLAS, calib::GPU_DGEMM_CUDA, calib::SMP_DGEMM_CBLAS]
+        }
+        MatmulVariant::Wide => &[
+            calib::GPU_DGEMM_CUBLAS,
+            calib::GPU_DGEMM_CUDA,
+            calib::SMP_DGEMM_SIMD,
+            calib::SMP_DGEMM_CBLAS,
+            calib::SMP_DGEMM_NAIVE,
+        ],
+    };
+    for (v, &rate) in rates.iter().enumerate() {
+        rt.bind_cost(template, VersionId(v as u16), move |s| {
+            calib::duration_at(gemm_flops(s), rate)
         });
     }
     template
@@ -225,10 +259,31 @@ pub fn run_native_with(
         let (reads, c) = ctx.f64_reads_and_mut(&[0, 1], 2);
         gemm::dgemm_naive(reads[0], reads[1], c, bs);
     };
+    let packed = move |ctx: &mut versa_runtime::KernelCtx<'_>| {
+        let (reads, c) = ctx.f64_reads_and_mut(&[0, 1], 2);
+        gemm::dgemm_packed(reads[0], reads[1], c, bs);
+    };
+    let packed_scalar = move |ctx: &mut versa_runtime::KernelCtx<'_>| {
+        let (reads, c) = ctx.f64_reads_and_mut(&[0, 1], 2);
+        gemm::dgemm_packed_scalar(reads[0], reads[1], c, bs);
+    };
     rt.bind_native(template, VersionId(0), cublas);
-    if variant == MatmulVariant::Hybrid {
-        rt.bind_native(template, VersionId(1), blocked);
-        rt.bind_native(template, VersionId(2), naive);
+    match variant {
+        MatmulVariant::Gpu => {}
+        MatmulVariant::Hybrid => {
+            rt.bind_native(template, VersionId(1), blocked);
+            rt.bind_native(template, VersionId(2), naive);
+        }
+        MatmulVariant::Wide => {
+            // V1 hand-CUDA stand-in: dispatched packed, single-lane.
+            rt.bind_native(template, VersionId(1), packed);
+            // V2 SMP-SIMD: the runtime-dispatched packed kernel.
+            rt.bind_native(template, VersionId(2), packed);
+            // V3 SMP-CBLAS stand-in: the same core, forced-scalar tier.
+            rt.bind_native(template, VersionId(3), packed_scalar);
+            // V4 SMP-naive: the deliberately bad triple loop.
+            rt.bind_native(template, VersionId(4), naive);
+        }
     }
 
     let nb = config.nb();
@@ -307,11 +362,57 @@ mod tests {
     fn variant_labels() {
         assert_eq!(MatmulVariant::Gpu.label(), "mm-gpu");
         assert_eq!(MatmulVariant::Hybrid.label(), "mm-hyb");
+        assert_eq!(MatmulVariant::Wide.label(), "mm-wide");
+        assert_eq!(MatmulVariant::Gpu.version_count(), 1);
+        assert_eq!(MatmulVariant::Hybrid.version_count(), 3);
+        assert_eq!(MatmulVariant::Wide.version_count(), 5);
     }
 
     #[test]
     #[should_panic(expected = "divide")]
     fn tile_must_divide_matrix() {
         let _ = MatmulConfig { n: 100, bs: 33 }.nb();
+    }
+
+    #[test]
+    fn wide_sim_learns_to_prefer_cublas() {
+        let cfg = MatmulConfig { n: 2048, bs: 256 };
+        let report = run_sim(
+            cfg,
+            MatmulVariant::Wide,
+            SchedulerKind::versioning(),
+            PlatformConfig::minotauro(4, 2),
+        );
+        assert_eq!(report.tasks_executed, cfg.task_count() as u64);
+        // All executions come from the five registered versions…
+        let total: u64 = report.version_counts.values().sum();
+        assert_eq!(total, report.tasks_executed);
+        assert!(report.version_counts.keys().all(|&(_, v)| v.0 < 5));
+        // …and once the learning phase is over, CUBLAS dominates.
+        let cublas = report
+            .version_counts
+            .iter()
+            .filter(|((_, v), _)| v.0 == 0)
+            .map(|(_, &c)| c)
+            .sum::<u64>();
+        assert!(
+            cublas * 2 > report.tasks_executed,
+            "cublas ran {cublas}/{} tasks — versioning failed to learn",
+            report.tasks_executed
+        );
+    }
+
+    #[test]
+    fn wide_native_run_is_correct() {
+        let cfg = MatmulConfig { n: 128, bs: 32 };
+        let (report, data) = run_native(
+            cfg,
+            MatmulVariant::Wide,
+            SchedulerKind::versioning(),
+            NativeConfig::new(2, 1),
+            99,
+        );
+        assert_eq!(report.tasks_executed, cfg.task_count() as u64);
+        assert!(data.max_error() < 1e-9, "native mm-wide error {}", data.max_error());
     }
 }

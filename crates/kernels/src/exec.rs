@@ -47,9 +47,14 @@ impl LaneExec for SerialExec {
 
 /// Spawns a fresh `std::thread::scope` per batch.
 ///
-/// This is the pre-pool behavior, kept for the legacy `(…, lanes)` kernel
-/// entry points and for callers outside the native engine. The first job
-/// runs on the calling thread; the rest get scoped threads.
+/// This is the no-pool fallback, kept for the legacy `(…, lanes)` kernel
+/// entry points and for callers outside the native engine. A batch may
+/// hold many more jobs than lanes (kernels enqueue `MC`-granular bands so
+/// pools can load-balance them), so the scope spawns at most `lanes − 1`
+/// threads that drain a shared queue — never one thread per job. The
+/// calling thread drains alongside them; panics are captured per job and
+/// the first one is re-thrown after the batch is fully drained, so
+/// borrowed state is never left aliased.
 #[derive(Clone, Copy, Debug)]
 pub struct ScopedExec {
     lanes: usize,
@@ -68,20 +73,40 @@ impl LaneExec for ScopedExec {
     }
 
     fn run_batch<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        use std::collections::VecDeque;
+        use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+        use std::sync::Mutex;
+
         if jobs.len() <= 1 {
             for job in jobs {
                 job();
             }
             return;
         }
-        std::thread::scope(|scope| {
-            let mut jobs = jobs.into_iter();
-            let first = jobs.next().expect("len checked above");
-            for job in jobs {
-                scope.spawn(job);
+        let helpers = (self.lanes - 1).min(jobs.len() - 1);
+        let queue: Mutex<VecDeque<Box<dyn FnOnce() + Send + 'scope>>> =
+            Mutex::new(jobs.into_iter().collect());
+        let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        let drain = |queue: &Mutex<VecDeque<Box<dyn FnOnce() + Send + 'scope>>>| {
+            loop {
+                let Some(job) = queue.lock().unwrap().pop_front() else { break };
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                    let mut slot = first_panic.lock().unwrap();
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
             }
-            first();
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..helpers {
+                scope.spawn(|| drain(&queue));
+            }
+            drain(&queue);
         });
+        if let Some(payload) = first_panic.into_inner().unwrap() {
+            resume_unwind(payload);
+        }
     }
 }
 
@@ -134,6 +159,25 @@ mod tests {
             Box::new(move || hi.iter_mut().for_each(|v| *v = 2)),
         ]);
         assert_eq!(data, [1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn scoped_never_uses_more_threads_than_lanes() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let exec = ScopedExec::new(3);
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..24)
+            .map(|_| {
+                let seen = &seen;
+                Box::new(move || {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        exec.run_batch(jobs);
+        // 24 jobs over 3 lanes: at most 3 distinct threads ever touch them.
+        assert!(seen.lock().unwrap().len() <= 3);
     }
 
     #[test]

@@ -1,36 +1,51 @@
 //! Dense matrix multiplication: `C += A · B` on square row-major tiles.
 //!
-//! Three implementation tiers mirror the paper's three matmul task
-//! versions (§V-B1):
+//! The implementation tiers mirror (and now widen) the paper's matmul
+//! task versions (§V-B1):
 //!
 //! 1. **naive** (`dgemm_naive`) — a straightforward triple loop; the
-//!    "CBLAS on one core" stand-in.
-//! 2. **packed single-core** (`dgemm_blocked`) — the register-blocked,
-//!    panel-packed core from [`crate::microkernel`]; the "hand-coded
-//!    CUDA" stand-in.
-//! 3. **packed multi-lane** (`dgemm_parallel` / `dgemm_parallel_on`) —
-//!    the same core banded over a [`LaneExec`]'s lanes with `B` packed
-//!    once and shared; the "CUBLAS" stand-in for emulated GPUs.
+//!    "CBLAS on one core" stand-in and the small-tile dispatch target.
+//! 2. **packed scalar** (`dgemm_packed_scalar`) — the portable
+//!    register-blocked, panel-packed core from [`crate::microkernel`],
+//!    preserved bit-for-bit as the pre-SIMD tier.
+//! 3. **packed SIMD** (`dgemm_blocked` / `dgemm_packed`) — the same core
+//!    driven by the [`crate::simd`] runtime-dispatched AVX2/AVX-512
+//!    micro-kernel (scalar where unavailable).
+//! 4. **packed multi-lane** (`dgemm_parallel` / `dgemm_parallel_on`) —
+//!    the same core with its `MC` loop parallelized over a [`LaneExec`]'s
+//!    lanes: `B` is packed once and shared, each lane packs the `A`
+//!    panels of its own row band, and bands are `MC`-granular so the lane
+//!    pool's queue load-balances them dynamically.
 //!
-//! The seed's 64×64 cache-blocked loop survives as `*gemm_blocked64`: it
-//! is the dispatch target for tiny tiles and the fixed baseline that
-//! `perf_baseline` measures the packed core against.
+//! Whatever the tier or banding, per-element accumulation order is
+//! identical (see `crate::microkernel`'s bitwise contract), so every
+//! packed variant agrees **bitwise** with every other.
+//!
+//! The seed's 64×64 cache-blocked loop survives as `*gemm_blocked64`: a
+//! fixed baseline that `perf_baseline` measures the packed core against.
 
-use crate::chunk_ranges;
 use crate::exec::{LaneExec, ScopedExec};
-use crate::microkernel::{drive_f32, drive_f64, NR_F32, NR_F64};
+use crate::microkernel::{drive, par_bands};
 use crate::pack::PackedB;
+use crate::simd::{self, Tier};
 
 /// Below this dimension the packed core's packing overhead outweighs its
-/// register blocking and the 64×64 blocked loop wins.
-const PACK_MIN_N: usize = 64;
+/// register blocking and the plain triple loop wins. Measured against the
+/// SIMD tiers with `perf_baseline --crossover` (this machine, avx512):
+/// naive wins through n = 12 (7.5 vs 4.8 GFLOP/s), packed wins from
+/// n = 16 up (8.0 vs 6.7) and is ~2× naive by n = 24 — so the old 64
+/// cutoff was costing tiles in 16..64 up to ~2.5×. The 64×64 loop
+/// (`*gemm_blocked64`) is never the best tier at any size and is no
+/// longer on the dispatch path at all.
+const PACK_MIN_N: usize = 16;
 
 /// Below this dimension banding across lanes costs more than it saves.
 const PAR_MIN_N: usize = 128;
 
 macro_rules! gemm_impls {
-    ($t:ty, $naive:ident, $blocked:ident, $blocked64:ident, $packed:ident, $parallel:ident,
-     $parallel_on:ident, $rect:ident, $drive:ident, $nr:expr) => {
+    ($t:ty, $naive:ident, $blocked:ident, $blocked64:ident, $packed:ident, $packed_scalar:ident,
+     $packed_tier:ident, $parallel:ident, $parallel_on:ident, $rect:ident,
+     $kernel:path, $kernel_for:path) => {
         /// Rectangular 64×64-blocked core: `C[rows×n] += A[rows×n] · B[n×n]`.
         fn $rect(a: &[$t], b: &[$t], c: &mut [$t], rows: usize, n: usize) {
             assert!(a.len() >= rows * n && b.len() >= n * n && c.len() >= rows * n);
@@ -70,9 +85,8 @@ macro_rules! gemm_impls {
             }
         }
 
-        /// `C += A · B`, the seed's 64×64 cache-blocked loop. Kept as the
-        /// small-tile tier and as the fixed perf baseline the packed core
-        /// is measured against.
+        /// `C += A · B`, the seed's 64×64 cache-blocked loop. Kept as a
+        /// fixed perf baseline the packed core is measured against.
         ///
         /// # Panics
         /// Panics if any slice is shorter than `n * n`.
@@ -80,35 +94,73 @@ macro_rules! gemm_impls {
             $rect(a, b, c, n, n);
         }
 
-        /// `C += A · B` through the packed register-blocked core,
+        /// `C += A · B` through the packed register-blocked core with the
+        /// runtime-dispatched (SIMD where available) micro-kernel,
         /// regardless of size.
         ///
         /// # Panics
         /// Panics if any slice is shorter than `n * n`.
         pub fn $packed(a: &[$t], b: &[$t], c: &mut [$t], n: usize) {
             assert!(a.len() >= n * n && b.len() >= n * n && c.len() >= n * n);
-            let pb = PackedB::pack(b, n, false, n, n, $nr);
-            $drive(a, n, c, n, n, n, &pb, false);
+            let mk = $kernel();
+            let pb = PackedB::pack(b, n, false, n, n, mk.nr);
+            drive(mk, a, n, c, n, n, n, &pb, false);
         }
 
-        /// `C += A · B`, single-core blocked tier: the packed
-        /// register-blocked core, falling back to the 64×64 blocked loop
-        /// for tiles too small to amortize packing.
+        /// `C += A · B` through the packed core with the **portable
+        /// scalar** micro-kernel, regardless of CPU features or override
+        /// knobs — the pre-SIMD tier, exposed as its own task version and
+        /// as the reference the equivalence tests compare bitwise against.
+        ///
+        /// # Panics
+        /// Panics if any slice is shorter than `n * n`.
+        pub fn $packed_scalar(a: &[$t], b: &[$t], c: &mut [$t], n: usize) {
+            assert!(a.len() >= n * n && b.len() >= n * n && c.len() >= n * n);
+            let mk = $kernel_for(Tier::Scalar).expect("scalar kernel always available");
+            let pb = PackedB::pack(b, n, false, n, n, mk.nr);
+            drive(mk, a, n, c, n, n, n, &pb, false);
+        }
+
+        /// `C += A · B` through the packed core with an explicitly chosen
+        /// SIMD tier. Returns `false` (leaving `C` untouched) if this CPU
+        /// does not support the tier. For benches and equivalence tests;
+        /// production callers use the auto-dispatched entry points.
+        ///
+        /// # Panics
+        /// Panics if any slice is shorter than `n * n`.
+        pub fn $packed_tier(tier: Tier, a: &[$t], b: &[$t], c: &mut [$t], n: usize) -> bool {
+            assert!(a.len() >= n * n && b.len() >= n * n && c.len() >= n * n);
+            match $kernel_for(tier) {
+                Some(mk) => {
+                    let pb = PackedB::pack(b, n, false, n, n, mk.nr);
+                    drive(mk, a, n, c, n, n, n, &pb, false);
+                    true
+                }
+                None => false,
+            }
+        }
+
+        /// `C += A · B`, single-core blocked tier: the packed SIMD core,
+        /// falling back to the triple loop for tiles too small to
+        /// amortize packing (cutoff measured, not guessed — see
+        /// `PACK_MIN_N`).
         ///
         /// # Panics
         /// Panics if any slice is shorter than `n * n`.
         pub fn $blocked(a: &[$t], b: &[$t], c: &mut [$t], n: usize) {
             if n < PACK_MIN_N {
-                $blocked64(a, b, c, n)
+                $naive(a, b, c, n)
             } else {
                 $packed(a, b, c, n)
             }
         }
 
-        /// `C += A · B` banded over `exec`'s lanes (this is what an
-        /// emulated GPU runs). `B` is packed once and shared by every
-        /// lane; each lane drives the packed core over its own row band,
-        /// so the result is bitwise identical to the serial packed tier.
+        /// `C += A · B` with the packed core's `MC` loop parallelized
+        /// over `exec`'s lanes (this is what an emulated GPU runs). `B`
+        /// is packed once and shared by every lane; each band packs its
+        /// own `A` panels and bands are `MC`-granular, so the pool's
+        /// queue balances them dynamically. The result is bitwise
+        /// identical to the serial packed tier.
         ///
         /// # Panics
         /// Panics if any slice is shorter than `n * n`.
@@ -117,16 +169,17 @@ macro_rules! gemm_impls {
             if exec.lanes() <= 1 || n < PAR_MIN_N {
                 return $blocked(a, b, c, n);
             }
-            let pb = PackedB::pack(b, n, false, n, n, $nr);
+            let mk = $kernel();
+            let pb = PackedB::pack(b, n, false, n, n, mk.nr);
             let pb = &pb;
             let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
             let mut rest: &mut [$t] = &mut c[..n * n];
-            for band in chunk_ranges(n, exec.lanes()) {
+            for band in par_bands(n, exec.lanes(), mk.mr) {
                 let rows = band.len();
                 let (mine, r) = rest.split_at_mut(rows * n);
                 rest = r;
                 let a_band = &a[band.start * n..band.end * n];
-                jobs.push(Box::new(move || $drive(a_band, n, mine, n, rows, n, pb, false)));
+                jobs.push(Box::new(move || drive(mk, a_band, n, mine, n, rows, n, pb, false)));
             }
             exec.run_batch(jobs);
         }
@@ -148,11 +201,13 @@ gemm_impls!(
     dgemm_blocked,
     dgemm_blocked64,
     dgemm_packed,
+    dgemm_packed_scalar,
+    dgemm_packed_tier,
     dgemm_parallel,
     dgemm_parallel_on,
     dgemm_rect,
-    drive_f64,
-    NR_F64
+    simd::kernel_f64,
+    simd::kernel_f64_for
 );
 gemm_impls!(
     f32,
@@ -160,16 +215,18 @@ gemm_impls!(
     sgemm_blocked,
     sgemm_blocked64,
     sgemm_packed,
+    sgemm_packed_scalar,
+    sgemm_packed_tier,
     sgemm_parallel,
     sgemm_parallel_on,
     sgemm_rect,
-    drive_f32,
-    NR_F32
+    simd::kernel_f32,
+    simd::kernel_f32_for
 );
 
 macro_rules! gemm_nt_sub_impls {
-    ($t:ty, $serial:ident, $packed:ident, $par:ident, $par_on:ident, $rect:ident, $drive:ident,
-     $nr:expr) => {
+    ($t:ty, $serial:ident, $packed:ident, $par:ident, $par_on:ident, $rect:ident,
+     $kernel:path) => {
         /// Rectangular dot-product core: `C[rows×n] −= A[rows×n] · Bᵀ`.
         fn $rect(a: &[$t], b: &[$t], c: &mut [$t], rows: usize, n: usize) {
             assert!(a.len() >= rows * n && b.len() >= n * n && c.len() >= rows * n);
@@ -191,8 +248,9 @@ macro_rules! gemm_nt_sub_impls {
         /// Panics if any slice is shorter than `n * n`.
         pub fn $packed(a: &[$t], b: &[$t], c: &mut [$t], n: usize) {
             assert!(a.len() >= n * n && b.len() >= n * n && c.len() >= n * n);
-            let pb = PackedB::pack(b, n, true, n, n, $nr);
-            $drive(a, n, c, n, n, n, &pb, true);
+            let mk = $kernel();
+            let pb = PackedB::pack(b, n, true, n, n, mk.nr);
+            drive(mk, a, n, c, n, n, n, &pb, true);
         }
 
         /// `C ← C − A·Bᵀ` — the trailing update of the tiled Cholesky
@@ -209,8 +267,8 @@ macro_rules! gemm_nt_sub_impls {
             }
         }
 
-        /// Multi-lane NT update banded over `exec`'s lanes; `B` is packed
-        /// once and shared.
+        /// Multi-lane NT update with the `MC` loop banded over `exec`'s
+        /// lanes; `B` is packed once (transposed) and shared.
         ///
         /// # Panics
         /// Panics if any slice is shorter than `n * n`.
@@ -219,16 +277,17 @@ macro_rules! gemm_nt_sub_impls {
             if exec.lanes() <= 1 || n < PAR_MIN_N {
                 return $serial(a, b, c, n);
             }
-            let pb = PackedB::pack(b, n, true, n, n, $nr);
+            let mk = $kernel();
+            let pb = PackedB::pack(b, n, true, n, n, mk.nr);
             let pb = &pb;
             let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
             let mut rest: &mut [$t] = &mut c[..n * n];
-            for band in chunk_ranges(n, exec.lanes()) {
+            for band in par_bands(n, exec.lanes(), mk.mr) {
                 let rows = band.len();
                 let (mine, r) = rest.split_at_mut(rows * n);
                 rest = r;
                 let a_band = &a[band.start * n..band.end * n];
-                jobs.push(Box::new(move || $drive(a_band, n, mine, n, rows, n, pb, true)));
+                jobs.push(Box::new(move || drive(mk, a_band, n, mine, n, rows, n, pb, true)));
             }
             exec.run_batch(jobs);
         }
@@ -250,8 +309,7 @@ gemm_nt_sub_impls!(
     sgemm_nt_sub_par,
     sgemm_nt_sub_par_on,
     sgemm_nt_rect,
-    drive_f32,
-    NR_F32
+    simd::kernel_f32
 );
 gemm_nt_sub_impls!(
     f64,
@@ -260,8 +318,7 @@ gemm_nt_sub_impls!(
     dgemm_nt_sub_par,
     dgemm_nt_sub_par_on,
     dgemm_nt_rect,
-    drive_f64,
-    NR_F64
+    simd::kernel_f64
 );
 
 #[cfg(test)]
@@ -281,7 +338,7 @@ mod tests {
 
     #[test]
     fn blocked_matches_naive_f64() {
-        for n in [1usize, 7, 63, 64, 65, 130] {
+        for n in [1usize, 7, 23, 24, 63, 64, 65, 130] {
             let a = random_matrix_f64(n, 1);
             let b = random_matrix_f64(n, 2);
             let mut c1 = random_matrix_f64(n, 3);
@@ -306,6 +363,38 @@ mod tests {
     }
 
     #[test]
+    fn packed_scalar_matches_naive_f64() {
+        for n in [8usize, 65, 130] {
+            let a = random_matrix_f64(n, 51);
+            let b = random_matrix_f64(n, 52);
+            let mut c1 = random_matrix_f64(n, 53);
+            let mut c2 = c1.clone();
+            dgemm_naive(&a, &b, &mut c1, n);
+            dgemm_packed_scalar(&a, &b, &mut c2, n);
+            assert_close_f64(&c1, &c2, 1e-10);
+        }
+    }
+
+    #[test]
+    fn forced_tier_matches_packed_scalar_bitwise() {
+        let n = 100;
+        let a = random_matrix_f64(n, 54);
+        let b = random_matrix_f64(n, 55);
+        let c0 = random_matrix_f64(n, 56);
+        let mut reference = c0.clone();
+        dgemm_packed_scalar(&a, &b, &mut reference, n);
+        for tier in crate::simd::detected_tiers() {
+            let mut c = c0.clone();
+            if dgemm_packed_tier(tier, &a, &b, &mut c, n) {
+                assert_eq!(c, reference, "tier {tier} diverged bitwise");
+            }
+        }
+        // An unavailable tier must leave C untouched. (On x86-64 CPUs all
+        // tiers may be available; the scalar tier at least always is.)
+        assert!(dgemm_packed_tier(Tier::Scalar, &a, &b, &mut c0.clone(), n));
+    }
+
+    #[test]
     fn parallel_matches_naive_f64() {
         for lanes in [1usize, 2, 3, 4, 8] {
             let n = 150;
@@ -322,15 +411,17 @@ mod tests {
     #[test]
     fn parallel_is_bitwise_equal_to_packed() {
         // Same microkernel, same k-order per element — banding must not
-        // change a single bit.
-        let n = 200;
-        let a = random_matrix_f64(n, 40);
-        let b = random_matrix_f64(n, 41);
-        let mut c1 = random_matrix_f64(n, 42);
-        let mut c2 = c1.clone();
-        dgemm_packed(&a, &b, &mut c1, n);
-        dgemm_parallel(&a, &b, &mut c2, n, 3);
-        assert_eq!(c1, c2);
+        // change a single bit, including with MC-granular bands (n large
+        // enough for several MC blocks).
+        for (n, lanes) in [(200usize, 3usize), (300, 2), (520, 4)] {
+            let a = random_matrix_f64(n, 40);
+            let b = random_matrix_f64(n, 41);
+            let mut c1 = random_matrix_f64(n, 42);
+            let mut c2 = c1.clone();
+            dgemm_packed(&a, &b, &mut c1, n);
+            dgemm_parallel(&a, &b, &mut c2, n, lanes);
+            assert_eq!(c1, c2, "n={n} lanes={lanes}");
+        }
     }
 
     #[test]
@@ -343,6 +434,24 @@ mod tests {
         sgemm_naive(&a, &b, &mut c1, n);
         sgemm_blocked(&a, &b, &mut c2, n);
         assert_close_f32(&c1, &c2, 1e-3);
+    }
+
+    #[test]
+    fn packed_scalar_and_tiers_match_naive_f32() {
+        let n = 70;
+        let a = random_matrix_f32(n, 17);
+        let b = random_matrix_f32(n, 18);
+        let mut expect = vec![0.25f32; n * n];
+        sgemm_naive(&a, &b, &mut expect, n);
+        let mut scalar = vec![0.25f32; n * n];
+        sgemm_packed_scalar(&a, &b, &mut scalar, n);
+        assert_close_f32(&expect, &scalar, 1e-3);
+        for tier in crate::simd::detected_tiers() {
+            let mut c = vec![0.25f32; n * n];
+            if sgemm_packed_tier(tier, &a, &b, &mut c, n) {
+                assert_eq!(c, scalar, "f32 tier {tier} diverged bitwise");
+            }
+        }
     }
 
     #[test]
@@ -377,6 +486,7 @@ mod tests {
         dgemm_naive(&[], &[], &mut c, 0);
         dgemm_blocked(&[], &[], &mut c, 0);
         dgemm_packed(&[], &[], &mut c, 0);
+        dgemm_packed_scalar(&[], &[], &mut c, 0);
         dgemm_parallel(&[], &[], &mut c, 0, 4);
     }
 

@@ -26,6 +26,7 @@ pub(crate) mod microkernel;
 pub(crate) mod pack;
 pub mod pbpi;
 pub mod potrf;
+pub mod simd;
 pub mod syrk;
 pub mod trsm;
 pub mod verify;

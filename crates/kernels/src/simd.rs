@@ -1,0 +1,451 @@
+//! Runtime SIMD feature dispatch and the explicit `std::arch`
+//! micro-kernels.
+//!
+//! The packed GEMM core (see [`crate::microkernel`]) is driven through a
+//! [`MicroKernel`] chosen **once per process** and cached: the first call
+//! probes the CPU with `is_x86_feature_detected!` (honoring the override
+//! knobs below) and every subsequent call costs one atomic load. Three
+//! tiers exist:
+//!
+//! | tier | f64 tile | f32 tile | requires |
+//! |---|---|---|---|
+//! | `scalar` | 8×4 | 8×8 | nothing — the portable pre-SIMD tier |
+//! | `avx2` | 8×4 | 8×8 | AVX2 + FMA |
+//! | `avx512` | 16×8 | 16×8 | AVX-512F |
+//!
+//! The SIMD tiles hold one accumulator register per *column* spanning the
+//! tile's rows, so each `k` step is one (or two) packed-`A` loads plus
+//! one broadcast-FMA per column — with enough independent accumulator
+//! chains to keep both FMA ports saturated. Every tier preserves the
+//! bitwise contract of [`crate::microkernel`]: per-element fused
+//! multiply-add in ascending `k` order, so **all tiers produce
+//! bitwise-identical results** and tests can compare them with `==`.
+//!
+//! # Override knobs
+//!
+//! * `VERSA_SIMD=scalar|avx2|avx512|auto` — pin the dispatch to one tier
+//!   (used by the forced-scalar CI leg and the equivalence tests). A tier
+//!   the CPU lacks falls back to the best available one with a warning.
+//! * `VERSA_FORCE_SCALAR=1` — shorthand for `VERSA_SIMD=scalar`.
+//!
+//! Both are read once, at first kernel use.
+
+use crate::microkernel::{MicroKernel, SCALAR_F32, SCALAR_F64};
+use std::sync::OnceLock;
+
+/// A SIMD dispatch tier. `Ord` follows capability: wider is greater.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Tier {
+    /// Portable scalar micro-kernels (auto-vectorized by LLVM).
+    Scalar,
+    /// Explicit AVX2 + FMA micro-kernels.
+    Avx2,
+    /// Explicit AVX-512F micro-kernels.
+    Avx512,
+}
+
+impl Tier {
+    /// The tier's name as used by `VERSA_SIMD`, benches and docs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Scalar => "scalar",
+            Tier::Avx2 => "avx2",
+            Tier::Avx512 => "avx512",
+        }
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Tiers the running CPU supports, widest first. Always ends with
+/// [`Tier::Scalar`].
+pub fn detected_tiers() -> Vec<Tier> {
+    let mut tiers = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx512f") {
+            tiers.push(Tier::Avx512);
+        }
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            tiers.push(Tier::Avx2);
+        }
+    }
+    tiers.push(Tier::Scalar);
+    tiers
+}
+
+/// What the environment asked for: a pinned tier, or auto-detection.
+fn requested() -> Option<Tier> {
+    if let Ok(v) = std::env::var("VERSA_SIMD") {
+        return match v.to_ascii_lowercase().as_str() {
+            "scalar" => Some(Tier::Scalar),
+            "avx2" => Some(Tier::Avx2),
+            "avx512" => Some(Tier::Avx512),
+            "" | "auto" => None,
+            other => {
+                eprintln!("versa-kernels: unknown VERSA_SIMD value {other:?}; using auto");
+                None
+            }
+        };
+    }
+    match std::env::var("VERSA_FORCE_SCALAR") {
+        Ok(v) if matches!(v.as_str(), "1" | "true" | "yes" | "on") => Some(Tier::Scalar),
+        _ => None,
+    }
+}
+
+/// The tier dispatch settles on: the widest detected tier, clamped to a
+/// `VERSA_SIMD`/`VERSA_FORCE_SCALAR` request. Cached after the first call.
+pub fn active_tier() -> Tier {
+    static ACTIVE: OnceLock<Tier> = OnceLock::new();
+    *ACTIVE.get_or_init(|| {
+        let available = detected_tiers();
+        let best = available[0];
+        match requested() {
+            None => best,
+            Some(want) if available.contains(&want) => want,
+            Some(want) => {
+                eprintln!(
+                    "versa-kernels: VERSA_SIMD={} not supported by this CPU; using {}",
+                    want.name(),
+                    best.name()
+                );
+                best
+            }
+        }
+    })
+}
+
+/// The `f64` micro-kernel for an explicit tier, if this CPU supports it.
+pub(crate) fn kernel_f64_for(tier: Tier) -> Option<&'static MicroKernel<f64>> {
+    match tier {
+        Tier::Scalar => Some(&SCALAR_F64),
+        #[cfg(target_arch = "x86_64")]
+        Tier::Avx2 if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") => {
+            Some(&x86::AVX2_F64)
+        }
+        #[cfg(target_arch = "x86_64")]
+        Tier::Avx512 if is_x86_feature_detected!("avx512f") => Some(&x86::AVX512_F64),
+        _ => None,
+    }
+}
+
+/// The `f32` micro-kernel for an explicit tier, if this CPU supports it.
+pub(crate) fn kernel_f32_for(tier: Tier) -> Option<&'static MicroKernel<f32>> {
+    match tier {
+        Tier::Scalar => Some(&SCALAR_F32),
+        #[cfg(target_arch = "x86_64")]
+        Tier::Avx2 if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") => {
+            Some(&x86::AVX2_F32)
+        }
+        #[cfg(target_arch = "x86_64")]
+        Tier::Avx512 if is_x86_feature_detected!("avx512f") => Some(&x86::AVX512_F32),
+        _ => None,
+    }
+}
+
+/// The dispatched `f64` micro-kernel (cached function pointer).
+pub(crate) fn kernel_f64() -> &'static MicroKernel<f64> {
+    static ACTIVE: OnceLock<&'static MicroKernel<f64>> = OnceLock::new();
+    ACTIVE.get_or_init(|| kernel_f64_for(active_tier()).unwrap_or(&SCALAR_F64))
+}
+
+/// The dispatched `f32` micro-kernel (cached function pointer).
+pub(crate) fn kernel_f32() -> &'static MicroKernel<f32> {
+    static ACTIVE: OnceLock<&'static MicroKernel<f32>> = OnceLock::new();
+    ACTIVE.get_or_init(|| kernel_f32_for(active_tier()).unwrap_or(&SCALAR_F32))
+}
+
+/// One-line description of the active dispatch, e.g.
+/// `"avx512 (f64 8x8, f32 16x8)"` — used by benches and diagnostics.
+pub fn active_description() -> String {
+    let (k64, k32) = (kernel_f64(), kernel_f32());
+    format!("{} (f64 {}x{}, f32 {}x{})", k64.name, k64.mr, k64.nr, k32.mr, k32.nr)
+}
+
+/// Apply a column-major accumulator buffer (`colbuf[j · mr + r]`) to the
+/// `rows × cols` corner of `c`. Shared writeback of every SIMD tile.
+///
+/// # Safety
+/// The `rows × cols` corner at `c` with row stride `ldc` must be
+/// writable, and `colbuf` must hold `cols` columns of `mr` rows.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn apply_cols<T>(colbuf: &[T], mr: usize, c: *mut T, ldc: usize, rows: usize, cols: usize, sub: bool)
+where
+    T: Copy + std::ops::Add<Output = T> + std::ops::Sub<Output = T>,
+{
+    for r in 0..rows {
+        for j in 0..cols {
+            let v = colbuf[j * mr + r];
+            // SAFETY: caller guarantees the corner is writable.
+            unsafe {
+                let dst = c.add(r * ldc + j);
+                *dst = if sub { *dst - v } else { *dst + v };
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+// The 8-argument signature is the shared micro-kernel ABI, and the
+// `acc[j]` loops index lockstep with raw-pointer arithmetic on the
+// packed panels — iterator rewrites would obscure the stride contract.
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+mod x86 {
+    //! The explicit x86-64 micro-kernels.
+    //!
+    //! Each `*_impl` carries `#[target_feature]` so LLVM emits the wide
+    //! instructions regardless of the crate's base target. `make_driver!`
+    //! wraps each one in its own monomorphized BLIS loop nest, and the
+    //! dispatch table stores that *driver* — calling a kernel whose
+    //! features the CPU lacks is the driver's safety precondition, which
+    //! dispatch upholds by only handing out kernels after
+    //! `is_x86_feature_detected!` confirms the features.
+
+    use super::apply_cols;
+    use crate::microkernel::{make_driver, MicroKernel};
+    use std::arch::x86_64::*;
+
+    /// AVX2+FMA f64 8×4 tile: two 4-wide row vectors per `k` step, one
+    /// broadcast-FMA pair per column — 8 independent accumulator chains.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn avx2_f64_impl(
+        kc: usize,
+        ap: &[f64],
+        bp: &[f64],
+        c: *mut f64,
+        ldc: usize,
+        rows: usize,
+        cols: usize,
+        sub: bool,
+    ) {
+        debug_assert!(ap.len() >= kc * 8 && bp.len() >= kc * 4);
+        let mut acc = [[_mm256_setzero_pd(); 2]; 4];
+        let mut a = ap.as_ptr();
+        let mut b = bp.as_ptr();
+        // SAFETY: panel lengths checked above; loads stay within them.
+        unsafe {
+            for _ in 0..kc {
+                let a0 = _mm256_loadu_pd(a);
+                let a1 = _mm256_loadu_pd(a.add(4));
+                for j in 0..4 {
+                    let bb = _mm256_set1_pd(*b.add(j));
+                    acc[j][0] = _mm256_fmadd_pd(a0, bb, acc[j][0]);
+                    acc[j][1] = _mm256_fmadd_pd(a1, bb, acc[j][1]);
+                }
+                a = a.add(8);
+                b = b.add(4);
+            }
+            let mut colbuf = [0.0f64; 8 * 4];
+            for j in 0..4 {
+                _mm256_storeu_pd(colbuf.as_mut_ptr().add(j * 8), acc[j][0]);
+                _mm256_storeu_pd(colbuf.as_mut_ptr().add(j * 8 + 4), acc[j][1]);
+            }
+            apply_cols(&colbuf, 8, c, ldc, rows, cols, sub);
+        }
+    }
+
+    /// AVX2+FMA f32 8×8 tile: one 8-wide row vector per `k` step, one
+    /// broadcast-FMA per column — 8 chains, AVX2 f32 peak.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn avx2_f32_impl(
+        kc: usize,
+        ap: &[f32],
+        bp: &[f32],
+        c: *mut f32,
+        ldc: usize,
+        rows: usize,
+        cols: usize,
+        sub: bool,
+    ) {
+        debug_assert!(ap.len() >= kc * 8 && bp.len() >= kc * 8);
+        let mut acc = [_mm256_setzero_ps(); 8];
+        let mut a = ap.as_ptr();
+        let mut b = bp.as_ptr();
+        // SAFETY: panel lengths checked above; loads stay within them.
+        unsafe {
+            for _ in 0..kc {
+                let av = _mm256_loadu_ps(a);
+                for j in 0..8 {
+                    let bb = _mm256_set1_ps(*b.add(j));
+                    acc[j] = _mm256_fmadd_ps(av, bb, acc[j]);
+                }
+                a = a.add(8);
+                b = b.add(8);
+            }
+            let mut colbuf = [0.0f32; 8 * 8];
+            for j in 0..8 {
+                _mm256_storeu_ps(colbuf.as_mut_ptr().add(j * 8), acc[j]);
+            }
+            apply_cols(&colbuf, 8, c, ldc, rows, cols, sub);
+        }
+    }
+
+    /// AVX-512F f64 16×8 tile: two 8-wide row vectors per `k` step, one
+    /// broadcast plus two FMAs per column — 16 zmm accumulator chains,
+    /// enough to cover FMA latency × dual-port throughput.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn avx512_f64_impl(
+        kc: usize,
+        ap: &[f64],
+        bp: &[f64],
+        c: *mut f64,
+        ldc: usize,
+        rows: usize,
+        cols: usize,
+        sub: bool,
+    ) {
+        debug_assert!(ap.len() >= kc * 16 && bp.len() >= kc * 8);
+        let mut acc = [[_mm512_setzero_pd(); 2]; 8];
+        let mut a = ap.as_ptr();
+        let mut b = bp.as_ptr();
+        // SAFETY: panel lengths checked above; loads stay within them.
+        unsafe {
+            for _ in 0..kc {
+                let a0 = _mm512_loadu_pd(a);
+                let a1 = _mm512_loadu_pd(a.add(8));
+                for j in 0..8 {
+                    let bb = _mm512_set1_pd(*b.add(j));
+                    acc[j][0] = _mm512_fmadd_pd(a0, bb, acc[j][0]);
+                    acc[j][1] = _mm512_fmadd_pd(a1, bb, acc[j][1]);
+                }
+                a = a.add(16);
+                b = b.add(8);
+            }
+            let mut colbuf = [0.0f64; 16 * 8];
+            for j in 0..8 {
+                _mm512_storeu_pd(colbuf.as_mut_ptr().add(j * 16), acc[j][0]);
+                _mm512_storeu_pd(colbuf.as_mut_ptr().add(j * 16 + 8), acc[j][1]);
+            }
+            apply_cols(&colbuf, 16, c, ldc, rows, cols, sub);
+        }
+    }
+
+    /// AVX-512F f32 16×8 tile: one 16-wide row vector per `k` step, one
+    /// embedded-broadcast FMA per column — 8 zmm chains, f32 peak.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn avx512_f32_impl(
+        kc: usize,
+        ap: &[f32],
+        bp: &[f32],
+        c: *mut f32,
+        ldc: usize,
+        rows: usize,
+        cols: usize,
+        sub: bool,
+    ) {
+        debug_assert!(ap.len() >= kc * 16 && bp.len() >= kc * 8);
+        let mut acc = [_mm512_setzero_ps(); 8];
+        let mut a = ap.as_ptr();
+        let mut b = bp.as_ptr();
+        // SAFETY: panel lengths checked above; loads stay within them.
+        unsafe {
+            for _ in 0..kc {
+                let av = _mm512_loadu_ps(a);
+                for j in 0..8 {
+                    let bb = _mm512_set1_ps(*b.add(j));
+                    acc[j] = _mm512_fmadd_ps(av, bb, acc[j]);
+                }
+                a = a.add(16);
+                b = b.add(8);
+            }
+            let mut colbuf = [0.0f32; 16 * 8];
+            for j in 0..8 {
+                _mm512_storeu_ps(colbuf.as_mut_ptr().add(j * 16), acc[j]);
+            }
+            apply_cols(&colbuf, 16, c, ldc, rows, cols, sub);
+        }
+    }
+
+    make_driver!(f64, drive_avx2_f64, avx2_f64_impl, 8, 4);
+    make_driver!(f32, drive_avx2_f32, avx2_f32_impl, 8, 8);
+    make_driver!(f64, drive_avx512_f64, avx512_f64_impl, 16, 8);
+    make_driver!(f32, drive_avx512_f32, avx512_f32_impl, 16, 8);
+
+    pub(crate) static AVX2_F64: MicroKernel<f64> =
+        MicroKernel { name: "avx2", mr: 8, nr: 4, drive: drive_avx2_f64 };
+    pub(crate) static AVX2_F32: MicroKernel<f32> =
+        MicroKernel { name: "avx2", mr: 8, nr: 8, drive: drive_avx2_f32 };
+    pub(crate) static AVX512_F64: MicroKernel<f64> =
+        MicroKernel { name: "avx512", mr: 16, nr: 8, drive: drive_avx512_f64 };
+    pub(crate) static AVX512_F32: MicroKernel<f32> =
+        MicroKernel { name: "avx512", mr: 16, nr: 8, drive: drive_avx512_f32 };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microkernel::drive;
+    use crate::pack::PackedB;
+    use crate::verify::{random_matrix_f32, random_matrix_f64};
+
+    #[test]
+    fn detection_always_offers_scalar_last() {
+        let tiers = detected_tiers();
+        assert_eq!(*tiers.last().unwrap(), Tier::Scalar);
+        // Widest first.
+        let mut sorted = tiers.clone();
+        sorted.sort_by(|a, b| b.cmp(a));
+        assert_eq!(tiers, sorted);
+    }
+
+    #[test]
+    fn scalar_kernel_is_always_available() {
+        assert!(kernel_f64_for(Tier::Scalar).is_some());
+        assert!(kernel_f32_for(Tier::Scalar).is_some());
+        assert!(active_description().contains(kernel_f64().name));
+    }
+
+    /// Every available tier must produce *bitwise* the same result as the
+    /// portable scalar kernel — the contract documented in
+    /// `crate::microkernel`.
+    #[test]
+    fn every_tier_is_bitwise_equal_to_scalar_f64() {
+        // Odd shape: ragged MR/NR edges and a second KC panel.
+        let (rows, k, n) = (29usize, 300usize, 21usize);
+        let a = random_matrix_f64(rows.max(k), 1)[..rows * k].to_vec();
+        let b = random_matrix_f64(k.max(n), 2)[..k * n].to_vec();
+        let c0: Vec<f64> = (0..rows * n).map(|v| (v % 13) as f64 - 6.0).collect();
+        let reference = {
+            let mk = kernel_f64_for(Tier::Scalar).unwrap();
+            let pb = PackedB::pack(&b, n, false, k, n, mk.nr);
+            let mut c = c0.clone();
+            drive(mk, &a, k, &mut c, n, rows, n, &pb, false);
+            c
+        };
+        for tier in detected_tiers() {
+            let Some(mk) = kernel_f64_for(tier) else { continue };
+            let pb = PackedB::pack(&b, n, false, k, n, mk.nr);
+            let mut c = c0.clone();
+            drive(mk, &a, k, &mut c, n, rows, n, &pb, false);
+            assert_eq!(c, reference, "tier {} diverged bitwise (f64)", tier.name());
+        }
+    }
+
+    #[test]
+    fn every_tier_is_bitwise_equal_to_scalar_f32() {
+        let (rows, k, n) = (19usize, 70usize, 11usize);
+        let a = random_matrix_f32(rows.max(k), 3)[..rows * k].to_vec();
+        let b = random_matrix_f32(k.max(n), 4)[..k * n].to_vec();
+        let c0: Vec<f32> = (0..rows * n).map(|v| (v % 7) as f32 - 3.0).collect();
+        let reference = {
+            let mk = kernel_f32_for(Tier::Scalar).unwrap();
+            let pb = PackedB::pack(&b, n, false, k, n, mk.nr);
+            let mut c = c0.clone();
+            drive(mk, &a, k, &mut c, n, rows, n, &pb, true);
+            c
+        };
+        for tier in detected_tiers() {
+            let Some(mk) = kernel_f32_for(tier) else { continue };
+            let pb = PackedB::pack(&b, n, false, k, n, mk.nr);
+            let mut c = c0.clone();
+            drive(mk, &a, k, &mut c, n, rows, n, &pb, true);
+            assert_eq!(c, reference, "tier {} diverged bitwise (f32)", tier.name());
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Property tests pinning the SIMD micro-kernel tiers to the naive
+//! reference and to each other.
+//!
+//! Two layers of guarantee:
+//!
+//! * **Numerical** — every *detected* tier (scalar, avx2, avx512) agrees
+//!   with `dgemm_naive`/`sgemm_naive` within floating-point tolerance on
+//!   adversarially-shaped problems.
+//! * **Bitwise** — every detected tier produces *bit-identical* output
+//!   to the forced-scalar packed core, and the multi-lane driver is
+//!   bit-identical at any lane count. All micro-kernels accumulate each
+//!   element as fused multiply-adds in ascending-k order, so tier choice
+//!   and row banding must never change a single bit.
+//!
+//! Sizes straddle every blocking boundary of the widest tile (the 16×8
+//! avx512 f64 kernel) plus `MC = 128` / `KC = 256`. The whole file also
+//! runs in CI under `VERSA_SIMD=scalar`, which exercises the same
+//! properties with dispatch pinned to the portable fallback.
+
+use proptest::prelude::*;
+use versa_kernels::gemm::{
+    dgemm_blocked, dgemm_naive, dgemm_packed, dgemm_packed_scalar, dgemm_packed_tier,
+    dgemm_parallel, sgemm_naive, sgemm_packed, sgemm_packed_scalar, sgemm_packed_tier,
+};
+use versa_kernels::simd::{self, Tier};
+use versa_kernels::verify::{random_matrix_f32, random_matrix_f64};
+
+/// Sizes around the micro-tile edges (8, 16), the dispatch threshold
+/// (16), MC (128) and KC (256), each ±1, plus a uniform small range.
+fn adversarial_n() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(1usize),
+        Just(7usize),
+        Just(8usize),
+        Just(9usize),
+        Just(15usize),
+        Just(16usize),
+        Just(17usize),
+        Just(31usize),
+        Just(33usize),
+        Just(127usize),
+        Just(128usize),
+        Just(129usize),
+        Just(255usize),
+        Just(257usize),
+        (1usize..48).prop_map(|v| v),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8 })]
+
+    // Every detected tier matches the naive triple loop numerically.
+    #[test]
+    fn every_tier_matches_naive_f64(n in adversarial_n(), seed in 0u64..1_000_000) {
+        let a = random_matrix_f64(n, seed);
+        let b = random_matrix_f64(n, seed.wrapping_add(1));
+        let mut want = random_matrix_f64(n, seed.wrapping_add(2));
+        let c0 = want.clone();
+        dgemm_naive(&a, &b, &mut want, n);
+        for tier in simd::detected_tiers() {
+            let mut got = c0.clone();
+            prop_assert!(dgemm_packed_tier(tier, &a, &b, &mut got, n));
+            for i in 0..n * n {
+                let tol = 1e-11 * want[i].abs().max(1.0);
+                prop_assert!(
+                    (want[i] - got[i]).abs() <= tol,
+                    "tier {:?} n={} elem {}: naive {} vs tier {}",
+                    tier, n, i, want[i], got[i]
+                );
+            }
+        }
+    }
+
+    // Every detected tier matches the naive triple loop numerically (f32).
+    #[test]
+    fn every_tier_matches_naive_f32(n in adversarial_n(), seed in 0u64..1_000_000) {
+        let a = random_matrix_f32(n, seed);
+        let b = random_matrix_f32(n, seed.wrapping_add(1));
+        let mut want = vec![0.25f32; n * n];
+        let c0 = want.clone();
+        sgemm_naive(&a, &b, &mut want, n);
+        for tier in simd::detected_tiers() {
+            let mut got = c0.clone();
+            prop_assert!(sgemm_packed_tier(tier, &a, &b, &mut got, n));
+            for i in 0..n * n {
+                let tol = 5e-3 * want[i].abs().max(1.0);
+                prop_assert!(
+                    (want[i] - got[i]).abs() <= tol,
+                    "tier {:?} n={} elem {}: naive {} vs tier {}",
+                    tier, n, i, want[i], got[i]
+                );
+            }
+        }
+    }
+
+    // The bitwise contract: every detected SIMD tier is bit-identical
+    // to the forced-scalar packed core on every shape.
+    #[test]
+    fn tiers_are_bitwise_identical_f64(n in adversarial_n(), seed in 0u64..1_000_000) {
+        let a = random_matrix_f64(n, seed);
+        let b = random_matrix_f64(n, seed.wrapping_add(1));
+        let c0 = random_matrix_f64(n, seed.wrapping_add(2));
+        let mut scalar = c0.clone();
+        dgemm_packed_scalar(&a, &b, &mut scalar, n);
+        for tier in simd::detected_tiers() {
+            let mut got = c0.clone();
+            prop_assert!(dgemm_packed_tier(tier, &a, &b, &mut got, n));
+            prop_assert_eq!(&scalar, &got, "tier {:?} diverged bitwise at n={}", tier, n);
+        }
+        // The dispatched entry point (whatever tier is active, including
+        // env-pinned runs) honours the same contract.
+        let mut dispatched = c0.clone();
+        dgemm_packed(&a, &b, &mut dispatched, n);
+        prop_assert_eq!(&scalar, &dispatched);
+    }
+
+    // The bitwise contract for f32 tiers and the dispatched entry.
+    #[test]
+    fn tiers_are_bitwise_identical_f32(n in adversarial_n(), seed in 0u64..1_000_000) {
+        let a = random_matrix_f32(n, seed);
+        let b = random_matrix_f32(n, seed.wrapping_add(1));
+        let c0 = random_matrix_f32(n, seed.wrapping_add(2));
+        let mut scalar = c0.clone();
+        sgemm_packed_scalar(&a, &b, &mut scalar, n);
+        for tier in simd::detected_tiers() {
+            let mut got = c0.clone();
+            prop_assert!(sgemm_packed_tier(tier, &a, &b, &mut got, n));
+            prop_assert_eq!(&scalar, &got, "tier {:?} diverged bitwise at n={}", tier, n);
+        }
+        let mut dispatched = c0.clone();
+        sgemm_packed(&a, &b, &mut dispatched, n);
+        prop_assert_eq!(&scalar, &dispatched);
+    }
+
+    // Lane banding never changes a bit, at any lane count — including
+    // lane counts that exceed the row count. The reference is the
+    // serial single-core dispatch (`dgemm_blocked`), which the parallel
+    // entry must match at *every* size: below the banding threshold it
+    // takes the identical serial path, above it the bands must
+    // reproduce the serial accumulation order exactly.
+    #[test]
+    fn parallel_is_bitwise_identical_at_any_lane_count(
+        n in prop_oneof![Just(17usize), Just(129usize), Just(200usize), (1usize..64).prop_map(|v| v)],
+        lanes in 1usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = random_matrix_f64(n, seed);
+        let b = random_matrix_f64(n, seed.wrapping_add(1));
+        let c0 = random_matrix_f64(n, seed.wrapping_add(2));
+        let mut serial = c0.clone();
+        dgemm_blocked(&a, &b, &mut serial, n);
+        let mut par = c0.clone();
+        dgemm_parallel(&a, &b, &mut par, n, lanes);
+        prop_assert_eq!(&serial, &par, "banding over {} lanes diverged at n={}", lanes, n);
+    }
+}
+
+/// An unavailable tier must refuse cleanly and leave `C` untouched.
+#[test]
+fn unavailable_tier_is_refused_without_touching_c() {
+    let detected = simd::detected_tiers();
+    for tier in [Tier::Scalar, Tier::Avx2, Tier::Avx512] {
+        if detected.contains(&tier) {
+            continue;
+        }
+        let n = 24;
+        let a = random_matrix_f64(n, 1);
+        let b = random_matrix_f64(n, 2);
+        let c0 = random_matrix_f64(n, 3);
+        let mut c = c0.clone();
+        assert!(!dgemm_packed_tier(tier, &a, &b, &mut c, n));
+        assert_eq!(c0, c, "refused tier {tier:?} must not modify C");
+    }
+}

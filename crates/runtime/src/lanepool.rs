@@ -21,6 +21,7 @@
 //! caller participates in draining the queue, and waits on a second
 //! condvar until the in-flight count reaches zero.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -30,7 +31,10 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 
 #[derive(Default)]
 struct State {
-    queue: Vec<Job>,
+    /// FIFO so `MC`-granular kernel bands execute in submission order —
+    /// adjacent bands stream adjacent rows of `A`/`C`, which keeps the
+    /// shared cache warm when lanes pick up consecutive bands.
+    queue: VecDeque<Job>,
     /// Jobs currently executing on some thread (pool lane or caller).
     active: usize,
     /// Panic messages captured from jobs; re-thrown by the draining caller.
@@ -116,7 +120,7 @@ fn lane_loop(shared: &Shared) {
         let job = {
             let mut state = shared.state.lock().unwrap();
             loop {
-                if let Some(job) = state.queue.pop() {
+                if let Some(job) = state.queue.pop_front() {
                     state.active += 1;
                     break job;
                 }
@@ -155,7 +159,7 @@ impl LaneExec for LanePool {
         // Participate as the last lane, then wait out the stragglers.
         let panics = loop {
             let mut state = self.shared.state.lock().unwrap();
-            if let Some(job) = state.queue.pop() {
+            if let Some(job) = state.queue.pop_front() {
                 state.active += 1;
                 drop(state);
                 self.run_job(job);
