@@ -210,7 +210,18 @@ pub fn run_sim(
     scheduler: SchedulerKind,
     platform: PlatformConfig,
 ) -> RunReport {
-    let mut rt = Runtime::simulated(RuntimeConfig::with_scheduler(scheduler), platform);
+    run_sim_with(RuntimeConfig::with_scheduler(scheduler), config, variant, platform)
+}
+
+/// [`run_sim`] with full control over the [`RuntimeConfig`] — for
+/// benchmarks and tests that toggle tracing or other runtime knobs.
+pub fn run_sim_with(
+    runtime_config: RuntimeConfig,
+    config: CholeskyConfig,
+    variant: CholeskyVariant,
+    platform: PlatformConfig,
+) -> RunReport {
+    let mut rt = Runtime::simulated(runtime_config, platform);
     let _app = build(&mut rt, config, variant);
     rt.run().expect("run failed")
 }

@@ -68,6 +68,19 @@ fn verify(label: &str, report: &RunReport) -> Result<(), String> {
     if a.decisions.is_empty() {
         return Err(format!("{label}: decision ledger is empty"));
     }
+    // Every decision must carry its full policy input (candidate stats +
+    // worker snapshots + λ in the meta) — the `versa-gym` replay harness
+    // depends on it, and a silently-bare ledger would only surface there.
+    if trace.meta.lambda.is_none() {
+        return Err(format!("{label}: trace meta lacks the scheduler's λ"));
+    }
+    let bare = trace
+        .decisions()
+        .filter(|d| d.candidates.is_empty() || d.workers.is_empty())
+        .count();
+    if bare > 0 {
+        return Err(format!("{label}: {bare} decision(s) lack replayable policy inputs"));
+    }
     eprintln!(
         "  {label}: {} events, {} tasks, {} transfers, {} decisions — invariants OK, reconciles exactly",
         trace.len(),

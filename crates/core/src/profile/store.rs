@@ -463,6 +463,24 @@ impl ProfileStore {
         None
     }
 
+    /// Account a learning-phase assignment of `version` chosen by a
+    /// decision policy: ensures the group exists and increments the
+    /// version's scheduled count — exactly the accounting
+    /// [`ProfileStore::next_learning_version`] performs on its own pick,
+    /// and deliberately *without* [`ProfileStore::mark_scheduled`]'s
+    /// probation-credit spend (a learning assignment is training, not a
+    /// quarantine retrial).
+    pub fn note_learning(
+        &mut self,
+        template: TemplateId,
+        n_versions: usize,
+        size: u64,
+        version: VersionId,
+    ) {
+        let group = self.group_mut(template, n_versions, size);
+        group.scheduled[version.index()] += 1;
+    }
+
     /// Account a non-learning assignment of `version` (keeps scheduled
     /// counts an upper bound of execution counts). Scheduling a
     /// quarantined version spends its probation credit: the retrial is

@@ -25,11 +25,16 @@
 mod affinity;
 mod breadth_first;
 mod dep_aware;
+pub mod policy;
 mod versioning;
 
 pub use affinity::AffinityScheduler;
 pub use breadth_first::BreadthFirstScheduler;
 pub use dep_aware::DepAwareScheduler;
+pub use policy::{
+    CandidateStats, EpsilonGreedy, Policy, PolicyChoice, PolicyCtx, PolicyKind,
+    RepresentativeSet, RoundRobinLearning, Ucb1, WorkerSnap,
+};
 pub use versioning::{Decision, DecisionPhase, VersioningConfig, VersioningScheduler, WorkerBid};
 
 use crate::{TaskInstance, TemplateRegistry, VersionId, WorkerId, WorkerState};

@@ -1,0 +1,658 @@
+//! Pluggable decision policies for the versioning scheduler.
+//!
+//! The paper hard-wires one selection strategy: round-robin learning
+//! until every version has λ observations, then earliest-executor
+//! bidding. Korndörfer et al. (PAPERS.md) treat the selection strategy
+//! itself as a design axis, and Luo et al. show version-set pruning
+//! matters once version counts grow — so the decision core is factored
+//! out behind the [`Policy`] trait. The scheduler stays responsible for
+//! everything *around* the decision (profiles, quarantine, bandwidth
+//! EWMAs, bookkeeping); a policy is a pure function of the
+//! [`PolicyCtx`] snapshot plus its own internal state.
+//!
+//! Because the snapshot is recorded verbatim into the trace's decision
+//! ledger, any policy can be re-run *offline* against a recorded run
+//! (`versa-gym`): replaying [`RoundRobinLearning`] over its own
+//! recording reproduces every decision exactly, and candidate policies
+//! are scored without touching live workloads.
+
+use super::versioning::DecisionPhase;
+use super::WorkerBid;
+use crate::profile::BucketKey;
+use crate::{TemplateId, VersionId, WorkerId};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Profile statistics of one candidate version, snapshotted immediately
+/// before a decision (quarantined versions are already filtered out by
+/// the scheduler, except in the all-quarantined fallback).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CandidateStats {
+    /// The candidate version.
+    pub version: VersionId,
+    /// Times it has been *assigned* in this size group (≥ its execution
+    /// count while assignments are still queued).
+    pub scheduled: u64,
+    /// Completed executions recorded in this size group.
+    pub count: u64,
+    /// Mean execution time, once at least one execution completed.
+    pub mean: Option<Duration>,
+}
+
+/// One worker's load at decision time, plus which of the template's
+/// versions its device can run — everything a policy needs to place the
+/// chosen version.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerSnap {
+    /// The worker.
+    pub worker: WorkerId,
+    /// Queue pressure: queued tasks plus the running one.
+    pub pressure: u64,
+    /// Estimated busy time (queue drain estimate).
+    pub busy: Duration,
+    /// Estimated copy-in time for this task's non-resident data (zero
+    /// unless the scheduler runs locality-aware).
+    pub transfer: Duration,
+    /// Template versions this worker's device can run, in version order
+    /// (unfiltered by quarantine; intersect with the candidate list).
+    pub runnable: Vec<VersionId>,
+}
+
+impl WorkerSnap {
+    /// Whether this worker can run `version`.
+    pub fn can_run(&self, version: VersionId) -> bool {
+        self.runnable.contains(&version)
+    }
+}
+
+/// Everything a [`Policy`] may consult for one decision. A pure
+/// snapshot: replaying a recorded `PolicyCtx` through the same policy
+/// state reproduces the live decision.
+#[derive(Clone, Debug)]
+pub struct PolicyCtx<'a> {
+    /// The task's template.
+    pub template: TemplateId,
+    /// The size bucket its profile lookup used.
+    pub bucket: BucketKey,
+    /// Owning job id, when running under a multi-job service.
+    pub job: Option<u64>,
+    /// The scheduler's learning threshold λ.
+    pub lambda: u64,
+    /// Candidate versions (trainable minus quarantined), with their
+    /// profile statistics, in version order.
+    pub candidates: &'a [CandidateStats],
+    /// Per-worker load snapshots, in worker-id order.
+    pub workers: &'a [WorkerSnap],
+}
+
+/// A policy's answer: the chosen placement, which regime produced it,
+/// and the bid ledger backing it (empty for learning-style decisions).
+#[derive(Clone, Debug)]
+pub struct PolicyChoice {
+    /// Chosen version.
+    pub version: VersionId,
+    /// Chosen worker.
+    pub worker: WorkerId,
+    /// Which regime the choice came from (drives the scheduler's
+    /// bookkeeping and the trace's phase label).
+    pub phase: DecisionPhase,
+    /// Execution-time estimate backing the choice (for busy-time
+    /// accounting; zero when unknown).
+    pub estimate: Duration,
+    /// All bids considered, when the choice came from an auction.
+    pub bids: Vec<WorkerBid>,
+}
+
+/// The decision core of the versioning scheduler, extracted so
+/// alternative selection strategies compose with the same profile,
+/// quarantine and bid plumbing.
+///
+/// Contract:
+/// * `decide` must return a version from `ctx.candidates` and a worker
+///   whose snapshot says it can run that version.
+/// * Policies may keep internal state (round-robin cursors, RNG state),
+///   but must be deterministic: the same sequence of `PolicyCtx`
+///   snapshots yields the same sequence of choices. This is what makes
+///   offline replay (`versa-gym`) exact.
+/// * The scheduler owns all store mutations; a policy never sees the
+///   profile store itself, only the snapshot.
+pub trait Policy: Send {
+    /// Stable policy name (CLI selector and report label).
+    fn name(&self) -> &'static str;
+
+    /// Choose a `(version, worker)` for one ready task.
+    fn decide(&mut self, ctx: &PolicyCtx<'_>) -> PolicyChoice;
+}
+
+/// Least-loaded worker able to run `version`, by `(queue pressure, busy
+/// estimate, id)` — the learning phase's placement rule.
+fn least_loaded_for(workers: &[WorkerSnap], version: VersionId) -> WorkerId {
+    workers
+        .iter()
+        .filter(|w| w.can_run(version))
+        .min_by_key(|w| (w.pressure, w.busy, w.worker))
+        .expect("candidate version has a compatible worker")
+        .worker
+}
+
+/// Earliest-finish worker for `version`, pricing queue drain plus the
+/// transfer term (used by the bandit policies, which choose the version
+/// first and the placement second).
+fn earliest_for(workers: &[WorkerSnap], version: VersionId, mean: Duration) -> WorkerId {
+    workers
+        .iter()
+        .filter(|w| w.can_run(version))
+        .min_by_key(|w| (w.busy + mean + w.transfer, w.pressure, w.worker))
+        .expect("candidate version has a compatible worker")
+        .worker
+}
+
+/// The paper's earliest-executor auction over `allowed`, with the
+/// no-means fallback: every worker bids `busy + mean(fastest allowed
+/// version it can run) + transfer`; the minimum bid wins. When no
+/// worker can produce a bid (no allowed version has a completed mean),
+/// the least-scheduled candidate goes to the least-loaded compatible
+/// worker.
+pub(crate) fn earliest_executor(ctx: &PolicyCtx<'_>, allowed: &[CandidateStats]) -> PolicyChoice {
+    let mut bids: Vec<WorkerBid> = Vec::with_capacity(ctx.workers.len());
+    for w in ctx.workers {
+        let best = allowed
+            .iter()
+            .filter(|c| w.can_run(c.version))
+            .filter_map(|c| c.mean.map(|m| (m, c.version)))
+            .min();
+        let Some((mean, version)) = best else { continue };
+        bids.push(WorkerBid {
+            worker: w.worker,
+            busy: w.busy,
+            version,
+            mean,
+            transfer: w.transfer,
+            finish: w.busy + mean + w.transfer,
+        });
+    }
+    if let Some(best) = bids.iter().min_by_key(|b| (b.finish, b.worker)).copied() {
+        return PolicyChoice {
+            version: best.version,
+            worker: best.worker,
+            phase: DecisionPhase::Reliable,
+            estimate: best.mean,
+            bids,
+        };
+    }
+    // Every allowed version has λ assignments queued but none has
+    // completed yet — no means to bid with.
+    let version = ctx
+        .candidates
+        .iter()
+        .min_by_key(|c| (c.scheduled, c.version))
+        .expect("candidates verified non-empty")
+        .version;
+    PolicyChoice {
+        version,
+        worker: least_loaded_for(ctx.workers, version),
+        phase: DecisionPhase::ReliableFallback,
+        estimate: Duration::ZERO,
+        bids: Vec::new(),
+    }
+}
+
+/// The paper's strategy (§IV-B), unchanged: round-robin over
+/// under-trained versions until each has λ assignments, then
+/// earliest-executor bidding. Decision-for-decision identical to the
+/// pre-trait `VersioningScheduler` (enforced by the golden-trace tests
+/// in `versa-gym`).
+#[derive(Debug, Default)]
+pub struct RoundRobinLearning {
+    /// Per-(template, bucket) round-robin cursor — the same arithmetic
+    /// the profile store's learning cursor used before the extraction.
+    cursors: HashMap<(TemplateId, BucketKey), usize>,
+}
+
+impl RoundRobinLearning {
+    /// New policy with all cursors at zero.
+    pub fn new() -> RoundRobinLearning {
+        RoundRobinLearning::default()
+    }
+}
+
+impl Policy for RoundRobinLearning {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn decide(&mut self, ctx: &PolicyCtx<'_>) -> PolicyChoice {
+        if ctx.candidates.iter().any(|c| c.scheduled < ctx.lambda) {
+            let cursor = self.cursors.entry((ctx.template, ctx.bucket)).or_insert(0);
+            let n = ctx.candidates.len();
+            for step in 0..n {
+                let idx = (*cursor + step) % n;
+                let c = &ctx.candidates[idx];
+                if c.scheduled < ctx.lambda {
+                    *cursor = idx + 1;
+                    return PolicyChoice {
+                        version: c.version,
+                        worker: least_loaded_for(ctx.workers, c.version),
+                        phase: DecisionPhase::Learning,
+                        estimate: c.mean.unwrap_or(Duration::ZERO),
+                        bids: Vec::new(),
+                    };
+                }
+            }
+            // The under-trained set emptied between the phase check and
+            // the pick (quarantine strikes can do this): fall through to
+            // the profiled path instead of panicking.
+        }
+        earliest_executor(ctx, ctx.candidates)
+    }
+}
+
+/// UCB1 version selection (Korndörfer et al.): pick the version with
+/// the best lower confidence bound `mean − c·σ̂·sqrt(2·ln N / n)`,
+/// untried versions first. Exploration keeps slow-looking versions
+/// alive long enough to be sure they are actually slow; placement is
+/// earliest-finish.
+#[derive(Debug)]
+pub struct Ucb1 {
+    exploration: f64,
+}
+
+impl Ucb1 {
+    /// New UCB1 policy; `exploration` scales the confidence radius
+    /// (0 = pure greedy).
+    pub fn new(exploration: f64) -> Ucb1 {
+        Ucb1 { exploration }
+    }
+}
+
+impl Policy for Ucb1 {
+    fn name(&self) -> &'static str {
+        "ucb1"
+    }
+
+    fn decide(&mut self, ctx: &PolicyCtx<'_>) -> PolicyChoice {
+        if let Some(c) =
+            ctx.candidates.iter().filter(|c| c.count == 0).min_by_key(|c| (c.scheduled, c.version))
+        {
+            return PolicyChoice {
+                version: c.version,
+                worker: least_loaded_for(ctx.workers, c.version),
+                phase: DecisionPhase::Learning,
+                estimate: Duration::ZERO,
+                bids: Vec::new(),
+            };
+        }
+        let total: u64 = ctx.candidates.iter().map(|c| c.count).sum();
+        // Scale the confidence radius by the spread of observed means so
+        // the bound is dimensionally a duration, not a unitless count.
+        let spread = ctx
+            .candidates
+            .iter()
+            .filter_map(|c| c.mean)
+            .max()
+            .unwrap_or(Duration::ZERO)
+            .as_secs_f64();
+        let lcb = |c: &CandidateStats| -> f64 {
+            let mean = c.mean.map_or(0.0, |m| m.as_secs_f64());
+            let radius = (2.0 * (total.max(2) as f64).ln() / c.count.max(1) as f64).sqrt();
+            mean - self.exploration * spread * radius
+        };
+        let best = ctx
+            .candidates
+            .iter()
+            .min_by(|a, b| lcb(a).total_cmp(&lcb(b)).then(a.version.cmp(&b.version)))
+            .expect("candidates verified non-empty");
+        let mean = best.mean.unwrap_or(Duration::ZERO);
+        PolicyChoice {
+            version: best.version,
+            worker: earliest_for(ctx.workers, best.version, mean),
+            phase: DecisionPhase::Reliable,
+            estimate: mean,
+            bids: Vec::new(),
+        }
+    }
+}
+
+/// ε-greedy version selection: with probability ε pick a uniformly
+/// random candidate (exploration), otherwise the fastest mean; untried
+/// versions are always taken first. Deterministic for a given seed
+/// (xorshift64*), so replay is exact.
+#[derive(Debug)]
+pub struct EpsilonGreedy {
+    epsilon: f64,
+    state: u64,
+}
+
+impl EpsilonGreedy {
+    /// New ε-greedy policy with the given exploration rate and RNG seed.
+    pub fn new(epsilon: f64, seed: u64) -> EpsilonGreedy {
+        EpsilonGreedy { epsilon, state: seed.max(1) }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64* — tiny, seedable, good enough for exploration.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Policy for EpsilonGreedy {
+    fn name(&self) -> &'static str {
+        "epsilon-greedy"
+    }
+
+    fn decide(&mut self, ctx: &PolicyCtx<'_>) -> PolicyChoice {
+        if let Some(c) =
+            ctx.candidates.iter().filter(|c| c.count == 0).min_by_key(|c| (c.scheduled, c.version))
+        {
+            return PolicyChoice {
+                version: c.version,
+                worker: least_loaded_for(ctx.workers, c.version),
+                phase: DecisionPhase::Learning,
+                estimate: Duration::ZERO,
+                bids: Vec::new(),
+            };
+        }
+        let explore = self.next_f64() < self.epsilon;
+        let chosen = if explore {
+            let idx = (self.next_u64() % ctx.candidates.len() as u64) as usize;
+            &ctx.candidates[idx]
+        } else {
+            ctx.candidates
+                .iter()
+                .min_by_key(|c| (c.mean.unwrap_or(Duration::MAX), c.version))
+                .expect("candidates verified non-empty")
+        };
+        let mean = chosen.mean.unwrap_or(Duration::ZERO);
+        PolicyChoice {
+            version: chosen.version,
+            worker: earliest_for(ctx.workers, chosen.version, mean),
+            phase: DecisionPhase::Reliable,
+            estimate: mean,
+            bids: Vec::new(),
+        }
+    }
+}
+
+/// Representative-set pruning (Luo et al.): train every version once,
+/// then restrict the earliest-executor auction to the `k` fastest —
+/// learning cost stays bounded when version counts explode, at the
+/// price of never revisiting versions outside the representative set.
+#[derive(Debug)]
+pub struct RepresentativeSet {
+    k: usize,
+}
+
+impl RepresentativeSet {
+    /// New pruning policy keeping the `k` fastest versions (k ≥ 1).
+    pub fn new(k: usize) -> RepresentativeSet {
+        RepresentativeSet { k: k.max(1) }
+    }
+}
+
+impl Policy for RepresentativeSet {
+    fn name(&self) -> &'static str {
+        "representative-set"
+    }
+
+    fn decide(&mut self, ctx: &PolicyCtx<'_>) -> PolicyChoice {
+        // One observation per version is the entire learning phase.
+        if let Some(c) = ctx
+            .candidates
+            .iter()
+            .filter(|c| c.count == 0 && c.scheduled == 0)
+            .min_by_key(|c| c.version)
+        {
+            return PolicyChoice {
+                version: c.version,
+                worker: least_loaded_for(ctx.workers, c.version),
+                phase: DecisionPhase::Learning,
+                estimate: Duration::ZERO,
+                bids: Vec::new(),
+            };
+        }
+        let mut ranked: Vec<&CandidateStats> = ctx.candidates.iter().collect();
+        ranked.sort_by_key(|c| (c.mean.unwrap_or(Duration::MAX), c.version));
+        let allowed: Vec<CandidateStats> =
+            ranked.into_iter().take(self.k).copied().collect();
+        earliest_executor(ctx, &allowed)
+    }
+}
+
+/// Selector for the shipped policies — the `policy` field of
+/// [`VersioningConfig`](super::VersioningConfig), so policy selection
+/// flows through `RuntimeConfig` like every other scheduler knob.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum PolicyKind {
+    /// The paper's round-robin learning + earliest-executor (default).
+    #[default]
+    RoundRobin,
+    /// UCB1 lower-confidence-bound version selection.
+    Ucb1 {
+        /// Confidence-radius scale (0 = greedy).
+        exploration: f64,
+    },
+    /// ε-greedy version selection with a deterministic seeded RNG.
+    EpsilonGreedy {
+        /// Exploration probability in [0, 1].
+        epsilon: f64,
+        /// RNG seed (decisions are deterministic per seed).
+        seed: u64,
+    },
+    /// Representative-set pruning: one observation each, then auction
+    /// over the `k` fastest.
+    RepresentativeSet {
+        /// Size of the representative set.
+        k: usize,
+    },
+}
+
+impl PolicyKind {
+    /// Stable name (CLI selector, report label).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::RoundRobin => "round-robin",
+            PolicyKind::Ucb1 { .. } => "ucb1",
+            PolicyKind::EpsilonGreedy { .. } => "epsilon-greedy",
+            PolicyKind::RepresentativeSet { .. } => "representative-set",
+        }
+    }
+
+    /// Parse a policy name into its default-parameter kind.
+    pub fn parse(name: &str) -> Option<PolicyKind> {
+        PolicyKind::shipped().into_iter().find(|k| k.label() == name)
+    }
+
+    /// Every shipped policy with its default parameters, in a stable
+    /// order (`round-robin` first — the identity policy for replay).
+    pub fn shipped() -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::RoundRobin,
+            PolicyKind::Ucb1 { exploration: 0.5 },
+            PolicyKind::EpsilonGreedy { epsilon: 0.1, seed: 0x9E37_79B9_7F4A_7C15 },
+            PolicyKind::RepresentativeSet { k: 2 },
+        ]
+    }
+
+    /// Instantiate the policy.
+    pub fn build(&self) -> Box<dyn Policy> {
+        match *self {
+            PolicyKind::RoundRobin => Box::new(RoundRobinLearning::new()),
+            PolicyKind::Ucb1 { exploration } => Box::new(Ucb1::new(exploration)),
+            PolicyKind::EpsilonGreedy { epsilon, seed } => {
+                Box::new(EpsilonGreedy::new(epsilon, seed))
+            }
+            PolicyKind::RepresentativeSet { k } => Box::new(RepresentativeSet::new(k)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn cand(v: u16, scheduled: u64, count: u64, mean: Option<Duration>) -> CandidateStats {
+        CandidateStats { version: VersionId(v), scheduled, count, mean }
+    }
+
+    fn snap(w: u16, pressure: u64, busy: Duration, runnable: &[u16]) -> WorkerSnap {
+        WorkerSnap {
+            worker: WorkerId(w),
+            pressure,
+            busy,
+            transfer: Duration::ZERO,
+            runnable: runnable.iter().map(|&v| VersionId(v)).collect(),
+        }
+    }
+
+    fn ctx<'a>(candidates: &'a [CandidateStats], workers: &'a [WorkerSnap]) -> PolicyCtx<'a> {
+        PolicyCtx {
+            template: TemplateId(0),
+            bucket: BucketKey(0),
+            job: None,
+            lambda: 3,
+            candidates,
+            workers,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_then_bids() {
+        let mut p = RoundRobinLearning::new();
+        let workers = [snap(0, 0, Duration::ZERO, &[0, 1])];
+        // Both under-trained: alternate starting at the cursor.
+        let c = [cand(0, 0, 0, None), cand(1, 0, 0, None)];
+        assert_eq!(p.decide(&ctx(&c, &workers)).version, VersionId(0));
+        let c = [cand(0, 1, 1, Some(ms(10))), cand(1, 0, 0, None)];
+        assert_eq!(p.decide(&ctx(&c, &workers)).version, VersionId(1));
+        // Trained: the faster mean wins the auction.
+        let c = [cand(0, 3, 3, Some(ms(10))), cand(1, 3, 3, Some(ms(5)))];
+        let choice = p.decide(&ctx(&c, &workers));
+        assert_eq!(choice.version, VersionId(1));
+        assert_eq!(choice.phase, DecisionPhase::Reliable);
+        assert_eq!(choice.bids.len(), 1);
+    }
+
+    #[test]
+    fn round_robin_skips_trained_versions_mid_cycle() {
+        let mut p = RoundRobinLearning::new();
+        let workers = [snap(0, 0, Duration::ZERO, &[0, 1, 2])];
+        // v0 already has λ assignments: the walk starts at the cursor
+        // (0) and skips to v1.
+        let c = [cand(0, 3, 0, None), cand(1, 0, 0, None), cand(2, 0, 0, None)];
+        assert_eq!(p.decide(&ctx(&c, &workers)).version, VersionId(1));
+        let c = [cand(0, 3, 0, None), cand(1, 1, 0, None), cand(2, 0, 0, None)];
+        assert_eq!(p.decide(&ctx(&c, &workers)).version, VersionId(2));
+    }
+
+    #[test]
+    fn round_robin_falls_through_when_no_undertrained_candidate_survives() {
+        // The phase check sees an under-trained candidate list, but the
+        // walk finds none (stale snapshot after quarantine strikes):
+        // must not panic — the earliest-executor fallback handles it.
+        let mut p = RoundRobinLearning::new();
+        let workers = [snap(0, 0, Duration::ZERO, &[0])];
+        let c = [cand(0, 5, 2, Some(ms(7)))];
+        let choice = p.decide(&ctx(&c, &workers));
+        assert_eq!(choice.version, VersionId(0));
+        assert_eq!(choice.phase, DecisionPhase::Reliable);
+    }
+
+    #[test]
+    fn learning_places_on_least_loaded_compatible_worker() {
+        let mut p = RoundRobinLearning::new();
+        let workers = [
+            snap(0, 2, ms(50), &[0]),
+            snap(1, 0, ms(1), &[1]), // idle, but cannot run v0
+            snap(2, 1, ms(5), &[0, 1]),
+        ];
+        let c = [cand(0, 0, 0, None), cand(1, 0, 0, None)];
+        let choice = p.decide(&ctx(&c, &workers));
+        assert_eq!(choice.version, VersionId(0));
+        assert_eq!(choice.worker, WorkerId(2), "w1 is idle but incompatible");
+    }
+
+    #[test]
+    fn ucb1_tries_every_version_then_exploits() {
+        let mut p = Ucb1::new(0.0); // greedy: no exploration bonus
+        let workers = [snap(0, 0, Duration::ZERO, &[0, 1])];
+        let c = [cand(0, 0, 0, None), cand(1, 0, 0, None)];
+        assert_eq!(p.decide(&ctx(&c, &workers)).version, VersionId(0));
+        let c = [cand(0, 1, 1, Some(ms(20))), cand(1, 0, 0, None)];
+        assert_eq!(p.decide(&ctx(&c, &workers)).version, VersionId(1));
+        let c = [cand(0, 1, 1, Some(ms(20))), cand(1, 1, 1, Some(ms(5)))];
+        let choice = p.decide(&ctx(&c, &workers));
+        assert_eq!(choice.version, VersionId(1), "greedy UCB picks the faster mean");
+        assert_eq!(choice.phase, DecisionPhase::Reliable);
+    }
+
+    #[test]
+    fn ucb1_exploration_revisits_rarely_tried_versions() {
+        let mut p = Ucb1::new(2.0);
+        let workers = [snap(0, 0, Duration::ZERO, &[0, 1])];
+        // v0 slightly slower but tried once; v1 fast and tried often.
+        // A large exploration bonus prefers the under-sampled v0.
+        let c = [cand(0, 1, 1, Some(ms(11))), cand(1, 50, 50, Some(ms(10)))];
+        assert_eq!(p.decide(&ctx(&c, &workers)).version, VersionId(0));
+    }
+
+    #[test]
+    fn epsilon_greedy_is_deterministic_per_seed() {
+        let workers = [snap(0, 0, Duration::ZERO, &[0, 1])];
+        let c = [cand(0, 5, 5, Some(ms(20))), cand(1, 5, 5, Some(ms(5)))];
+        let run = |seed: u64| {
+            let mut p = EpsilonGreedy::new(0.5, seed);
+            (0..32).map(|_| p.decide(&ctx(&c, &workers)).version.0).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7), "same seed, same choices");
+        let picks = run(7);
+        assert!(picks.contains(&1), "greedy arm taken");
+        assert!(picks.contains(&0), "ε = 0.5 explores the slow arm too");
+    }
+
+    #[test]
+    fn representative_set_prunes_to_k_fastest() {
+        let mut p = RepresentativeSet::new(2);
+        let workers = [snap(0, 0, Duration::ZERO, &[0, 1, 2])];
+        // Train each version exactly once.
+        let c = [cand(0, 0, 0, None), cand(1, 0, 0, None), cand(2, 0, 0, None)];
+        assert_eq!(p.decide(&ctx(&c, &workers)).version, VersionId(0));
+        let c = [cand(0, 1, 1, Some(ms(30))), cand(1, 0, 0, None), cand(2, 0, 0, None)];
+        assert_eq!(p.decide(&ctx(&c, &workers)).version, VersionId(1));
+        let c = [cand(0, 1, 1, Some(ms(30))), cand(1, 1, 1, Some(ms(5))), cand(2, 0, 0, None)];
+        assert_eq!(p.decide(&ctx(&c, &workers)).version, VersionId(2));
+        // All observed: v2 (400 ms) is outside the representative set
+        // {v1, v0}; the auction never picks it again.
+        let c = [
+            cand(0, 1, 1, Some(ms(30))),
+            cand(1, 1, 1, Some(ms(5))),
+            cand(2, 1, 1, Some(ms(400))),
+        ];
+        for _ in 0..8 {
+            let choice = p.decide(&ctx(&c, &workers));
+            assert_ne!(choice.version, VersionId(2), "pruned version must not win");
+        }
+    }
+
+    #[test]
+    fn kind_round_trips_labels() {
+        for kind in PolicyKind::shipped() {
+            assert_eq!(PolicyKind::parse(kind.label()), Some(kind.clone()));
+            assert_eq!(kind.build().name(), kind.label());
+        }
+        assert_eq!(PolicyKind::parse("bogus"), None);
+        assert_eq!(PolicyKind::default(), PolicyKind::RoundRobin);
+    }
+}

@@ -1,6 +1,7 @@
 //! The versioning scheduler — the paper's contribution (§IV).
 
-use super::{compatible_workers, least_loaded, Assignment, FailureKind, SchedCtx, Scheduler};
+use super::policy::{CandidateStats, Policy, PolicyCtx, PolicyKind, WorkerSnap};
+use super::{queue_pressure, Assignment, FailureKind, SchedCtx, Scheduler};
 use crate::profile::{BucketKey, MeanPolicy, ProfileStore, SizeBucketPolicy};
 use crate::{TaskId, TaskInstance, TemplateId, VersionId, WorkerId};
 use std::collections::HashMap;
@@ -11,6 +12,13 @@ use versa_mem::MemSpace;
 /// adapting, weight the recent past" idea as the paper's footnote-3
 /// weighted execution means.
 const BANDWIDTH_EWMA_ALPHA: f64 = 0.25;
+
+/// Upper clamp on one measured bandwidth sample (bytes/second). Timer
+/// granularity on a tiny transfer can price a link at petabytes per
+/// second; one such sample drags the EWMA so high the locality term
+/// never predicts a transfer cost again. 1 TB/s sits comfortably above
+/// any link this runtime models while still bounding the damage.
+const BANDWIDTH_SAMPLE_CEILING: f64 = 1.0e12;
 
 /// Tunables of the [`VersioningScheduler`]; the analogue of Nanos++
 /// configuration arguments / environment variables.
@@ -41,6 +49,11 @@ pub struct VersioningConfig {
     /// retrial after `p` successful executions of other versions in the
     /// same group; with `None`, quarantine holds until the run ends.
     pub probation: Option<u64>,
+    /// Decision policy: which [`Policy`] turns the per-decision snapshot
+    /// into a `(version, worker)` choice. The default,
+    /// [`PolicyKind::RoundRobin`], is the paper's strategy and is
+    /// decision-for-decision identical to the pre-trait scheduler.
+    pub policy: PolicyKind,
 }
 
 impl Default for VersioningConfig {
@@ -54,6 +67,7 @@ impl Default for VersioningConfig {
             assumed_bandwidth: 6.0e9,
             quarantine_threshold: 2,
             probation: None,
+            policy: PolicyKind::RoundRobin,
         }
     }
 }
@@ -109,6 +123,13 @@ pub struct Decision {
     pub bids: Vec<WorkerBid>,
     /// The chosen assignment.
     pub assignment: Assignment,
+    /// Candidate versions with their profile statistics as seen *before*
+    /// this decision's bookkeeping — together with `workers`, the full
+    /// policy input, so recorded decisions replay offline as a pure
+    /// function (the `versa-gym` harness).
+    pub candidates: Vec<CandidateStats>,
+    /// Per-worker load snapshots at decision time.
+    pub workers: Vec<WorkerSnap>,
 }
 
 /// The paper's self-adaptive scheduler: it "is able to choose the most
@@ -132,6 +153,7 @@ pub struct Decision {
 pub struct VersioningScheduler {
     config: VersioningConfig,
     profiles: ProfileStore,
+    policy: Box<dyn Policy>,
     decisions: Option<Vec<Decision>>,
     /// Measured bytes/second into each space, learned online from
     /// completed transfers (EWMA). Used by the locality-aware transfer
@@ -146,7 +168,8 @@ impl VersioningScheduler {
         let mut profiles =
             ProfileStore::new(config.bucket_policy, config.mean_policy, config.lambda);
         profiles.set_quarantine(config.quarantine_threshold, config.probation);
-        VersioningScheduler { config, profiles, decisions: None, bandwidth: HashMap::new() }
+        let policy = config.policy.build();
+        VersioningScheduler { config, profiles, policy, decisions: None, bandwidth: HashMap::new() }
     }
 
     /// Scheduler with the paper's default configuration.
@@ -157,6 +180,11 @@ impl VersioningScheduler {
     /// The active configuration.
     pub fn config(&self) -> &VersioningConfig {
         &self.config
+    }
+
+    /// Name of the active decision policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
     }
 
     /// The learned profile store (paper Table I), e.g. for rendering or
@@ -249,118 +277,44 @@ impl VersioningScheduler {
         Duration::from_secs_f64(bytes as f64 / bw)
     }
 
-    fn learning_assign(
-        &mut self,
+    /// Snapshot the decision inputs: per-candidate profile statistics and
+    /// per-worker load, captured *before* any bookkeeping mutates the
+    /// store. Recorded into the decision ledger so policies replay
+    /// offline as pure functions of this snapshot.
+    fn snapshot(
+        &self,
         task: &TaskInstance,
         ctx: &SchedCtx<'_>,
         candidates: &[VersionId],
-    ) -> Assignment {
+    ) -> (Vec<CandidateStats>, Vec<WorkerSnap>) {
+        let group = self.profiles.group(task.template, task.data_set_size);
+        let stats = candidates
+            .iter()
+            .map(|&v| match group {
+                Some(g) => CandidateStats {
+                    version: v,
+                    scheduled: g.scheduled(v),
+                    count: g.version(v).count(),
+                    mean: g.version(v).mean(),
+                },
+                None => CandidateStats { version: v, scheduled: 0, count: 0, mean: None },
+            })
+            .collect();
         let tpl = ctx.templates.get(task.template);
-        let version = self
-            .profiles
-            .next_learning_version(task.template, tpl.version_count(), task.data_set_size, candidates)
-            .expect("learning phase implies an under-trained version exists");
-        let worker = least_loaded(compatible_workers(ctx, task, version))
-            .expect("trainable version has a compatible worker");
-        let estimate = self
-            .profiles
-            .mean(task.template, task.data_set_size, version)
-            .unwrap_or(Duration::ZERO);
-        let assignment = Assignment { worker: worker.info.id, version, estimate };
-        if let Some(log) = &mut self.decisions {
-            log.push(Decision {
-                task: task.id,
-                template: task.template,
-                bucket: self.profiles.bucket(task.data_set_size),
-                job: task.job.map(|j| j.job),
-                phase: DecisionPhase::Learning,
-                bids: Vec::new(),
-                assignment,
-            });
-        }
-        assignment
-    }
-
-    fn reliable_assign(
-        &mut self,
-        task: &TaskInstance,
-        ctx: &SchedCtx<'_>,
-        candidates: &[VersionId],
-    ) -> Assignment {
-        let tpl = ctx.templates.get(task.template);
-        let group = self
-            .profiles
-            .group(task.template, task.data_set_size)
-            .expect("past learning implies a profiled group");
-
-        let mut bids: Vec<WorkerBid> = Vec::with_capacity(ctx.workers.len());
-        for w in ctx.workers {
-            // Only non-quarantined candidates may bid.
-            let runnable: Vec<VersionId> =
-                tpl.versions_for(w.info.device).filter(|v| candidates.contains(v)).collect();
-            let Some((version, mean)) = group.fastest_version(&runnable) else {
-                continue;
-            };
-            let transfer = self.transfer_estimate(task, ctx, w);
-            let busy = w.estimated_busy();
-            bids.push(WorkerBid {
+        let snaps = ctx
+            .workers
+            .iter()
+            .map(|w| WorkerSnap {
                 worker: w.info.id,
-                busy,
-                version,
-                mean,
-                transfer,
-                finish: busy + mean + transfer,
-            });
-        }
-        let Some(best) = bids.iter().min_by_key(|b| (b.finish, b.worker)).copied() else {
-            // Every version has λ assignments queued but none has
-            // completed yet — no means to bid with. Fall back to the
-            // least-scheduled version on the least-loaded worker.
-            let version = candidates
-                .iter()
-                .copied()
-                .min_by_key(|&v| (group.scheduled(v), v))
-                .expect("candidates verified non-empty");
-            let worker = least_loaded(compatible_workers(ctx, task, version))
-                .expect("trainable version has a compatible worker");
-            let tpl_versions = tpl.version_count();
-            let assignment =
-                Assignment { worker: worker.info.id, version, estimate: Duration::ZERO };
-            self.profiles.mark_scheduled(task.template, tpl_versions, task.data_set_size, version);
-            if let Some(log) = &mut self.decisions {
-                log.push(Decision {
-                    task: task.id,
-                    template: task.template,
-                    bucket: self.profiles.bucket(task.data_set_size),
-                    job: task.job.map(|j| j.job),
-                    phase: DecisionPhase::ReliableFallback,
-                    bids: Vec::new(),
-                    assignment,
-                });
-            }
-            return assignment;
-        };
-        let assignment =
-            Assignment { worker: best.worker, version: best.version, estimate: best.mean };
-        self.profiles.mark_scheduled(
-            task.template,
-            tpl.version_count(),
-            task.data_set_size,
-            best.version,
-        );
-        if let Some(log) = &mut self.decisions {
-            log.push(Decision {
-                task: task.id,
-                template: task.template,
-                bucket: self.profiles.bucket(task.data_set_size),
-                job: task.job.map(|j| j.job),
-                phase: DecisionPhase::Reliable,
-                bids,
-                assignment,
-            });
-        }
-        assignment
+                pressure: queue_pressure(w) as u64,
+                busy: w.estimated_busy(),
+                transfer: self.transfer_estimate(task, ctx, w),
+                runnable: tpl.versions_for(w.info.device).collect(),
+            })
+            .collect();
+        (stats, snaps)
     }
+
 }
 
 impl Scheduler for VersioningScheduler {
@@ -373,17 +327,60 @@ impl Scheduler for VersioningScheduler {
     }
 
     fn assign(&mut self, task: &TaskInstance, ctx: &SchedCtx<'_>) -> Assignment {
-        let candidates = self.candidate_versions(task, ctx);
+        let candidate_versions = self.candidate_versions(task, ctx);
         assert!(
-            !candidates.is_empty(),
+            !candidate_versions.is_empty(),
             "no worker can run any version of {:?}",
             ctx.templates.get(task.template).name
         );
-        if self.profiles.needs_training(task.template, task.data_set_size, &candidates) {
-            self.learning_assign(task, ctx, &candidates)
-        } else {
-            self.reliable_assign(task, ctx, &candidates)
+        // The full decision input, captured before any bookkeeping; the
+        // policy sees nothing else, so recording this snapshot into the
+        // ledger makes every decision replayable offline.
+        let (candidates, workers) = self.snapshot(task, ctx, &candidate_versions);
+        let bucket = self.profiles.bucket(task.data_set_size);
+        let choice = self.policy.decide(&PolicyCtx {
+            template: task.template,
+            bucket,
+            job: task.job.map(|j| j.job),
+            lambda: self.config.lambda,
+            candidates: &candidates,
+            workers: &workers,
+        });
+        let n_versions = ctx.templates.get(task.template).version_count();
+        match choice.phase {
+            DecisionPhase::Learning => {
+                self.profiles.note_learning(
+                    task.template,
+                    n_versions,
+                    task.data_set_size,
+                    choice.version,
+                );
+            }
+            DecisionPhase::Reliable | DecisionPhase::ReliableFallback => {
+                self.profiles.mark_scheduled(
+                    task.template,
+                    n_versions,
+                    task.data_set_size,
+                    choice.version,
+                );
+            }
         }
+        let assignment =
+            Assignment { worker: choice.worker, version: choice.version, estimate: choice.estimate };
+        if let Some(log) = &mut self.decisions {
+            log.push(Decision {
+                task: task.id,
+                template: task.template,
+                bucket,
+                job: task.job.map(|j| j.job),
+                phase: choice.phase,
+                bids: choice.bids,
+                assignment,
+                candidates,
+                workers,
+            });
+        }
+        assignment
     }
 
     fn task_finished(&mut self, task: &TaskInstance, assignment: Assignment, measured: Duration) {
@@ -406,6 +403,14 @@ impl Scheduler for VersioningScheduler {
             return;
         }
         let sample = bytes as f64 / elapsed.as_secs_f64();
+        // Reject degenerate samples outright and clamp the plausible-but
+        // -absurd ones: a single poisoned sample would otherwise skew the
+        // EWMA for the rest of the run (and `Duration::from_secs_f64` in
+        // the transfer estimate panics on non-finite input downstream).
+        if !sample.is_finite() || sample <= 0.0 {
+            return;
+        }
+        let sample = sample.min(BANDWIDTH_SAMPLE_CEILING);
         self.bandwidth
             .entry(to)
             .and_modify(|bw| *bw += BANDWIDTH_EWMA_ALPHA * (sample - *bw))
@@ -853,6 +858,93 @@ mod tests {
         assert_eq!(a.version, VersionId(0), "probation retrial goes to the fastest version");
         s.task_finished(&fx.task(43), a, measured_for(a.version));
         assert!(!s.profiles().is_quarantined(fx.tpl, 2048, VersionId(0)));
+    }
+
+    #[test]
+    fn quarantine_storm_mid_learning_does_not_panic() {
+        // Fault injection for the old learning-phase `expect`: quarantine
+        // every version while the group is still learning, then keep
+        // scheduling. The scheduler must stay total — the all-quarantined
+        // fallback feeds the least-failed version back through the policy
+        // (learning if under-trained, profiled otherwise), never panics.
+        let fx = Fixture::new();
+        let mut s = VersioningScheduler::with_defaults();
+        s.set_decision_logging(true);
+        // Two learning assignments, then every version fails K=2 times.
+        for i in 0..2 {
+            let _ = s.assign(&fx.task(i), &fx.ctx());
+        }
+        let t = fx.task(10);
+        for v in 0..3u16 {
+            let a = Assignment {
+                worker: crate::WorkerId(0),
+                version: VersionId(v),
+                estimate: Duration::ZERO,
+            };
+            s.task_failed(&t, a, FailureKind::Panic);
+            s.task_failed(&t, a, FailureKind::Panic);
+        }
+        for v in 0..3u16 {
+            assert!(s.profiles().is_quarantined(fx.tpl, 2048, VersionId(v)));
+        }
+        // Every subsequent assignment still succeeds, routed through the
+        // single least-failed fallback candidate.
+        for i in 20..26 {
+            let a = s.assign(&fx.task(i), &fx.ctx());
+            assert_eq!(a.version, VersionId(0), "least-failed (tie on id) fallback");
+            s.task_finished(&fx.task(i), a, measured_for(a.version));
+        }
+        // The decision ledger stayed coherent: one decision per assign,
+        // each with a non-empty candidate snapshot.
+        assert!(s.decisions().iter().all(|d| !d.candidates.is_empty()));
+    }
+
+    #[test]
+    fn transfer_done_rejects_and_clamps_poison_samples() {
+        let mut s = VersioningScheduler::with_defaults();
+        let dev = versa_mem::MemSpace::device(0);
+        // A glitched timer on a huge transfer: u64::MAX bytes in 1 ns is
+        // ~1.8e28 B/s. It must not enter the EWMA raw.
+        s.transfer_done(dev, u64::MAX, Duration::from_nanos(1));
+        let bw = s.measured_bandwidth(dev).unwrap();
+        assert!(bw <= 1.0e12, "poison sample clamped to the ceiling, got {bw}");
+        // A later sane sample pulls the estimate back down by the normal
+        // EWMA step instead of fighting an astronomically large mean.
+        s.transfer_done(dev, 1_000_000_000, Duration::from_secs(1));
+        let bw2 = s.measured_bandwidth(dev).unwrap();
+        assert!(bw2 < bw, "EWMA recovers after a clamped outlier");
+        // Degenerate inputs never touch the estimate.
+        s.transfer_done(dev, 0, Duration::from_secs(1));
+        s.transfer_done(dev, 64, Duration::ZERO);
+        assert_eq!(s.measured_bandwidth(dev), Some(bw2));
+    }
+
+    #[test]
+    fn policy_selection_flows_through_config() {
+        // A non-default policy wired through `VersioningConfig` drives
+        // decisions: UCB1 has no round-robin learning phase, so its first
+        // pass tries versions in least-scheduled order and its decisions
+        // remain valid assignments.
+        let fx = Fixture::new();
+        // Zero exploration = greedy-after-one-try, so convergence below
+        // is deterministic.
+        let mut s = VersioningScheduler::new(VersioningConfig {
+            policy: PolicyKind::Ucb1 { exploration: 0.0 },
+            ..Default::default()
+        });
+        assert_eq!(s.policy_name(), "ucb1");
+        s.set_decision_logging(true);
+        for i in 0..12 {
+            let a = s.assign(&fx.task(i), &fx.ctx());
+            s.task_finished(&fx.task(i), a, measured_for(a.version));
+        }
+        // Every version got tried at least once (UCB1 unexplored-first)...
+        for v in 0..3u16 {
+            assert!(s.profiles().count(fx.tpl, 2048, VersionId(v)) >= 1);
+        }
+        // ...and with the counts in, UCB1 converges on the fastest.
+        let a = s.assign(&fx.task(100), &fx.ctx());
+        assert_eq!(a.version, VersionId(0), "CUBLAS has the best mean");
     }
 
     #[test]

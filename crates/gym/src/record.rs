@@ -1,0 +1,102 @@
+//! Recording gym workloads: run a workload with tracing + decision
+//! logging on and hand back the resulting [`Trace`].
+//!
+//! The workload set is deliberately tiny — these are the fixtures the
+//! golden-trace tests and the CI `gym-smoke` job replay, so they have to
+//! finish in seconds on a laptop while still exercising both scheduler
+//! phases (λ learning rounds, then reliable bidding) and, for `mm-wide`,
+//! a five-version template.
+
+use versa_apps::cholesky::{self, CholeskyConfig, CholeskyVariant};
+use versa_apps::matmul::{self, MatmulConfig, MatmulVariant};
+use versa_core::SchedulerKind;
+use versa_runtime::{NativeConfig, RuntimeConfig};
+use versa_sim::PlatformConfig;
+use versa_trace::Trace;
+
+/// Workloads `versa-gym record` knows how to run.
+pub const WORKLOADS: &[&str] = &["mm-wide", "cholesky"];
+
+/// A traced [`RuntimeConfig`] on the versioning scheduler — decision
+/// logging rides along with tracing.
+fn traced_rc() -> RuntimeConfig {
+    let mut rc = RuntimeConfig::with_scheduler(SchedulerKind::versioning());
+    rc.tracing.enabled = true;
+    rc
+}
+
+/// Run `workload` on the simulated engine and return its trace.
+///
+/// Simulated runs are deterministic: recording the same workload twice
+/// yields byte-identical ledgers, which is what lets the golden tests
+/// compare a fresh run against a committed fixture.
+pub fn record_sim(workload: &str) -> Result<Trace, String> {
+    let report = match workload {
+        "mm-wide" => matmul::run_sim_with(
+            traced_rc(),
+            MatmulConfig { n: 128, bs: 32 },
+            MatmulVariant::Wide,
+            PlatformConfig::minotauro(2, 1),
+        ),
+        "cholesky" => cholesky::run_sim_with(
+            traced_rc(),
+            CholeskyConfig { n: 1024, bs: 128 },
+            CholeskyVariant::PotrfHybrid,
+            PlatformConfig::minotauro(2, 1),
+        ),
+        other => return Err(format!("unknown workload `{other}` (try: {WORKLOADS:?})")),
+    };
+    report.trace.ok_or_else(|| format!("{workload}: traced run produced no trace"))
+}
+
+/// Run `workload` on the native engine (real OS threads, wall time) and
+/// return its trace. Timings — and therefore decisions past the learning
+/// phase — vary run to run; native fixtures are only good for replay
+/// *identity* checks, which re-derive decisions from the recorded inputs.
+pub fn record_native(workload: &str) -> Result<Trace, String> {
+    let trace = match workload {
+        "mm-wide" => {
+            matmul::run_native_with(
+                traced_rc(),
+                MatmulConfig { n: 128, bs: 32 },
+                MatmulVariant::Wide,
+                NativeConfig::new(2, 1),
+                7,
+            )
+            .0
+            .trace
+        }
+        "cholesky" => {
+            cholesky::run_native_with(
+                traced_rc(),
+                CholeskyConfig { n: 1024, bs: 128 },
+                CholeskyVariant::PotrfHybrid,
+                NativeConfig::new(2, 1),
+                7,
+            )
+            .0
+            .trace
+        }
+        other => return Err(format!("unknown workload `{other}` (try: {WORKLOADS:?})")),
+    };
+    trace.ok_or_else(|| format!("{workload}: traced run produced no trace"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_recording_is_deterministic() {
+        let a = record_sim("mm-wide").unwrap();
+        let b = record_sim("mm-wide").unwrap();
+        assert_eq!(a.to_text(), b.to_text(), "two sim recordings of the same workload differ");
+        assert!(a.decisions().next().is_some(), "recorded trace carries a decision ledger");
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error() {
+        assert!(record_sim("nope").is_err());
+        assert!(record_native("nope").is_err());
+    }
+}

@@ -13,7 +13,10 @@ use crate::Runtime;
 use std::sync::Arc;
 use versa_core::scheduler::{Decision, DecisionPhase};
 use versa_core::WorkerInfo;
-use versa_trace::{Bid, DecisionRecord, Phase, TraceEvent, TraceMeta, TraceSink, Ts};
+use versa_trace::{
+    Bid, CandidateRecord, DecisionRecord, Phase, TraceEvent, TraceMeta, TraceSink, Ts,
+    WorkerSnapRecord,
+};
 
 /// Convert one scheduler decision into the trace's record form, stamped
 /// with the (virtual or wall) time the engine drained it at.
@@ -41,6 +44,27 @@ pub(crate) fn decision_record(d: &Decision, time: Ts) -> DecisionRecord {
                 mean: b.mean,
                 transfer: b.transfer,
                 finish: b.finish,
+            })
+            .collect(),
+        candidates: d
+            .candidates
+            .iter()
+            .map(|c| CandidateRecord {
+                version: c.version,
+                scheduled: c.scheduled,
+                count: c.count,
+                mean: c.mean,
+            })
+            .collect(),
+        workers: d
+            .workers
+            .iter()
+            .map(|w| WorkerSnapRecord {
+                worker: w.worker,
+                pressure: w.pressure,
+                busy: w.busy,
+                transfer: w.transfer,
+                runnable: w.runnable.clone(),
             })
             .collect(),
     }
@@ -113,5 +137,7 @@ pub(crate) fn record_live_created(rt: &Runtime, sink: &Option<Arc<TraceSink>>, n
 /// The run's trace metadata (worker + template name tables).
 pub(crate) fn trace_meta(rt: &Runtime, engine: &str) -> TraceMeta {
     let infos: Vec<WorkerInfo> = rt.workers.iter().map(|w| w.info).collect();
-    TraceMeta::new(engine, &infos, &rt.templates)
+    let mut meta = TraceMeta::new(engine, &infos, &rt.templates);
+    meta.lambda = rt.scheduler.as_versioning().map(|v| v.config().lambda);
+    meta
 }

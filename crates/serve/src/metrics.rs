@@ -17,8 +17,13 @@ pub(crate) const JOB_EVENT_TAIL: usize = 256;
 
 /// State shared between the service thread and every client handle.
 pub(crate) struct Shared {
+    /// Every `submit` call, whatever its outcome — the accounting
+    /// identity `submitted == accepted + rejected_queue_full +
+    /// rejected_shutdown + shed_deadline` must hold at quiescence.
+    pub submitted: AtomicU64,
     pub accepted: AtomicU64,
     pub rejected_queue_full: AtomicU64,
+    pub rejected_shutdown: AtomicU64,
     pub shed_deadline: AtomicU64,
     pub completed: AtomicU64,
     pub failed: AtomicU64,
@@ -64,8 +69,10 @@ pub(crate) struct Detail {
 impl Shared {
     pub fn new(workers: usize) -> Shared {
         Shared {
+            submitted: AtomicU64::new(0),
             accepted: AtomicU64::new(0),
             rejected_queue_full: AtomicU64::new(0),
+            rejected_shutdown: AtomicU64::new(0),
             shed_deadline: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
@@ -92,8 +99,10 @@ impl Shared {
     pub fn snapshot(&self) -> MetricsSnapshot {
         let detail = self.detail.lock().expect("metrics mutex poisoned");
         MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
             accepted: self.accepted.load(Ordering::Relaxed),
             rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
             shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
@@ -123,10 +132,17 @@ impl Shared {
 /// a group).
 #[derive(Clone, Debug)]
 pub struct MetricsSnapshot {
+    /// Every submission attempt, whatever its outcome. At quiescence
+    /// `submitted == accepted + rejected_queue_full + rejected_shutdown
+    /// + shed_deadline`: no submission is lost to the books.
+    pub submitted: u64,
     /// Submissions accepted into the queue.
     pub accepted: u64,
     /// Submissions rejected because the queue was full.
     pub rejected_queue_full: u64,
+    /// Submissions rejected because the service was shutting down (or
+    /// already gone).
+    pub rejected_shutdown: u64,
     /// Submissions shed because their deadline looked infeasible.
     pub shed_deadline: u64,
     /// Jobs completed with an `Ok` outcome.

@@ -94,7 +94,9 @@ impl Client {
     /// shedding (`Shed`), or acceptance with a [`JobTicket`] to redeem
     /// for the [`JobReport`].
     pub fn submit(&self, spec: JobSpec) -> SubmitOutcome {
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         if !self.shared.accepting.load(Ordering::Acquire) {
+            self.shared.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
             return SubmitOutcome::Rejected(RejectReason::ShuttingDown);
         }
         if let Some(deadline) = spec.deadline {
@@ -112,17 +114,24 @@ impl Client {
         let id = self.shared.next_job.fetch_add(1, Ordering::Relaxed);
         let (report_tx, report_rx) = mpsc::channel();
         let sub = Submission { id, spec, submitted: Instant::now(), report_tx };
+        // Count the queue slot *before* offering the submission: the
+        // service thread decrements on admission, and an increment after
+        // a successful `try_send` can land after that decrement — a lost
+        // update that wraps the unsigned depth counter.
+        self.shared.queue_depth.fetch_add(1, Ordering::Relaxed);
         match self.tx.try_send(sub) {
             Ok(()) => {
-                self.shared.queue_depth.fetch_add(1, Ordering::Relaxed);
                 self.shared.accepted.fetch_add(1, Ordering::Relaxed);
                 SubmitOutcome::Accepted(JobTicket { id: JobId(id), rx: report_rx })
             }
             Err(mpsc::TrySendError::Full(_)) => {
+                self.shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 self.shared.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
                 SubmitOutcome::Rejected(RejectReason::QueueFull)
             }
             Err(mpsc::TrySendError::Disconnected(_)) => {
+                self.shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                self.shared.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
                 SubmitOutcome::Rejected(RejectReason::ShuttingDown)
             }
         }

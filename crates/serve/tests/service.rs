@@ -149,6 +149,86 @@ fn infeasible_deadlines_are_shed() {
 }
 
 #[test]
+fn admission_accounting_is_lossless_under_concurrent_clients() {
+    // The accounting identity: every submission lands in exactly one
+    // bucket — accepted, rejected (queue full / shutting down), or shed
+    // — even with clients hammering a tiny queue from several threads.
+    let (rt, tpl) = sim_runtime();
+    let service = Service::start(
+        rt,
+        ServeConfig { queue_capacity: 2, wave_dispatch: 4, ..ServeConfig::default() },
+    );
+
+    const CLIENTS: u64 = 4;
+    const SUBMITS: u64 = 25;
+    let mut handles = Vec::new();
+    for _ in 0..CLIENTS {
+        let c = service.client();
+        handles.push(std::thread::spawn(move || {
+            let mut accepted = 0u64;
+            let mut rejected = 0u64;
+            let mut tickets = Vec::new();
+            for _ in 0..SUBMITS {
+                match c.submit(sim_job(tpl, 8)) {
+                    SubmitOutcome::Accepted(t) => {
+                        accepted += 1;
+                        tickets.push(t);
+                    }
+                    SubmitOutcome::Rejected(RejectReason::QueueFull) => rejected += 1,
+                    other => panic!("unexpected outcome mid-run: {other:?}"),
+                }
+                // The depth counter must never wrap, however the client
+                // increment races the service thread's decrement.
+                assert!(
+                    c.metrics().queue_depth <= CLIENTS * SUBMITS,
+                    "queue_depth wrapped below zero"
+                );
+            }
+            for t in tickets {
+                assert!(t.wait().outcome.is_ok());
+            }
+            (accepted, rejected)
+        }));
+    }
+    let (mut accepted, mut rejected) = (0u64, 0u64);
+    for h in handles {
+        let (a, r) = h.join().unwrap();
+        accepted += a;
+        rejected += r;
+    }
+
+    // One shed submission (the per-task estimate is trained by now)...
+    let client = service.client();
+    match client.submit(sim_job(tpl, 16).deadline(Duration::from_micros(1), 1_000_000)) {
+        SubmitOutcome::Shed { .. } => {}
+        other => panic!("expected Shed, got {other:?}"),
+    }
+    // ...and one rejected by shutdown; both must be on the books.
+    service.shutdown();
+    match client.submit(sim_job(tpl, 4)) {
+        SubmitOutcome::Rejected(RejectReason::ShuttingDown) => {}
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+
+    let m = client.metrics();
+    assert_eq!(m.submitted, CLIENTS * SUBMITS + 2);
+    assert_eq!(m.accepted, accepted);
+    assert_eq!(m.rejected_queue_full, rejected);
+    assert_eq!(m.shed_deadline, 1);
+    assert_eq!(m.rejected_shutdown, 1);
+    assert_eq!(
+        m.submitted,
+        m.accepted + m.rejected_queue_full + m.rejected_shutdown + m.shed_deadline,
+        "a submission fell off the books: {m:?}"
+    );
+    assert_eq!(m.completed, m.accepted, "every accepted job completed");
+    assert_eq!(m.failed, 0);
+    assert_eq!(m.queue_depth, 0);
+    assert_eq!(m.active_jobs, 0);
+    assert_eq!(m.live_tasks, 0);
+}
+
+#[test]
 fn shutdown_rejects_new_submissions() {
     let (rt, tpl) = sim_runtime();
     let service = Service::start(rt, ServeConfig::default());

@@ -513,6 +513,8 @@ mod tests {
                 worker: WorkerId(0),
                 version: VersionId(0),
                 bids: Vec::new(),
+                candidates: Vec::new(),
+                workers: Vec::new(),
             })
         };
         let a = TraceAnalysis::new(&Trace::new(

@@ -93,6 +93,38 @@ pub struct Bid {
     pub finish: Duration,
 }
 
+/// Profile statistics of one candidate version as the scheduler saw them
+/// immediately before a decision (before that decision's own bookkeeping)
+/// — the per-version half of the policy input, recorded so decisions
+/// replay offline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CandidateRecord {
+    /// The candidate version.
+    pub version: VersionId,
+    /// Assignments so far in this size group.
+    pub scheduled: u64,
+    /// Completed executions so far in this size group.
+    pub count: u64,
+    /// Mean execution time, once measured.
+    pub mean: Option<Duration>,
+}
+
+/// One worker's load at decision time plus the versions its device can
+/// run — the per-worker half of the policy input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerSnapRecord {
+    /// The worker.
+    pub worker: WorkerId,
+    /// Queue pressure: queued tasks plus the running one.
+    pub pressure: u64,
+    /// Estimated queue drain time.
+    pub busy: Duration,
+    /// Estimated copy-in time for this task's non-resident data.
+    pub transfer: Duration,
+    /// Template versions the worker's device can run, in version order.
+    pub runnable: Vec<VersionId>,
+}
+
 /// One scheduler decision: which worker/version won, in which phase, and
 /// every bid considered — the data `versioning.rs` computes on every
 /// assignment, preserved instead of thrown away.
@@ -117,6 +149,11 @@ pub struct DecisionRecord {
     /// All bids considered (empty in the learning phase, which assigns
     /// round-robin to train untrained versions).
     pub bids: Vec<Bid>,
+    /// Candidate versions with their pre-decision profile statistics
+    /// (empty in traces recorded before the policy snapshot existed).
+    pub candidates: Vec<CandidateRecord>,
+    /// Per-worker load snapshots at decision time (empty in old traces).
+    pub workers: Vec<WorkerSnapRecord>,
 }
 
 /// One traced event. Timestamps are [`Ts`] nanoseconds from the run

@@ -36,6 +36,8 @@ mod sink;
 mod text;
 
 pub use analysis::{TaskInterval, TraceAnalysis};
-pub use event::{Bid, DecisionRecord, Phase, Trace, TraceEvent, Ts};
+pub use event::{
+    Bid, CandidateRecord, DecisionRecord, Phase, Trace, TraceEvent, Ts, WorkerSnapRecord,
+};
 pub use meta::{TemplateMeta, TraceMeta, WorkerMeta};
 pub use sink::{TraceConfig, TraceSink};

@@ -35,6 +35,10 @@ pub struct TraceMeta {
     pub workers: Vec<WorkerMeta>,
     /// The templates, in id order.
     pub templates: Vec<TemplateMeta>,
+    /// The versioning scheduler's learning threshold λ during the run,
+    /// when it was the active scheduler — replaying its decision ledger
+    /// offline needs the same threshold.
+    pub lambda: Option<u64>,
 }
 
 /// Identifier-safe rendering: names are single whitespace-free tokens in
@@ -71,6 +75,7 @@ impl TraceMeta {
                         .collect(),
                 })
                 .collect(),
+            lambda: None,
         }
     }
 

@@ -23,9 +23,16 @@
 //! ```
 //!
 //! Decision bids are appended as `worker:version:busy:mean:transfer:finish`
-//! tokens (durations in ns).
+//! tokens (durations in ns). Two further token families record the full
+//! policy input so decisions replay offline (`versa-gym`): candidate
+//! statistics as `cV:scheduled:count:mean_ns` (mean `-` if unmeasured)
+//! and worker snapshots as `wW:pressure:busy_ns:transfer_ns:v0+v1` (the
+//! trailing field lists runnable versions, `-` if none). Both are
+//! letter-prefixed, so parsers distinguish them from digit-leading bid
+//! tokens; an optional `lambda N` meta line records the learning
+//! threshold. Traces without these extensions still parse.
 
-use crate::event::{Bid, DecisionRecord, Phase, Trace, TraceEvent, Ts};
+use crate::event::{Bid, CandidateRecord, DecisionRecord, Phase, Trace, TraceEvent, Ts, WorkerSnapRecord};
 use crate::meta::{TemplateMeta, TraceMeta, WorkerMeta};
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -63,6 +70,9 @@ impl Trace {
             }
             out.push('\n');
         }
+        if let Some(lambda) = self.meta.lambda {
+            let _ = writeln!(out, "lambda {lambda}");
+        }
         for ev in self.events() {
             match ev {
                 TraceEvent::TaskCreated { time, task, template } => {
@@ -95,6 +105,36 @@ impl Trace {
                             b.mean.as_nanos(),
                             b.transfer.as_nanos(),
                             b.finish.as_nanos()
+                        );
+                    }
+                    for c in &d.candidates {
+                        let mean = c
+                            .mean
+                            .map(|m| m.as_nanos().to_string())
+                            .unwrap_or_else(|| "-".into());
+                        let _ = write!(
+                            out,
+                            " c{}:{}:{}:{mean}",
+                            c.version.0, c.scheduled, c.count
+                        );
+                    }
+                    for w in &d.workers {
+                        let runnable = if w.runnable.is_empty() {
+                            "-".to_string()
+                        } else {
+                            w.runnable
+                                .iter()
+                                .map(|v| v.0.to_string())
+                                .collect::<Vec<_>>()
+                                .join("+")
+                        };
+                        let _ = write!(
+                            out,
+                            " w{}:{}:{}:{}:{runnable}",
+                            w.worker.0,
+                            w.pressure,
+                            w.busy.as_nanos(),
+                            w.transfer.as_nanos()
                         );
                     }
                     out.push('\n');
@@ -171,6 +211,7 @@ impl Trace {
             match toks[0] {
                 "engine" => meta.engine = toks.get(1).unwrap_or(&"unknown").to_string(),
                 "dropped" => dropped = num!(1, u64),
+                "lambda" => meta.lambda = Some(num!(1, u64)),
                 "worker" => {
                     let space = parse_space(toks.get(3).ok_or_else(|| err("missing space"))?)
                         .map_err(|e| err(&e))?;
@@ -204,14 +245,59 @@ impl Trace {
                     let phase = Phase::from_label(toks.get(6).ok_or_else(|| err("missing phase"))?)
                         .ok_or_else(|| err("bad phase"))?;
                     let mut bids = Vec::new();
+                    let mut candidates = Vec::new();
+                    let mut workers = Vec::new();
+                    let ns = |s: &str| {
+                        s.parse::<u64>().map(Duration::from_nanos).map_err(|_| err("bad bid field"))
+                    };
                     for tok in &toks[9..] {
+                        if let Some(rest) = tok.strip_prefix('c') {
+                            let f: Vec<&str> = rest.split(':').collect();
+                            if f.len() != 4 {
+                                return Err(err("bad candidate"));
+                            }
+                            let mean = match f[3] {
+                                "-" => None,
+                                m => Some(ns(m)?),
+                            };
+                            candidates.push(CandidateRecord {
+                                version: VersionId(
+                                    f[0].parse().map_err(|_| err("bad candidate version"))?,
+                                ),
+                                scheduled: f[1].parse().map_err(|_| err("bad candidate field"))?,
+                                count: f[2].parse().map_err(|_| err("bad candidate field"))?,
+                                mean,
+                            });
+                            continue;
+                        }
+                        if let Some(rest) = tok.strip_prefix('w') {
+                            let f: Vec<&str> = rest.split(':').collect();
+                            if f.len() != 5 {
+                                return Err(err("bad worker snapshot"));
+                            }
+                            let runnable = match f[4] {
+                                "-" => Vec::new(),
+                                list => list
+                                    .split('+')
+                                    .map(|v| v.parse().map(VersionId))
+                                    .collect::<Result<Vec<_>, _>>()
+                                    .map_err(|_| err("bad runnable list"))?,
+                            };
+                            workers.push(WorkerSnapRecord {
+                                worker: WorkerId(
+                                    f[0].parse().map_err(|_| err("bad snapshot worker"))?,
+                                ),
+                                pressure: f[1].parse().map_err(|_| err("bad snapshot field"))?,
+                                busy: ns(f[2])?,
+                                transfer: ns(f[3])?,
+                                runnable,
+                            });
+                            continue;
+                        }
                         let f: Vec<&str> = tok.split(':').collect();
                         if f.len() != 6 {
                             return Err(err("bad bid"));
                         }
-                        let ns = |s: &str| {
-                            s.parse::<u64>().map(Duration::from_nanos).map_err(|_| err("bad bid field"))
-                        };
                         bids.push(Bid {
                             worker: WorkerId(f[0].parse().map_err(|_| err("bad bid worker"))?),
                             version: VersionId(f[1].parse().map_err(|_| err("bad bid version"))?),
@@ -231,6 +317,8 @@ impl Trace {
                         worker: WorkerId(num!(7, u16)),
                         version: VersionId(num!(8, u16)),
                         bids,
+                        candidates,
+                        workers,
                     }));
                 }
                 "start" => events.push(TraceEvent::TaskStart {
@@ -309,6 +397,7 @@ mod tests {
                 name: "matmul_tile".into(),
                 versions: vec!["cublas".into(), "cblas".into()],
             }],
+            lambda: Some(3),
         };
         Trace::new(
             meta,
@@ -332,6 +421,36 @@ mod tests {
                         transfer: Duration::from_nanos(5),
                         finish: Duration::from_nanos(35),
                     }],
+                    candidates: vec![
+                        CandidateRecord {
+                            version: VersionId(0),
+                            scheduled: 3,
+                            count: 3,
+                            mean: Some(Duration::from_nanos(20)),
+                        },
+                        CandidateRecord {
+                            version: VersionId(1),
+                            scheduled: 3,
+                            count: 2,
+                            mean: None,
+                        },
+                    ],
+                    workers: vec![
+                        WorkerSnapRecord {
+                            worker: WorkerId(0),
+                            pressure: 1,
+                            busy: Duration::from_nanos(40),
+                            transfer: Duration::ZERO,
+                            runnable: vec![VersionId(1)],
+                        },
+                        WorkerSnapRecord {
+                            worker: WorkerId(1),
+                            pressure: 0,
+                            busy: Duration::ZERO,
+                            transfer: Duration::from_nanos(5),
+                            runnable: vec![],
+                        },
+                    ],
                 }),
                 TraceEvent::Transfer {
                     start: Ts(1),
