@@ -219,32 +219,14 @@ pub fn run_sim_with(
     rt.run().expect("run failed")
 }
 
-/// Native-engine matmul: real f64 tiles, real kernels (parallel-blocked
-/// for the emulated GPU versions, naive for the CBLAS stand-in). Returns
-/// the report and the computed `C` tiles for verification.
-pub fn run_native(
-    config: MatmulConfig,
-    variant: MatmulVariant,
-    scheduler: SchedulerKind,
-    native: NativeConfig,
-    seed: u64,
-) -> (RunReport, NativeMatmulData) {
-    run_native_with(RuntimeConfig::with_scheduler(scheduler), config, variant, native, seed)
-}
-
-/// [`run_native`] with full control over the [`RuntimeConfig`] — for
-/// benchmarks and tests that toggle transfer staging
-/// (`async_transfers`, `lookahead_depth`) or other runtime knobs.
-pub fn run_native_with(
-    runtime_config: RuntimeConfig,
-    config: MatmulConfig,
-    variant: MatmulVariant,
-    native: NativeConfig,
-    seed: u64,
-) -> (RunReport, NativeMatmulData) {
-    let mut rt = Runtime::native(runtime_config, native);
-    let template = register(&mut rt, variant);
-    let bs = config.bs;
+/// Register the matmul template *and* bind its native kernels for
+/// `variant` with tile dimension `bs`. Shared by [`run_native_with`]
+/// and the cluster binaries (`versa-worker`, `versa-cluster`): a
+/// coordinator and its remote workers call this with identical
+/// arguments so template *names* resolve to the same kernels on every
+/// process — closures never cross the wire.
+pub fn register_native(rt: &mut Runtime, variant: MatmulVariant, bs: usize) -> TemplateId {
+    let template = register(rt, variant);
 
     let cublas = move |ctx: &mut versa_runtime::KernelCtx<'_>| {
         let exec = ctx.exec();
@@ -285,6 +267,35 @@ pub fn run_native_with(
             rt.bind_native(template, VersionId(4), naive);
         }
     }
+    template
+}
+
+/// Native-engine matmul: real f64 tiles, real kernels (parallel-blocked
+/// for the emulated GPU versions, naive for the CBLAS stand-in). Returns
+/// the report and the computed `C` tiles for verification.
+pub fn run_native(
+    config: MatmulConfig,
+    variant: MatmulVariant,
+    scheduler: SchedulerKind,
+    native: NativeConfig,
+    seed: u64,
+) -> (RunReport, NativeMatmulData) {
+    run_native_with(RuntimeConfig::with_scheduler(scheduler), config, variant, native, seed)
+}
+
+/// [`run_native`] with full control over the [`RuntimeConfig`] — for
+/// benchmarks and tests that toggle transfer staging
+/// (`async_transfers`, `lookahead_depth`) or other runtime knobs.
+pub fn run_native_with(
+    runtime_config: RuntimeConfig,
+    config: MatmulConfig,
+    variant: MatmulVariant,
+    native: NativeConfig,
+    seed: u64,
+) -> (RunReport, NativeMatmulData) {
+    let mut rt = Runtime::native(runtime_config, native);
+    let template = register_native(&mut rt, variant, config.bs);
+    let bs = config.bs;
 
     let nb = config.nb();
     let mut mk_tiles = |seed_off: u64| -> Vec<DataId> {

@@ -353,6 +353,7 @@ pub fn ablate_fault_injection(scale: Scale) -> FigureResult {
                     FaultRule::flaky_worker(WorkerId(4), 1.0),
                     FaultRule::flaky_worker(WorkerId(5), 1.0),
                 ],
+                ..FaultPlan::default()
             },
         ),
     ];

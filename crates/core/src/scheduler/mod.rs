@@ -51,6 +51,12 @@ pub enum FailureKind {
     /// The simulated platform injected a fault (see `versa-sim`'s
     /// `FaultPlan`).
     Fault,
+    /// The node hosting the worker disappeared (connection lost or
+    /// heartbeat timeout). Says nothing about the health of the task's
+    /// version, so the versioning scheduler does not charge a quarantine
+    /// strike for it — the node, not the code, is quarantined (by the
+    /// cluster membership layer).
+    NodeLost,
 }
 
 impl std::fmt::Display for FailureKind {
@@ -58,6 +64,7 @@ impl std::fmt::Display for FailureKind {
         match self {
             FailureKind::Panic => write!(f, "panic"),
             FailureKind::Fault => write!(f, "fault"),
+            FailureKind::NodeLost => write!(f, "node-lost"),
         }
     }
 }
@@ -217,7 +224,9 @@ pub(crate) fn compatible_workers<'a>(
     version: VersionId,
 ) -> impl Iterator<Item = &'a WorkerState> + 'a {
     let tpl = ctx.templates.get(task.template);
-    ctx.workers.iter().filter(move |w| tpl.version(version).runs_on(w.info.device))
+    ctx.workers
+        .iter()
+        .filter(move |w| !w.is_retired() && tpl.version(version).runs_on(w.info.device))
 }
 
 /// Queue pressure of a worker: queued tasks plus the running one.

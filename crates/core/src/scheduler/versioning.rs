@@ -229,7 +229,11 @@ impl VersioningScheduler {
         let tpl = ctx.templates.get(task.template);
         (0..tpl.version_count() as u16)
             .map(VersionId)
-            .filter(|&v| ctx.workers.iter().any(|w| tpl.version(v).runs_on(w.info.device)))
+            .filter(|&v| {
+                ctx.workers
+                    .iter()
+                    .any(|w| !w.is_retired() && tpl.version(v).runs_on(w.info.device))
+            })
             .collect()
     }
 
@@ -309,7 +313,13 @@ impl VersioningScheduler {
                 pressure: queue_pressure(w) as u64,
                 busy: w.estimated_busy(),
                 transfer: self.transfer_estimate(task, ctx, w),
-                runnable: tpl.versions_for(w.info.device).collect(),
+                // A retired worker (lost node) advertises no runnable
+                // versions, so every policy treats it as incompatible.
+                runnable: if w.is_retired() {
+                    Vec::new()
+                } else {
+                    tpl.versions_for(w.info.device).collect()
+                },
             })
             .collect();
         (stats, snaps)
@@ -418,7 +428,12 @@ impl Scheduler for VersioningScheduler {
     }
 
     fn task_failed(&mut self, task: &TaskInstance, assignment: Assignment, kind: FailureKind) {
-        let _ = kind;
+        // A lost node is not evidence against the version: the same code
+        // may run perfectly elsewhere. Node-level quarantine is handled
+        // by the cluster membership layer, so no strike is recorded.
+        if kind == FailureKind::NodeLost {
+            return;
+        }
         let n_versions = usize::from(assignment.version.0) + 1;
         self.profiles.record_failure(
             task.template,
@@ -945,6 +960,63 @@ mod tests {
         // ...and with the counts in, UCB1 converges on the fastest.
         let a = s.assign(&fx.task(100), &fx.ctx());
         assert_eq!(a.version, VersionId(0), "CUBLAS has the best mean");
+    }
+
+    #[test]
+    fn node_lost_failure_charges_no_version_strike() {
+        let fx = Fixture::new();
+        let mut s = VersioningScheduler::with_defaults();
+        for i in 0..9 {
+            let t = fx.task(i);
+            let a = s.assign(&t, &fx.ctx());
+            s.task_finished(&t, a, measured_for(a.version));
+        }
+        let t = fx.task(50);
+        let a = Assignment { worker: crate::WorkerId(2), version: VersionId(0), estimate: ms(7) };
+        // K = 2: two NodeLost failures must NOT quarantine the version...
+        s.task_failed(&t, a, FailureKind::NodeLost);
+        s.task_failed(&t, a, FailureKind::NodeLost);
+        assert!(!s.profiles().is_quarantined(fx.tpl, 2048, VersionId(0)));
+        // ...and the version still wins on an idle platform.
+        let probe = s.assign(&fx.task(51), &fx.ctx());
+        assert_eq!(probe.version, VersionId(0));
+    }
+
+    #[test]
+    fn retired_workers_receive_no_assignments() {
+        let mut fx = Fixture::new();
+        let mut s = VersioningScheduler::with_defaults();
+        for i in 0..9 {
+            let t = fx.task(i);
+            let a = s.assign(&t, &fx.ctx());
+            s.task_finished(&t, a, measured_for(a.version));
+        }
+        // Retire both GPU workers: the auction must fall to the SMP pair
+        // even though CUBLAS has the best mean.
+        fx.workers[2].retire();
+        fx.workers[3].retire();
+        for i in 20..26 {
+            let a = s.assign(&fx.task(i), &fx.ctx());
+            assert!(a.worker.index() < 2, "retired worker got task: {:?}", a.worker);
+            assert_eq!(a.version, VersionId(2), "only the SMP version is runnable");
+            s.task_finished(&fx.task(i), a, measured_for(a.version));
+        }
+    }
+
+    #[test]
+    fn retiring_all_workers_of_a_version_drops_it_from_learning() {
+        // With the GPUs retired before any training, learning must not
+        // wait for GPU-only versions (they are untrainable now).
+        let mut fx = Fixture::new();
+        fx.workers[2].retire();
+        fx.workers[3].retire();
+        let mut s = VersioningScheduler::with_defaults();
+        for i in 0..3 {
+            let a = s.assign(&fx.task(i), &fx.ctx());
+            assert_eq!(a.version, VersionId(2));
+            s.task_finished(&fx.task(i), a, measured_for(a.version));
+        }
+        assert!(s.profiles().is_reliable(fx.tpl, 2048, &[VersionId(2)]));
     }
 
     #[test]

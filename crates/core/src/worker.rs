@@ -50,12 +50,52 @@ pub struct WorkerState {
     running: Option<QueuedTask>,
     busy: Duration,
     executed: u64,
+    retired: bool,
 }
 
 impl WorkerState {
     /// Fresh idle worker.
     pub fn new(info: WorkerInfo) -> WorkerState {
-        WorkerState { info, queue: VecDeque::new(), running: None, busy: Duration::ZERO, executed: 0 }
+        WorkerState {
+            info,
+            queue: VecDeque::new(),
+            running: None,
+            busy: Duration::ZERO,
+            executed: 0,
+            retired: false,
+        }
+    }
+
+    /// Permanently remove this worker from scheduling consideration
+    /// (its node died). Retired workers keep their history for reports
+    /// but never receive another assignment.
+    pub fn retire(&mut self) {
+        self.retired = true;
+    }
+
+    /// Whether this worker has been retired (node lost).
+    #[inline]
+    pub fn is_retired(&self) -> bool {
+        self.retired
+    }
+
+    /// Drain and return every queued (not yet started) task, clearing
+    /// their contribution to the busy estimate — used when a node dies
+    /// with work still queued on its workers.
+    pub fn drain_queue(&mut self) -> Vec<QueuedTask> {
+        let drained: Vec<QueuedTask> = self.queue.drain(..).collect();
+        for q in &drained {
+            self.busy = self.busy.saturating_sub(q.estimate);
+        }
+        drained
+    }
+
+    /// Abandon the running task without counting it as executed (node
+    /// lost mid-task). Returns the abandoned entry, if any.
+    pub fn abandon_running(&mut self) -> Option<QueuedTask> {
+        let running = self.running.take()?;
+        self.busy = self.busy.saturating_sub(running.estimate);
+        Some(running)
     }
 
     /// Estimated time for this worker to drain its queue (running task

@@ -16,7 +16,9 @@
 
 use crate::{AlignedBuf, DataId, MemSpace, Transfer};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+type SpaceMap = HashMap<DataId, Arc<AlignedBuf>>;
 
 /// Per-space buffer pools for native execution.
 ///
@@ -24,29 +26,53 @@ use std::sync::{Arc, Mutex, MutexGuard};
 /// buffers for one allocation have the registered size; transfers always
 /// move whole allocations (matching the [`Directory`](crate::Directory)'s
 /// handle-granularity coherence).
+///
+/// The space list can grow after construction ([`Arena::add_spaces`]) so
+/// remote nodes attached mid-setup get local mirror spaces; existing
+/// spaces are never removed or renumbered.
 pub struct Arena {
-    spaces: Vec<Mutex<HashMap<DataId, Arc<AlignedBuf>>>>,
+    spaces: RwLock<Vec<Arc<Mutex<SpaceMap>>>>,
 }
 
 impl Arena {
     /// An arena covering the host plus `devices` device spaces.
     pub fn new(devices: usize) -> Arena {
         Arena {
-            spaces: (0..devices + 1).map(|_| Mutex::new(HashMap::new())).collect(),
+            spaces: RwLock::new(
+                (0..devices + 1).map(|_| Arc::new(Mutex::new(HashMap::new()))).collect(),
+            ),
         }
     }
 
     /// Number of spaces (host + devices).
     pub fn space_count(&self) -> usize {
-        self.spaces.len()
+        self.spaces.read().expect("arena lock poisoned").len()
     }
 
-    fn space(&self, s: MemSpace) -> MutexGuard<'_, HashMap<DataId, Arc<AlignedBuf>>> {
-        self.spaces
+    /// Append `n` fresh empty spaces (mirror spaces for remote devices).
+    /// Existing space indices are unaffected.
+    pub fn add_spaces(&self, n: usize) {
+        let mut spaces = self.spaces.write().expect("arena lock poisoned");
+        for _ in 0..n {
+            spaces.push(Arc::new(Mutex::new(HashMap::new())));
+        }
+    }
+
+    fn space_arc(&self, s: MemSpace) -> Arc<Mutex<SpaceMap>> {
+        let spaces = self.spaces.read().expect("arena lock poisoned");
+        spaces
             .get(s.index())
+            .cloned()
             .unwrap_or_else(|| panic!("space {s} not present in arena"))
-            .lock()
-            .expect("arena lock poisoned")
+    }
+
+    /// Run `f` holding the lock of `s`'s buffer map. The outer space list
+    /// lock is released before `f` runs, so `add_spaces` never deadlocks
+    /// against in-flight buffer operations.
+    fn with_space<R>(&self, s: MemSpace, f: impl FnOnce(&mut SpaceMap) -> R) -> R {
+        let arc = self.space_arc(s);
+        let mut guard: MutexGuard<'_, SpaceMap> = arc.lock().expect("arena lock poisoned");
+        f(&mut guard)
     }
 
     /// Create the host buffer for `data`, initialized from `init`.
@@ -54,21 +80,25 @@ impl Arena {
     /// # Panics
     /// Panics if `data` already has a host buffer.
     pub fn alloc_host(&self, data: DataId, init: &[u8]) {
-        let mut host = self.space(MemSpace::HOST);
-        let prev = host.insert(data, Arc::new(AlignedBuf::from_bytes(init)));
-        assert!(prev.is_none(), "{data:?} allocated twice on host");
+        self.with_space(MemSpace::HOST, |host| {
+            let prev = host.insert(data, Arc::new(AlignedBuf::from_bytes(init)));
+            assert!(prev.is_none(), "{data:?} allocated twice on host");
+        })
     }
 
     /// Create a zero-filled host buffer of `len` bytes for `data`.
     pub fn alloc_host_zeroed(&self, data: DataId, len: usize) {
-        let mut host = self.space(MemSpace::HOST);
-        let prev = host.insert(data, Arc::new(AlignedBuf::zeroed(len)));
-        assert!(prev.is_none(), "{data:?} allocated twice on host");
+        self.with_space(MemSpace::HOST, |host| {
+            let prev = host.insert(data, Arc::new(AlignedBuf::zeroed(len)));
+            assert!(prev.is_none(), "{data:?} allocated twice on host");
+        })
     }
 
     /// Drop every buffer of `data` in every space.
     pub fn free(&self, data: DataId) {
-        for s in &self.spaces {
+        let spaces: Vec<Arc<Mutex<SpaceMap>>> =
+            self.spaces.read().expect("arena lock poisoned").clone();
+        for s in &spaces {
             s.lock().expect("arena lock poisoned").remove(&data);
         }
     }
@@ -80,17 +110,18 @@ impl Arena {
     /// Panics if the source buffer does not exist or sizes mismatch.
     pub fn perform(&self, t: &Transfer) {
         assert_ne!(t.from, t.to, "degenerate transfer");
-        let src = {
-            let from = self.space(t.from);
+        let src = self.with_space(t.from, |from| {
             let buf = from
                 .get(&t.data)
                 .unwrap_or_else(|| panic!("{:?} has no buffer in {}", t.data, t.from));
             assert_eq!(buf.len() as u64, t.bytes, "transfer size mismatch for {:?}", t.data);
             Arc::clone(buf)
-        };
+        });
         // Deep copy outside the source lock: each space owns its bytes.
         let copy = Arc::new(AlignedBuf::clone(&src));
-        self.space(t.to).insert(t.data, copy);
+        self.with_space(t.to, |to| {
+            to.insert(t.data, copy);
+        });
     }
 
     /// Read the bytes of `data` in `space` (copies out).
@@ -107,10 +138,11 @@ impl Arena {
     /// # Panics
     /// Panics if no buffer exists there.
     pub fn read_arc(&self, data: DataId, space: MemSpace) -> Arc<AlignedBuf> {
-        self.space(space)
-            .get(&data)
-            .map(Arc::clone)
-            .unwrap_or_else(|| panic!("{data:?} has no buffer in {space}"))
+        self.with_space(space, |sp| {
+            sp.get(&data)
+                .map(Arc::clone)
+                .unwrap_or_else(|| panic!("{data:?} has no buffer in {space}"))
+        })
     }
 
     /// Overwrite the bytes of `data` in `space`.
@@ -118,18 +150,19 @@ impl Arena {
     /// # Panics
     /// Panics if no buffer exists there or the length differs.
     pub fn write(&self, data: DataId, space: MemSpace, bytes: &[u8]) {
-        let mut guard = self.space(space);
-        let arc = guard
-            .get_mut(&data)
-            .unwrap_or_else(|| panic!("{data:?} has no buffer in {space}"));
-        assert_eq!(arc.len(), bytes.len(), "write size mismatch for {data:?}");
-        // Clones only if a reader still holds the old version.
-        Arc::make_mut(arc).as_bytes_mut().copy_from_slice(bytes);
+        self.with_space(space, |sp| {
+            let arc = sp
+                .get_mut(&data)
+                .unwrap_or_else(|| panic!("{data:?} has no buffer in {space}"));
+            assert_eq!(arc.len(), bytes.len(), "write size mismatch for {data:?}");
+            // Clones only if a reader still holds the old version.
+            Arc::make_mut(arc).as_bytes_mut().copy_from_slice(bytes);
+        })
     }
 
     /// Whether `data` has a buffer in `space`.
     pub fn has(&self, data: DataId, space: MemSpace) -> bool {
-        self.space(space).contains_key(&data)
+        self.with_space(space, |sp| sp.contains_key(&data))
     }
 
     /// Materialize a zero-filled buffer of `len` bytes for `data` in
@@ -137,7 +170,9 @@ impl Arena {
     /// devices: no copy-in happens, but the kernel still needs backing
     /// memory to write into.
     pub fn ensure(&self, data: DataId, space: MemSpace, len: usize) {
-        self.space(space).entry(data).or_insert_with(|| Arc::new(AlignedBuf::zeroed(len)));
+        self.with_space(space, |sp| {
+            sp.entry(data).or_insert_with(|| Arc::new(AlignedBuf::zeroed(len)));
+        })
     }
 
     /// Run `f` with mutable access to the buffer of `data` in `space`.
@@ -145,11 +180,12 @@ impl Arena {
     /// # Panics
     /// Panics if no buffer exists there.
     pub fn with_mut<R>(&self, data: DataId, space: MemSpace, f: impl FnOnce(&mut [u8]) -> R) -> R {
-        let mut guard = self.space(space);
-        let arc = guard
-            .get_mut(&data)
-            .unwrap_or_else(|| panic!("{data:?} has no buffer in {space}"));
-        f(Arc::make_mut(arc).as_bytes_mut())
+        self.with_space(space, |sp| {
+            let arc = sp
+                .get_mut(&data)
+                .unwrap_or_else(|| panic!("{data:?} has no buffer in {space}"));
+            f(Arc::make_mut(arc).as_bytes_mut())
+        })
     }
 
     /// Take the buffers of several allocations out of `space`, run `f`,
@@ -172,16 +208,15 @@ impl Arena {
         ids: &[DataId],
         f: impl FnOnce(&mut [AlignedBuf]) -> R,
     ) -> R {
-        let mut arcs: Vec<Arc<AlignedBuf>> = Vec::with_capacity(ids.len());
-        {
-            let mut guard = self.space(space);
-            for id in ids {
-                let arc = guard
-                    .remove(id)
-                    .unwrap_or_else(|| panic!("{id:?} has no buffer in {space} (or listed twice)"));
-                arcs.push(arc);
-            }
-        }
+        let arcs: Vec<Arc<AlignedBuf>> = self.with_space(space, |sp| {
+            ids.iter()
+                .map(|id| {
+                    sp.remove(id).unwrap_or_else(|| {
+                        panic!("{id:?} has no buffer in {space} (or listed twice)")
+                    })
+                })
+                .collect()
+        });
         let bufs: Vec<AlignedBuf> = arcs
             .into_iter()
             .map(|mut arc| loop {
@@ -206,10 +241,13 @@ impl Arena {
         }
         impl Drop for Restore<'_> {
             fn drop(&mut self) {
-                let mut guard = self.arena.space(self.space);
-                for (id, buf) in self.ids.iter().zip(self.bufs.drain(..)) {
-                    guard.insert(*id, Arc::new(buf));
-                }
+                let ids = self.ids;
+                let bufs = std::mem::take(&mut self.bufs);
+                self.arena.with_space(self.space, |sp| {
+                    for (id, buf) in ids.iter().zip(bufs) {
+                        sp.insert(*id, Arc::new(buf));
+                    }
+                });
             }
         }
 
@@ -349,5 +387,25 @@ mod tests {
     fn read_missing_buffer_panics() {
         let a = Arena::new(0);
         a.read(DataId(0), MemSpace::HOST);
+    }
+
+    #[test]
+    fn add_spaces_grows_without_disturbing_existing_buffers() {
+        let a = Arena::new(1);
+        a.alloc_host(DataId(0), &[1, 2]);
+        assert_eq!(a.space_count(), 2);
+        a.add_spaces(2);
+        assert_eq!(a.space_count(), 4);
+        // New spaces are live transfer targets; old data is untouched.
+        a.perform(&transfer(DataId(0), MemSpace::HOST, MemSpace::device(2), 2));
+        assert_eq!(a.read(DataId(0), MemSpace::device(2)), vec![1, 2]);
+        assert_eq!(a.read(DataId(0), MemSpace::HOST), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not present")]
+    fn out_of_range_space_panics() {
+        let a = Arena::new(0);
+        a.has(DataId(0), MemSpace::device(5));
     }
 }

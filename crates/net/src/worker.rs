@@ -1,0 +1,212 @@
+//! The remote worker process: connect, handshake, serve.
+//!
+//! A worker owns no task graph and no scheduler — it is a kernel
+//! execution service. It registers the *same templates and kernels* as
+//! the coordinator (both call the application's registration function,
+//! e.g. `versa_apps::matmul::register_native`), so the template names
+//! the coordinator dispatches resolve to real closures here.
+//!
+//! Serve loop semantics:
+//!
+//! * `Ship` — store the bytes in the local arena (host space), ack.
+//!   Handled inline: shipments are ordered with respect to the
+//!   executions the coordinator issues after them.
+//! * `Exec` — spawned onto its own thread, so a node with N advertised
+//!   workers really executes N tasks concurrently and heartbeats keep
+//!   being answered while kernels run. Kernel panics are caught and
+//!   reported as `ExecErr` — the connection survives.
+//! * `Heartbeat` — acked inline.
+//! * `Shutdown` — cache the coordinator's gossiped hints to the
+//!   configured file (warmth for the next join), ack, exit.
+
+use crate::protocol::{read_frame, write_frame, Frame, ProtoError};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use versa_core::{SchedulerKind, VersionId};
+use versa_mem::{AccessMode, DataId, MemSpace, Region};
+use versa_runtime::{DetachedExecutor, NativeConfig, Runtime, RuntimeConfig};
+
+/// How a worker process joins a cluster.
+#[derive(Clone, Debug)]
+pub struct WorkerConfig {
+    /// Coordinator address to dial (`host:port`).
+    pub connect: String,
+    /// Self-reported node name (empty = let the coordinator use the
+    /// peer address).
+    pub name: String,
+    /// SMP workers to advertise (the coordinator schedules this many
+    /// concurrent tasks onto the node).
+    pub smp_workers: usize,
+    /// Where to cache gossiped profile hints across memberships
+    /// (`None` = don't cache).
+    pub hints_cache: Option<PathBuf>,
+}
+
+impl WorkerConfig {
+    /// A worker dialing `connect` with `smp_workers` advertised workers.
+    pub fn new(connect: impl Into<String>, smp_workers: usize) -> WorkerConfig {
+        WorkerConfig {
+            connect: connect.into(),
+            name: String::new(),
+            smp_workers,
+            hints_cache: None,
+        }
+    }
+}
+
+/// What a worker did during one membership.
+#[derive(Clone, Debug)]
+pub struct WorkerReport {
+    /// The node id the coordinator assigned.
+    pub node_id: u16,
+    /// Profile-hint records applied from the coordinator's welcome
+    /// gossip (0 = the coordinator was cold).
+    pub hints_applied: usize,
+    /// Tasks executed.
+    pub execs: u64,
+    /// Shipments received.
+    pub ships: u64,
+}
+
+/// Run a worker to completion: dial the coordinator, serve until it
+/// sends `Shutdown` (or drops the connection), return what happened.
+///
+/// `register` binds the application's templates and kernels onto the
+/// worker's runtime — it must match what the coordinator registered, or
+/// dispatched templates will fail with `ExecErr`.
+pub fn run_worker(
+    cfg: WorkerConfig,
+    register: impl FnOnce(&mut Runtime),
+) -> Result<WorkerReport, ProtoError> {
+    let mut rt = Runtime::native(
+        RuntimeConfig::with_scheduler(SchedulerKind::versioning()),
+        NativeConfig::new(cfg.smp_workers.max(1), 0),
+    );
+    register(&mut rt);
+
+    let cached = cfg
+        .hints_cache
+        .as_ref()
+        .and_then(|p| std::fs::read_to_string(p).ok())
+        .unwrap_or_default();
+
+    let mut stream = TcpStream::connect(&cfg.connect)?;
+    stream.set_nodelay(true).ok();
+    write_frame(
+        &mut stream,
+        &Frame::Hello {
+            name: cfg.name.clone(),
+            smp_workers: cfg.smp_workers as u32,
+            simd_tier: versa_kernels_tier(),
+            hints: cached,
+        },
+        0,
+    )?;
+    let (frame, _) = read_frame(&mut stream)?.ok_or(ProtoError::Truncated)?;
+    let Frame::Welcome { node_id, hints } = frame else {
+        return Err(ProtoError::BadPayload);
+    };
+    let hints_applied =
+        if hints.is_empty() { 0 } else { rt.load_hints(&hints).map(|(a, _)| a).unwrap_or(0) };
+
+    let executor = Arc::new(rt.detach_executor().expect("native runtime has an executor"));
+    serve(stream, executor, &cfg, node_id, hints_applied)
+}
+
+fn versa_kernels_tier() -> String {
+    versa_kernels::simd::active_tier().name().to_string()
+}
+
+fn serve(
+    stream: TcpStream,
+    executor: Arc<DetachedExecutor>,
+    cfg: &WorkerConfig,
+    node_id: u16,
+    hints_applied: usize,
+) -> Result<WorkerReport, ProtoError> {
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let mut reader = stream;
+    let execs = Arc::new(AtomicU64::new(0));
+    let mut ships = 0u64;
+
+    // Loop ends when the coordinator sends Shutdown, or drops the
+    // connection without one — from this side the latter is a normal
+    // (if abrupt) end of service.
+    while let Some((frame, tag)) = read_frame(&mut reader)? {
+        match frame {
+            Frame::Ship { data, bytes } => {
+                let arena = executor.arena();
+                arena.ensure(DataId(data), MemSpace::HOST, bytes.len());
+                arena.write(DataId(data), MemSpace::HOST, &bytes);
+                ships += 1;
+                write_frame(&mut *writer.lock().unwrap(), &Frame::ShipAck, tag)?;
+            }
+            Frame::Heartbeat => {
+                write_frame(&mut *writer.lock().unwrap(), &Frame::HeartbeatAck, tag)?;
+            }
+            Frame::Exec { template, version, accesses, .. } => {
+                let executor = Arc::clone(&executor);
+                let writer = Arc::clone(&writer);
+                let execs = Arc::clone(&execs);
+                std::thread::spawn(move || {
+                    let reply = run_exec(&executor, &template, version, &accesses);
+                    execs.fetch_add(1, Ordering::SeqCst);
+                    let _ = write_frame(&mut *writer.lock().unwrap(), &reply, tag);
+                });
+            }
+            Frame::Shutdown { hints } => {
+                if let Some(path) = &cfg.hints_cache {
+                    if !hints.is_empty() {
+                        let _ = std::fs::write(path, &hints);
+                    }
+                }
+                write_frame(&mut *writer.lock().unwrap(), &Frame::ShutdownAck, tag)?;
+                break;
+            }
+            // A worker never receives responses or handshake frames;
+            // tolerate and ignore rather than dying mid-job.
+            _ => {}
+        }
+    }
+
+    Ok(WorkerReport { node_id, hints_applied, execs: execs.load(Ordering::SeqCst), ships })
+}
+
+/// Execute one dispatched task against the local arena and build the
+/// response frame (never panics — kernel panics become `ExecErr`).
+fn run_exec(
+    executor: &DetachedExecutor,
+    template: &str,
+    version: u16,
+    accesses: &[crate::protocol::WireAccess],
+) -> Frame {
+    let arena = executor.arena();
+    let mut typed = Vec::with_capacity(accesses.len());
+    for a in accesses {
+        let mode = match a.mode {
+            0 => AccessMode::In,
+            1 => AccessMode::Out,
+            _ => AccessMode::InOut,
+        };
+        // Output-only allocations were never shipped; materialize them
+        // zeroed at full length so the kernel has a buffer to fill.
+        arena.ensure(DataId(a.data), MemSpace::HOST, a.alloc_len as usize);
+        typed.push((Region { data: DataId(a.data), offset: a.offset, len: a.len }, mode));
+    }
+    match executor.execute(template, VersionId(version), &typed) {
+        Ok(kernel_time) => {
+            let writes = typed
+                .iter()
+                .filter(|(_, mode)| *mode != AccessMode::In)
+                .map(|(region, _)| {
+                    let bytes = arena.read_arc(region.data, MemSpace::HOST).as_bytes().to_vec();
+                    (region.data.0, bytes)
+                })
+                .collect();
+            Frame::ExecOk { kernel_ns: kernel_time.as_nanos() as u64, writes }
+        }
+        Err(message) => Frame::ExecErr { message },
+    }
+}

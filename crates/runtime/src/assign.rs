@@ -72,7 +72,7 @@ fn idle_compatible_exists(ctx: &SchedCtx<'_>, task: &versa_core::TaskInstance) -
     let tpl = ctx.templates.get(task.template);
     ctx.workers
         .iter()
-        .any(|w| w.is_idle() && tpl.versions_for(w.info.device).next().is_some())
+        .any(|w| !w.is_retired() && w.is_idle() && tpl.versions_for(w.info.device).next().is_some())
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@ mod fair;
 pub mod graph;
 pub mod lanepool;
 mod native;
+pub mod remote;
 mod report;
 mod runtime;
 mod sim_engine;
@@ -35,7 +36,8 @@ pub use config::RuntimeConfig;
 pub use graph::{TaskGraph, TaskNode, TaskState};
 pub use lanepool::LanePool;
 pub use native::{KernelCtx, NativeConfig};
+pub use remote::{RemoteAccess, RemoteCaps, RemoteDone, RemoteError, RemoteExec, RemoteNode};
 pub use report::{
     FailureReport, QuarantinedVersion, RunError, RunReport, TaskFailure, WorkerTransferStats,
 };
-pub use runtime::{FreeError, NativeFn, Runtime, TaskSubmitter};
+pub use runtime::{DetachedExecutor, FreeError, NativeFn, Runtime, TaskSubmitter};

@@ -298,7 +298,7 @@ fn throttle_link(link_bandwidth: Option<u64>, bytes: u64, spent: Duration) {
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     rx: mpsc::Receiver<Msg>,
-    done: mpsc::Sender<(WorkerId, TaskId, Result<Duration, String>)>,
+    done: mpsc::Sender<(WorkerId, TaskId, Result<Duration, WorkFailure>)>,
     arena: Arc<Arena>,
     space: versa_mem::MemSpace,
     lanes: usize,
@@ -325,7 +325,7 @@ fn worker_loop(
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             execute_item(item, &arena, space, exec)
         }))
-        .map_err(panic_message);
+        .map_err(|p| WorkFailure { message: panic_message(p), kind: FailureKind::Panic });
         if let Some(sink) = &sink {
             let ev = match &outcome {
                 Ok(measured) => TraceEvent::TaskEnd {
@@ -340,6 +340,113 @@ fn worker_loop(
         }
         done.send((wid, task, outcome)).expect("coordinator hung up");
     }
+}
+
+/// How a sync-engine task execution failed: the message plus the failure
+/// class the scheduler is charged with (`Panic` for kernel failures,
+/// `NodeLost` when the hosting remote node disappeared).
+pub(crate) struct WorkFailure {
+    pub message: String,
+    pub kind: FailureKind,
+}
+
+/// The worker shim for a remote node: same channel discipline as
+/// [`worker_loop`], but the kernel runs on the remote machine. Copy-ins
+/// were already shipped at transfer time, so the request carries only
+/// metadata; returned output buffers are written back into the
+/// coordinator's mirror space before completion is reported, keeping
+/// every later read local.
+#[allow(clippy::too_many_arguments)]
+fn remote_worker_loop(
+    rx: mpsc::Receiver<Msg>,
+    done: mpsc::Sender<(WorkerId, TaskId, Result<Duration, WorkFailure>)>,
+    node: Arc<dyn crate::remote::RemoteNode>,
+    arena: Arc<Arena>,
+    space: versa_mem::MemSpace,
+    wid: WorkerId,
+    names: Arc<HashMap<TemplateId, String>>,
+    sink: Option<Arc<TraceSink>>,
+    wall0: Instant,
+) {
+    use crate::remote::{RemoteAccess, RemoteError, RemoteExec};
+    while let Ok(Msg::Work(item)) = rx.recv() {
+        let task = item.task;
+        let (version, template, attempt) = (item.version, item.template, item.attempt);
+        if let Some(sink) = &sink {
+            sink.record(
+                wid.index(),
+                TraceEvent::TaskStart { time: ts(wall0), task, worker: wid, version, template, attempt },
+            );
+        }
+        let req = RemoteExec {
+            task,
+            template: names.get(&template).cloned().unwrap_or_default(),
+            version,
+            attempt,
+            accesses: item
+                .accesses
+                .iter()
+                .map(|(region, mode)| RemoteAccess {
+                    region: *region,
+                    mode: *mode,
+                    // The mirror buffer exists for every access (perform
+                    // for reads, ensure for outputs), so its length is
+                    // the allocation length the node must materialize.
+                    alloc_len: arena.read_arc(region.data, space).len() as u64,
+                })
+                .collect(),
+        };
+        let outcome = match node.exec(&req) {
+            Ok(reply) => {
+                for (data, bytes) in &reply.writes {
+                    arena.write(*data, space, bytes);
+                }
+                Ok(reply.kernel_time)
+            }
+            Err(RemoteError::Task(message)) => {
+                Err(WorkFailure { message, kind: FailureKind::Panic })
+            }
+            Err(RemoteError::Lost(message)) => {
+                Err(WorkFailure { message, kind: FailureKind::NodeLost })
+            }
+        };
+        if let Some(sink) = &sink {
+            let ev = match &outcome {
+                Ok(measured) => TraceEvent::TaskEnd {
+                    time: ts(wall0),
+                    task,
+                    worker: wid,
+                    kernel_ns: measured.as_nanos() as u64,
+                },
+                Err(_) => TraceEvent::TaskFailed { time: ts(wall0), task, worker: wid, version, attempt },
+            };
+            sink.record(wid.index(), ev);
+        }
+        done.send((wid, task, outcome)).expect("coordinator hung up");
+    }
+}
+
+/// Execute a bound kernel outside the engine — the remote *worker
+/// process* path (`versa-net`): no graph, no scheduler, just the kernel
+/// against the given arena space, panic-safe.
+pub(crate) fn execute_detached(
+    kernel: NativeFn,
+    accesses: Vec<(Region, AccessMode)>,
+    arena: &Arena,
+    space: versa_mem::MemSpace,
+) -> Result<Duration, String> {
+    let item = WorkItem {
+        task: TaskId(0),
+        kernel,
+        accesses,
+        version: VersionId(0),
+        template: TemplateId(0),
+        attempt: 1,
+    };
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        execute_item(item, arena, space, &SerialExec)
+    }))
+    .map_err(panic_message)
 }
 
 /// Run one task's kernel against this worker's arena space, returning the
@@ -413,7 +520,10 @@ fn execute_item(
 /// per-worker staging lanes, with a bounded lookahead so the next task's
 /// inputs stage under the current kernel (DESIGN.md §2.2).
 pub(crate) fn run_native(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunReport, RunError> {
-    if rt.config.async_transfers {
+    // Remote nodes ride the synchronous engine (ship-at-transfer-time
+    // needs coordinator-ordered copies); attach_remote_node already
+    // clears async_transfers, the check here is belt and braces.
+    if rt.config.async_transfers && rt.remotes.is_empty() {
         run_native_async(rt, max_dispatch)
     } else {
         run_native_sync(rt, max_dispatch)
@@ -430,6 +540,17 @@ fn run_native_sync(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRep
     };
     let cfg = cfg.clone();
     let arena = Arc::clone(arena);
+    let plan = rt.remote_plan();
+    // Template names for remote dispatch (closures don't cross the wire;
+    // remote processes resolve templates by name against their own
+    // registries).
+    let names: Arc<HashMap<TemplateId, String>> = Arc::new(
+        rt.templates
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TemplateId(i as u32), t.name.clone()))
+            .collect(),
+    );
     let wall0 = Instant::now();
 
     let mut stats = TransferStats::default();
@@ -443,6 +564,15 @@ fn run_native_sync(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRep
     let mut failures = FailureReport::default();
     let mut attempts: HashMap<TaskId, u32> = HashMap::new();
     let mut abort: Option<(TaskId, String)> = None;
+    // Nodes already declared lost — workers retired, loss event recorded.
+    let mut lost_nodes: std::collections::HashSet<u16> = std::collections::HashSet::new();
+    // Lost nodes whose `NodeLost` trace event is deferred until every task
+    // still in flight on the node has reported back: worker threads stamp
+    // `TaskStart` on their own clocks, so recording the loss at detection
+    // time can predate a sibling worker's already-running start. Draining
+    // first guarantees the loss stamp postdates every start on the node.
+    let mut deferred_loss: Vec<u16> = Vec::new();
+    let node_count = plan.node_of_worker.iter().copied().max().map_or(1, |m| m as usize + 1);
 
     let sink = TraceSink::from_config(&rt.config.tracing, rt.workers.len());
     let log_here = crate::tracing::begin_decision_log(rt, &sink);
@@ -464,13 +594,24 @@ fn run_native_sync(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRep
             let info = w.info;
             let lanes = if info.device.shares_host_memory() { 1 } else { cfg.gpu_lanes };
             let wsink = sink.clone();
-            scope.spawn(move || worker_loop(rx, done, arena, info.space, lanes, info.id, wsink, wall0));
+            if let Some(node) = plan.by_space.get(&info.space) {
+                let node = Arc::clone(node);
+                let names = Arc::clone(&names);
+                scope.spawn(move || {
+                    remote_worker_loop(rx, done, node, arena, info.space, info.id, names, wsink, wall0)
+                });
+            } else {
+                scope.spawn(move || {
+                    worker_loop(rx, done, arena, info.space, lanes, info.id, wsink, wall0)
+                });
+            }
         }
         // Workers hold the only senders now: if they all die, recv()
         // errors instead of hanging the coordinator forever.
         drop(done_tx);
 
         let mut in_flight = 0usize;
+        let mut node_inflight = vec![0usize; node_count];
 
         // Assign + dispatch everything currently assignable within the
         // wave budget. Transfers are performed synchronously here
@@ -479,6 +620,7 @@ fn run_native_sync(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRep
         // runtime so over-budget tasks carry to the next wave.
         let dispatch = |rt: &mut Runtime,
                             in_flight: &mut usize,
+                            node_inflight: &mut Vec<usize>,
                             dispatched: &mut u64,
                             stats: &mut TransferStats,
                             worker_transfers: &mut Vec<WorkerTransferStats>,
@@ -521,6 +663,18 @@ fn run_native_sync(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRep
                         let t_start = ts(wall0);
                         let t0 = Instant::now();
                         arena.perform(&t);
+                        if let Some(node) = plan.by_space.get(&t.to) {
+                            // Mirror-space destination: push the bytes over
+                            // the wire inside the timed window, so the
+                            // elapsed time fed to `transfer_done` below is
+                            // the real NIC cost and the scheduler's
+                            // bandwidth EWMA learns the link. A transport
+                            // error is deferred: the exec on the dead node
+                            // fails with `NodeLost` and the retry machinery
+                            // takes over.
+                            let buf = arena.read_arc(t.data, t.to);
+                            let _ = node.ship(t.data, buf.as_bytes());
+                        }
                         throttle_link(cfg.link_bandwidth, t.bytes, t0.elapsed());
                         stats.record(t.kind(), t.bytes);
                         if let Some(sink) = &sink {
@@ -550,17 +704,22 @@ fn run_native_sync(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRep
                     }
                 }
                 let template = rt.graph.node(tid).instance.template;
-                let kernel = rt
-                    .kernels
-                    .get(&(template, a.version))
-                    .unwrap_or_else(|| {
-                        panic!(
-                            "no native kernel bound for ({:?}, {:?})",
-                            rt.templates.get(template).name,
-                            a.version
-                        )
-                    })
-                    .clone();
+                let kernel = if plan.by_space.contains_key(&space) {
+                    // Remote worker: the kernel runs on the node; the shim
+                    // ignores this placeholder.
+                    Arc::new(|_: &mut KernelCtx<'_>| {}) as NativeFn
+                } else {
+                    rt.kernels
+                        .get(&(template, a.version))
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "no native kernel bound for ({:?}, {:?})",
+                                rt.templates.get(template).name,
+                                a.version
+                            )
+                        })
+                        .clone()
+                };
                 rt.graph.mark_running(tid);
                 work_txs[a.worker.index()]
                     .send(Msg::Work(WorkItem {
@@ -573,10 +732,11 @@ fn run_native_sync(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRep
                     }))
                     .expect("worker thread died");
                 *in_flight += 1;
+                node_inflight[plan.node_of_worker[a.worker.index()] as usize] += 1;
             }
         };
 
-        dispatch(rt, &mut in_flight, &mut dispatched, &mut stats, &mut worker_transfers, &attempts);
+        dispatch(rt, &mut in_flight, &mut node_inflight, &mut dispatched, &mut stats, &mut worker_transfers, &attempts);
 
         while !rt.graph.all_done() {
             if in_flight == 0 && dispatched >= budget {
@@ -590,6 +750,7 @@ fn run_native_sync(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRep
             );
             let (wid, tid, outcome) = done_rx.recv().expect("all workers died");
             in_flight -= 1;
+            node_inflight[plan.node_of_worker[wid.index()] as usize] -= 1;
 
             let q = rt.workers[wid.index()]
                 .start_next()
@@ -611,7 +772,7 @@ fn run_native_sync(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRep
                     worker_transfers[wid.index()].compute_time += measured;
                     tasks_executed += 1;
                 }
-                Err(msg) => {
+                Err(fail) => {
                     let assignment =
                         rt.graph.node(tid).assignment.expect("failed task was assigned");
                     let attempt = {
@@ -624,17 +785,35 @@ fn run_native_sync(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRep
                         template: rt.graph.node(tid).instance.template,
                         version: assignment.version,
                         worker: wid,
-                        kind: FailureKind::Panic,
-                        message: msg.clone(),
+                        kind: fail.kind,
+                        message: fail.message.clone(),
                         attempt,
                     });
                     rt.scheduler.task_failed(
                         &rt.graph.node(tid).instance,
                         assignment,
-                        FailureKind::Panic,
+                        fail.kind,
                     );
-                    if attempt > rt.config.max_task_retries {
-                        abort = Some((tid, msg));
+                    if fail.kind == FailureKind::NodeLost {
+                        // Charge the node, not the version: retire every
+                        // worker the lost node hosted so the scheduler
+                        // stops placing work there, record the loss once,
+                        // and requeue unconditionally — node loss never
+                        // burns the task's retry budget.
+                        let node = plan.node_of_worker[wid.index()];
+                        if lost_nodes.insert(node) {
+                            for (i, w) in rt.workers.iter_mut().enumerate() {
+                                if plan.node_of_worker[i] == node {
+                                    w.retire();
+                                }
+                            }
+                            // Recorded once the node's in-flight tasks have
+                            // drained back (see `deferred_loss`), so the
+                            // loss stamp postdates every start on the node.
+                            deferred_loss.push(node);
+                        }
+                    } else if attempt > rt.config.max_task_retries {
+                        abort = Some((tid, fail.message));
                         break;
                     }
                     rt.graph.requeue(tid);
@@ -642,13 +821,32 @@ fn run_native_sync(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRep
                 }
             }
 
-            dispatch(rt, &mut in_flight, &mut dispatched, &mut stats, &mut worker_transfers, &attempts);
+            deferred_loss.retain(|&node| {
+                if node_inflight[node as usize] > 0 {
+                    return true;
+                }
+                if let Some(sink) = &sink {
+                    sink.record(sink.coordinator(), TraceEvent::NodeLost { time: ts(wall0), node });
+                }
+                false
+            });
+
+            dispatch(rt, &mut in_flight, &mut node_inflight, &mut dispatched, &mut stats, &mut worker_transfers, &attempts);
         }
 
         for tx in &work_txs {
             let _ = tx.send(Msg::Stop);
         }
     });
+
+    // An abort or spent wave budget can leave a loss deferred; the worker
+    // threads have joined by now, so a stamp taken here postdates every
+    // start they recorded.
+    if let Some(sink) = &sink {
+        for node in deferred_loss.drain(..) {
+            sink.record(sink.coordinator(), TraceEvent::NodeLost { time: ts(wall0), node });
+        }
+    }
 
     // An aborted run skips the flush (the graph still has live tasks and
     // the caller gets the partial report through the error); a partial

@@ -93,6 +93,7 @@ pub struct Runtime {
     /// Test hook: pending injected staging faults per datum (native
     /// engine, async mode). See [`Runtime::inject_stage_fault`].
     pub(crate) stage_faults: HashMap<DataId, u32>,
+    pub(crate) remotes: Vec<crate::remote::RemoteAttachment>,
     next_data: u32,
 }
 
@@ -122,7 +123,20 @@ impl Runtime {
     /// Panics if `platform` fails validation.
     pub fn simulated(config: RuntimeConfig, platform: PlatformConfig) -> Runtime {
         platform.validate().expect("invalid platform");
-        let workers = Self::make_workers(platform.smp_workers, platform.gpus);
+        let mut workers = Self::make_workers(platform.smp_workers, platform.gpus);
+        // Remote-node workers: SMP cores living in the node's mirror
+        // space `device(gpus + j)`, reached over its NIC link — the
+        // simulated analogue of `attach_remote_node`.
+        for (j, node) in platform.nodes.iter().enumerate() {
+            let space = MemSpace::device((platform.gpus + j) as u16);
+            for _ in 0..node.smp_workers {
+                workers.push(WorkerState::new(WorkerInfo {
+                    id: WorkerId(workers.len() as u16),
+                    device: DeviceKind::Smp,
+                    space,
+                }));
+            }
+        }
         let scheduler = make_scheduler(&config.scheduler);
         Runtime {
             config,
@@ -139,6 +153,7 @@ impl Runtime {
             fair: FairState::default(),
             current_job: None,
             stage_faults: HashMap::new(),
+            remotes: Vec::new(),
             next_data: 0,
         }
     }
@@ -167,6 +182,7 @@ impl Runtime {
             fair: FairState::default(),
             current_job: None,
             stage_faults: HashMap::new(),
+            remotes: Vec::new(),
             next_data: 0,
         }
     }
@@ -192,6 +208,121 @@ impl Runtime {
     /// Worker descriptions (SMP workers first, then one per GPU).
     pub fn workers(&self) -> Vec<WorkerInfo> {
         self.workers.iter().map(|w| w.info).collect()
+    }
+
+    /// Attach a remote node: its advertised workers become schedulable
+    /// like local ones, against a fresh *mirror space* in the native
+    /// arena (see [`crate::remote`] for the data plane). Returns the
+    /// node's dense 1-based id (0 is the coordinator process itself).
+    ///
+    /// Remote execution rides the synchronous engine, so attaching a
+    /// node turns `async_transfers` off for this runtime.
+    ///
+    /// # Panics
+    /// Panics on a simulated runtime (use
+    /// [`PlatformConfig::nodes`](versa_sim::PlatformConfig) there) or if
+    /// the node advertises zero workers.
+    pub fn attach_remote_node(&mut self, node: Arc<dyn crate::remote::RemoteNode>) -> u16 {
+        let EngineKind::Native { arena, .. } = &self.engine else {
+            panic!("attach_remote_node requires a native runtime");
+        };
+        let caps = node.caps();
+        assert!(caps.smp_workers > 0, "remote node {:?} advertises no workers", caps.name);
+        let space = MemSpace::device((arena.space_count() - 1) as u16);
+        arena.add_spaces(1);
+        for _ in 0..caps.smp_workers {
+            self.workers.push(WorkerState::new(WorkerInfo {
+                id: WorkerId(self.workers.len() as u16),
+                device: DeviceKind::Smp,
+                space,
+            }));
+        }
+        let node_id = (self.remotes.len() + 1) as u16;
+        self.config.async_transfers = false;
+        self.remotes.push(crate::remote::RemoteAttachment { node, node_id, space });
+        node_id
+    }
+
+    /// Which cluster node hosts a worker (0 = this process).
+    pub fn node_of_worker(&self, worker: WorkerId) -> u16 {
+        let space = self.workers[worker.index()].info.space;
+        if let EngineKind::Sim { platform, .. } = &self.engine {
+            // Simulated nodes: device spaces past the GPUs are node
+            // mirror spaces (node j at device(gpus + j), 1-based id).
+            return match space.device_index() {
+                Some(d) if usize::from(d) >= platform.gpus => {
+                    (usize::from(d) - platform.gpus + 1) as u16
+                }
+                _ => 0,
+            };
+        }
+        self.remotes.iter().find(|r| r.space == space).map_or(0, |r| r.node_id)
+    }
+
+    /// Snapshot the remote lookup tables the sync engine needs.
+    pub(crate) fn remote_plan(&self) -> crate::remote::RemotePlan {
+        crate::remote::RemotePlan {
+            by_space: self
+                .remotes
+                .iter()
+                .map(|r| (r.space, Arc::clone(&r.node)))
+                .collect(),
+            node_of_worker: self
+                .workers
+                .iter()
+                .map(|w| {
+                    self.remotes
+                        .iter()
+                        .find(|r| r.space == w.info.space)
+                        .map_or(0, |r| r.node_id)
+                })
+                .collect(),
+        }
+    }
+
+    /// The native arena, when this is a native runtime — the worker
+    /// process side of `versa-net` executes kernels against it directly.
+    pub fn arena(&self) -> Option<Arc<Arena>> {
+        match &self.engine {
+            EngineKind::Native { arena, .. } => Some(Arc::clone(arena)),
+            EngineKind::Sim { .. } => None,
+        }
+    }
+
+    /// Execute a bound kernel by template *name* against host-space data,
+    /// outside the engines — the remote worker process path: no graph, no
+    /// scheduler, panic-safe. Returns the measured kernel time.
+    pub fn execute_bound_kernel(
+        &self,
+        template: &str,
+        version: VersionId,
+        accesses: &[(Region, AccessMode)],
+    ) -> Result<std::time::Duration, String> {
+        let arena = self.arena().ok_or("execute_bound_kernel requires a native runtime")?;
+        let tpl = self
+            .templates
+            .by_name(template)
+            .ok_or_else(|| format!("unknown template {template:?}"))?;
+        let kernel = self
+            .kernels
+            .get(&(tpl, version))
+            .ok_or_else(|| format!("no native kernel bound for ({template:?}, {version})"))?
+            .clone();
+        crate::native::execute_detached(kernel, accesses.to_vec(), &arena, MemSpace::HOST)
+    }
+
+    /// Snapshot the bound native kernels and arena into a standalone,
+    /// thread-safe executor — what a remote worker process shares across
+    /// its serve threads (the full `Runtime` is not `Sync`). `None` on
+    /// the sim engine.
+    pub fn detach_executor(&self) -> Option<DetachedExecutor> {
+        let arena = self.arena()?;
+        let kernels = self
+            .kernels
+            .iter()
+            .map(|(&(tpl, v), k)| ((self.templates.get(tpl).name.clone(), v), k.clone()))
+            .collect();
+        Some(DetachedExecutor { kernels, arena })
     }
 
     /// Start declaring a task template (the `#pragma omp task` +
@@ -482,10 +613,10 @@ impl Runtime {
     /// Panics on the native engine (panics there are the real faults)
     /// or if the plan fails validation.
     pub fn set_fault_plan(&mut self, faults: versa_sim::FaultPlan) {
-        faults.validate().expect("invalid fault plan");
         let EngineKind::Sim { platform, .. } = &mut self.engine else {
             panic!("fault plans only apply to the simulated engine");
         };
+        faults.validate(platform.nodes.len()).expect("invalid fault plan");
         platform.faults = faults;
     }
 
@@ -524,6 +655,39 @@ impl Runtime {
             .as_versioning()
             .map(|v| v.profiles().quarantined().into_iter().map(Into::into).collect())
             .unwrap_or_default()
+    }
+}
+
+/// A thread-safe snapshot of a runtime's bound native kernels plus its
+/// arena, produced by [`Runtime::detach_executor`]. A remote worker
+/// process serves concurrent `Exec` requests through one of these: the
+/// kernels are `Arc` closures and the arena synchronizes internally, so
+/// the executor is freely shared across serve threads.
+pub struct DetachedExecutor {
+    kernels: HashMap<(String, VersionId), NativeFn>,
+    arena: Arc<Arena>,
+}
+
+impl DetachedExecutor {
+    /// The arena backing kernel execution (shipments land here).
+    pub fn arena(&self) -> &Arc<Arena> {
+        &self.arena
+    }
+
+    /// Execute a bound kernel by template name against host-space data.
+    /// Panic-safe; returns the measured kernel time.
+    pub fn execute(
+        &self,
+        template: &str,
+        version: VersionId,
+        accesses: &[(Region, AccessMode)],
+    ) -> Result<std::time::Duration, String> {
+        let kernel = self
+            .kernels
+            .get(&(template.to_string(), version))
+            .ok_or_else(|| format!("no native kernel bound for ({template:?}, {version})"))?
+            .clone();
+        crate::native::execute_detached(kernel, accesses.to_vec(), &self.arena, MemSpace::HOST)
     }
 }
 

@@ -23,8 +23,15 @@ use std::sync::Arc;
 use std::time::Duration;
 use versa_core::{FailureKind, TaskId, TemplateId, VersionId, WorkerId};
 use versa_mem::Transfer;
-use versa_sim::{EventQueue, FaultInjector, NoiseModel, SimTime, TransferEngine};
+use versa_sim::{EventQueue, FaultInjector, NodeFaultKind, NoiseModel, SimTime, TransferEngine};
 use versa_trace::{TraceEvent, TraceSink, Ts};
+
+/// Virtual-time heartbeat timeout: how much later than its fault time a
+/// [`NodeFaultKind::HeartbeatTimeout`] loss is *detected* (the simulated
+/// analogue of `versa-net`'s reaper declaring a silent node dead).
+/// Completions that land in that window still count, exactly like an
+/// `ExecOk` frame racing the reaper on a real cluster.
+const SIM_HEARTBEAT_TIMEOUT: Duration = Duration::from_millis(2);
 
 struct SimState {
     xfer: TransferEngine,
@@ -46,6 +53,18 @@ struct SimState {
     injector: FaultInjector,
     /// In-flight tasks whose current attempt will fail on completion.
     doomed: HashSet<TaskId>,
+    /// Scheduled node losses still to fire: `(detection time, node)`,
+    /// sorted by time. Detection lags the fault by the heartbeat
+    /// timeout for [`NodeFaultKind::HeartbeatTimeout`] rules.
+    node_faults: Vec<(SimTime, u16)>,
+    /// Tasks that were running on a node when it was lost: their queued
+    /// completion events are reinterpreted as `NodeLost` failures.
+    lost: HashSet<TaskId>,
+    /// TaskStart stamps of in-flight tasks. A task may start *later*
+    /// than the current event-loop time (it waits on transfers), so the
+    /// `NodeLost` trace event must be stamped no earlier than any start
+    /// already recorded on that node.
+    starts: HashMap<TaskId, SimTime>,
     /// Failed attempts per task so far.
     attempts: HashMap<TaskId, u32>,
     failures: FailureReport,
@@ -101,6 +120,24 @@ pub(crate) fn run_sim(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<Run
         durations: HashMap::new(),
         injector: FaultInjector::new(platform.faults.clone(), platform.seed),
         doomed: HashSet::new(),
+        node_faults: {
+            let mut f: Vec<(SimTime, u16)> = platform
+                .faults
+                .node_rules
+                .iter()
+                .map(|r| {
+                    let detect = match r.kind {
+                        NodeFaultKind::Drop => r.at,
+                        NodeFaultKind::HeartbeatTimeout => r.at + SIM_HEARTBEAT_TIMEOUT,
+                    };
+                    (SimTime::from_duration(detect), r.node)
+                })
+                .collect();
+            f.sort_unstable();
+            f
+        },
+        lost: HashSet::new(),
+        starts: HashMap::new(),
         attempts: HashMap::new(),
         failures: FailureReport::default(),
         sink: TraceSink::from_config(&rt.config.tracing, rt.workers.len()),
@@ -120,7 +157,13 @@ pub(crate) fn run_sim(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<Run
 
     while let Some((time, (wid, tid))) = st.events.pop() {
         now = time;
-        if st.doomed.remove(&tid) {
+        // Node losses detected by now fire *before* the popped event is
+        // interpreted: a completion from a just-lost node is a loss, not
+        // a result.
+        fire_node_faults(rt, &mut st, now);
+        if st.lost.remove(&tid) {
+            on_node_lost(rt, &mut st, now, wid, tid);
+        } else if st.doomed.remove(&tid) {
             if let Some(abort) = on_failure(rt, &mut st, now, wid, tid) {
                 let report = finish_report(rt, st, now.as_duration());
                 return Err(RunError {
@@ -200,6 +243,7 @@ fn on_completion(rt: &mut Runtime, st: &mut SimState, now: SimTime, wid: WorkerI
             st.xfer.mark_produced(region.data, space, now);
         }
     }
+    st.starts.remove(&tid);
     let measured = st.durations.remove(&tid).expect("in-flight task had a sampled duration");
     rt.scheduler.task_finished(&rt.graph.node(tid).instance, assignment, measured);
     st.worker_transfers[wid.index()].compute_time += measured;
@@ -237,6 +281,7 @@ fn on_failure(
     rt.workers[wid.index()].finish(tid);
     st.durations.remove(&tid);
     st.deadlines.remove(&tid);
+    st.starts.remove(&tid);
 
     let assignment = rt.graph.node(tid).assignment.expect("failed task had an assignment");
     let attempt = {
@@ -278,6 +323,92 @@ fn on_failure(
     rt.graph.requeue(tid);
     st.failures.retries += 1;
     None
+}
+
+/// Fire every scheduled node loss whose detection time has passed:
+/// retire the node's workers, return their queued (never-started) tasks
+/// to the pending pool silently, and mark running tasks as lost so their
+/// queued completion events become [`FailureKind::NodeLost`] failures.
+fn fire_node_faults(rt: &mut Runtime, st: &mut SimState, now: SimTime) {
+    while let Some(&(detect, node)) = st.node_faults.first() {
+        if detect > now {
+            break;
+        }
+        st.node_faults.remove(0);
+        // The NodeLost trace event must not precede any TaskStart
+        // already stamped on this node — sim starts can postdate the
+        // current loop time when a task waited on transfers.
+        let mut stamp = detect;
+        for wi in 0..rt.workers.len() {
+            let wid = rt.workers[wi].info.id;
+            if rt.node_of_worker(wid) != node || rt.workers[wi].is_retired() {
+                continue;
+            }
+            rt.workers[wi].retire();
+            for q in rt.workers[wi].drain_queue() {
+                // Never started: re-pool without a failure record, like
+                // the native coordinator re-dispatching unacknowledged
+                // queue entries.
+                rt.pending.push_back(q.task);
+            }
+            if let Some(q) = rt.workers[wi].running() {
+                let tid = q.task;
+                st.lost.insert(tid);
+                if let Some(&s) = st.starts.get(&tid) {
+                    stamp = stamp.max(s);
+                }
+            }
+        }
+        if let Some(sink) = &st.sink {
+            sink.record(sink.coordinator(), TraceEvent::NodeLost { time: stamp.into(), node });
+        }
+    }
+}
+
+/// Handle the queued completion event of a task whose node died while it
+/// ran. Mirrors the native engine's `NodeLost` path: the failure is
+/// charged to the node (no version strike — the versioning scheduler
+/// ignores `NodeLost`), the attempt counter advances for trace
+/// coherence, but the retry *budget* is never checked, so node loss
+/// alone cannot abort a run.
+fn on_node_lost(rt: &mut Runtime, st: &mut SimState, now: SimTime, wid: WorkerId, tid: TaskId) {
+    st.doomed.remove(&tid);
+    st.durations.remove(&tid);
+    st.deadlines.remove(&tid);
+    st.starts.remove(&tid);
+    rt.workers[wid.index()].abandon_running();
+
+    let assignment = rt.graph.node(tid).assignment.expect("lost task had an assignment");
+    let attempt = {
+        let n = st.attempts.entry(tid).or_insert(0);
+        *n += 1;
+        *n
+    };
+    let message = format!("node {} lost mid-task", rt.node_of_worker(wid));
+    if let Some(sink) = &st.sink {
+        sink.record(
+            wid.index(),
+            TraceEvent::TaskFailed {
+                time: now.into(),
+                task: tid,
+                worker: wid,
+                version: assignment.version,
+                attempt,
+            },
+        );
+    }
+    st.failures.events.push(TaskFailure {
+        task: tid,
+        template: rt.graph.node(tid).instance.template,
+        version: assignment.version,
+        worker: wid,
+        kind: FailureKind::NodeLost,
+        message,
+        attempt,
+    });
+    rt.scheduler.task_failed(&rt.graph.node(tid).instance, assignment, FailureKind::NodeLost);
+    rt.graph.requeue(tid);
+    st.failures.retries += 1;
 }
 
 /// Assign newly-ready and pooled tasks; prefetch their data if enabled.
@@ -337,41 +468,44 @@ fn stage_task_data(
     let mut deadline = now;
 
     // Capacity management (finite GPU memories only): make room for the
-    // task's working set before the copy-ins are planned.
+    // task's working set before the copy-ins are planned. Remote-node
+    // mirror spaces (device indices past the GPU caches) are host RAM
+    // on the far side and stay unbounded — `get_mut` skips them.
     if let (Some(caches), Some(dev)) = (&mut st.caches, space.device_index()) {
-        let cache = &mut caches[usize::from(dev)];
-        // Pin this task's working set plus the running task's (its
-        // kernel is touching that memory right now). Prefetched data of
-        // merely *queued* tasks may be evicted — those tasks re-stage
-        // when they start (see `start_idle_workers`), exactly like a
-        // bounded prefetch window on real hardware.
-        let mut pinned = Vec::with_capacity(accesses.len());
-        for (region, _) in &accesses {
-            cache.insert(region.data, rt.directory.bytes(region.data));
-            if !pinned.contains(&region.data) {
-                pinned.push(region.data);
+        if let Some(cache) = caches.get_mut(usize::from(dev)) {
+            // Pin this task's working set plus the running task's (its
+            // kernel is touching that memory right now). Prefetched data of
+            // merely *queued* tasks may be evicted — those tasks re-stage
+            // when they start (see `start_idle_workers`), exactly like a
+            // bounded prefetch window on real hardware.
+            let mut pinned = Vec::with_capacity(accesses.len());
+            for (region, _) in &accesses {
+                cache.insert(region.data, rt.directory.bytes(region.data));
+                if !pinned.contains(&region.data) {
+                    pinned.push(region.data);
+                }
             }
-        }
-        if let Some(running) = rt.workers[worker.index()].running() {
-            if running.task != tid {
-                for (region, _) in &rt.graph.node(running.task).instance.accesses {
-                    if !pinned.contains(&region.data) {
-                        pinned.push(region.data);
+            if let Some(running) = rt.workers[worker.index()].running() {
+                if running.task != tid {
+                    for (region, _) in &rt.graph.node(running.task).instance.accesses {
+                        if !pinned.contains(&region.data) {
+                            pinned.push(region.data);
+                        }
                     }
                 }
             }
-        }
-        for victim in cache.evict_to_capacity(&pinned) {
-            if rt.directory.is_sole_copy(victim, space) {
-                let wb = rt
-                    .directory
-                    .flush_to_host(victim)
-                    .expect("sole device copy needs a write-back");
-                let end = st.xfer.schedule(&wb, now);
-                record_transfers(&st.sink, std::slice::from_ref(&wb), now, end, None);
-                deadline = deadline.max(end);
+            for victim in cache.evict_to_capacity(&pinned) {
+                if rt.directory.is_sole_copy(victim, space) {
+                    let wb = rt
+                        .directory
+                        .flush_to_host(victim)
+                        .expect("sole device copy needs a write-back");
+                    let end = st.xfer.schedule(&wb, now);
+                    record_transfers(&st.sink, std::slice::from_ref(&wb), now, end, None);
+                    deadline = deadline.max(end);
+                }
+                rt.directory.invalidate(victim, space);
             }
-            rt.directory.invalidate(victim, space);
         }
     }
 
@@ -467,6 +601,7 @@ fn start_idle_workers(rt: &mut Runtime, st: &mut SimState, now: SimTime) {
         let start = ready.max(now);
         let end = start + duration;
         st.durations.insert(tid, duration);
+        st.starts.insert(tid, start);
         st.events.push(end, (wid, tid));
         if let Some(sink) = &st.sink {
             let attempt = st.attempts.get(&tid).copied().unwrap_or(0) + 1;

@@ -139,5 +139,8 @@ pub(crate) fn trace_meta(rt: &Runtime, engine: &str) -> TraceMeta {
     let infos: Vec<WorkerInfo> = rt.workers.iter().map(|w| w.info).collect();
     let mut meta = TraceMeta::new(engine, &infos, &rt.templates);
     meta.lambda = rt.scheduler.as_versioning().map(|v| v.config().lambda);
+    for w in &mut meta.workers {
+        w.node = rt.node_of_worker(w.id);
+    }
     meta
 }

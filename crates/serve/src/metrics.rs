@@ -46,6 +46,10 @@ pub(crate) struct Shared {
     /// offsets from it, matching the trace timestamp convention.
     pub started: Instant,
     pub detail: Mutex<Detail>,
+    /// Latest profile-hints snapshot published by the serve loop (only
+    /// with `ServeConfig::gossip_hints`): lets a cluster coordinator
+    /// gossip live warmth to joining workers mid-service.
+    pub hints: Mutex<Option<String>>,
 }
 
 /// The non-scalar metrics, guarded by one short-held mutex.
@@ -93,6 +97,7 @@ impl Shared {
                 worker_transfers: vec![WorkerTransferStats::default(); workers],
                 ..Detail::default()
             }),
+            hints: Mutex::new(None),
         }
     }
 

@@ -49,6 +49,12 @@ pub struct ServeConfig {
     pub warm_start: Option<String>,
     /// How long the idle service sleeps between queue polls.
     pub idle_poll: Duration,
+    /// Publish a fresh profile-hints snapshot after every wave
+    /// ([`Client::hints_snapshot`]). This is the outbound half of
+    /// cluster profile gossip (DESIGN.md §7): a coordinator serving
+    /// jobs can warm a newly joining `versa-net` worker with what the
+    /// service has learned *so far*, without shutting it down.
+    pub gossip_hints: bool,
 }
 
 impl Default for ServeConfig {
@@ -58,6 +64,7 @@ impl Default for ServeConfig {
             wave_dispatch: 32,
             warm_start: None,
             idle_poll: Duration::from_millis(2),
+            gossip_hints: false,
         }
     }
 }
@@ -140,6 +147,15 @@ impl Client {
     /// A live snapshot of the service counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.snapshot()
+    }
+
+    /// The latest profile-hints snapshot the serve loop published —
+    /// `None` until a wave has run with [`ServeConfig::gossip_hints`]
+    /// set (or when the scheduler has nothing to save). Feed this to a
+    /// joining remote worker's welcome gossip or to another service's
+    /// `warm_start`.
+    pub fn hints_snapshot(&self) -> Option<String> {
+        self.shared.hints.lock().expect("hints mutex poisoned").clone()
     }
 }
 
@@ -232,6 +248,11 @@ fn serve_loop(
                     active.len()
                 );
                 note_wave(&shared, &report);
+                if config.gossip_hints {
+                    if let Some(hints) = rt.save_hints() {
+                        *shared.hints.lock().expect("hints mutex poisoned") = Some(hints);
+                    }
+                }
             }
             Err(err) => {
                 // A task exhausted its retries: the runtime cannot be

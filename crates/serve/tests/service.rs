@@ -126,6 +126,43 @@ fn profiles_stay_warm_across_jobs_and_across_services() {
 }
 
 #[test]
+fn gossip_hints_publishes_live_warmth_mid_service() {
+    // Off by default: no snapshot is ever published.
+    let (rt, tpl) = sim_runtime();
+    let service = Service::start(rt, ServeConfig::default());
+    let client = service.client();
+    client.submit(sim_job(tpl, 64)).accepted().unwrap().wait();
+    assert!(client.hints_snapshot().is_none(), "gossip_hints is off by default");
+    drop(client);
+    service.shutdown();
+
+    // On: after the first job's waves a snapshot is available *without*
+    // shutting the service down — the outbound half of cluster gossip.
+    let (rt, tpl) = sim_runtime();
+    let service =
+        Service::start(rt, ServeConfig { gossip_hints: true, ..ServeConfig::default() });
+    let client = service.client();
+    client.submit(sim_job(tpl, 64)).accepted().unwrap().wait();
+    let hints = client.hints_snapshot().expect("published after the first wave");
+
+    // The live snapshot carries real warmth: a second service
+    // warm-started from it skips the learning phase entirely.
+    let (rt2, tpl2) = sim_runtime();
+    let warm_service =
+        Service::start(rt2, ServeConfig { warm_start: Some(hints), ..ServeConfig::default() });
+    let warm = warm_service.client().submit(sim_job(tpl2, 64)).accepted().unwrap().wait();
+    assert_eq!(
+        warm.version_count(tpl2, VersionId(1)),
+        0,
+        "job warmed from a live snapshot re-entered learning: {:?}",
+        warm.version_counts
+    );
+    warm_service.shutdown();
+    drop(client);
+    service.shutdown();
+}
+
+#[test]
 fn infeasible_deadlines_are_shed() {
     let (rt, tpl) = sim_runtime();
     let service = Service::start(rt, ServeConfig::default());

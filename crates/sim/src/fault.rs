@@ -66,6 +66,45 @@ impl FaultRule {
     }
 }
 
+/// What a node-level fault does to a simulated remote node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeFaultKind {
+    /// The node vanishes abruptly (TCP reset / power loss): every
+    /// queued task silently re-enters the pending pool, every running
+    /// task is reported lost mid-flight.
+    Drop,
+    /// The node stops answering heartbeats (network partition / wedged
+    /// process) and the coordinator declares it dead after its timeout.
+    /// Identical consequences to [`NodeFaultKind::Drop`], but the loss
+    /// is *detected* one heartbeat-timeout later than it happened.
+    HeartbeatTimeout,
+}
+
+/// One scheduled node-level fault: at virtual time `at`, node `node`
+/// (1-based, matching `TraceEvent` node ids; node 0 is the coordinator
+/// and cannot fail) is lost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeFaultRule {
+    /// The 1-based remote-node id to kill.
+    pub node: u16,
+    /// Virtual time at which the fault fires.
+    pub at: std::time::Duration,
+    /// How the node fails.
+    pub kind: NodeFaultKind,
+}
+
+impl NodeFaultRule {
+    /// Abrupt loss of `node` at virtual time `at`.
+    pub fn drop_node(node: u16, at: std::time::Duration) -> NodeFaultRule {
+        NodeFaultRule { node, at, kind: NodeFaultKind::Drop }
+    }
+
+    /// Heartbeat silence from `node` starting at virtual time `at`.
+    pub fn heartbeat_timeout(node: u16, at: std::time::Duration) -> NodeFaultRule {
+        NodeFaultRule { node, at, kind: NodeFaultKind::HeartbeatTimeout }
+    }
+}
+
 /// A set of fault rules evaluated against every simulated task start.
 /// The default plan is empty (no faults), which is guaranteed not to
 /// perturb any other random stream of the simulation.
@@ -73,6 +112,9 @@ impl FaultRule {
 pub struct FaultPlan {
     /// The rules, evaluated in order; the first match that fires wins.
     pub rules: Vec<FaultRule>,
+    /// Scheduled node-level faults (whole remote nodes lost at a given
+    /// virtual time). Empty by default.
+    pub node_rules: Vec<NodeFaultRule>,
 }
 
 impl FaultPlan {
@@ -83,21 +125,30 @@ impl FaultPlan {
 
     /// A plan with a single rule.
     pub fn single(rule: FaultRule) -> FaultPlan {
-        FaultPlan { rules: vec![rule] }
+        FaultPlan { rules: vec![rule], ..FaultPlan::default() }
     }
 
     /// Whether the plan can never fire.
     pub fn is_empty(&self) -> bool {
-        self.rules.is_empty()
+        self.rules.is_empty() && self.node_rules.is_empty()
     }
 
-    /// Validate rule probabilities.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validate rule probabilities and that node rules target one of
+    /// the platform's `node_count` remote nodes (ids are 1-based).
+    pub fn validate(&self, node_count: usize) -> Result<(), String> {
         for (i, r) in self.rules.iter().enumerate() {
             if !(0.0..=1.0).contains(&r.probability) || !r.probability.is_finite() {
                 return Err(format!(
                     "fault rule {i}: probability {} outside [0, 1]",
                     r.probability
+                ));
+            }
+        }
+        for (i, r) in self.node_rules.iter().enumerate() {
+            if r.node == 0 || r.node as usize > node_count {
+                return Err(format!(
+                    "node fault rule {i}: node {} outside 1..={node_count}",
+                    r.node
                 ));
             }
         }
@@ -239,9 +290,21 @@ mod tests {
     fn validation_rejects_bad_probability() {
         let mut rule = FaultRule::broken_version(V0);
         rule.probability = 1.5;
-        assert!(FaultPlan::single(rule.clone()).validate().is_err());
+        assert!(FaultPlan::single(rule.clone()).validate(0).is_err());
         rule.probability = f64::NAN;
-        assert!(FaultPlan::single(rule).validate().is_err());
-        assert!(FaultPlan::none().validate().is_ok());
+        assert!(FaultPlan::single(rule).validate(0).is_err());
+        assert!(FaultPlan::none().validate(0).is_ok());
+    }
+
+    #[test]
+    fn validation_checks_node_rule_targets() {
+        use std::time::Duration;
+        let mut plan = FaultPlan::none();
+        plan.node_rules.push(NodeFaultRule::drop_node(1, Duration::from_millis(5)));
+        assert!(!plan.is_empty());
+        assert!(plan.validate(0).is_err(), "no remote nodes configured");
+        assert!(plan.validate(1).is_ok());
+        plan.node_rules.push(NodeFaultRule::heartbeat_timeout(0, Duration::ZERO));
+        assert!(plan.validate(1).is_err(), "node 0 is the coordinator");
     }
 }

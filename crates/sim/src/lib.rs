@@ -38,8 +38,8 @@ mod transfer;
 
 pub use cost::{CostTable, NoiseModel};
 pub use event::EventQueue;
-pub use fault::{FaultInjector, FaultPlan, FaultRule};
-pub use platform::{LinkConfig, PlatformConfig};
+pub use fault::{FaultInjector, FaultPlan, FaultRule, NodeFaultKind, NodeFaultRule};
+pub use platform::{LinkConfig, PlatformConfig, SimNode};
 pub use time::SimTime;
 pub use trace::{Trace, TraceEvent, Ts};
 pub use transfer::TransferEngine;

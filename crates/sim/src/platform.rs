@@ -32,6 +32,38 @@ impl Default for LinkConfig {
     }
 }
 
+/// One simulated *remote node* in a multi-node cluster topology: a
+/// bundle of SMP workers reached over a NIC link (versa-net's
+/// coordinator/worker clusters, in virtual time).
+///
+/// Remote node `j` (0-based) occupies memory space
+/// `MemSpace::device(gpus + j)` — its *mirror space* — and its NIC is
+/// modelled exactly like a PCIe link: finite bandwidth, per-transfer
+/// latency, optional duplex DMA. The scheduler prices it with the same
+/// learned-bandwidth bids it uses for GPU links.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimNode {
+    /// SMP workers the node contributes.
+    pub smp_workers: usize,
+    /// The host↔node network link.
+    pub nic: LinkConfig,
+}
+
+impl SimNode {
+    /// A node with `smp_workers` workers behind a default NIC
+    /// (10 GbE-class: 1.25 GB/s, 50 µs setup, full duplex).
+    pub fn new(smp_workers: usize) -> SimNode {
+        SimNode {
+            smp_workers,
+            nic: LinkConfig {
+                bandwidth: 1.25e9,
+                latency: Duration::from_micros(50),
+                duplex: true,
+            },
+        }
+    }
+}
+
 /// Description of the simulated heterogeneous node.
 ///
 /// The defaults model the paper's evaluation platform (§V-A1): a
@@ -77,6 +109,10 @@ pub struct PlatformConfig {
     /// drawn from a dedicated RNG stream seeded from `seed`, so the
     /// same seed and plan reproduce the identical failure pattern.
     pub faults: FaultPlan,
+    /// Remote nodes in a simulated cluster (empty by default: a classic
+    /// single-node platform). Node `j` contributes `smp_workers` workers
+    /// behind its own NIC link and occupies `MemSpace::device(gpus + j)`.
+    pub nodes: Vec<SimNode>,
 }
 
 impl PlatformConfig {
@@ -94,15 +130,22 @@ impl PlatformConfig {
         }
     }
 
-    /// Total worker count (SMP + one per GPU).
+    /// Total worker count (SMP + one per GPU + remote-node workers).
     pub fn worker_count(&self) -> usize {
-        self.smp_workers + self.gpus
+        self.smp_workers + self.gpus + self.remote_worker_count()
     }
 
-    /// Aggregate node peak in GFLOP/s for the configured worker mix.
+    /// Workers contributed by remote nodes only.
+    pub fn remote_worker_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.smp_workers).sum()
+    }
+
+    /// Aggregate peak in GFLOP/s for the configured worker mix
+    /// (remote-node cores count like local SMP cores).
     pub fn peak_gflops(&self) -> f64 {
         self.gpus as f64 * self.gpu_peak_gflops
-            + self.smp_workers as f64 * self.smp_core_peak_gflops
+            + (self.smp_workers + self.remote_worker_count()) as f64
+                * self.smp_core_peak_gflops
     }
 
     /// Speed multiplier of the `i`-th GPU (1.0 when not configured).
@@ -124,7 +167,15 @@ impl PlatformConfig {
         if self.gpu_speed_factors.iter().any(|&f| f <= 0.0) {
             return Err("GPU speed factors must be positive".into());
         }
-        self.faults.validate()?;
+        for (j, node) in self.nodes.iter().enumerate() {
+            if node.smp_workers == 0 {
+                return Err(format!("remote node {j} has no workers"));
+            }
+            if node.nic.bandwidth <= 0.0 {
+                return Err(format!("remote node {j} NIC bandwidth must be positive"));
+            }
+        }
+        self.faults.validate(self.nodes.len())?;
         Ok(())
     }
 }
@@ -142,6 +193,7 @@ impl Default for PlatformConfig {
             seed: 0x5eed_c0de,
             gpu_speed_factors: Vec::new(),
             faults: FaultPlan::default(),
+            nodes: Vec::new(),
         }
     }
 }

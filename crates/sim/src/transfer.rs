@@ -24,29 +24,38 @@ enum Dir {
 }
 
 /// Virtual-time transfer scheduler + accountant.
+///
+/// Device index space: `0..gpus` are GPU PCIe links, `gpus..gpus+nodes`
+/// are remote-node NIC links. Each device index owns its own
+/// [`crate::LinkConfig`], so a slow 10 GbE NIC and a fast PCIe lane
+/// coexist and the scheduler observes their different latencies.
 #[derive(Debug)]
 pub struct TransferEngine {
-    /// When each GPU's upload engine is next free.
+    /// When each device's upload engine is next free.
     up_free: Vec<SimTime>,
-    /// When each GPU's download engine is next free.
+    /// When each device's download engine is next free.
     down_free: Vec<SimTime>,
     /// When each (allocation, space) copy's bytes physically exist.
     /// Absent entries mean "since simulation start" (initial host data).
     ready: HashMap<(DataId, MemSpace), SimTime>,
     stats: TransferStats,
-    link: crate::LinkConfig,
+    /// Per-device link, indexed by `MemSpace::device_index`.
+    links: Vec<crate::LinkConfig>,
     p2p: bool,
 }
 
 impl TransferEngine {
     /// Engine for a platform description.
     pub fn new(platform: &PlatformConfig) -> TransferEngine {
+        let mut links = vec![platform.link; platform.gpus];
+        links.extend(platform.nodes.iter().map(|n| n.nic));
+        let engines = links.len();
         TransferEngine {
-            up_free: vec![SimTime::ZERO; platform.gpus],
-            down_free: vec![SimTime::ZERO; platform.gpus],
+            up_free: vec![SimTime::ZERO; engines],
+            down_free: vec![SimTime::ZERO; engines],
             ready: HashMap::new(),
             stats: TransferStats::default(),
-            link: platform.link,
+            links,
             p2p: platform.gpu_p2p,
         }
     }
@@ -68,7 +77,7 @@ impl TransferEngine {
         self.ready.insert((data, space), time);
     }
 
-    /// The DMA engines a transfer occupies: `(gpu index, direction)`.
+    /// The DMA engines a transfer occupies: `(device index, direction)`.
     fn engines_of(&self, t: &Transfer) -> Vec<(usize, Dir)> {
         match (t.from.device_index(), t.to.device_index()) {
             (None, Some(d)) => vec![(usize::from(d), Dir::Up)],
@@ -78,27 +87,27 @@ impl TransferEngine {
         }
     }
 
-    fn engine_free(&self, gpu: usize, dir: Dir) -> SimTime {
-        if self.link.duplex {
+    fn engine_free(&self, dev: usize, dir: Dir) -> SimTime {
+        if self.links[dev].duplex {
             match dir {
-                Dir::Up => self.up_free[gpu],
-                Dir::Down => self.down_free[gpu],
+                Dir::Up => self.up_free[dev],
+                Dir::Down => self.down_free[dev],
             }
         } else {
             // One engine serves both directions.
-            self.up_free[gpu].max(self.down_free[gpu])
+            self.up_free[dev].max(self.down_free[dev])
         }
     }
 
-    fn occupy(&mut self, gpu: usize, dir: Dir, until: SimTime) {
-        if self.link.duplex {
+    fn occupy(&mut self, dev: usize, dir: Dir, until: SimTime) {
+        if self.links[dev].duplex {
             match dir {
-                Dir::Up => self.up_free[gpu] = until,
-                Dir::Down => self.down_free[gpu] = until,
+                Dir::Up => self.up_free[dev] = until,
+                Dir::Down => self.down_free[dev] = until,
             }
         } else {
-            self.up_free[gpu] = until;
-            self.down_free[gpu] = until;
+            self.up_free[dev] = until;
+            self.down_free[dev] = until;
         }
     }
 
@@ -116,14 +125,21 @@ impl TransferEngine {
         let engines = self.engines_of(t);
         let src_ready = self.ready_at(t.data, t.from);
         let mut start = now.max(src_ready);
-        for &(gpu, dir) in &engines {
-            start = start.max(self.engine_free(gpu, dir));
+        for &(dev, dir) in &engines {
+            start = start.max(self.engine_free(dev, dir));
         }
         let hops = if kind == TransferKind::Device && !self.p2p { 2 } else { 1 };
-        let duration = self.link.transfer_time(t.bytes) * hops;
+        // A transfer is limited by its slowest involved link (a GPU→node
+        // copy cannot beat the NIC no matter how fast PCIe is).
+        let link_time = engines
+            .iter()
+            .map(|&(dev, _)| self.links[dev].transfer_time(t.bytes))
+            .max()
+            .expect("a transfer involves at least one link");
+        let duration = link_time * hops;
         let end = start + duration;
-        for &(gpu, dir) in &engines {
-            self.occupy(gpu, dir, end);
+        for &(dev, dir) in &engines {
+            self.occupy(dev, dir, end);
         }
         self.ready.insert((t.data, t.to), end);
         self.stats.record(kind, t.bytes);
@@ -265,5 +281,50 @@ mod tests {
     fn initial_host_data_is_ready_at_zero() {
         let e = engine();
         assert_eq!(e.ready_at(DataId(7), HOST), SimTime::ZERO);
+    }
+
+    /// 2 GPUs on a 1 GB/s PCIe link + 1 remote node on a 10× slower NIC.
+    fn cluster_engine() -> TransferEngine {
+        let mut p = PlatformConfig::minotauro(2, 2);
+        p.link = crate::LinkConfig { bandwidth: 1e9, latency: Duration::ZERO, duplex: true };
+        let mut node = crate::SimNode::new(2);
+        node.nic =
+            crate::LinkConfig { bandwidth: 1e8, latency: Duration::ZERO, duplex: true };
+        p.nodes = vec![node];
+        TransferEngine::new(&p)
+    }
+
+    #[test]
+    fn nic_link_is_priced_separately_from_pcie() {
+        let mut e = cluster_engine();
+        let pcie = e.schedule(&tx(0, HOST, MemSpace::device(0), 1_000_000), SimTime::ZERO);
+        assert_eq!(pcie, SimTime(1_000_000), "1 MB over PCIe at 1 GB/s");
+        // Device index 2 = remote node 1's mirror space, behind the NIC.
+        let nic = e.schedule(&tx(1, HOST, MemSpace::device(2), 1_000_000), SimTime::ZERO);
+        assert_eq!(nic, SimTime(10_000_000), "same bytes over a 10× slower NIC");
+        assert_eq!(e.stats().input_bytes, 2_000_000);
+    }
+
+    #[test]
+    fn nic_and_pcie_links_are_independent_engines() {
+        let mut e = cluster_engine();
+        let a = e.schedule(&tx(0, HOST, MemSpace::device(0), 1_000_000), SimTime::ZERO);
+        let b = e.schedule(&tx(1, HOST, MemSpace::device(2), 1_000_000), SimTime::ZERO);
+        assert_eq!(a, SimTime(1_000_000));
+        assert_eq!(b, SimTime(10_000_000), "NIC shipment does not queue behind PCIe");
+        // But two shipments to the same node share its NIC.
+        let c = e.schedule(&tx(2, HOST, MemSpace::device(2), 1_000_000), SimTime::ZERO);
+        assert_eq!(c, SimTime(20_000_000), "same NIC upload engine: serialized");
+    }
+
+    #[test]
+    fn gpu_to_node_is_limited_by_the_slower_link() {
+        let mut e = cluster_engine(); // p2p = false: staged through host
+        e.mark_produced(DataId(0), MemSpace::device(0), SimTime::ZERO);
+        let end =
+            e.schedule(&tx(0, MemSpace::device(0), MemSpace::device(2), 1_000_000), SimTime::ZERO);
+        // Two hops, each priced at the slower (NIC) link time.
+        assert_eq!(end, SimTime(20_000_000));
+        assert_eq!(e.stats().device_bytes, 1_000_000, "accounted once as Device Tx");
     }
 }

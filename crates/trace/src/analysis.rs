@@ -98,6 +98,8 @@ pub struct TraceAnalysis {
     pub decisions: Vec<DecisionRecord>,
     /// Decision phase mix per (template, bucket).
     pub phase_mix: HashMap<(TemplateId, BucketKey), PhaseMix>,
+    /// Cluster node losses, in time order (empty for single-node runs).
+    pub node_losses: Vec<(Ts, u16)>,
     /// Events lost to ring overflow.
     pub dropped: u64,
 }
@@ -119,6 +121,7 @@ impl TraceAnalysis {
         let mut transfer_count = 0;
         let mut failed_count = 0;
         let mut task_count = 0;
+        let mut node_losses = Vec::new();
         for ev in trace.events() {
             span = span.max(ev.time());
             match *ev {
@@ -174,6 +177,9 @@ impl TraceAnalysis {
                     phase_mix.entry((d.template, d.bucket)).or_default().count(d.phase);
                     decisions.push(d.clone());
                 }
+                TraceEvent::NodeLost { time, node } => {
+                    node_losses.push((time, node));
+                }
                 TraceEvent::TaskCreated { .. }
                 | TraceEvent::TaskReady { .. }
                 | TraceEvent::JobAdmitted { .. }
@@ -193,6 +199,7 @@ impl TraceAnalysis {
             failed_count,
             decisions,
             phase_mix,
+            node_losses,
             dropped: trace.dropped,
         }
     }
@@ -315,8 +322,9 @@ impl TraceAnalysis {
     }
 
     /// ASCII per-worker occupancy timeline: `#` compute, `x` failed
-    /// attempt, `.` idle; one extra row per device space showing link
-    /// occupancy (`=`).
+    /// attempt, `.` idle. Multi-node traces group workers under one
+    /// header per cluster node, with `~` filling a lost node's rows from
+    /// the loss instant onward.
     pub fn timeline(&self, meta: &crate::TraceMeta, cols: usize) -> String {
         let mut out = String::new();
         if self.span == Ts::ZERO {
@@ -330,13 +338,39 @@ impl TraceAnalysis {
                 workers.push(iv.worker);
             }
         }
-        workers.sort_unstable();
+        let node_of = |w: WorkerId| {
+            meta.workers.iter().find(|m| m.id == w).map_or(0, |m| m.node)
+        };
+        workers.sort_unstable_by_key(|&w| (node_of(w), w));
+        let clustered = workers.iter().any(|&w| node_of(w) != 0);
+        let mut current_node: Option<u16> = None;
         for w in workers {
+            let node = node_of(w);
+            if clustered && current_node != Some(node) {
+                current_node = Some(node);
+                let lost = self.node_losses.iter().find(|(_, n)| *n == node);
+                let label = if node == 0 { "coordinator".to_string() } else { format!("node {node}") };
+                match lost {
+                    Some((at, _)) => {
+                        let _ = writeln!(out, "-- {label} (lost at {at}) --");
+                    }
+                    None => {
+                        let _ = writeln!(out, "-- {label} --");
+                    }
+                }
+            }
             let mut row = vec!['.'; cols];
             for iv in self.intervals.iter().filter(|iv| iv.worker == w) {
                 let glyph = if iv.failed { 'x' } else { '#' };
                 for c in row.iter_mut().take(cell(iv.end) + 1).skip(cell(iv.start)) {
                     *c = glyph;
+                }
+            }
+            if let Some(&(at, _)) = self.node_losses.iter().find(|(_, n)| *n == node) {
+                for c in row.iter_mut().skip(cell(at)) {
+                    if *c == '.' {
+                        *c = '~';
+                    }
                 }
             }
             let _ = writeln!(

@@ -237,6 +237,15 @@ pub enum TraceEvent {
         /// and eviction write-backs).
         by: Option<WorkerId>,
     },
+    /// A cluster node became unreachable (heartbeat timeout or transport
+    /// error). Workers hosted on the node are retired; their in-flight
+    /// tasks fail with `NodeLost` and requeue onto survivors.
+    NodeLost {
+        /// When the loss was detected.
+        time: Ts,
+        /// Which node (1-based; 0 is the coordinator and never lost).
+        node: u16,
+    },
     /// versa-serve admitted a job into the runtime.
     JobAdmitted {
         /// When.
@@ -266,6 +275,7 @@ impl TraceEvent {
             | TraceEvent::TaskStart { time, .. }
             | TraceEvent::TaskEnd { time, .. }
             | TraceEvent::TaskFailed { time, .. }
+            | TraceEvent::NodeLost { time, .. }
             | TraceEvent::JobAdmitted { time, .. }
             | TraceEvent::JobCompleted { time, .. } => *time,
             TraceEvent::Decision(d) => d.time,
@@ -285,10 +295,12 @@ impl TraceEvent {
             TraceEvent::TaskReady { .. } => 2,
             TraceEvent::Decision(_) => 3,
             TraceEvent::Transfer { .. } => 4,
-            TraceEvent::TaskFailed { .. } => 5,
-            TraceEvent::TaskEnd { .. } => 6,
-            TraceEvent::TaskStart { .. } => 7,
-            TraceEvent::JobCompleted { .. } => 8,
+            // A node loss sorts before the task failures it causes.
+            TraceEvent::NodeLost { .. } => 5,
+            TraceEvent::TaskFailed { .. } => 6,
+            TraceEvent::TaskEnd { .. } => 7,
+            TraceEvent::TaskStart { .. } => 8,
+            TraceEvent::JobCompleted { .. } => 9,
         }
     }
 }

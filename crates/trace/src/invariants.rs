@@ -10,6 +10,8 @@
 //!    faults fail a task before its kernel ever runs).
 //! 4. Attempt spans never overlap per worker.
 //! 5. Transfer spans are well-formed (`start ≤ end`).
+//! 6. No task starts on a lost node's worker after the loss event (the
+//!    cluster invariant: retirement must precede requeue).
 //!
 //! Note: a `Trace` drained from a bounded wave (versa-serve) can carry a
 //! start whose terminal lands in the *next* wave's trace; `check` is
@@ -30,10 +32,25 @@ pub fn check(trace: &Trace) -> Vec<String> {
         last_attempt: u32,
     }
     let mut tasks: HashMap<u64, TaskState> = HashMap::new();
+    // node id → loss time, filled as NodeLost events stream past.
+    let mut lost_nodes: HashMap<u16, crate::Ts> = HashMap::new();
+    let node_of = |w: versa_core::WorkerId| {
+        trace.meta.workers.iter().find(|m| m.id == w).map_or(0, |m| m.node)
+    };
 
     for ev in trace.events() {
         match *ev {
+            TraceEvent::NodeLost { time, node } => {
+                lost_nodes.entry(node).or_insert(time);
+            }
             TraceEvent::TaskStart { time, task, worker, attempt, .. } => {
+                if let Some(at) = lost_nodes.get(&node_of(worker)) {
+                    if time > *at {
+                        violations.push(format!(
+                            "{task} started on {worker} at {time}, after its node was lost at {at}"
+                        ));
+                    }
+                }
                 let st = tasks
                     .entry(task.0)
                     .or_insert(TaskState { open: None, ended: false, last_attempt: 0 });
@@ -190,6 +207,42 @@ mod tests {
             end(9, 1, 0),
         ]));
         assert!(v.iter().any(|m| m.contains("not increasing")));
+    }
+
+    #[test]
+    fn start_after_node_loss_is_flagged() {
+        let meta = TraceMeta {
+            workers: vec![crate::WorkerMeta {
+                id: WorkerId(0),
+                device: "smp".into(),
+                space: versa_mem::MemSpace::device(1),
+                node: 1,
+            }],
+            ..Default::default()
+        };
+        let t = Trace::new(
+            meta,
+            vec![TraceEvent::NodeLost { time: Ts(5), node: 1 }, start(10, 1, 0, 1), end(20, 1, 0)],
+            0,
+        );
+        let v = check(&t);
+        assert!(v.iter().any(|m| m.contains("node was lost")), "{v:?}");
+        // The same start before the loss is fine.
+        let meta = TraceMeta {
+            workers: vec![crate::WorkerMeta {
+                id: WorkerId(0),
+                device: "smp".into(),
+                space: versa_mem::MemSpace::device(1),
+                node: 1,
+            }],
+            ..Default::default()
+        };
+        let t = Trace::new(
+            meta,
+            vec![start(0, 1, 0, 1), end(4, 1, 0), TraceEvent::NodeLost { time: Ts(5), node: 1 }],
+            0,
+        );
+        assert!(check(&t).is_empty());
     }
 
     #[test]

@@ -13,6 +13,11 @@ pub struct WorkerMeta {
     pub device: String,
     /// The address space the worker runs against.
     pub space: MemSpace,
+    /// Cluster node hosting the worker (0 = the coordinator process;
+    /// remote nodes are 1-based). Single-node runs leave this 0 and the
+    /// text format omits it, so old traces parse and new single-node
+    /// traces are byte-identical to old ones.
+    pub node: u16,
 }
 
 /// One task template with its version names, indexed by [`VersionId`].
@@ -62,6 +67,7 @@ impl TraceMeta {
                     id: w.id,
                     device: w.device.clause_name().to_string(),
                     space: w.space,
+                    node: 0,
                 })
                 .collect(),
             templates: templates

@@ -61,7 +61,13 @@ impl Trace {
         let _ = writeln!(out, "engine {}", if self.meta.engine.is_empty() { "unknown" } else { &self.meta.engine });
         let _ = writeln!(out, "dropped {}", self.dropped);
         for w in &self.meta.workers {
-            let _ = writeln!(out, "worker {} {} {}", w.id.0, w.device, space_token(w.space));
+            let _ = write!(out, "worker {} {} {}", w.id.0, w.device, space_token(w.space));
+            // Trailing node token only when remote, so single-node traces
+            // stay byte-identical to the pre-cluster format.
+            if w.node != 0 {
+                let _ = write!(out, " n{}", w.node);
+            }
+            out.push('\n');
         }
         for t in &self.meta.templates {
             let _ = write!(out, "template {} {}", t.id.0, t.name);
@@ -170,6 +176,9 @@ impl Trace {
                         by
                     );
                 }
+                TraceEvent::NodeLost { time, node } => {
+                    let _ = writeln!(out, "nodelost {} {}", time.0, node);
+                }
                 TraceEvent::JobAdmitted { time, job, tasks } => {
                     let _ = writeln!(out, "job+ {} {} {}", time.0, job, tasks);
                 }
@@ -215,10 +224,18 @@ impl Trace {
                 "worker" => {
                     let space = parse_space(toks.get(3).ok_or_else(|| err("missing space"))?)
                         .map_err(|e| err(&e))?;
+                    let node = match toks.get(4) {
+                        None => 0,
+                        Some(t) => t
+                            .strip_prefix('n')
+                            .and_then(|n| n.parse::<u16>().ok())
+                            .ok_or_else(|| err("bad node token"))?,
+                    };
                     meta.workers.push(WorkerMeta {
                         id: WorkerId(num!(1, u16)),
                         device: toks.get(2).ok_or_else(|| err("missing device"))?.to_string(),
                         space,
+                        node,
                     });
                 }
                 "template" => {
@@ -361,6 +378,10 @@ impl Trace {
                         by,
                     });
                 }
+                "nodelost" => events.push(TraceEvent::NodeLost {
+                    time: Ts(num!(1, u64)),
+                    node: num!(2, u16),
+                }),
                 "job+" => events.push(TraceEvent::JobAdmitted {
                     time: Ts(num!(1, u64)),
                     job: num!(2, u64),
@@ -389,8 +410,8 @@ mod tests {
         let meta = TraceMeta {
             engine: "sim".into(),
             workers: vec![
-                WorkerMeta { id: WorkerId(0), device: "smp".into(), space: MemSpace::HOST },
-                WorkerMeta { id: WorkerId(1), device: "cuda".into(), space: MemSpace::device(0) },
+                WorkerMeta { id: WorkerId(0), device: "smp".into(), space: MemSpace::HOST, node: 0 },
+                WorkerMeta { id: WorkerId(1), device: "cuda".into(), space: MemSpace::device(0), node: 0 },
             ],
             templates: vec![TemplateMeta {
                 id: TemplateId(0),
@@ -502,6 +523,34 @@ mod tests {
         assert_eq!(back.events(), t.events());
         // And again, to be sure serialization is stable.
         assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn cluster_records_round_trip() {
+        let meta = TraceMeta {
+            engine: "native".into(),
+            workers: vec![
+                WorkerMeta { id: WorkerId(0), device: "smp".into(), space: MemSpace::HOST, node: 0 },
+                WorkerMeta {
+                    id: WorkerId(1),
+                    device: "smp".into(),
+                    space: MemSpace::device(1),
+                    node: 2,
+                },
+            ],
+            templates: vec![],
+            lambda: None,
+        };
+        let t = Trace::new(meta, vec![TraceEvent::NodeLost { time: Ts(9), node: 2 }], 0);
+        let text = t.to_text();
+        // Local workers keep the pre-cluster line shape; remote workers
+        // get the trailing node token.
+        assert!(text.contains("worker 0 smp host\n"), "{text}");
+        assert!(text.contains("worker 1 smp dev1 n2\n"), "{text}");
+        assert!(text.contains("nodelost 9 2\n"), "{text}");
+        let back = Trace::parse(&text).expect("parse");
+        assert_eq!(back.meta, t.meta);
+        assert_eq!(back.events(), t.events());
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! `cluster_bench` — distributed-overhead benchmark for versa-net.
+//!
+//! Runs the mm-wide tiled matmul three ways and writes
+//! `BENCH_cluster.json` (override with `--out PATH`):
+//!
+//! * **single** — one native process, local workers only: the
+//!   no-network baseline.
+//! * **cluster-cold** — 1 coordinator + 2 loopback `versa-net` workers
+//!   joining with empty hint caches: every remote task pays tile
+//!   shipment over real TCP, and the scheduler starts cold.
+//! * **cluster-warm** — the same cluster, but the workers hand back the
+//!   profile gossiped to them at the cold run's shutdown, warming the
+//!   fresh coordinator past its learning phase.
+//!
+//! Per-run join latencies (handshake + gossip + attach) are recorded
+//! for the warm-gossip vs cold-join comparison. Every run is gated on
+//! the serial-recompute verification — a benchmark that computed the
+//! wrong `C` aborts. Regenerate the committed numbers with:
+//! `cargo run --release --bin cluster_bench`.
+
+use std::path::PathBuf;
+use std::time::Duration;
+use versa::apps::matmul::{MatmulConfig, MatmulVariant};
+use versa::cluster_cli::{self, CoordinatorOpts, CoordinatorOutcome, WorkerOpts};
+
+const CONFIG: MatmulConfig = MatmulConfig { n: 1024, bs: 256 };
+const WORKERS: usize = 2;
+const WORKERS_PER_NODE: usize = 2;
+
+fn hints_path(i: usize) -> PathBuf {
+    std::env::temp_dir().join(format!("versa-cluster-bench-{}-w{i}.hints", std::process::id()))
+}
+
+/// One coordinator + `WORKERS` loopback worker threads.
+fn run_cluster(label: &str) -> CoordinatorOutcome {
+    let opts = CoordinatorOpts {
+        expect: WORKERS,
+        variant: MatmulVariant::Wide,
+        config: CONFIG,
+        addr_file: Some(std::env::temp_dir().join(format!(
+            "versa-cluster-bench-{}.addr",
+            std::process::id()
+        ))),
+        ..CoordinatorOpts::default()
+    };
+    let addr_file = opts.addr_file.clone().unwrap();
+    let _ = std::fs::remove_file(&addr_file);
+
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|i| {
+            let addr_file = addr_file.clone();
+            std::thread::spawn(move || {
+                // The coordinator binds port 0; wait for the addr file.
+                let deadline = std::time::Instant::now() + Duration::from_secs(10);
+                let addr = loop {
+                    if let Ok(s) = std::fs::read_to_string(&addr_file) {
+                        if !s.trim().is_empty() {
+                            break s.trim().to_string();
+                        }
+                    }
+                    assert!(std::time::Instant::now() < deadline, "coordinator never bound");
+                    std::thread::sleep(Duration::from_millis(5));
+                };
+                let w = WorkerOpts {
+                    connect: addr,
+                    name: format!("bench-w{i}"),
+                    workers: WORKERS_PER_NODE,
+                    variant: MatmulVariant::Wide,
+                    bs: CONFIG.bs,
+                    hints_cache: Some(hints_path(i)),
+                };
+                cluster_cli::run_matmul_worker(&w).expect("bench worker must end cleanly")
+            })
+        })
+        .collect();
+
+    let outcome = cluster_cli::run_coordinator(&opts).expect("bench coordinator failed");
+    for w in workers {
+        w.join().expect("worker thread panicked");
+    }
+    let _ = std::fs::remove_file(&addr_file);
+    assert!(
+        outcome.verified(),
+        "{label}: verification failed (max error {:.3e})",
+        outcome.max_error
+    );
+    eprintln!(
+        "  {label}: {:.1} ms run, joins [{}], {} warm node(s)",
+        outcome.run_wall.as_secs_f64() * 1e3,
+        fmt_ms(&outcome.join_latencies),
+        outcome.joins.iter().filter(|j| j.hints_applied > 0).count(),
+    );
+    outcome
+}
+
+fn fmt_ms(xs: &[Duration]) -> String {
+    xs.iter().map(|d| format!("{:.3}", d.as_secs_f64() * 1e3)).collect::<Vec<_>>().join(", ")
+}
+
+fn mean_ms(xs: &[Duration]) -> f64 {
+    xs.iter().map(|d| d.as_secs_f64() * 1e3).sum::<f64>() / xs.len().max(1) as f64
+}
+
+fn main() {
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_cluster.json".to_string())
+    };
+    for i in 0..WORKERS {
+        let _ = std::fs::remove_file(hints_path(i));
+    }
+
+    eprintln!("single-process baseline (local workers only):");
+    let single = cluster_cli::run_coordinator(&CoordinatorOpts {
+        expect: 0,
+        variant: MatmulVariant::Wide,
+        config: CONFIG,
+        ..CoordinatorOpts::default()
+    })
+    .expect("single-process run failed");
+    assert!(single.verified(), "single-process verification failed");
+    eprintln!("  single: {:.1} ms run", single.run_wall.as_secs_f64() * 1e3);
+
+    eprintln!("cluster, cold join (empty hint caches):");
+    let cold = run_cluster("cluster-cold");
+    assert!(
+        cold.joins.iter().all(|j| j.hints_applied == 0),
+        "first join must be cold"
+    );
+
+    eprintln!("cluster, warm join (hint caches from the cold run's shutdown gossip):");
+    let warm = run_cluster("cluster-warm");
+    assert!(
+        warm.joins.iter().all(|j| j.hints_applied > 0),
+        "shutdown gossip must warm the rejoin"
+    );
+    for i in 0..WORKERS {
+        let _ = std::fs::remove_file(hints_path(i));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"cluster_loopback\",\n  \"app\": \"matmul-wide\",\n  \
+         \"matrix_n\": {},\n  \"tile_bs\": {},\n  \"remote_nodes\": {},\n  \
+         \"workers_per_node\": {},\n  \
+         \"single_run_ms\": {:.3},\n  \
+         \"cluster_cold_run_ms\": {:.3},\n  \"cluster_warm_run_ms\": {:.3},\n  \
+         \"cold_join_ms\": [{}],\n  \"warm_join_ms\": [{}],\n  \
+         \"cold_join_mean_ms\": {:.3},\n  \"warm_join_mean_ms\": {:.3},\n  \
+         \"warm_hints_applied\": {},\n  \
+         \"single_max_error\": {:.3e},\n  \"cluster_max_error\": {:.3e}\n}}\n",
+        CONFIG.n,
+        CONFIG.bs,
+        WORKERS,
+        WORKERS_PER_NODE,
+        single.run_wall.as_secs_f64() * 1e3,
+        cold.run_wall.as_secs_f64() * 1e3,
+        warm.run_wall.as_secs_f64() * 1e3,
+        fmt_ms(&cold.join_latencies),
+        fmt_ms(&warm.join_latencies),
+        mean_ms(&cold.join_latencies),
+        mean_ms(&warm.join_latencies),
+        warm.joins.iter().map(|j| j.hints_applied).sum::<usize>(),
+        single.max_error,
+        warm.max_error.max(cold.max_error),
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -1,0 +1,101 @@
+//! `versa-cluster` — a one-shot cluster coordinator.
+//!
+//! Listens for `--expect` worker processes (`versa-worker`), then runs
+//! a native tiled matmul across local and remote workers, verifies the
+//! computed `C` against a serial recompute, and shuts the cluster down
+//! cleanly (gossiping the learned profile to the workers on the way
+//! out):
+//!
+//! ```text
+//! versa-cluster --listen 127.0.0.1:7070 --expect 2
+//! versa-cluster --listen 127.0.0.1:0 --addr-file /tmp/coord.addr \
+//!               --variant wide --n 1024 --bs 256 --expect 2
+//! ```
+//!
+//! Exit status is the CI gate: 0 only when the run completed AND the
+//! result verified below `1e-9` absolute error. The CI `cluster-smoke`
+//! job runs this against two loopback `versa-worker` processes for both
+//! the hybrid and mm-wide version sets.
+
+use versa::cluster_cli::{self, CoordinatorOpts, MAX_ERROR};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: versa-cluster [--listen HOST:PORT] [--expect N] [--smp N] [--gpus N]\n\
+         \x20                  [--scheduler ver|locver] [--variant gpu|hybrid|wide]\n\
+         \x20                  [--n ELEMS] [--bs TILE] [--seed N] [--addr-file PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut opts = CoordinatorOpts::default();
+    let mut it = std::env::args().skip(1);
+    let value = |it: &mut dyn Iterator<Item = String>| it.next().unwrap_or_else(|| usage());
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--listen" => opts.listen = value(&mut it),
+            "--expect" => opts.expect = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--smp" => opts.smp = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--gpus" => opts.gpus = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--scheduler" => {
+                opts.scheduler = match value(&mut it).as_str() {
+                    "ver" => versa::prelude::SchedulerKind::versioning(),
+                    "locver" => versa::prelude::SchedulerKind::locality_versioning(),
+                    other => {
+                        eprintln!("cluster coordination needs a versioning scheduler, not {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--variant" => {
+                opts.variant =
+                    cluster_cli::parse_variant(&value(&mut it)).unwrap_or_else(|| usage())
+            }
+            "--n" => opts.config.n = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--bs" => opts.config.bs = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--seed" => opts.seed = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--addr-file" => opts.addr_file = Some(value(&mut it).into()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    if opts.config.n % opts.config.bs != 0 {
+        eprintln!("--bs {} must divide --n {}", opts.config.bs, opts.config.n);
+        usage();
+    }
+
+    let outcome = cluster_cli::run_coordinator(&opts).unwrap_or_else(|e| {
+        eprintln!("versa-cluster: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "versa-cluster: matmul ({}) {}x{} over {} node(s) done in {:.1} ms — \
+         {} tasks, max |error| {:.3e}",
+        opts.variant.label(),
+        opts.config.n,
+        opts.config.n,
+        outcome.joins.len(),
+        outcome.run_wall.as_secs_f64() * 1e3,
+        outcome.report.tasks_executed,
+        outcome.max_error,
+    );
+    if !outcome.report.failures.is_clean() {
+        println!(
+            "versa-cluster: survived {} failure(s), {} retried",
+            outcome.report.failures.events.len(),
+            outcome.report.failures.retries,
+        );
+    }
+    if !outcome.verified() {
+        eprintln!(
+            "versa-cluster: FAILED verification (completed: {}, max error {:.3e} vs bound {MAX_ERROR:.0e})",
+            outcome.report.completed, outcome.max_error
+        );
+        std::process::exit(1);
+    }
+}

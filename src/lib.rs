@@ -13,6 +13,8 @@
 //! * [`mem`] — memory spaces, coherence directory, transfer accounting.
 //! * [`sim`] — deterministic discrete-event simulator of an SMP+GPU node.
 //! * [`runtime`] — the task runtime (dependence analysis + engines).
+//! * [`net`] — multi-node cluster layer: coordinator, remote workers,
+//!   tile shipment, profile gossip (see `DESIGN.md` §7).
 //! * [`serve`] — persistent multi-job service over one runtime.
 //! * [`trace`] — unified event tracing, invariants, exporters, analysis.
 //! * [`kernels`] — pure-Rust BLAS-like and PBPI computational kernels.
@@ -24,10 +26,13 @@ pub use versa_apps as apps;
 pub use versa_core as core;
 pub use versa_kernels as kernels;
 pub use versa_mem as mem;
+pub use versa_net as net;
 pub use versa_runtime as runtime;
 pub use versa_serve as serve;
 pub use versa_sim as sim;
 pub use versa_trace as trace;
+
+pub mod cluster_cli;
 
 /// Convenient glob import: `use versa::prelude::*;`.
 pub mod prelude {

@@ -88,6 +88,7 @@ fn unrecoverable_fault_aborts_with_partial_report() {
             FaultRule::broken_version(VersionId(0)),
             FaultRule::broken_version(VersionId(1)),
         ],
+        ..FaultPlan::default()
     };
     let (mut rt, tpl, tiles) = hybrid_sim(plan);
     for &t in &tiles[..3] {
