@@ -176,6 +176,69 @@ pub fn cholesky_native_job(config: cholesky::CholeskyConfig, seed: u64, verify: 
     })
 }
 
+/// Idempotent registration of the tiny AXPY template: two SMP versions
+/// (a strided and a sequential loop), so the versioning scheduler has a
+/// real choice to learn even on a CPU-only service. Both native kernels
+/// and simulated cost models are bound, so the factory drives either
+/// engine.
+fn ensure_tiny_axpy(rt: &mut Runtime) -> versa_core::TemplateId {
+    if let Some(t) = rt.templates().by_name("tiny_axpy") {
+        return t;
+    }
+    let template = rt
+        .template("tiny_axpy")
+        .main("axpy_unrolled", &[versa_core::DeviceKind::Smp])
+        .version("axpy_serial", &[versa_core::DeviceKind::Smp])
+        .register();
+    rt.bind_cost(template, VersionId(0), |_| std::time::Duration::from_micros(2));
+    rt.bind_cost(template, VersionId(1), |_| std::time::Duration::from_micros(3));
+    rt.bind_native(template, VersionId(0), |ctx| {
+        let (reads, y) = ctx.f64_reads_and_mut(&[0], 1);
+        let x = reads[0];
+        let mut chunks_y = y.chunks_exact_mut(4);
+        let mut chunks_x = x.chunks_exact(4);
+        for (cy, cx) in chunks_y.by_ref().zip(chunks_x.by_ref()) {
+            cy[0] += 2.0 * cx[0];
+            cy[1] += 2.0 * cx[1];
+            cy[2] += 2.0 * cx[2];
+            cy[3] += 2.0 * cx[3];
+        }
+        for (yi, xi) in chunks_y.into_remainder().iter_mut().zip(chunks_x.remainder()) {
+            *yi += 2.0 * *xi;
+        }
+    });
+    rt.bind_native(template, VersionId(1), |ctx| {
+        let (reads, y) = ctx.f64_reads_and_mut(&[0], 1);
+        for (yi, xi) in y.iter_mut().zip(reads[0]) {
+            *yi += 2.0 * *xi;
+        }
+    });
+    template
+}
+
+/// A tiny native job — two allocations, a two-task AXPY chain — whose
+/// cost is dominated by runtime bookkeeping, not kernel time. This is
+/// the unit of the `serve_throughput` bench: pushing many of these
+/// through a service measures admission/scheduling/recycling overhead
+/// rather than arithmetic. Frees its allocations at completion.
+pub fn tiny_axpy_job(elems: usize, seed: u64) -> JobSpec {
+    JobSpec::new("tiny-axpy", move |rt| {
+        let template = ensure_tiny_axpy(rt);
+        let x: Vec<f64> = (0..elems).map(|i| ((seed + i as u64) % 97) as f64).collect();
+        let x = rt.alloc_from_f64(&x);
+        let y = rt.alloc_from_f64(&vec![1.0; elems]);
+        // A dependent chain: the second task waits on the first's inout.
+        rt.task(template).read(x).read_write(y).submit();
+        rt.task(template).read(x).read_write(y).submit();
+        let finish: FinishFn = Box::new(move |rt| {
+            rt.free(x);
+            rt.free(y);
+            Ok(())
+        });
+        finish
+    })
+}
+
 /// A simulated hybrid matmul job (cost models, no data contents): the
 /// sim-engine counterpart of [`matmul_native_job`], for driving a
 /// service on the virtual platform. Frees its tiles at completion.

@@ -471,7 +471,7 @@ pub fn fig5() -> String {
             space: MemSpace::device(0),
         }),
     ];
-    let mut directory = Directory::new();
+    let directory = Directory::new();
     directory.register(DataId(0), 1 << 20, MemSpace::HOST);
 
     let mut sched = VersioningScheduler::with_defaults();

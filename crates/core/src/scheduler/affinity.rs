@@ -96,7 +96,7 @@ mod tests {
     fn picks_the_space_already_holding_the_data() {
         let (reg, tpl) = hybrid_registry();
         let workers = workers_2smp_2gpu();
-        let mut dir = directory(DataId(0), DataId(1), 1024);
+        let dir = directory(DataId(0), DataId(1), 1024);
         // Move both inputs to GPU 1's space (dev1 → worker 3).
         dir.acquire(DataId(0), MemSpace::device(1), AccessMode::In);
         dir.acquire(DataId(1), MemSpace::device(1), AccessMode::InOut);
@@ -127,7 +127,7 @@ mod tests {
         let (reg, tpl) = hybrid_registry();
         let mut workers = workers_2smp_2gpu();
         // Data lives on GPU 0 (worker 2), but worker 2 is buried in work.
-        let mut dir = directory(DataId(0), DataId(1), 1024);
+        let dir = directory(DataId(0), DataId(1), 1024);
         dir.acquire(DataId(0), MemSpace::device(0), AccessMode::In);
         dir.acquire(DataId(1), MemSpace::device(0), AccessMode::InOut);
         for i in 0..6 {
@@ -144,7 +144,7 @@ mod tests {
     fn stealing_can_be_disabled() {
         let (reg, tpl) = hybrid_registry();
         let mut workers = workers_2smp_2gpu();
-        let mut dir = directory(DataId(0), DataId(1), 1024);
+        let dir = directory(DataId(0), DataId(1), 1024);
         dir.acquire(DataId(0), MemSpace::device(0), AccessMode::In);
         dir.acquire(DataId(1), MemSpace::device(0), AccessMode::InOut);
         for i in 0..50 {

@@ -142,6 +142,26 @@ pub trait Scheduler: Send {
         false
     }
 
+    /// Begin a batched scheduling wave over the ready frontier. Engines
+    /// call this once per dispatch round, before the per-task
+    /// [`Scheduler::assign`]/[`Scheduler::eager`] loop, handing over the
+    /// frontier so the scheduler can snapshot whatever decision inputs
+    /// are invariant for the whole wave (candidate sets, reliability
+    /// flags, runnable-version lists). Between `begin_wave` and
+    /// [`Scheduler::end_wave`] the engine promises not to call
+    /// `task_finished` / `task_failed` / `transfer_done`, so completed
+    /// counts — and everything derived from them — cannot move under the
+    /// cache. The default implementation does nothing: batching is a
+    /// pure amortization, and per-task decisions must be bit-identical
+    /// with or without the bracket.
+    fn begin_wave(&mut self, frontier: &[&TaskInstance], ctx: &SchedCtx<'_>) {
+        let _ = (frontier, ctx);
+    }
+
+    /// End a batched scheduling wave: drop any per-wave caches. Always
+    /// paired with [`Scheduler::begin_wave`].
+    fn end_wave(&mut self) {}
+
     /// Whether `task` should be pushed to a worker queue immediately
     /// (look-ahead assignment) or held centrally until a worker runs dry.
     ///
@@ -302,7 +322,7 @@ pub(crate) mod testutil {
 
     /// A directory with `a` and `c` registered on the host.
     pub fn directory(a: DataId, c: DataId, bytes: u64) -> Directory {
-        let mut dir = Directory::new();
+        let dir = Directory::new();
         dir.register(a, bytes, MemSpace::HOST);
         dir.register(c, bytes, MemSpace::HOST);
         dir

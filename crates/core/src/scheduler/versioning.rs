@@ -105,6 +105,30 @@ pub struct WorkerBid {
     pub finish: Duration,
 }
 
+/// Per-(template, size-group) decision inputs precomputed at
+/// [`Scheduler::begin_wave`] and reused for every task of the group in
+/// the wave. Valid because reliability and candidate sets only move via
+/// `task_finished`/`task_failed`, which the engine promises not to call
+/// inside the wave bracket. The one intra-wave mutation — `scheduled`
+/// bumps from the scheduler's own bookkeeping — is mirrored into
+/// `stats` after each decision so round-robin still advances, and a
+/// quarantined choice (whose bookkeeping can flip the group's exclusion
+/// set) evicts the entry outright.
+struct GroupCache {
+    candidates: Vec<VersionId>,
+    stats: Vec<CandidateStats>,
+    reliable: bool,
+}
+
+/// All caches for one scheduling wave; dropped at
+/// [`Scheduler::end_wave`].
+struct WaveCache {
+    groups: HashMap<(TemplateId, BucketKey), GroupCache>,
+    /// Per-template, per-worker runnable-version lists (retirement is
+    /// wave-invariant, so these never change mid-wave).
+    runnable: HashMap<TemplateId, Vec<Vec<VersionId>>>,
+}
+
 /// A recorded scheduling decision (optional; see
 /// [`VersioningScheduler::set_decision_logging`]).
 #[derive(Clone, Debug)]
@@ -160,6 +184,10 @@ pub struct VersioningScheduler {
     /// term in place of the static `assumed_bandwidth` once at least one
     /// transfer into the space has been observed.
     bandwidth: HashMap<MemSpace, f64>,
+    /// Active wave cache between `begin_wave`/`end_wave`; `None` when
+    /// scheduling task-by-task (decisions are identical either way —
+    /// the cache only amortizes recomputation).
+    wave: Option<WaveCache>,
 }
 
 impl VersioningScheduler {
@@ -169,7 +197,14 @@ impl VersioningScheduler {
             ProfileStore::new(config.bucket_policy, config.mean_policy, config.lambda);
         profiles.set_quarantine(config.quarantine_threshold, config.probation);
         let policy = config.policy.build();
-        VersioningScheduler { config, profiles, policy, decisions: None, bandwidth: HashMap::new() }
+        VersioningScheduler {
+            config,
+            profiles,
+            policy,
+            decisions: None,
+            bandwidth: HashMap::new(),
+            wave: None,
+        }
     }
 
     /// Scheduler with the paper's default configuration.
@@ -281,18 +316,12 @@ impl VersioningScheduler {
         Duration::from_secs_f64(bytes as f64 / bw)
     }
 
-    /// Snapshot the decision inputs: per-candidate profile statistics and
-    /// per-worker load, captured *before* any bookkeeping mutates the
-    /// store. Recorded into the decision ledger so policies replay
-    /// offline as pure functions of this snapshot.
-    fn snapshot(
-        &self,
-        task: &TaskInstance,
-        ctx: &SchedCtx<'_>,
-        candidates: &[VersionId],
-    ) -> (Vec<CandidateStats>, Vec<WorkerSnap>) {
+    /// Per-candidate profile statistics, captured *before* any
+    /// bookkeeping mutates the store. Recorded into the decision ledger
+    /// so policies replay offline as pure functions of this snapshot.
+    fn candidate_stats(&self, task: &TaskInstance, candidates: &[VersionId]) -> Vec<CandidateStats> {
         let group = self.profiles.group(task.template, task.data_set_size);
-        let stats = candidates
+        candidates
             .iter()
             .map(|&v| match group {
                 Some(g) => CandidateStats {
@@ -303,28 +332,79 @@ impl VersioningScheduler {
                 },
                 None => CandidateStats { version: v, scheduled: 0, count: 0, mean: None },
             })
-            .collect();
-        let tpl = ctx.templates.get(task.template);
-        let snaps = ctx
-            .workers
+            .collect()
+    }
+
+    /// Per-worker runnable-version lists for a template: a retired
+    /// worker (lost node) advertises no runnable versions, so every
+    /// policy treats it as incompatible.
+    fn runnable_lists(&self, template: TemplateId, ctx: &SchedCtx<'_>) -> Vec<Vec<VersionId>> {
+        let tpl = ctx.templates.get(template);
+        ctx.workers
             .iter()
-            .map(|w| WorkerSnap {
+            .map(|w| {
+                if w.is_retired() {
+                    Vec::new()
+                } else {
+                    tpl.versions_for(w.info.device).collect()
+                }
+            })
+            .collect()
+    }
+
+    /// Per-worker load snapshots at decision time. Busy time, queue
+    /// pressure, and the transfer estimate are read live — enqueues
+    /// between decisions in the same wave must be visible — while the
+    /// runnable lists come from the wave cache when one is active.
+    fn worker_snaps(&self, task: &TaskInstance, ctx: &SchedCtx<'_>) -> Vec<WorkerSnap> {
+        let cached = self.wave.as_ref().and_then(|w| w.runnable.get(&task.template));
+        let fresh;
+        let runnable = match cached {
+            Some(lists) if lists.len() == ctx.workers.len() => lists,
+            _ => {
+                fresh = self.runnable_lists(task.template, ctx);
+                &fresh
+            }
+        };
+        ctx.workers
+            .iter()
+            .zip(runnable)
+            .map(|(w, runnable)| WorkerSnap {
                 worker: w.info.id,
                 pressure: queue_pressure(w) as u64,
                 busy: w.estimated_busy(),
                 transfer: self.transfer_estimate(task, ctx, w),
-                // A retired worker (lost node) advertises no runnable
-                // versions, so every policy treats it as incompatible.
-                runnable: if w.is_retired() {
-                    Vec::new()
-                } else {
-                    tpl.versions_for(w.info.device).collect()
-                },
+                runnable: runnable.clone(),
             })
-            .collect();
-        (stats, snaps)
+            .collect()
     }
 
+    /// Candidate versions plus their stats snapshot for one decision:
+    /// from the wave cache when a wave is active and the group is
+    /// cached, recomputed (and cached for the rest of the wave)
+    /// otherwise.
+    fn decision_inputs(
+        &mut self,
+        task: &TaskInstance,
+        ctx: &SchedCtx<'_>,
+    ) -> (Vec<VersionId>, Vec<CandidateStats>) {
+        let key = (task.template, self.profiles.bucket(task.data_set_size));
+        if let Some(g) = self.wave.as_ref().and_then(|w| w.groups.get(&key)) {
+            return (g.candidates.clone(), g.stats.clone());
+        }
+        let candidates = self.candidate_versions(task, ctx);
+        let stats = self.candidate_stats(task, &candidates);
+        if self.wave.is_some() {
+            let reliable =
+                self.profiles.is_reliable(task.template, task.data_set_size, &candidates);
+            let entry =
+                GroupCache { candidates: candidates.clone(), stats: stats.clone(), reliable };
+            if let Some(w) = &mut self.wave {
+                w.groups.insert(key, entry);
+            }
+        }
+        (candidates, stats)
+    }
 }
 
 impl Scheduler for VersioningScheduler {
@@ -336,17 +416,40 @@ impl Scheduler for VersioningScheduler {
         }
     }
 
+    fn begin_wave(&mut self, frontier: &[&TaskInstance], ctx: &SchedCtx<'_>) {
+        let mut groups = HashMap::new();
+        let mut runnable: HashMap<TemplateId, Vec<Vec<VersionId>>> = HashMap::new();
+        for task in frontier {
+            let key = (task.template, self.profiles.bucket(task.data_set_size));
+            groups.entry(key).or_insert_with(|| {
+                let candidates = self.candidate_versions(task, ctx);
+                let stats = self.candidate_stats(task, &candidates);
+                let reliable =
+                    self.profiles.is_reliable(task.template, task.data_set_size, &candidates);
+                GroupCache { candidates, stats, reliable }
+            });
+            runnable
+                .entry(task.template)
+                .or_insert_with(|| self.runnable_lists(task.template, ctx));
+        }
+        self.wave = Some(WaveCache { groups, runnable });
+    }
+
+    fn end_wave(&mut self) {
+        self.wave = None;
+    }
+
     fn assign(&mut self, task: &TaskInstance, ctx: &SchedCtx<'_>) -> Assignment {
-        let candidate_versions = self.candidate_versions(task, ctx);
+        // The full decision input, captured before any bookkeeping; the
+        // policy sees nothing else, so recording this snapshot into the
+        // ledger makes every decision replayable offline.
+        let (candidate_versions, candidates) = self.decision_inputs(task, ctx);
         assert!(
             !candidate_versions.is_empty(),
             "no worker can run any version of {:?}",
             ctx.templates.get(task.template).name
         );
-        // The full decision input, captured before any bookkeeping; the
-        // policy sees nothing else, so recording this snapshot into the
-        // ledger makes every decision replayable offline.
-        let (candidates, workers) = self.snapshot(task, ctx, &candidate_versions);
+        let workers = self.worker_snaps(task, ctx);
         let bucket = self.profiles.bucket(task.data_set_size);
         let choice = self.policy.decide(&PolicyCtx {
             template: task.template,
@@ -373,6 +476,26 @@ impl Scheduler for VersioningScheduler {
                     task.data_set_size,
                     choice.version,
                 );
+            }
+        }
+        // Keep the wave cache coherent with the bookkeeping above: the
+        // chosen version's `scheduled` count advanced (round-robin in
+        // the same wave must see it), and picking a quarantined version
+        // zeroes its probation credit — which can flip the group's
+        // exclusion set — so that group's entry is evicted and
+        // recomputed on next use.
+        if self.wave.is_some() {
+            let key = (task.template, bucket);
+            let quarantined =
+                self.profiles.is_quarantined(task.template, task.data_set_size, choice.version);
+            if let Some(w) = &mut self.wave {
+                if quarantined {
+                    w.groups.remove(&key);
+                } else if let Some(g) = w.groups.get_mut(&key) {
+                    if let Some(c) = g.stats.iter_mut().find(|c| c.version == choice.version) {
+                        c.scheduled += 1;
+                    }
+                }
             }
         }
         let assignment =
@@ -448,6 +571,12 @@ impl Scheduler for VersioningScheduler {
     }
 
     fn eager(&self, task: &TaskInstance, ctx: &SchedCtx<'_>) -> bool {
+        if let Some(w) = &self.wave {
+            let key = (task.template, self.profiles.bucket(task.data_set_size));
+            if let Some(g) = w.groups.get(&key) {
+                return g.reliable;
+            }
+        }
         let candidates = self.candidate_versions(task, ctx);
         self.profiles.is_reliable(task.template, task.data_set_size, &candidates)
     }
@@ -678,7 +807,7 @@ mod tests {
         // the lowest-id bid too — so check the transfer term directly.
         let (reg, tpl) = hybrid_registry();
         let workers = workers_2smp_2gpu();
-        let mut dir = directory(DataId(0), DataId(1), 100_000_000);
+        let dir = directory(DataId(0), DataId(1), 100_000_000);
         dir.acquire(DataId(0), versa_mem::MemSpace::device(1), versa_mem::AccessMode::In);
         dir.acquire(DataId(1), versa_mem::MemSpace::device(1), versa_mem::AccessMode::InOut);
         let mut s = VersioningScheduler::new(VersioningConfig {

@@ -20,6 +20,28 @@ use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 type SpaceMap = HashMap<DataId, Arc<AlignedBuf>>;
 
+/// Number of lock stripes per space. Buffer operations are keyed to a
+/// stripe by data id, so concurrent kernels, stagers, and admissions
+/// touching different allocations in the same space never serialize on
+/// one map-wide lock. Power of two so the modulo compiles to a mask.
+const SHARDS: usize = 16;
+
+/// One space's buffer pool, lock-striped by data id.
+struct SpaceShards {
+    shards: Vec<Mutex<SpaceMap>>,
+}
+
+impl SpaceShards {
+    fn new() -> SpaceShards {
+        SpaceShards { shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    /// The stripe holding `data`'s buffer.
+    fn shard(&self, data: DataId) -> MutexGuard<'_, SpaceMap> {
+        self.shards[data.0 as usize % SHARDS].lock().expect("arena lock poisoned")
+    }
+}
+
 /// Per-space buffer pools for native execution.
 ///
 /// Buffers are lazily created in device spaces on first transfer. All
@@ -27,20 +49,22 @@ type SpaceMap = HashMap<DataId, Arc<AlignedBuf>>;
 /// move whole allocations (matching the [`Directory`](crate::Directory)'s
 /// handle-granularity coherence).
 ///
+/// Each space's map is lock-striped by data id ([`SHARDS`] stripes), so
+/// operations on different allocations in the same space proceed
+/// concurrently.
+///
 /// The space list can grow after construction ([`Arena::add_spaces`]) so
 /// remote nodes attached mid-setup get local mirror spaces; existing
 /// spaces are never removed or renumbered.
 pub struct Arena {
-    spaces: RwLock<Vec<Arc<Mutex<SpaceMap>>>>,
+    spaces: RwLock<Vec<Arc<SpaceShards>>>,
 }
 
 impl Arena {
     /// An arena covering the host plus `devices` device spaces.
     pub fn new(devices: usize) -> Arena {
         Arena {
-            spaces: RwLock::new(
-                (0..devices + 1).map(|_| Arc::new(Mutex::new(HashMap::new()))).collect(),
-            ),
+            spaces: RwLock::new((0..devices + 1).map(|_| Arc::new(SpaceShards::new())).collect()),
         }
     }
 
@@ -54,11 +78,11 @@ impl Arena {
     pub fn add_spaces(&self, n: usize) {
         let mut spaces = self.spaces.write().expect("arena lock poisoned");
         for _ in 0..n {
-            spaces.push(Arc::new(Mutex::new(HashMap::new())));
+            spaces.push(Arc::new(SpaceShards::new()));
         }
     }
 
-    fn space_arc(&self, s: MemSpace) -> Arc<Mutex<SpaceMap>> {
+    fn space_arc(&self, s: MemSpace) -> Arc<SpaceShards> {
         let spaces = self.spaces.read().expect("arena lock poisoned");
         spaces
             .get(s.index())
@@ -66,12 +90,12 @@ impl Arena {
             .unwrap_or_else(|| panic!("space {s} not present in arena"))
     }
 
-    /// Run `f` holding the lock of `s`'s buffer map. The outer space list
-    /// lock is released before `f` runs, so `add_spaces` never deadlocks
-    /// against in-flight buffer operations.
-    fn with_space<R>(&self, s: MemSpace, f: impl FnOnce(&mut SpaceMap) -> R) -> R {
+    /// Run `f` holding the stripe of `data` in space `s`. The outer space
+    /// list lock is released before `f` runs, so `add_spaces` never
+    /// deadlocks against in-flight buffer operations.
+    fn with_shard<R>(&self, s: MemSpace, data: DataId, f: impl FnOnce(&mut SpaceMap) -> R) -> R {
         let arc = self.space_arc(s);
-        let mut guard: MutexGuard<'_, SpaceMap> = arc.lock().expect("arena lock poisoned");
+        let mut guard = arc.shard(data);
         f(&mut guard)
     }
 
@@ -80,7 +104,7 @@ impl Arena {
     /// # Panics
     /// Panics if `data` already has a host buffer.
     pub fn alloc_host(&self, data: DataId, init: &[u8]) {
-        self.with_space(MemSpace::HOST, |host| {
+        self.with_shard(MemSpace::HOST, data, |host| {
             let prev = host.insert(data, Arc::new(AlignedBuf::from_bytes(init)));
             assert!(prev.is_none(), "{data:?} allocated twice on host");
         })
@@ -88,7 +112,7 @@ impl Arena {
 
     /// Create a zero-filled host buffer of `len` bytes for `data`.
     pub fn alloc_host_zeroed(&self, data: DataId, len: usize) {
-        self.with_space(MemSpace::HOST, |host| {
+        self.with_shard(MemSpace::HOST, data, |host| {
             let prev = host.insert(data, Arc::new(AlignedBuf::zeroed(len)));
             assert!(prev.is_none(), "{data:?} allocated twice on host");
         })
@@ -96,10 +120,10 @@ impl Arena {
 
     /// Drop every buffer of `data` in every space.
     pub fn free(&self, data: DataId) {
-        let spaces: Vec<Arc<Mutex<SpaceMap>>> =
+        let spaces: Vec<Arc<SpaceShards>> =
             self.spaces.read().expect("arena lock poisoned").clone();
         for s in &spaces {
-            s.lock().expect("arena lock poisoned").remove(&data);
+            s.shard(data).remove(&data);
         }
     }
 
@@ -110,7 +134,7 @@ impl Arena {
     /// Panics if the source buffer does not exist or sizes mismatch.
     pub fn perform(&self, t: &Transfer) {
         assert_ne!(t.from, t.to, "degenerate transfer");
-        let src = self.with_space(t.from, |from| {
+        let src = self.with_shard(t.from, t.data, |from| {
             let buf = from
                 .get(&t.data)
                 .unwrap_or_else(|| panic!("{:?} has no buffer in {}", t.data, t.from));
@@ -119,7 +143,7 @@ impl Arena {
         });
         // Deep copy outside the source lock: each space owns its bytes.
         let copy = Arc::new(AlignedBuf::clone(&src));
-        self.with_space(t.to, |to| {
+        self.with_shard(t.to, t.data, |to| {
             to.insert(t.data, copy);
         });
     }
@@ -138,7 +162,7 @@ impl Arena {
     /// # Panics
     /// Panics if no buffer exists there.
     pub fn read_arc(&self, data: DataId, space: MemSpace) -> Arc<AlignedBuf> {
-        self.with_space(space, |sp| {
+        self.with_shard(space, data, |sp| {
             sp.get(&data)
                 .map(Arc::clone)
                 .unwrap_or_else(|| panic!("{data:?} has no buffer in {space}"))
@@ -150,7 +174,7 @@ impl Arena {
     /// # Panics
     /// Panics if no buffer exists there or the length differs.
     pub fn write(&self, data: DataId, space: MemSpace, bytes: &[u8]) {
-        self.with_space(space, |sp| {
+        self.with_shard(space, data, |sp| {
             let arc = sp
                 .get_mut(&data)
                 .unwrap_or_else(|| panic!("{data:?} has no buffer in {space}"));
@@ -162,7 +186,7 @@ impl Arena {
 
     /// Whether `data` has a buffer in `space`.
     pub fn has(&self, data: DataId, space: MemSpace) -> bool {
-        self.with_space(space, |sp| sp.contains_key(&data))
+        self.with_shard(space, data, |sp| sp.contains_key(&data))
     }
 
     /// Materialize a zero-filled buffer of `len` bytes for `data` in
@@ -170,7 +194,7 @@ impl Arena {
     /// devices: no copy-in happens, but the kernel still needs backing
     /// memory to write into.
     pub fn ensure(&self, data: DataId, space: MemSpace, len: usize) {
-        self.with_space(space, |sp| {
+        self.with_shard(space, data, |sp| {
             sp.entry(data).or_insert_with(|| Arc::new(AlignedBuf::zeroed(len)));
         })
     }
@@ -180,7 +204,7 @@ impl Arena {
     /// # Panics
     /// Panics if no buffer exists there.
     pub fn with_mut<R>(&self, data: DataId, space: MemSpace, f: impl FnOnce(&mut [u8]) -> R) -> R {
-        self.with_space(space, |sp| {
+        self.with_shard(space, data, |sp| {
             let arc = sp
                 .get_mut(&data)
                 .unwrap_or_else(|| panic!("{data:?} has no buffer in {space}"));
@@ -208,15 +232,18 @@ impl Arena {
         ids: &[DataId],
         f: impl FnOnce(&mut [AlignedBuf]) -> R,
     ) -> R {
-        let arcs: Vec<Arc<AlignedBuf>> = self.with_space(space, |sp| {
-            ids.iter()
-                .map(|id| {
-                    sp.remove(id).unwrap_or_else(|| {
-                        panic!("{id:?} has no buffer in {space} (or listed twice)")
-                    })
+        // Take each buffer out of its own stripe: ids are distinct (a
+        // duplicate trips the panic below on its second removal), so the
+        // per-id locking order cannot deadlock.
+        let shards = self.space_arc(space);
+        let arcs: Vec<Arc<AlignedBuf>> = ids
+            .iter()
+            .map(|id| {
+                shards.shard(*id).remove(id).unwrap_or_else(|| {
+                    panic!("{id:?} has no buffer in {space} (or listed twice)")
                 })
-                .collect()
-        });
+            })
+            .collect();
         let bufs: Vec<AlignedBuf> = arcs
             .into_iter()
             .map(|mut arc| loop {
@@ -243,11 +270,11 @@ impl Arena {
             fn drop(&mut self) {
                 let ids = self.ids;
                 let bufs = std::mem::take(&mut self.bufs);
-                self.arena.with_space(self.space, |sp| {
-                    for (id, buf) in ids.iter().zip(bufs) {
+                for (id, buf) in ids.iter().zip(bufs) {
+                    self.arena.with_shard(self.space, *id, |sp| {
                         sp.insert(*id, Arc::new(buf));
-                    }
-                });
+                    });
+                }
             }
         }
 

@@ -10,6 +10,13 @@
 
 use crate::{DataId, MemSpace, Region, Transfer};
 use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard};
+
+/// Number of lock stripes the directory is split into. Entries are
+/// keyed to a stripe by data id, so concurrent admissions and staging
+/// touching different allocations proceed without contending on one
+/// map-wide lock. Power of two so the modulo compiles to a mask.
+const SHARDS: usize = 16;
 
 /// How a task accesses a datum. Mirrors the OmpSs dependence clauses
 /// `input` / `output` / `inout`, which with `copy_deps` also carry copy
@@ -70,10 +77,14 @@ impl HandleState {
 /// responsible for actually carrying the transfers out (in virtual or real
 /// time) before the task body runs.
 ///
+/// The directory is lock-striped internally ([`SHARDS`] stripes keyed
+/// by data id), so every method takes `&self` and concurrent callers
+/// touching different allocations never serialize on a common lock.
+///
 /// ```
 /// use versa_mem::{AccessMode, DataId, Directory, MemSpace};
 ///
-/// let mut dir = Directory::new();
+/// let dir = Directory::new();
 /// let tile = DataId(0);
 /// dir.register(tile, 8 << 20, MemSpace::HOST);
 ///
@@ -88,15 +99,26 @@ impl HandleState {
 /// let wb = dir.flush_to_host(tile).unwrap();
 /// assert_eq!(wb.to, MemSpace::HOST);
 /// ```
-#[derive(Default, Debug)]
+#[derive(Debug)]
 pub struct Directory {
-    entries: HashMap<DataId, HandleState>,
+    shards: Vec<Mutex<HashMap<DataId, HandleState>>>,
+}
+
+impl Default for Directory {
+    fn default() -> Self {
+        Directory::new()
+    }
 }
 
 impl Directory {
     /// Empty directory.
     pub fn new() -> Directory {
-        Directory::default()
+        Directory { shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    /// The stripe holding `data`'s entry.
+    fn shard(&self, data: DataId) -> MutexGuard<'_, HashMap<DataId, HandleState>> {
+        self.shards[data.0 as usize % SHARDS].lock().expect("directory shard poisoned")
     }
 
     /// Register an allocation of `bytes` bytes whose initial valid copy
@@ -104,24 +126,25 @@ impl Directory {
     ///
     /// # Panics
     /// Panics if `data` is already registered.
-    pub fn register(&mut self, data: DataId, bytes: u64, home: MemSpace) {
-        let prev = self.entries.insert(data, HandleState { bytes, valid: vec![home] });
+    pub fn register(&self, data: DataId, bytes: u64, home: MemSpace) {
+        let prev = self.shard(data).insert(data, HandleState { bytes, valid: vec![home] });
         assert!(prev.is_none(), "{data:?} registered twice");
     }
 
     /// Remove an allocation from the directory (user freed it).
-    pub fn unregister(&mut self, data: DataId) {
-        self.entries.remove(&data);
+    pub fn unregister(&self, data: DataId) {
+        self.shard(data).remove(&data);
     }
 
-    /// State of one allocation, if registered.
-    pub fn state(&self, data: DataId) -> Option<&HandleState> {
-        self.entries.get(&data)
+    /// State of one allocation, if registered (a point-in-time copy —
+    /// the entry lives behind a stripe lock).
+    pub fn state(&self, data: DataId) -> Option<HandleState> {
+        self.shard(data).get(&data).cloned()
     }
 
     /// Whether `space` holds the latest value of `data`.
     pub fn valid_in(&self, data: DataId, space: MemSpace) -> bool {
-        self.entries
+        self.shard(data)
             .get(&data)
             .map(|e| e.valid.binary_search(&space).is_ok())
             .unwrap_or(false)
@@ -132,7 +155,7 @@ impl Directory {
     /// # Panics
     /// Panics if `data` is not registered.
     pub fn bytes(&self, data: DataId) -> u64 {
-        self.entries[&data].bytes
+        self.shard(data).get(&data).unwrap_or_else(|| panic!("{data:?} not registered")).bytes
     }
 
     /// Make `data` accessible in `space` for the given access mode,
@@ -145,8 +168,9 @@ impl Directory {
     ///
     /// # Panics
     /// Panics if `data` is not registered.
-    pub fn acquire(&mut self, data: DataId, space: MemSpace, mode: AccessMode) -> Option<Transfer> {
-        let entry = self.entries.get_mut(&data).expect("acquire of unregistered data");
+    pub fn acquire(&self, data: DataId, space: MemSpace, mode: AccessMode) -> Option<Transfer> {
+        let mut shard = self.shard(data);
+        let entry = shard.get_mut(&data).expect("acquire of unregistered data");
         let mut transfer = None;
         if mode.reads() && entry.valid.binary_search(&space).is_err() {
             // Need a copy-in. `valid` is sorted and HOST is the smallest
@@ -172,8 +196,9 @@ impl Directory {
     /// # Panics
     /// Panics if `data` is unregistered, `space` holds no valid copy, or
     /// `space` holds the only valid copy.
-    pub fn invalidate(&mut self, data: DataId, space: MemSpace) {
-        let entry = self.entries.get_mut(&data).expect("invalidate of unregistered data");
+    pub fn invalidate(&self, data: DataId, space: MemSpace) {
+        let mut shard = self.shard(data);
+        let entry = shard.get_mut(&data).expect("invalidate of unregistered data");
         let pos = entry
             .valid
             .binary_search(&space)
@@ -188,7 +213,7 @@ impl Directory {
     /// Whether `space` holds the *only* valid copy of `data` (an
     /// eviction would require a write-back first).
     pub fn is_sole_copy(&self, data: DataId, space: MemSpace) -> bool {
-        self.entries
+        self.shard(data)
             .get(&data)
             .map(|e| e.valid.len() == 1 && e.valid[0] == space)
             .unwrap_or(false)
@@ -199,8 +224,9 @@ impl Directory {
     ///
     /// # Panics
     /// Panics if `data` is not registered.
-    pub fn flush_to_host(&mut self, data: DataId) -> Option<Transfer> {
-        let entry = self.entries.get_mut(&data).expect("flush of unregistered data");
+    pub fn flush_to_host(&self, data: DataId) -> Option<Transfer> {
+        let mut shard = self.shard(data);
+        let entry = shard.get_mut(&data).expect("flush of unregistered data");
         if entry.valid.binary_search(&MemSpace::HOST).is_ok() {
             return None;
         }
@@ -210,9 +236,14 @@ impl Directory {
     }
 
     /// Flush every allocation to the host, returning all needed transfers
-    /// (a full `taskwait` without `noflush`).
-    pub fn flush_all_to_host(&mut self) -> Vec<Transfer> {
-        let mut ids: Vec<DataId> = self.entries.keys().copied().collect();
+    /// (a full `taskwait` without `noflush`). Ids are sorted before
+    /// flushing so the transfer order stays deterministic regardless of
+    /// stripe layout.
+    pub fn flush_all_to_host(&self) -> Vec<Transfer> {
+        let mut ids: Vec<DataId> = Vec::new();
+        for shard in &self.shards {
+            ids.extend(shard.lock().expect("directory shard poisoned").keys().copied());
+        }
         ids.sort_unstable();
         ids.into_iter().filter_map(|d| self.flush_to_host(d)).collect()
     }
@@ -221,14 +252,14 @@ impl Directory {
     /// failed optimistic update (async staging rollback of a writer's
     /// acquire — see `versa-runtime`'s native engine).
     pub fn snapshot(&self, data: DataId) -> Option<HandleState> {
-        self.entries.get(&data).cloned()
+        self.shard(data).get(&data).cloned()
     }
 
     /// Overwrite one allocation's state with a previously taken
     /// [`Directory::snapshot`]. No-op if the allocation was unregistered
     /// in the meantime.
-    pub fn restore(&mut self, data: DataId, state: HandleState) {
-        if let Some(e) = self.entries.get_mut(&data) {
+    pub fn restore(&self, data: DataId, state: HandleState) {
+        if let Some(e) = self.shard(data).get_mut(&data) {
             *e = state;
         }
     }
@@ -240,8 +271,8 @@ impl Directory {
     /// a retraction can never strand the value because the copy being
     /// retracted was planned *from* another valid space which the
     /// planner never removed (readers only add validity).
-    pub fn retract(&mut self, data: DataId, space: MemSpace) {
-        if let Some(e) = self.entries.get_mut(&data) {
+    pub fn retract(&self, data: DataId, space: MemSpace) {
+        if let Some(e) = self.shard(data).get_mut(&data) {
             if e.valid.len() > 1 {
                 if let Ok(pos) = e.valid.binary_search(&space) {
                     e.valid.remove(pos);
@@ -265,8 +296,12 @@ impl Directory {
                 continue;
             }
             seen.push(region.data);
-            if !self.valid_in(region.data, space) {
-                total += self.bytes(region.data);
+            // One stripe lock per datum: read validity and size together.
+            let shard = self.shard(region.data);
+            match shard.get(&region.data) {
+                Some(e) if e.valid.binary_search(&space).is_err() => total += e.bytes,
+                Some(_) => {}
+                None => panic!("{:?} not registered", region.data),
             }
         }
         total
@@ -274,12 +309,12 @@ impl Directory {
 
     /// Number of registered allocations.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.shards.iter().map(|s| s.lock().expect("directory shard poisoned").len()).sum()
     }
 
     /// Whether the directory is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 }
 
@@ -288,20 +323,20 @@ mod tests {
     use super::*;
 
     fn dir_with(data: DataId, bytes: u64) -> Directory {
-        let mut d = Directory::new();
+        let d = Directory::new();
         d.register(data, bytes, MemSpace::HOST);
         d
     }
 
     #[test]
     fn read_in_home_space_needs_no_transfer() {
-        let mut dir = dir_with(DataId(0), 64);
+        let dir = dir_with(DataId(0), 64);
         assert_eq!(dir.acquire(DataId(0), MemSpace::HOST, AccessMode::In), None);
     }
 
     #[test]
     fn read_on_device_copies_from_host() {
-        let mut dir = dir_with(DataId(0), 64);
+        let dir = dir_with(DataId(0), 64);
         let t = dir.acquire(DataId(0), MemSpace::device(0), AccessMode::In).unwrap();
         assert_eq!(t.from, MemSpace::HOST);
         assert_eq!(t.to, MemSpace::device(0));
@@ -314,7 +349,7 @@ mod tests {
 
     #[test]
     fn inout_invalidates_other_copies() {
-        let mut dir = dir_with(DataId(0), 64);
+        let dir = dir_with(DataId(0), 64);
         dir.acquire(DataId(0), MemSpace::device(0), AccessMode::In);
         let t = dir.acquire(DataId(0), MemSpace::device(0), AccessMode::InOut);
         assert_eq!(t, None); // already valid there
@@ -324,7 +359,7 @@ mod tests {
 
     #[test]
     fn out_needs_no_copy_in_but_claims_ownership() {
-        let mut dir = dir_with(DataId(0), 64);
+        let dir = dir_with(DataId(0), 64);
         let t = dir.acquire(DataId(0), MemSpace::device(1), AccessMode::Out);
         assert_eq!(t, None);
         assert!(dir.valid_in(DataId(0), MemSpace::device(1)));
@@ -333,7 +368,7 @@ mod tests {
 
     #[test]
     fn device_to_device_transfer_when_host_is_stale() {
-        let mut dir = dir_with(DataId(0), 64);
+        let dir = dir_with(DataId(0), 64);
         dir.acquire(DataId(0), MemSpace::device(0), AccessMode::InOut);
         let t = dir.acquire(DataId(0), MemSpace::device(1), AccessMode::In).unwrap();
         assert_eq!(t.from, MemSpace::device(0));
@@ -343,7 +378,7 @@ mod tests {
 
     #[test]
     fn prefers_host_source_when_host_valid() {
-        let mut dir = dir_with(DataId(0), 64);
+        let dir = dir_with(DataId(0), 64);
         dir.acquire(DataId(0), MemSpace::device(0), AccessMode::In);
         // Host and dev0 both valid; dev1 should pull from host.
         let t = dir.acquire(DataId(0), MemSpace::device(1), AccessMode::In).unwrap();
@@ -352,7 +387,7 @@ mod tests {
 
     #[test]
     fn flush_to_host_after_device_write() {
-        let mut dir = dir_with(DataId(0), 64);
+        let dir = dir_with(DataId(0), 64);
         dir.acquire(DataId(0), MemSpace::device(0), AccessMode::InOut);
         let t = dir.flush_to_host(DataId(0)).unwrap();
         assert_eq!(t.from, MemSpace::device(0));
@@ -365,7 +400,7 @@ mod tests {
 
     #[test]
     fn flush_all_covers_every_dirty_allocation() {
-        let mut dir = Directory::new();
+        let dir = Directory::new();
         dir.register(DataId(0), 10, MemSpace::HOST);
         dir.register(DataId(1), 20, MemSpace::HOST);
         dir.register(DataId(2), 30, MemSpace::HOST);
@@ -379,7 +414,7 @@ mod tests {
 
     #[test]
     fn bytes_missing_counts_each_allocation_once() {
-        let mut dir = Directory::new();
+        let dir = Directory::new();
         dir.register(DataId(0), 100, MemSpace::HOST);
         dir.register(DataId(1), 50, MemSpace::HOST);
         let accesses = [
@@ -393,7 +428,7 @@ mod tests {
 
     #[test]
     fn invalidate_drops_replicas() {
-        let mut dir = dir_with(DataId(0), 64);
+        let dir = dir_with(DataId(0), 64);
         dir.acquire(DataId(0), MemSpace::device(0), AccessMode::In);
         assert!(!dir.is_sole_copy(DataId(0), MemSpace::device(0)));
         dir.invalidate(DataId(0), MemSpace::device(0));
@@ -405,7 +440,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "only valid copy")]
     fn invalidating_sole_copy_panics() {
-        let mut dir = dir_with(DataId(0), 64);
+        let dir = dir_with(DataId(0), 64);
         dir.acquire(DataId(0), MemSpace::device(0), AccessMode::InOut);
         assert!(dir.is_sole_copy(DataId(0), MemSpace::device(0)));
         dir.invalidate(DataId(0), MemSpace::device(0));
@@ -413,7 +448,7 @@ mod tests {
 
     #[test]
     fn eviction_after_flush_is_legal() {
-        let mut dir = dir_with(DataId(0), 64);
+        let dir = dir_with(DataId(0), 64);
         dir.acquire(DataId(0), MemSpace::device(0), AccessMode::InOut);
         let wb = dir.flush_to_host(DataId(0)).unwrap();
         assert_eq!(wb.to, MemSpace::HOST);
@@ -424,13 +459,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "registered twice")]
     fn double_register_panics() {
-        let mut dir = dir_with(DataId(0), 1);
+        let dir = dir_with(DataId(0), 1);
         dir.register(DataId(0), 1, MemSpace::HOST);
     }
 
     #[test]
     fn snapshot_restore_roundtrip_undoes_a_write() {
-        let mut dir = dir_with(DataId(0), 64);
+        let dir = dir_with(DataId(0), 64);
         dir.acquire(DataId(0), MemSpace::device(0), AccessMode::In);
         let snap = dir.snapshot(DataId(0)).unwrap();
         dir.acquire(DataId(0), MemSpace::device(1), AccessMode::InOut);
@@ -443,7 +478,7 @@ mod tests {
 
     #[test]
     fn retract_undoes_a_read_copy_in() {
-        let mut dir = dir_with(DataId(0), 64);
+        let dir = dir_with(DataId(0), 64);
         dir.acquire(DataId(0), MemSpace::device(0), AccessMode::In);
         dir.retract(DataId(0), MemSpace::device(0));
         assert!(!dir.valid_in(DataId(0), MemSpace::device(0)));
@@ -452,7 +487,7 @@ mod tests {
 
     #[test]
     fn retract_never_strands_the_sole_copy() {
-        let mut dir = dir_with(DataId(0), 64);
+        let dir = dir_with(DataId(0), 64);
         // Sole copy: retract must be a no-op, not a panic.
         dir.retract(DataId(0), MemSpace::HOST);
         assert!(dir.valid_in(DataId(0), MemSpace::HOST));
@@ -464,7 +499,7 @@ mod tests {
 
     #[test]
     fn retract_is_commutative_across_failed_replicas() {
-        let mut dir = dir_with(DataId(0), 64);
+        let dir = dir_with(DataId(0), 64);
         dir.acquire(DataId(0), MemSpace::device(0), AccessMode::In);
         dir.acquire(DataId(0), MemSpace::device(1), AccessMode::In);
         // Both copies failed; either retraction order leaves only host.
@@ -475,7 +510,7 @@ mod tests {
 
     #[test]
     fn unregister_forgets_the_allocation() {
-        let mut dir = dir_with(DataId(0), 1);
+        let dir = dir_with(DataId(0), 1);
         assert_eq!(dir.len(), 1);
         dir.unregister(DataId(0));
         assert!(dir.is_empty());

@@ -47,7 +47,7 @@ proptest! {
     // the writer's space; a read acquire only ever grows it.
     #[test]
     fn directory_validity_invariants_hold(ops in proptest::collection::vec(op_strategy(4), 1..64)) {
-        let mut dir = Directory::new();
+        let dir = Directory::new();
         for d in 0..4u32 {
             dir.register(DataId(d), 256, MemSpace::HOST);
         }
@@ -108,7 +108,8 @@ proptest! {
             }
             // Global invariants after every op.
             for d in 0..4u32 {
-                let valid = dir.state(DataId(d)).unwrap().valid_spaces();
+                let state = dir.state(DataId(d)).unwrap();
+                let valid = state.valid_spaces();
                 prop_assert!(!valid.is_empty(), "the value always lives somewhere");
                 let mut sorted = valid.to_vec();
                 sorted.sort();

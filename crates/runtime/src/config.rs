@@ -55,6 +55,15 @@ pub struct RuntimeConfig {
     /// paper's M2090s did in hardware). `0` still stages asynchronously
     /// but without compute/copy overlap on the same worker.
     pub lookahead_depth: usize,
+    /// Bracket each dispatch round with
+    /// [`Scheduler::begin_wave`](versa_core::Scheduler::begin_wave) /
+    /// `end_wave` so the scheduler snapshots its wave-invariant decision
+    /// inputs (candidate sets, reliability, runnable lists) once per
+    /// ready frontier instead of once per task. Decisions are
+    /// bit-identical with the flag on or off — batching is a pure
+    /// amortization — so it is on by default; turning it off restores
+    /// the historical per-task recomputation for A/B measurement.
+    pub batched_bids: bool,
 }
 
 impl RuntimeConfig {
@@ -76,6 +85,7 @@ impl Default for RuntimeConfig {
             fair_scheduling: false,
             async_transfers: true,
             lookahead_depth: 2,
+            batched_bids: true,
         }
     }
 }
@@ -95,6 +105,7 @@ mod tests {
         assert_eq!(c.max_task_retries, 3);
         assert!(c.async_transfers, "staged transfers overlap by default");
         assert_eq!(c.lookahead_depth, 2, "double-buffering depth");
+        assert!(c.batched_bids, "wave-batched bids are a pure amortization");
     }
 
     #[test]

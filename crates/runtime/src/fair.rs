@@ -64,6 +64,12 @@ impl FairState {
         pool.extend(keyed.into_iter().map(|(_, _, _, tid)| tid));
     }
 
+    /// Forget a finished job's dispatch account (it has no tasks left,
+    /// so its share can never be consulted again).
+    pub fn forget_job(&mut self, job: u64) {
+        self.dispatched.remove(&job);
+    }
+
     /// Account dispatched tasks against their jobs' shares.
     pub fn note_dispatched<'a>(
         &mut self,

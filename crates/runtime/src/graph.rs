@@ -12,7 +12,7 @@
 //!   writers (output dependence) — this runtime does not rename, so WAR
 //!   and WAW must serialize.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use versa_core::{Assignment, TaskId, TaskInstance, WorkerId};
 use versa_mem::{DataId, Region};
 
@@ -66,9 +66,18 @@ struct RegionLog {
 }
 
 /// The dynamic task graph: nodes, dependence edges, and the ready frontier.
+///
+/// Node storage is a sliding window: a long-running multi-job service
+/// recycles storage by pruning the completed prefix
+/// ([`TaskGraph::prune_done_prefix`]), so steady-state admission costs
+/// O(live window), not O(tasks ever submitted). Task ids keep counting
+/// up — `base` maps an id to its slot in the window.
 #[derive(Default, Debug)]
 pub struct TaskGraph {
-    nodes: Vec<TaskNode>,
+    nodes: VecDeque<TaskNode>,
+    /// Id of the first node still stored; everything below is pruned
+    /// (and was `Done` when it went).
+    base: usize,
     logs: HashMap<DataId, RegionLog>,
     newly_ready: Vec<TaskId>,
     live: usize,
@@ -80,14 +89,15 @@ impl TaskGraph {
         TaskGraph::default()
     }
 
-    /// Number of tasks ever submitted.
+    /// Number of tasks ever submitted (including pruned ones — the next
+    /// task id, never recycled).
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.base + self.nodes.len()
     }
 
-    /// Whether no tasks were submitted.
+    /// Whether no tasks were ever submitted.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.len() == 0
     }
 
     /// Number of submitted-but-unfinished tasks.
@@ -95,17 +105,63 @@ impl TaskGraph {
         self.live
     }
 
+    /// Window slot of a task id.
+    ///
+    /// # Panics
+    /// Panics when the task was already pruned from the window.
+    fn idx(&self, id: TaskId) -> usize {
+        id.index()
+            .checked_sub(self.base)
+            .unwrap_or_else(|| panic!("{id:?} was pruned from the graph (base {})", self.base))
+    }
+
     /// Immutable node access.
     ///
     /// # Panics
-    /// Panics on an unknown id.
+    /// Panics on an unknown or pruned id.
     pub fn node(&self, id: TaskId) -> &TaskNode {
-        &self.nodes[id.index()]
+        &self.nodes[self.idx(id)]
     }
 
     /// Mutable node access (for engines storing assignments).
     pub fn node_mut(&mut self, id: TaskId) -> &mut TaskNode {
-        &mut self.nodes[id.index()]
+        let i = self.idx(id);
+        &mut self.nodes[i]
+    }
+
+    /// Whether a task finished — pruned tasks count as done (only `Done`
+    /// tasks are ever pruned).
+    pub fn is_done(&self, id: TaskId) -> bool {
+        match id.index().checked_sub(self.base) {
+            None => true,
+            Some(i) => self.nodes[i].state == TaskState::Done,
+        }
+    }
+
+    /// Drop completed tasks from the front of the window, up to (not
+    /// including) `before` — typically the earliest task id any
+    /// still-active job owns. Returns how many nodes were recycled.
+    /// Stops at the first unfinished task, so the window stays dense.
+    pub fn prune_done_prefix(&mut self, before: TaskId) -> usize {
+        let mut pruned = 0;
+        while self.base < before.index()
+            && self.nodes.front().is_some_and(|n| n.state == TaskState::Done)
+        {
+            self.nodes.pop_front();
+            self.base += 1;
+            pruned += 1;
+        }
+        pruned
+    }
+
+    /// Forget the dependence log of an allocation. Sound only once no
+    /// unfinished task references it (the [`Runtime::try_free`] gate) —
+    /// fresh `DataId`s are never recycled, so a freed allocation's log
+    /// can never order future tasks.
+    ///
+    /// [`Runtime::try_free`]: crate::Runtime::try_free
+    pub fn forget_data(&mut self, data: DataId) {
+        self.logs.remove(&data);
     }
 
     /// Submit a task: compute its dependence edges from the access log
@@ -113,7 +169,7 @@ impl TaskGraph {
     ///
     /// Returns the new task's id (dense, submission order).
     pub fn submit(&mut self, instance: TaskInstance) -> TaskId {
-        let id = TaskId(self.nodes.len() as u64);
+        let id = TaskId(self.len() as u64);
         assert_eq!(instance.id, id, "task instance id must match submission order");
 
         // Gather dependencies (deduplicated, only on unfinished tasks).
@@ -133,7 +189,7 @@ impl TaskGraph {
                 }
             }
         }
-        deps.retain(|d| self.nodes[d.index()].state != TaskState::Done);
+        deps.retain(|d| !self.is_done(*d));
 
         // Update the access logs.
         for (region, mode) in &instance.accesses {
@@ -152,9 +208,10 @@ impl TaskGraph {
 
         let remaining = deps.len();
         for d in &deps {
-            self.nodes[d.index()].successors.push(id);
+            let i = self.idx(*d);
+            self.nodes[i].successors.push(id);
         }
-        self.nodes.push(TaskNode {
+        self.nodes.push_back(TaskNode {
             instance,
             state: if remaining == 0 { TaskState::Ready } else { TaskState::Pending },
             assignment: None,
@@ -180,7 +237,7 @@ impl TaskGraph {
     /// # Panics
     /// Panics unless the task was `Ready`.
     pub fn mark_running(&mut self, id: TaskId) {
-        let node = &mut self.nodes[id.index()];
+        let node = self.node_mut(id);
         assert_eq!(node.state, TaskState::Ready, "{id:?} must be ready to run");
         node.state = TaskState::Running;
     }
@@ -192,13 +249,15 @@ impl TaskGraph {
     /// # Panics
     /// Panics unless the task was `Running`.
     pub fn complete(&mut self, id: TaskId, worker: WorkerId) {
-        let node = &mut self.nodes[id.index()];
+        let i = self.idx(id);
+        let node = &mut self.nodes[i];
         assert_eq!(node.state, TaskState::Running, "{id:?} must be running to complete");
         node.state = TaskState::Done;
         self.live -= 1;
-        let successors = std::mem::take(&mut self.nodes[id.index()].successors);
+        let successors = std::mem::take(&mut self.nodes[i].successors);
         for s in &successors {
-            let succ = &mut self.nodes[s.index()];
+            let si = self.idx(*s);
+            let succ = &mut self.nodes[si];
             succ.remaining_deps -= 1;
             succ.chain_hint = Some(worker);
             if succ.remaining_deps == 0 {
@@ -206,7 +265,7 @@ impl TaskGraph {
                 self.newly_ready.push(*s);
             }
         }
-        self.nodes[id.index()].successors = successors;
+        self.nodes[i].successors = successors;
     }
 
     /// Return a failed task to the ready frontier for reassignment: the
@@ -217,7 +276,7 @@ impl TaskGraph {
     /// # Panics
     /// Panics unless the task was `Running`.
     pub fn requeue(&mut self, id: TaskId) {
-        let node = &mut self.nodes[id.index()];
+        let node = self.node_mut(id);
         assert_eq!(node.state, TaskState::Running, "{id:?} must be running to requeue");
         node.state = TaskState::Ready;
         node.assignment = None;
@@ -432,6 +491,84 @@ mod tests {
         g.mark_running(a);
         g.complete(a, WorkerId(0));
         assert_eq!(g.take_newly_ready(), vec![b]);
+    }
+
+    #[test]
+    fn pruned_prefix_recycles_storage_and_keeps_ids_counting() {
+        let mut g = TaskGraph::new();
+        for i in 0..10 {
+            g.submit(instance(i, vec![(whole(i as u32), AccessMode::Out)]));
+        }
+        for i in 0..6 {
+            g.mark_running(TaskId(i));
+            g.complete(TaskId(i), WorkerId(0));
+        }
+        // Prune only below the requested bound, even though more is done.
+        assert_eq!(g.prune_done_prefix(TaskId(4)), 4);
+        assert_eq!(g.len(), 10, "ids keep counting past pruned tasks");
+        assert!(g.is_done(TaskId(0)), "pruned tasks count as done");
+        assert!(g.is_done(TaskId(5)));
+        assert!(!g.is_done(TaskId(7)));
+        // The rest of the done prefix goes once the bound allows it.
+        assert_eq!(g.prune_done_prefix(TaskId(10)), 2);
+        // New submissions continue in order and see the right deps.
+        let t = g.submit(instance(10, vec![(whole(7), AccessMode::In)]));
+        assert_eq!(t, TaskId(10));
+        assert_eq!(g.node(t).remaining_deps(), 1, "depends on live writer 7");
+    }
+
+    #[test]
+    fn pruning_stops_at_the_first_live_task() {
+        let mut g = TaskGraph::new();
+        for i in 0..4 {
+            g.submit(instance(i, vec![(whole(i as u32), AccessMode::Out)]));
+        }
+        g.mark_running(TaskId(0));
+        g.complete(TaskId(0), WorkerId(0));
+        // Task 1 is still ready (not done): nothing past it can go.
+        g.mark_running(TaskId(2));
+        g.complete(TaskId(2), WorkerId(0));
+        assert_eq!(g.prune_done_prefix(TaskId(4)), 1, "only the dense done prefix");
+        assert_eq!(g.live_tasks(), 2);
+        // Task 2's node is still addressable behind the live task 1.
+        assert_eq!(g.node(TaskId(2)).state, TaskState::Done);
+    }
+
+    #[test]
+    #[should_panic(expected = "was pruned")]
+    fn pruned_nodes_are_not_addressable() {
+        let mut g = TaskGraph::new();
+        g.submit(instance(0, vec![(whole(0), AccessMode::Out)]));
+        g.mark_running(TaskId(0));
+        g.complete(TaskId(0), WorkerId(0));
+        g.prune_done_prefix(TaskId(1));
+        let _ = g.node(TaskId(0));
+    }
+
+    #[test]
+    fn deps_on_pruned_writers_are_skipped() {
+        let mut g = TaskGraph::new();
+        g.submit(instance(0, vec![(whole(0), AccessMode::Out)]));
+        g.take_newly_ready();
+        g.mark_running(TaskId(0));
+        g.complete(TaskId(0), WorkerId(0));
+        g.prune_done_prefix(TaskId(1));
+        // The log still names task 0 as writer of data 0; the dependence
+        // is dropped because pruned tasks are done by construction.
+        let r = g.submit(instance(1, vec![(whole(0), AccessMode::In)]));
+        assert_eq!(g.node(r).remaining_deps(), 0);
+        assert_eq!(g.take_newly_ready(), vec![r]);
+    }
+
+    #[test]
+    fn forget_data_drops_the_log() {
+        let mut g = TaskGraph::new();
+        g.submit(instance(0, vec![(whole(0), AccessMode::Out)]));
+        g.mark_running(TaskId(0));
+        g.complete(TaskId(0), WorkerId(0));
+        assert!(g.logs.contains_key(&DataId(0)));
+        g.forget_data(DataId(0));
+        assert!(!g.logs.contains_key(&DataId(0)));
     }
 
     #[test]

@@ -648,6 +648,7 @@ fn run_native_sync(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRep
                 &rt.directory,
                 &mut rt.graph,
                 (budget != u64::MAX).then_some(remaining as usize),
+                rt.config.batched_bids,
             );
             *dispatched += assigned.len() as u64;
             if rt.config.fair_scheduling {
@@ -1382,6 +1383,7 @@ fn run_native_async(rt: &mut Runtime, max_dispatch: Option<u64>) -> Result<RunRe
                 &rt.directory,
                 &mut rt.graph,
                 (budget != u64::MAX).then_some(remaining as usize),
+                rt.config.batched_bids,
             );
             *dispatched += assigned.len() as u64;
             if rt.config.fair_scheduling {

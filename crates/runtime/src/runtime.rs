@@ -439,10 +439,29 @@ impl Runtime {
             return Err(FreeError { data: id, live_users: users });
         }
         self.directory.unregister(id);
+        self.graph.forget_data(id);
         if let EngineKind::Native { arena, .. } = &self.engine {
             arena.free(id);
         }
         Ok(())
+    }
+
+    /// Recycle graph storage for completed tasks: drop every finished
+    /// task with an id below `before` from the front of the graph's
+    /// window (typically `before` is the earliest task id any
+    /// still-active job owns — a pruned task's node can no longer be
+    /// inspected). Returns how many nodes were recycled. `versa-serve`
+    /// calls this between waves so steady-state admission allocates
+    /// O(live window), not O(jobs ever served).
+    pub fn prune_done_tasks(&mut self, before: TaskId) -> usize {
+        self.graph.prune_done_prefix(before)
+    }
+
+    /// Drop the fair-queuing dispatch account of a finished job, so a
+    /// long-running service's accounting table does not grow with every
+    /// job ever served. Call only once the job has no tasks left.
+    pub fn forget_job(&mut self, job: u64) {
+        self.fair.forget_job(job);
     }
 
     /// Serialize the versioning scheduler's learned profile to the hints

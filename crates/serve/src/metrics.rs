@@ -1,10 +1,15 @@
 //! Live service metrics: lock-free counters updated by the service
 //! thread and the clients, queryable at any time — including while jobs
 //! are in flight.
+//!
+//! Non-scalar state is split into independent fine-grained locks — one
+//! per metric family, one per worker — so a snapshot reader never stalls
+//! the serve loop for longer than a single family's copy, and a panic
+//! while holding one lock poisons only that family, not every metric.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use versa_core::{TemplateId, VersionId};
 use versa_runtime::WorkerTransferStats;
@@ -45,29 +50,44 @@ pub(crate) struct Shared {
     /// Service epoch — job events and decision tails are stamped with
     /// offsets from it, matching the trace timestamp convention.
     pub started: Instant,
-    pub detail: Mutex<Detail>,
+    /// Executions per (template, version) across all jobs.
+    pub version_counts: Mutex<HashMap<(TemplateId, VersionId), u64>>,
+    /// Per-worker accumulators, one lock per worker: wave merges touch
+    /// each worker's stripe independently of snapshot readers.
+    pub worker_stats: Vec<Mutex<WorkerStat>>,
+    /// Decision ledger tail, per-(job, phase) histogram and trace drop
+    /// counter (populated only when the runtime traces its waves).
+    pub decisions: Mutex<DecisionLog>,
+    /// Last [`JOB_EVENT_TAIL`] job admission/completion events. Jobs
+    /// accumulate their events privately and publish them here in one
+    /// lock acquisition when they complete.
+    pub job_events: Mutex<VecDeque<TraceEvent>>,
     /// Latest profile-hints snapshot published by the serve loop (only
     /// with `ServeConfig::gossip_hints`): lets a cluster coordinator
-    /// gossip live warmth to joining workers mid-service.
-    pub hints: Mutex<Option<String>>,
+    /// gossip live warmth to joining workers mid-service. Held as an
+    /// `Arc` so readers clone a pointer, not the whole hints text, under
+    /// the lock.
+    pub hints: Mutex<Option<Arc<str>>>,
 }
 
-/// The non-scalar metrics, guarded by one short-held mutex.
+/// Per-worker accumulated execution statistics.
 #[derive(Default)]
-pub(crate) struct Detail {
-    pub version_counts: HashMap<(TemplateId, VersionId), u64>,
-    pub worker_busy: Vec<Duration>,
-    pub worker_task_counts: Vec<u64>,
-    pub worker_transfers: Vec<WorkerTransferStats>,
+pub(crate) struct WorkerStat {
+    pub busy: Duration,
+    pub tasks: u64,
+    pub transfers: WorkerTransferStats,
+}
+
+/// Scheduler-decision telemetry harvested from wave traces.
+#[derive(Default)]
+pub(crate) struct DecisionLog {
     /// Last [`DECISION_TAIL`] scheduler decisions observed in wave
     /// traces (empty unless the runtime runs with tracing enabled).
-    pub decision_tail: VecDeque<DecisionRecord>,
+    pub tail: VecDeque<DecisionRecord>,
     /// Decisions per (job, phase) across all traced waves.
-    pub decision_phases: HashMap<(Option<u64>, Phase), u64>,
+    pub phases: HashMap<(Option<u64>, Phase), u64>,
     /// Trace events lost to ring overflow across all traced waves.
-    pub trace_dropped: u64,
-    /// Last [`JOB_EVENT_TAIL`] job admission/completion events.
-    pub job_events: VecDeque<TraceEvent>,
+    pub dropped: u64,
 }
 
 impl Shared {
@@ -90,19 +110,32 @@ impl Shared {
             next_job: AtomicU64::new(0),
             workers,
             started: Instant::now(),
-            detail: Mutex::new(Detail {
-                version_counts: HashMap::new(),
-                worker_busy: vec![Duration::ZERO; workers],
-                worker_task_counts: vec![0; workers],
-                worker_transfers: vec![WorkerTransferStats::default(); workers],
-                ..Detail::default()
-            }),
+            version_counts: Mutex::new(HashMap::new()),
+            worker_stats: (0..workers).map(|_| Mutex::new(WorkerStat::default())).collect(),
+            decisions: Mutex::new(DecisionLog::default()),
+            job_events: Mutex::new(VecDeque::new()),
             hints: Mutex::new(None),
         }
     }
 
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let detail = self.detail.lock().expect("metrics mutex poisoned");
+        let version_counts =
+            self.version_counts.lock().expect("version-count metrics poisoned").clone();
+        let mut worker_busy = Vec::with_capacity(self.workers);
+        let mut worker_task_counts = Vec::with_capacity(self.workers);
+        let mut worker_transfers = Vec::with_capacity(self.workers);
+        for stat in &self.worker_stats {
+            let s = stat.lock().expect("worker metrics poisoned");
+            worker_busy.push(s.busy);
+            worker_task_counts.push(s.tasks);
+            worker_transfers.push(s.transfers.clone());
+        }
+        let (last_decisions, decision_phases, trace_dropped) = {
+            let log = self.decisions.lock().expect("decision metrics poisoned");
+            (log.tail.iter().cloned().collect(), log.phases.clone(), log.dropped)
+        };
+        let job_events =
+            self.job_events.lock().expect("job-event ring poisoned").iter().cloned().collect();
         MetricsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             accepted: self.accepted.load(Ordering::Relaxed),
@@ -120,14 +153,14 @@ impl Shared {
                 let ns = self.ewma_task_ns.load(Ordering::Relaxed);
                 (ns > 0).then(|| Duration::from_nanos(ns))
             },
-            version_counts: detail.version_counts.clone(),
-            worker_busy: detail.worker_busy.clone(),
-            worker_task_counts: detail.worker_task_counts.clone(),
-            worker_transfers: detail.worker_transfers.clone(),
-            last_decisions: detail.decision_tail.iter().cloned().collect(),
-            decision_phases: detail.decision_phases.clone(),
-            trace_dropped: detail.trace_dropped,
-            job_events: detail.job_events.iter().cloned().collect(),
+            version_counts,
+            worker_busy,
+            worker_task_counts,
+            worker_transfers,
+            last_decisions,
+            decision_phases,
+            trace_dropped,
+            job_events,
         }
     }
 }
@@ -189,8 +222,9 @@ pub struct MetricsSnapshot {
     pub trace_dropped: u64,
     /// Recent job admission/completion events
     /// ([`TraceEvent::JobAdmitted`] / [`TraceEvent::JobCompleted`]),
-    /// stamped with offsets from service start. Always populated, even
-    /// with tracing off.
+    /// stamped with offsets from service start. Each job accumulates its
+    /// events privately and publishes them when it completes, so a job
+    /// still in flight is visible through `active_jobs`, not here.
     pub job_events: Vec<TraceEvent>,
 }
 

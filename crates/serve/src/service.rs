@@ -20,13 +20,16 @@ fn service_ts(shared: &Shared) -> Ts {
     Ts(shared.started.elapsed().as_nanos() as u64)
 }
 
-/// Append a job admission/completion event, keeping the ring bounded.
-fn push_job_event(shared: &Shared, ev: TraceEvent) {
-    let mut detail = shared.detail.lock().expect("metrics mutex poisoned");
-    if detail.job_events.len() >= JOB_EVENT_TAIL {
-        detail.job_events.pop_front();
+/// Publish a job's accumulated lifecycle events into the shared ring in
+/// one lock acquisition, keeping the ring bounded.
+fn publish_job_events(shared: &Shared, events: Vec<TraceEvent>) {
+    let mut ring = shared.job_events.lock().expect("job-event ring poisoned");
+    for ev in events {
+        if ring.len() >= JOB_EVENT_TAIL {
+            ring.pop_front();
+        }
+        ring.push_back(ev);
     }
-    detail.job_events.push_back(ev);
 }
 
 /// Service knobs.
@@ -55,6 +58,12 @@ pub struct ServeConfig {
     /// jobs can warm a newly joining `versa-net` worker with what the
     /// service has learned *so far*, without shutting it down.
     pub gossip_hints: bool,
+    /// Recycle task-graph storage between waves: completed jobs' nodes
+    /// are pruned from the graph window and their fair-queue accounts
+    /// dropped, so steady-state admission allocates O(active jobs), not
+    /// O(jobs ever served). On by default; turn off only to inspect the
+    /// full graph post-mortem.
+    pub recycle_graph: bool,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +74,7 @@ impl Default for ServeConfig {
             warm_start: None,
             idle_poll: Duration::from_millis(2),
             gossip_hints: false,
+            recycle_graph: true,
         }
     }
 }
@@ -85,6 +95,10 @@ struct ActiveJob {
     admitted: Instant,
     admitted_wave: u64,
     report_tx: mpsc::Sender<JobReport>,
+    /// Lifecycle events accumulated privately by the service thread and
+    /// published to the shared ring when the job completes — metrics
+    /// recording never takes a shared lock per event.
+    events: Vec<TraceEvent>,
 }
 
 /// A cloneable submission handle. Clones share the same queue and
@@ -153,8 +167,9 @@ impl Client {
     /// `None` until a wave has run with [`ServeConfig::gossip_hints`]
     /// set (or when the scheduler has nothing to save). Feed this to a
     /// joining remote worker's welcome gossip or to another service's
-    /// `warm_start`.
-    pub fn hints_snapshot(&self) -> Option<String> {
+    /// `warm_start`. The `Arc` is swapped in whole by the publisher, so
+    /// this clones a pointer — never the hints text — under the lock.
+    pub fn hints_snapshot(&self) -> Option<Arc<str>> {
         self.shared.hints.lock().expect("hints mutex poisoned").clone()
     }
 }
@@ -250,7 +265,8 @@ fn serve_loop(
                 note_wave(&shared, &report);
                 if config.gossip_hints {
                     if let Some(hints) = rt.save_hints() {
-                        *shared.hints.lock().expect("hints mutex poisoned") = Some(hints);
+                        *shared.hints.lock().expect("hints mutex poisoned") =
+                            Some(Arc::from(hints));
                     }
                 }
             }
@@ -259,9 +275,16 @@ fn serve_loop(
                 // driven further. Fail every in-flight job and stop.
                 note_wave(&shared, &err.report);
                 let msg = err.to_string();
-                for job in active.drain(..) {
+                for mut job in active.drain(..) {
                     shared.active_jobs.fetch_sub(1, Ordering::Relaxed);
                     shared.failed.fetch_add(1, Ordering::Relaxed);
+                    let mut events = std::mem::take(&mut job.events);
+                    events.push(TraceEvent::JobCompleted {
+                        time: service_ts(&shared),
+                        job: job.id,
+                        ok: false,
+                    });
+                    publish_job_events(&shared, events);
                     let mut report = JobReport::service_gone(JobId(job.id));
                     report.name = job.name;
                     report.outcome = Err(format!("service aborted: {msg}"));
@@ -275,12 +298,22 @@ fn serve_loop(
         let mut still = Vec::with_capacity(active.len());
         for job in active.drain(..) {
             if job_done(&rt, &job.range) {
+                let id = job.id;
                 finalize(&mut rt, job, &shared, wave);
+                if config.recycle_graph {
+                    rt.forget_job(id);
+                }
             } else {
                 still.push(job);
             }
         }
         active = still;
+        if config.recycle_graph {
+            // Everything below the earliest still-active job is finalized
+            // and safe to recycle.
+            let keep = active.iter().map(|j| j.range.start).min().unwrap_or(rt.graph().len() as u64);
+            rt.prune_done_tasks(TaskId(keep));
+        }
     }
 
     rt.config_mut().flush_on_wait = saved_flush;
@@ -315,10 +348,6 @@ fn admit(
     }
     shared.live_tasks.fetch_add(after - before, Ordering::Relaxed);
     shared.active_jobs.fetch_add(1, Ordering::Relaxed);
-    push_job_event(
-        shared,
-        TraceEvent::JobAdmitted { time: service_ts(shared), job: id, tasks: after - before },
-    );
     active.push(ActiveJob {
         id,
         name: spec.name,
@@ -328,6 +357,11 @@ fn admit(
         admitted,
         admitted_wave: wave,
         report_tx,
+        events: vec![TraceEvent::JobAdmitted {
+            time: service_ts(shared),
+            job: id,
+            tasks: after - before,
+        }],
     });
 }
 
@@ -374,31 +408,31 @@ fn note_wave(shared: &Shared, report: &RunReport) {
         let next = if old == 0 { mean_ns } else { (old * 7 + mean_ns) / 8 };
         shared.ewma_task_ns.store(next.max(1), Ordering::Relaxed);
     }
-    let mut detail = shared.detail.lock().expect("metrics mutex poisoned");
-    for (key, n) in &report.version_counts {
-        *detail.version_counts.entry(*key).or_insert(0) += n;
+    if !report.version_counts.is_empty() {
+        let mut counts = shared.version_counts.lock().expect("version-count metrics poisoned");
+        for (key, n) in &report.version_counts {
+            *counts.entry(*key).or_insert(0) += n;
+        }
     }
-    for (i, b) in report.worker_busy.iter().enumerate() {
-        detail.worker_busy[i] += *b;
-    }
-    for (i, n) in report.worker_task_counts.iter().enumerate() {
-        detail.worker_task_counts[i] += n;
-    }
-    for (i, wt) in report.worker_transfers.iter().enumerate() {
-        detail.worker_transfers[i].merge(wt);
+    for (i, stat) in shared.worker_stats.iter().enumerate() {
+        let mut s = stat.lock().expect("worker metrics poisoned");
+        s.busy += report.worker_busy[i];
+        s.tasks += report.worker_task_counts[i];
+        s.transfers.merge(&report.worker_transfers[i]);
     }
     // Harvest the wave's trace, when the runtime records one: the
     // decision ledger tail, per-(job, phase) decision counts, and ring
     // drop counters all surface through `MetricsSnapshot`.
     if let Some(trace) = &report.trace {
-        detail.trace_dropped += trace.dropped;
+        let mut log = shared.decisions.lock().expect("decision metrics poisoned");
+        log.dropped += trace.dropped;
         for ev in trace.events() {
             if let TraceEvent::Decision(d) = ev {
-                *detail.decision_phases.entry((d.job, d.phase)).or_insert(0) += 1;
-                if detail.decision_tail.len() >= DECISION_TAIL {
-                    detail.decision_tail.pop_front();
+                *log.phases.entry((d.job, d.phase)).or_insert(0) += 1;
+                if log.tail.len() >= DECISION_TAIL {
+                    log.tail.pop_front();
                 }
-                detail.decision_tail.push_back(d.clone());
+                log.tail.push_back(d.clone());
             }
         }
     }
@@ -427,14 +461,13 @@ fn finalize(rt: &mut Runtime, mut job: ActiveJob, shared: &Shared, wave: u64) {
         Err(_) => shared.failed.fetch_add(1, Ordering::Relaxed),
     };
     let finished = Instant::now();
-    push_job_event(
-        shared,
-        TraceEvent::JobCompleted {
-            time: service_ts(shared),
-            job: job.id,
-            ok: outcome.is_ok(),
-        },
-    );
+    let mut events = std::mem::take(&mut job.events);
+    events.push(TraceEvent::JobCompleted {
+        time: service_ts(shared),
+        job: job.id,
+        ok: outcome.is_ok(),
+    });
+    publish_job_events(shared, events);
     let report = JobReport {
         job: JobId(job.id),
         name: job.name,

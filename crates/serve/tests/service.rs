@@ -149,7 +149,7 @@ fn gossip_hints_publishes_live_warmth_mid_service() {
     // warm-started from it skips the learning phase entirely.
     let (rt2, tpl2) = sim_runtime();
     let warm_service =
-        Service::start(rt2, ServeConfig { warm_start: Some(hints), ..ServeConfig::default() });
+        Service::start(rt2, ServeConfig { warm_start: Some(hints.to_string()), ..ServeConfig::default() });
     let warm = warm_service.client().submit(sim_job(tpl2, 64)).accepted().unwrap().wait();
     assert_eq!(
         warm.version_count(tpl2, VersionId(1)),

@@ -143,7 +143,7 @@ proptest! {
     #[test]
     fn directory_never_loses_the_only_valid_copy(ops in proptest::collection::vec(dir_op(), 1..60)) {
         let data = DataId(0);
-        let mut dir = Directory::new();
+        let dir = Directory::new();
         dir.register(data, 128, MemSpace::HOST);
         // Model: the set of spaces holding the latest value.
         let mut model: Vec<MemSpace> = vec![MemSpace::HOST];
